@@ -1,0 +1,97 @@
+//! Criterion benches for the analysis pipeline (the paper's offline
+//! tooling): statistics, windowed bandwidth, periodograms, model fitting
+//! and regeneration, and the QoS negotiation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fxnet::fx::Pattern;
+use fxnet::qos::{negotiate, AppDescriptor, QosNetwork};
+use fxnet::sim::{Frame, FrameKind, FrameRecord, HostId, SimRng, SimTime};
+use fxnet::spectral::generate::SynthConfig;
+use fxnet::spectral::{synthesize_trace, FourierModel};
+use fxnet::trace::{binned_bandwidth, sliding_window_bandwidth, Periodogram, Stats};
+use std::hint::black_box;
+
+/// A deterministic synthetic trace shaped like bursty kernel traffic.
+fn synthetic_trace(n: usize) -> Vec<FrameRecord> {
+    let mut t_us = 0u64;
+    (0..n)
+        .map(|i| {
+            let burst = (i / 200) % 3 == 0;
+            t_us += if burst { 1_200 } else { 40_000 };
+            let f = Frame::tcp(
+                HostId((i % 4) as u32),
+                HostId(((i + 1) % 4) as u32),
+                FrameKind::Data,
+                if i % 3 == 0 { 1460 } else { 100 },
+                i as u64,
+            );
+            FrameRecord::capture(SimTime::from_micros(t_us), &f)
+        })
+        .collect()
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let tr = synthetic_trace(100_000);
+    c.bench_function("analysis/stats_100k_frames", |b| {
+        b.iter(|| {
+            black_box(Stats::packet_sizes(&tr));
+            black_box(Stats::interarrivals_ms(&tr));
+        })
+    });
+}
+
+fn bench_window(c: &mut Criterion) {
+    let tr = synthetic_trace(100_000);
+    c.bench_function("analysis/sliding_window_100k_frames", |b| {
+        b.iter(|| black_box(sliding_window_bandwidth(&tr, SimTime::from_millis(10))))
+    });
+}
+
+fn bench_periodogram(c: &mut Criterion) {
+    let tr = synthetic_trace(100_000);
+    let series = binned_bandwidth(&tr, SimTime::from_millis(10));
+    c.bench_function("analysis/periodogram", |b| {
+        b.iter(|| black_box(Periodogram::compute(&series, SimTime::from_millis(10))))
+    });
+}
+
+fn bench_model_fit_and_generate(c: &mut Criterion) {
+    let tr = synthetic_trace(50_000);
+    let series = binned_bandwidth(&tr, SimTime::from_millis(10));
+    let spec = Periodogram::compute(&series, SimTime::from_millis(10));
+    c.bench_function("analysis/fourier_fit_32_spikes", |b| {
+        b.iter(|| black_box(FourierModel::from_periodogram(&spec, 32, 0.05)))
+    });
+    let model = FourierModel::from_periodogram(&spec, 16, 0.05);
+    c.bench_function("analysis/synthesize_60s", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(1);
+            black_box(synthesize_trace(
+                &model,
+                SimTime::from_secs(60),
+                &SynthConfig::default(),
+                &mut rng,
+            ))
+        })
+    });
+}
+
+fn bench_qos(c: &mut Criterion) {
+    c.bench_function("qos/negotiate_1_to_64", |b| {
+        let app = AppDescriptor::scalable(Pattern::AllToAll, 24.0, |p| {
+            (512 / u64::from(p).max(1)).pow(2) * 8
+        });
+        let net = QosNetwork::ethernet_10mbps();
+        b.iter(|| black_box(negotiate(&app, &net, 1..=64)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_stats,
+    bench_window,
+    bench_periodogram,
+    bench_model_fit_and_generate,
+    bench_qos
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches for the measured-program experiments: one bench per
+//! kernel table/figure family (Figures 3–7) and one for AIRSHED
+//! (Figures 8–11), at sharply reduced iteration counts so `cargo bench`
+//! terminates quickly. Full-scale regeneration is `repro --div 1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fxnet::apps::airshed::AirshedParams;
+use fxnet::{KernelKind, Testbed};
+use std::hint::black_box;
+
+fn bench_kernel(c: &mut Criterion, kernel: KernelKind, div: usize) {
+    // The measurement run behind Figures 3–7 for this kernel.
+    let id = format!("fig3-7/{}", kernel.name());
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    group.bench_function(&id, |b| {
+        b.iter(|| {
+            let run = Testbed::paper().run_kernel(kernel, div);
+            black_box(run.trace.len())
+        })
+    });
+    group.finish();
+}
+
+fn kernels(c: &mut Criterion) {
+    bench_kernel(c, KernelKind::Sor, 50); // 2 steps
+    bench_kernel(c, KernelKind::Fft2d, 50); // 2 iterations
+    bench_kernel(c, KernelKind::T2dfft, 50);
+    bench_kernel(c, KernelKind::Seq, 5); // 1 iteration
+    bench_kernel(c, KernelKind::Hist, 50);
+}
+
+fn airshed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("airshed");
+    group.sample_size(10);
+    group.bench_function("fig8-11/AIRSHED_1hour", |b| {
+        b.iter(|| {
+            let params = AirshedParams {
+                hours: 1,
+                ..AirshedParams::paper()
+            };
+            let run = Testbed::paper().run_airshed(params);
+            black_box(run.trace.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, kernels, airshed);
+criterion_main!(benches);

@@ -1,0 +1,610 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p fxnet-bench --bin repro -- all --div 10
+//! cargo run --release -p fxnet-bench --bin repro -- fig3 fig7
+//! ```
+//!
+//! Experiment ids (DESIGN.md §4): fig1 fig3 fig4 fig5 fig6 fig7 fig8
+//! fig9 airshed-avg fig10 fig11 model qos baseline. `--div N` scales the
+//! kernels' outer iteration counts by 1/N (default 1 = full paper
+//! scale); `--hours H` sets AIRSHED hours (default 100); `--out DIR`
+//! sets the series/spectra output directory (default `out/`).
+
+use fxnet::fx::Pattern;
+use fxnet::qos::{negotiate, AppDescriptor, QosNetwork};
+use fxnet::sim::SimRng;
+use fxnet::spectral::generate::SynthConfig;
+use fxnet::spectral::{
+    hurst_aggregated_variance, onoff_vbr_trace, self_similar_trace, synthesize_trace, FourierModel,
+};
+use fxnet::trace::{
+    average_bandwidth, binned_bandwidth, sliding_window_bandwidth, Periodogram, Stats,
+};
+use fxnet::{KernelKind, SimTime};
+use fxnet_bench::{bandwidth_row, stats_row, Experiments};
+use std::io::Write;
+
+const BIN: SimTime = SimTime(10_000_000); // the paper's 10 ms window
+
+fn main() {
+    let mut div = 1usize;
+    let mut hours = 100usize;
+    let mut out = "out".to_string();
+    let mut exps: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--div" => div = args.next().and_then(|s| s.parse().ok()).unwrap_or(1),
+            "--hours" => hours = args.next().and_then(|s| s.parse().ok()).unwrap_or(100),
+            "--out" => out = args.next().unwrap_or_else(|| "out".into()),
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--div N] [--hours H] [--out DIR] <exp>...\n\
+                     exps: fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 airshed-avg fig10 fig11 model qos baseline all\n\
+                     ablations (not in `all`): ablate-switch ablate-route ablate-p summary"
+                );
+                return;
+            }
+            other => exps.push(other.to_string()),
+        }
+    }
+    if exps.is_empty() {
+        exps.push("all".into());
+    }
+    let all = exps.iter().any(|e| e == "all");
+    let want = |name: &str| all || exps.iter().any(|e| e == name);
+
+    let mut ctx = Experiments::new(div, hours, &out);
+    if div != 1 {
+        println!(
+            "note: kernel iteration counts scaled by 1/{div} (pass --div 1 for full paper scale)\n"
+        );
+    }
+
+    if want("fig1") {
+        fig1();
+    }
+    if want("fig3") {
+        fig3(&mut ctx);
+    }
+    if want("fig4") {
+        fig4(&mut ctx);
+    }
+    if want("fig5") {
+        fig5(&mut ctx);
+    }
+    if want("fig6") {
+        fig6(&mut ctx);
+    }
+    if want("fig7") {
+        fig7(&mut ctx);
+    }
+    if want("fig8") {
+        fig8(&mut ctx);
+    }
+    if want("fig9") {
+        fig9(&mut ctx);
+    }
+    if want("airshed-avg") {
+        airshed_avg(&mut ctx);
+    }
+    if want("fig10") {
+        fig10(&mut ctx);
+    }
+    if want("fig11") {
+        fig11(&mut ctx);
+    }
+    if want("model") {
+        model(&mut ctx);
+    }
+    if want("qos") {
+        qos();
+    }
+    if want("baseline") {
+        baseline(&mut ctx);
+    }
+    if exps.iter().any(|e| e == "summary") {
+        summary(&mut ctx);
+    }
+    // Ablations run only when asked for explicitly.
+    if exps.iter().any(|e| e == "ablate-switch") {
+        ablate_switch(div);
+    }
+    if exps.iter().any(|e| e == "ablate-route") {
+        ablate_route(div);
+    }
+    if exps.iter().any(|e| e == "ablate-p") {
+        ablate_p();
+    }
+}
+
+// --------------------------------------------------------------------
+// One-page markdown summary of every measured program.
+
+fn summary(ctx: &mut Experiments) {
+    header("Summary: all measured programs (markdown)");
+    use fxnet::trace::{markdown_table, ReportOptions};
+    let opts = ReportOptions::default();
+    let mut traces: Vec<(String, Vec<fxnet::FrameRecord>)> = Vec::new();
+    for k in KernelKind::ALL {
+        traces.push((k.name().to_string(), ctx.kernel(k).trace.clone()));
+    }
+    traces.push(("AIRSHED".to_string(), ctx.airshed().trace.clone()));
+    let rows: Vec<(&str, &[fxnet::FrameRecord])> = traces
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.as_slice()))
+        .collect();
+    println!("{}", markdown_table(rows, &opts));
+}
+
+// --------------------------------------------------------------------
+// DESIGN.md §8 ablations.
+
+fn kernel_row(label: &str, run: &fxnet::RunResult<u64>) -> String {
+    let bw = average_bandwidth(&run.trace).unwrap_or(0.0) / 1000.0;
+    let series = binned_bandwidth(&run.trace, BIN);
+    let spec = Periodogram::compute(&series, BIN);
+    format!(
+        "{label:<22} {:>8.1}s {:>9.1} KB/s   {:>6.2} Hz   {:>6} collisions",
+        run.finished_at.as_secs_f64(),
+        bw,
+        spec.dominant_frequency(0.15).unwrap_or(0.0),
+        run.ether.collisions
+    )
+}
+
+fn ablate_switch(div: usize) {
+    header("Ablation: shared CSMA/CD bus vs store-and-forward switch");
+    use fxnet::Testbed;
+    for k in [KernelKind::Fft2d, KernelKind::Hist] {
+        let bus = Testbed::paper().run_kernel(k, div.max(5));
+        let sw = Testbed::paper()
+            .with_switched_fabric()
+            .run_kernel(k, div.max(5));
+        println!(
+            "
+{}:",
+            k.name()
+        );
+        println!("{}", kernel_row("  shared bus", &bus));
+        println!("{}", kernel_row("  switched fabric", &sw));
+    }
+    println!(
+        "
+(shape: the switch removes collisions and parallelizes disjoint transfers,"
+    );
+    println!(" raising bandwidth and the burst fundamental — but the quiet/burst alternation");
+    println!(" persists: it is program structure, not MAC contention.)");
+}
+
+fn ablate_route(div: usize) {
+    header("Ablation: PVM direct TCP route vs daemon UDP relay");
+    use fxnet::pvm::Route;
+    use fxnet::Testbed;
+    for k in [KernelKind::Fft2d, KernelKind::Hist] {
+        let direct = Testbed::paper().run_kernel(k, div.max(5));
+        let daemon = Testbed::paper()
+            .with_route(Route::Daemon)
+            .run_kernel(k, div.max(5));
+        println!(
+            "
+{}:",
+            k.name()
+        );
+        println!("{}", kernel_row("  direct (TCP)", &direct));
+        println!("{}", kernel_row("  daemon (UDP relay)", &daemon));
+    }
+    println!(
+        "
+(the daemon route is scalable but \"somewhat slow\" (§4): stop-and-wait"
+    );
+    println!(" relaying stretches every communication phase.)");
+}
+
+fn ablate_p() {
+    header("Ablation: processor-count sweep vs the §7.3 model");
+    use fxnet::pvm::MessageBuilder;
+    use fxnet::Testbed;
+    let work = SimTime::from_secs(8);
+    let n_bytes = 200_000usize;
+    println!(
+        "shift pattern, W = {}s total work, N = {} KB bursts:",
+        work.as_secs_f64(),
+        n_bytes / 1000
+    );
+    println!("    P    model t_bi    measured t_bi");
+    for p in [2u32, 4, 8] {
+        let run = Testbed::quiet(p).run(move |ctx| {
+            let me = ctx.rank();
+            let np = ctx.nprocs();
+            let per_rank = SimTime::from_nanos(work.as_nanos() / u64::from(np));
+            for i in 0..8usize {
+                ctx.compute_time(per_rank);
+                let mut b = MessageBuilder::new(i as i32);
+                b.pack_bytes(&vec![0u8; n_bytes]);
+                ctx.send((me + 1) % np, b.finish());
+                let _ = ctx.recv((me + np - 1) % np);
+            }
+        });
+        let profile =
+            fxnet::trace::BurstProfile::of(&run.trace, SimTime::from_millis(300)).expect("bursts");
+        let measured = profile.intervals.map_or(f64::NAN, |i| i.avg);
+        let app = AppDescriptor::scalable(Pattern::Shift { k: 1 }, work.as_secs_f64(), move |_| {
+            n_bytes as u64
+        });
+        let net = QosNetwork::ethernet_10mbps();
+        let bw = net.offer(app.concurrent_connections(p)).expect("offer");
+        let model = app.timing(p, bw).t_interval;
+        println!("   {p:>2}    {model:>9.2}s    {measured:>12.2}s");
+    }
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+// --------------------------------------------------------------------
+// Figure 1: the communication patterns.
+
+fn fig1() {
+    header("Figure 1: Fx communication patterns (P = 8)");
+    for pat in [
+        Pattern::Neighbor,
+        Pattern::AllToAll,
+        Pattern::Partition,
+        Pattern::Broadcast { root: 0 },
+        Pattern::TreeUp,
+        Pattern::TreeDown,
+    ] {
+        let sched = pat.schedule(8);
+        println!(
+            "\n{} — {} connections, {} round(s):",
+            pat.name(),
+            pat.connection_count(8),
+            sched.len()
+        );
+        for (i, round) in sched.iter().enumerate() {
+            let pairs: Vec<String> = round.iter().map(|(s, d)| format!("{s}->{d}")).collect();
+            println!("  round {i}: {}", pairs.join(" "));
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Figures 3–5: kernel tables.
+
+fn fig3(ctx: &mut Experiments) {
+    header("Figure 3: packet size statistics for Fx kernels (bytes)");
+    println!("-- aggregate --     min       max       avg        sd");
+    for k in KernelKind::ALL {
+        let s = Stats::packet_sizes(&ctx.kernel(k).trace);
+        println!("{}", stats_row(k.name(), s));
+    }
+    println!("-- connection --    min       max       avg        sd");
+    for k in KernelKind::ALL {
+        let s = ctx
+            .representative_connection(k)
+            .and_then(|c| Stats::packet_sizes(&c));
+        println!("{}", stats_row(k.name(), s));
+    }
+    println!("(paper aggregate: SOR 58/1518/473/568, 2DFFT 58/1518/969/678, T2DFFT 58/1518/912/663, SEQ 58/90/75/14, HIST 58/1518/499/575)");
+}
+
+fn fig4(ctx: &mut Experiments) {
+    header("Figure 4: packet interarrival time statistics for Fx kernels (ms)");
+    println!("-- aggregate --     min       max       avg        sd");
+    for k in KernelKind::ALL {
+        let s = Stats::interarrivals_ms(&ctx.kernel(k).trace);
+        println!("{}", stats_row(k.name(), s));
+    }
+    println!("-- connection --    min       max       avg        sd");
+    for k in KernelKind::ALL {
+        let s = ctx
+            .representative_connection(k)
+            .and_then(|c| Stats::interarrivals_ms(&c));
+        println!("{}", stats_row(k.name(), s));
+    }
+    println!("(paper aggregate avg: SOR 82.1, 2DFFT 1.3, T2DFFT 1.5, SEQ 1.3, HIST 16.5)");
+}
+
+fn fig5(ctx: &mut Experiments) {
+    header("Figure 5: average bandwidth for Fx kernels (KB/s)");
+    println!("-- aggregate --      KB/s");
+    for k in KernelKind::ALL {
+        let row = bandwidth_row(k.name(), &ctx.kernel(k).trace);
+        println!("{row}");
+    }
+    println!("-- connection --     KB/s");
+    for k in KernelKind::ALL {
+        match ctx.representative_connection(k) {
+            Some(c) => println!("{}", bandwidth_row(k.name(), &c)),
+            None => println!("{:<10} {:>10}", k.name(), "-"),
+        }
+    }
+    println!("(paper aggregate: SOR 5.6, 2DFFT 754.8, T2DFFT 607.1, SEQ 58.3, HIST 29.6)");
+}
+
+// --------------------------------------------------------------------
+// Figures 6–7: instantaneous bandwidth + spectra.
+
+fn dump_series(path: &std::path::Path, series: &[(SimTime, f64)], max_t: f64) {
+    let mut f = std::fs::File::create(path).expect("create series file");
+    for (t, v) in series {
+        let ts = t.as_secs_f64();
+        if ts > max_t {
+            break;
+        }
+        writeln!(f, "{ts:.4} {:.2}", v / 1000.0).expect("write");
+    }
+}
+
+fn dump_spectrum(path: &std::path::Path, spec: &Periodogram, max_hz: f64) {
+    let mut f = std::fs::File::create(path).expect("create spectrum file");
+    for i in 0..spec.power.len() {
+        let hz = spec.freq(i);
+        if hz > max_hz {
+            break;
+        }
+        writeln!(f, "{hz:.5} {:.4e}", spec.power[i]).expect("write");
+    }
+}
+
+fn fig6(ctx: &mut Experiments) {
+    header("Figure 6: instantaneous bandwidth of Fx kernels (10 ms window)");
+    for k in KernelKind::ALL {
+        let win = sliding_window_bandwidth(&ctx.kernel(k).trace, BIN);
+        let path = ctx.out_path(&format!("{}.all.winbw", k.name()));
+        dump_series(&path, &win, 10.0);
+        println!(
+            "wrote {} ({} points, 10 s span)",
+            path.display(),
+            win.len().min(10_000)
+        );
+        if let Some(conn) = ctx.representative_connection(k) {
+            let win = sliding_window_bandwidth(&conn, BIN);
+            let path = ctx.out_path(&format!("{}.conn.winbw", k.name()));
+            dump_series(&path, &win, 10.0);
+            println!("wrote {}", path.display());
+        }
+    }
+}
+
+fn fig7(ctx: &mut Experiments) {
+    header("Figure 7: power spectra of kernel bandwidth (10 ms bins)");
+    let paper = [
+        ("SOR", "conn ~5 Hz fundamental; aggregate less clean"),
+        ("2DFFT", "aggregate 0.5 Hz fundamental, declining harmonics"),
+        ("T2DFFT", "least clean spectra of all kernels"),
+        ("SEQ", "4 Hz harmonic dominant"),
+        ("HIST", "5 Hz fundamental, linearly declining harmonics"),
+    ];
+    for (k, (_, note)) in KernelKind::ALL.into_iter().zip(paper) {
+        let series = binned_bandwidth(&ctx.kernel(k).trace, BIN);
+        let spec = Periodogram::compute(&series, BIN);
+        let path = ctx.out_path(&format!("{}.all.spectrum", k.name()));
+        dump_spectrum(&path, &spec, 50.0);
+        let dom = spec.dominant_frequency(0.15).unwrap_or(0.0);
+        println!(
+            "\n{}: aggregate dominant {:.2} Hz, flatness {:.4}  [paper: {note}]",
+            k.name(),
+            dom,
+            spec.flatness()
+        );
+        for s in spec.top_spikes(4, 0.25) {
+            println!("    spike {:>6.2} Hz  power {:.2e}", s.freq, s.power);
+        }
+        if let Some(conn) = ctx.representative_connection(k) {
+            let cs = binned_bandwidth(&conn, BIN);
+            let cspec = Periodogram::compute(&cs, BIN);
+            let path = ctx.out_path(&format!("{}.conn.spectrum", k.name()));
+            dump_spectrum(&path, &cspec, 50.0);
+            println!(
+                "    connection dominant {:.2} Hz, flatness {:.4}",
+                cspec.dominant_frequency(0.15).unwrap_or(0.0),
+                cspec.flatness()
+            );
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Figures 8–11 + §6.2: AIRSHED.
+
+fn fig8(ctx: &mut Experiments) {
+    header("Figure 8: packet size statistics for AIRSHED (bytes)");
+    println!(
+        "{}",
+        stats_row("aggregate", Stats::packet_sizes(&ctx.airshed().trace))
+    );
+    let conn = fxnet::trace::connection(&ctx.airshed().trace, fxnet::HostId(0), fxnet::HostId(1));
+    println!("{}", stats_row("connection", Stats::packet_sizes(&conn)));
+    println!("(paper: aggregate 58/1518/899/693; connection 58/1518/889/688)");
+}
+
+fn fig9(ctx: &mut Experiments) {
+    header("Figure 9: packet interarrival statistics for AIRSHED (ms)");
+    println!(
+        "{}",
+        stats_row("aggregate", Stats::interarrivals_ms(&ctx.airshed().trace))
+    );
+    let conn = fxnet::trace::connection(&ctx.airshed().trace, fxnet::HostId(0), fxnet::HostId(1));
+    println!(
+        "{}",
+        stats_row("connection", Stats::interarrivals_ms(&conn))
+    );
+    println!("(paper: aggregate 0/23448.6/26.8/513.3; connection 0/37018.5/317.4/2353.6)");
+}
+
+fn airshed_avg(ctx: &mut Experiments) {
+    header("§6.2: AIRSHED average bandwidth");
+    let agg = average_bandwidth(&ctx.airshed().trace).unwrap_or(0.0) / 1000.0;
+    let conn = fxnet::trace::connection(&ctx.airshed().trace, fxnet::HostId(0), fxnet::HostId(1));
+    let cbw = average_bandwidth(&conn).unwrap_or(0.0) / 1000.0;
+    println!("aggregate  {agg:>8.1} KB/s   (paper: 32.7)");
+    println!("connection {cbw:>8.1} KB/s   (paper:  2.7)");
+}
+
+fn fig10(ctx: &mut Experiments) {
+    header("Figure 10: instantaneous bandwidth of AIRSHED (10 ms window)");
+    let total = ctx.airshed().finished_at.as_secs_f64();
+    let win = sliding_window_bandwidth(&ctx.airshed().trace, BIN);
+    let p500 = ctx.out_path("AIRSHED.all.winbw.500s");
+    dump_series(&p500, &win, 500.0f64.min(total));
+    let p60 = ctx.out_path("AIRSHED.all.winbw.60s");
+    dump_series(&p60, &win, 60.0f64.min(total));
+    println!("wrote {} and {}", p500.display(), p60.display());
+    let conn = fxnet::trace::connection(&ctx.airshed().trace, fxnet::HostId(0), fxnet::HostId(1));
+    let cw = sliding_window_bandwidth(&conn, BIN);
+    let pc = ctx.out_path("AIRSHED.conn.winbw.500s");
+    dump_series(&pc, &cw, 500.0f64.min(total));
+    println!("wrote {}", pc.display());
+}
+
+fn fig11(ctx: &mut Experiments) {
+    header("Figure 11: power spectrum of AIRSHED bandwidth");
+    let series = binned_bandwidth(&ctx.airshed().trace, BIN);
+    let spec = Periodogram::compute(&series, BIN);
+    for (suffix, max_hz) in [("0.1hz", 0.1), ("1hz", 1.0), ("20hz", 20.0)] {
+        let path = ctx.out_path(&format!("AIRSHED.spectrum.{suffix}"));
+        dump_spectrum(&path, &spec, max_hz);
+        println!("wrote {}", path.display());
+    }
+    println!("\nband peaks (paper: ≈0.015 Hz hour, ≈0.2 Hz chem step, ≈5 Hz transport):");
+    for (label, lo, hi) in [
+        ("hour  ", 0.005, 0.05),
+        ("step  ", 0.08, 0.8),
+        ("trans ", 1.0, 20.0),
+    ] {
+        let mut best = (0.0, 0.0);
+        for i in 1..spec.power.len() {
+            let f = spec.freq(i);
+            if f >= lo && f < hi && spec.power[i] > best.1 {
+                best = (f, spec.power[i]);
+            }
+        }
+        println!(
+            "  {label} {:.4} Hz (period {:>6.1} s)  power {:.2e}",
+            best.0,
+            1.0 / best.0.max(1e-9),
+            best.1
+        );
+    }
+}
+
+// --------------------------------------------------------------------
+// §7.2 model, §7.3 QoS, §1/§8 baseline comparison.
+
+fn model(ctx: &mut Experiments) {
+    header("§7.2: truncated Fourier-series models of kernel bandwidth");
+    for k in [KernelKind::Fft2d, KernelKind::Hist, KernelKind::Seq] {
+        let series = binned_bandwidth(&ctx.kernel(k).trace, BIN);
+        let spec = Periodogram::compute(&series, BIN);
+        println!(
+            "\n{}:  spikes  captured-power  reconstruction-RMS",
+            k.name()
+        );
+        for n in [1usize, 2, 4, 8, 16, 32, 64] {
+            let m = FourierModel::from_periodogram(&spec, n, 0.05);
+            println!(
+                "        {n:>5}  {:>13.1}%  {:>17.3}",
+                m.captured_power_fraction(&spec) * 100.0,
+                m.reconstruction_error(&series, BIN)
+            );
+        }
+        // Regenerate synthetic traffic from the 16-spike model.
+        let m = FourierModel::from_periodogram(&spec, 16, 0.05);
+        let mut rng = SimRng::new(1998);
+        let synth = synthesize_trace(
+            &m,
+            SimTime::from_secs_f64((series.len() as f64 * 0.01).min(120.0)),
+            &SynthConfig::default(),
+            &mut rng,
+        );
+        if !synth.is_empty() {
+            let sp = Periodogram::compute(&binned_bandwidth(&synth, BIN), BIN);
+            println!(
+                "        regenerated: dominant {:.2} Hz vs measured {:.2} Hz",
+                sp.dominant_frequency(0.15).unwrap_or(0.0),
+                spec.dominant_frequency(0.15).unwrap_or(0.0)
+            );
+        }
+    }
+}
+
+fn qos() {
+    header("§7.3: QoS negotiation (t_bi vs P; the network returns P)");
+    let net = QosNetwork::ethernet_10mbps();
+    let apps: Vec<(&str, AppDescriptor)> = vec![
+        (
+            "2DFFT-like (all-to-all)",
+            AppDescriptor::scalable(Pattern::AllToAll, 24.0, |p| (512 / u64::from(p)).pow(2) * 8),
+        ),
+        (
+            "SOR-like (neighbor)",
+            AppDescriptor::scalable(Pattern::Neighbor, 60.0, |_| 4096),
+        ),
+        (
+            "shift, 1 MB bursts",
+            AppDescriptor::scalable(Pattern::Shift { k: 1 }, 8.0, |_| 1_000_000),
+        ),
+    ];
+    for (label, app) in &apps {
+        println!("\n{label}:");
+        println!("    P   B/conn KB/s     t_b s    t_bi s");
+        for p in [2u32, 4, 8, 16] {
+            if let Some(bw) = net.offer(app.concurrent_connections(p)) {
+                let t = app.timing(p, bw);
+                println!(
+                    "   {p:>2}   {:>11.1}  {:>8.3}  {:>8.3}",
+                    bw / 1000.0,
+                    t.t_burst,
+                    t.t_interval
+                );
+            }
+        }
+        match negotiate(app, &net, 1..=16) {
+            Some(n) => println!("   -> network returns P = {}", n.p),
+            None => println!("   -> rejected"),
+        }
+    }
+}
+
+fn baseline(ctx: &mut Experiments) {
+    header("§1/§8: parallel-program vs media traffic");
+    let mut rows: Vec<(String, f64, f64, Option<f64>)> = Vec::new();
+    for k in [KernelKind::Fft2d, KernelKind::Hist] {
+        let series = binned_bandwidth(&ctx.kernel(k).trace, BIN);
+        let spec = Periodogram::compute(&series, BIN);
+        let conc = FourierModel::from_periodogram(&spec, 8, 0.1).captured_power_fraction(&spec);
+        let coarse = binned_bandwidth(&ctx.kernel(k).trace, SimTime::from_millis(50));
+        rows.push((
+            k.name().to_string(),
+            spec.flatness(),
+            conc,
+            hurst_aggregated_variance(&coarse),
+        ));
+    }
+    let mut rng = SimRng::new(77);
+    let dur = SimTime::from_secs(120);
+    let vbr = onoff_vbr_trace(400_000.0, 0.4, 0.6, 1000, dur, &mut rng);
+    let ss = self_similar_trace(16, 40_000.0, 1.5, 0.5, 800, dur, &mut rng);
+    for (name, tr) in [("VBR on/off", vbr), ("self-similar", ss)] {
+        let series = binned_bandwidth(&tr, BIN);
+        let spec = Periodogram::compute(&series, BIN);
+        let conc = FourierModel::from_periodogram(&spec, 8, 0.1).captured_power_fraction(&spec);
+        let coarse = binned_bandwidth(&tr, SimTime::from_millis(50));
+        rows.push((
+            name.to_string(),
+            spec.flatness(),
+            conc,
+            hurst_aggregated_variance(&coarse),
+        ));
+    }
+    println!("source         flatness   8-spike-power   Hurst");
+    for (name, flat, conc, h) in rows {
+        let h = h.map_or("   -".to_string(), |v| format!("{v:.2}"));
+        println!("{name:<14} {flat:>8.4}   {:>12.1}%   {h}", conc * 100.0);
+    }
+    println!("(expected shape: kernels = low flatness, high spike concentration; media = the reverse; self-similar H > 0.6)");
+}

@@ -1,0 +1,148 @@
+//! Shared experiment-harness code for the `repro` binary and the
+//! Criterion benches: cached kernel/AIRSHED runs and table formatting.
+//!
+//! The experiment index lives in DESIGN.md §4; `repro --help` lists the
+//! experiment ids. Paper-vs-measured numbers are recorded in
+//! EXPERIMENTS.md.
+
+use fxnet::apps::airshed::AirshedParams;
+use fxnet::trace::{average_bandwidth, connection, Stats};
+use fxnet::{FrameRecord, HostId, KernelKind, RunResult, Testbed};
+use std::collections::HashMap;
+
+/// Lazily runs and caches the measured programs for one harness process.
+pub struct Experiments {
+    /// Outer-iteration divisor (1 = full paper scale).
+    pub div: usize,
+    /// AIRSHED hours (paper: 100).
+    pub hours: usize,
+    /// Output directory for series/spectrum files.
+    pub out_dir: std::path::PathBuf,
+    seed: u64,
+    kernels: HashMap<&'static str, RunResult<u64>>,
+    airshed: Option<RunResult<u64>>,
+}
+
+impl Experiments {
+    /// A harness writing into `out_dir`, scaling iteration counts by
+    /// `1/div` and AIRSHED to `hours`.
+    pub fn new(div: usize, hours: usize, out_dir: impl Into<std::path::PathBuf>) -> Experiments {
+        Experiments {
+            div: div.max(1),
+            hours: hours.max(1),
+            out_dir: out_dir.into(),
+            seed: 1998,
+            kernels: HashMap::new(),
+            airshed: None,
+        }
+    }
+
+    /// The measured trace of a kernel (cached).
+    pub fn kernel(&mut self, k: KernelKind) -> &RunResult<u64> {
+        let div = self.div;
+        let seed = self.seed;
+        self.kernels.entry(k.name()).or_insert_with(|| {
+            eprintln!("[run] {} (paper scale / {div}) ...", k.name());
+            let t0 = std::time::Instant::now();
+            let run = Testbed::paper().with_seed(seed).run_kernel(k, div);
+            eprintln!(
+                "[run] {}: {} frames, {:.1} s simulated, {:.1} s wall",
+                k.name(),
+                run.trace.len(),
+                run.finished_at.as_secs_f64(),
+                t0.elapsed().as_secs_f64()
+            );
+            run
+        })
+    }
+
+    /// The measured AIRSHED trace (cached).
+    pub fn airshed(&mut self) -> &RunResult<u64> {
+        if self.airshed.is_none() {
+            let params = AirshedParams {
+                hours: self.hours,
+                ..AirshedParams::paper()
+            };
+            eprintln!("[run] AIRSHED ({} hours) ...", self.hours);
+            let t0 = std::time::Instant::now();
+            let run = Testbed::paper().with_seed(self.seed).run_airshed(params);
+            eprintln!(
+                "[run] AIRSHED: {} frames, {:.1} s simulated, {:.1} s wall",
+                run.trace.len(),
+                run.finished_at.as_secs_f64(),
+                t0.elapsed().as_secs_f64()
+            );
+            self.airshed = Some(run);
+        }
+        self.airshed.as_ref().expect("just initialized")
+    }
+
+    /// The representative connection the paper analyzes for a kernel, if
+    /// the pattern has one (§6.1): an arbitrary pair for the symmetric
+    /// patterns, a cross-partition pair for T2DFFT, none for SEQ/HIST.
+    pub fn representative_connection(&mut self, k: KernelKind) -> Option<Vec<FrameRecord>> {
+        let (src, dst) = match k {
+            KernelKind::Sor => (HostId(1), HostId(2)),
+            KernelKind::Fft2d => (HostId(0), HostId(1)),
+            KernelKind::T2dfft => (HostId(0), HostId(2)),
+            KernelKind::Seq | KernelKind::Hist => return None,
+        };
+        Some(connection(&self.kernel(k).trace, src, dst))
+    }
+
+    /// Ensure the output directory exists and return a path inside it.
+    pub fn out_path(&self, name: &str) -> std::path::PathBuf {
+        std::fs::create_dir_all(&self.out_dir).expect("create output dir");
+        self.out_dir.join(name)
+    }
+}
+
+/// Format one table row of size/interarrival statistics.
+pub fn stats_row(label: &str, s: Option<Stats>) -> String {
+    match s {
+        Some(s) => format!(
+            "{label:<10} {:>8.1} {:>9.1} {:>9.1} {:>9.1}",
+            s.min, s.max, s.avg, s.sd
+        ),
+        None => format!("{label:<10} {:>8} {:>9} {:>9} {:>9}", "-", "-", "-", "-"),
+    }
+}
+
+/// Format one average-bandwidth row (KB/s).
+pub fn bandwidth_row(label: &str, trace: &[FrameRecord]) -> String {
+    match average_bandwidth(trace) {
+        Some(bw) => format!("{label:<10} {:>10.1}", bw / 1000.0),
+        None => format!("{label:<10} {:>10}", "-"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_caches_runs() {
+        let mut e = Experiments::new(100, 1, std::env::temp_dir().join("fxnet-test-out"));
+        let n1 = e.kernel(KernelKind::Hist).trace.len();
+        let n2 = e.kernel(KernelKind::Hist).trace.len();
+        assert_eq!(n1, n2);
+        assert!(n1 > 0);
+    }
+
+    #[test]
+    fn representative_connections_follow_the_paper() {
+        let mut e = Experiments::new(100, 1, std::env::temp_dir().join("fxnet-test-out"));
+        assert!(e.representative_connection(KernelKind::Seq).is_none());
+        assert!(e.representative_connection(KernelKind::Hist).is_none());
+        let sor = e.representative_connection(KernelKind::Sor).unwrap();
+        assert!(sor.iter().all(|r| r.src == HostId(1) && r.dst == HostId(2)));
+    }
+
+    #[test]
+    fn row_formatting_handles_missing_stats() {
+        let row = stats_row("X", None);
+        assert!(row.contains('-'));
+        let row = stats_row("Y", Stats::of([1.0, 2.0]));
+        assert!(row.starts_with('Y'));
+    }
+}

@@ -1,0 +1,54 @@
+//! # fxnet
+//!
+//! A from-scratch reproduction of *"The Measured Network Traffic of
+//! Compiler-Parallelized Programs"* (Dinda, Garcia, Leung — CMU-CS-98-144
+//! / ICPP): the complete measurement stack, the six measured programs,
+//! the trace analyses behind every figure, the spectral traffic models of
+//! §7.2, and the QoS negotiation model of §7.3 — all over a simulated
+//! 10 Mb/s shared Ethernet of Alpha-class workstations.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fxnet::{Testbed, KernelKind};
+//! use fxnet::trace::{Stats, average_bandwidth};
+//!
+//! // The paper's environment: P=4 tasks on a 9-workstation shared LAN,
+//! // scaled down 50× on the outer iteration count for a fast run.
+//! let tb = Testbed::paper().with_seed(7);
+//! let run = tb.run_kernel(KernelKind::Hist, 50);
+//! let sizes = Stats::packet_sizes(&run.trace).unwrap();
+//! assert_eq!(sizes.min, 58.0);               // pure TCP ACKs
+//! assert!(average_bandwidth(&run.trace).unwrap() < 1_250_000.0);
+//! ```
+//!
+//! ## Layer map
+//!
+//! | layer | crate | re-export |
+//! |---|---|---|
+//! | CSMA/CD Ethernet, frames, simulated time | `fxnet-sim` | [`sim`] |
+//! | TCP/UDP stack | `fxnet-proto` | [`proto`] |
+//! | PVM message passing | `fxnet-pvm` | [`pvm`] |
+//! | SPMD runtime, patterns, cost model | `fxnet-fx` | [`fx`] |
+//! | FFT/SOR/LU numerics | `fxnet-numerics` | [`numerics`] |
+//! | the six measured programs | `fxnet-apps` | [`apps`] |
+//! | trace statistics, bandwidth, spectra | `fxnet-trace` | [`trace`] |
+//! | Fourier traffic models + media baselines | `fxnet-spectral` | [`spectral`] |
+//! | QoS negotiation | `fxnet-qos` | [`qos`] |
+
+pub use fxnet_apps as apps;
+pub use fxnet_fx as fx;
+pub use fxnet_numerics as numerics;
+pub use fxnet_proto as proto;
+pub use fxnet_pvm as pvm;
+pub use fxnet_qos as qos;
+pub use fxnet_sim as sim;
+pub use fxnet_spectral as spectral;
+pub use fxnet_trace as trace;
+
+mod testbed;
+
+pub use fxnet_apps::KernelKind;
+pub use fxnet_fx::{run_spmd, DescheduleConfig, RankCtx, RunResult, SpmdConfig};
+pub use fxnet_sim::{FrameRecord, HostId, SimTime};
+pub use testbed::Testbed;

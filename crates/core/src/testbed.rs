@@ -1,0 +1,188 @@
+//! The measurement testbed: the paper's nine-workstation environment as
+//! one configurable builder.
+
+use fxnet_apps::{airshed, KernelKind};
+use fxnet_fx::{run_spmd, DescheduleConfig, RankCtx, RunResult, SpmdConfig};
+use fxnet_proto::LinkKind;
+use fxnet_pvm::Route;
+use fxnet_sim::{SimTime, SwitchConfig};
+
+/// The simulated testbed of §5.1: DEC 3000/400-class workstations on a
+/// single bridged 10 Mb/s Ethernet collision domain, PVM 3.3-style
+/// message passing, one promiscuous tracer. Build one, adjust it with the
+/// `with_*` methods, and run kernels or arbitrary SPMD programs on it.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    cfg: SpmdConfig,
+}
+
+impl Testbed {
+    /// The paper's configuration: programs compiled for P=4 on a LAN of 9
+    /// workstations (idle machines contribute only daemon chatter; one is
+    /// the tcpdump tracer).
+    pub fn paper() -> Testbed {
+        Testbed {
+            cfg: SpmdConfig {
+                p: 4,
+                hosts: 9,
+                seed: 1998,
+                ..SpmdConfig::default()
+            },
+        }
+    }
+
+    /// A minimal quiet testbed for unit-style experiments: `p` hosts,
+    /// no daemon heartbeats.
+    pub fn quiet(p: u32) -> Testbed {
+        let mut cfg = SpmdConfig {
+            p,
+            hosts: p.max(2),
+            ..SpmdConfig::default()
+        };
+        cfg.pvm.heartbeat = None;
+        Testbed { cfg }
+    }
+
+    /// Override the processor count the programs are compiled for.
+    pub fn with_p(mut self, p: u32) -> Testbed {
+        self.cfg.p = p;
+        self.cfg.hosts = self.cfg.hosts.max(p);
+        self
+    }
+
+    /// Override the simulation seed.
+    pub fn with_seed(mut self, seed: u64) -> Testbed {
+        self.cfg.seed = seed;
+        self.cfg.pvm.net.seed = seed ^ 0x00C0_FFEE;
+        self
+    }
+
+    /// Select the PVM routing mechanism (direct TCP vs daemon UDP).
+    pub fn with_route(mut self, route: Route) -> Testbed {
+        self.cfg.pvm.route = route;
+        self
+    }
+
+    /// Enable OS deschedule injection (§6.1's burst-merging artifact).
+    pub fn with_deschedule(mut self, mean_cpu_between: SimTime, duration: SimTime) -> Testbed {
+        self.cfg.deschedule = Some(DescheduleConfig {
+            mean_cpu_between,
+            duration,
+        });
+        self
+    }
+
+    /// Make the bus lossy (frame corruption probability) — the failure-
+    /// injection extension; TCP recovers by go-back-N retransmission.
+    pub fn with_loss(mut self, drop_prob: f64) -> Testbed {
+        self.cfg.pvm.net.ether.drop_prob = drop_prob;
+        self
+    }
+
+    /// Change the LAN's raw bit rate (default 10 Mb/s). The paper's
+    /// point that burst periodicity is *bandwidth dependent* (§7.3,
+    /// conclusions) can be demonstrated by sweeping this.
+    pub fn with_bandwidth_bps(mut self, bps: u64) -> Testbed {
+        self.cfg.pvm.net.ether.bandwidth_bps = bps;
+        self
+    }
+
+    /// Replace the shared collision domain with a store-and-forward
+    /// switch (per-host full-duplex 10 Mb/s ports) — the DESIGN.md §8
+    /// ablation isolating the MAC layer's contribution to burst shaping.
+    pub fn with_switched_fabric(mut self) -> Testbed {
+        self.cfg.pvm.net.link = LinkKind::Switched(SwitchConfig::default());
+        self
+    }
+
+    /// Disable the PVM daemons' periodic UDP chatter.
+    pub fn without_heartbeats(mut self) -> Testbed {
+        self.cfg.pvm.heartbeat = None;
+        self
+    }
+
+    /// Access the full configuration for fine-grained control.
+    pub fn config(&self) -> &SpmdConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the full configuration.
+    pub fn config_mut(&mut self) -> &mut SpmdConfig {
+        &mut self.cfg
+    }
+
+    /// Run one of the five kernels at paper scale with the outer
+    /// iteration count divided by `iter_div` (1 = the full measured run).
+    pub fn run_kernel(&self, kernel: KernelKind, iter_div: usize) -> RunResult<u64> {
+        kernel.run_paper(self.cfg.clone(), iter_div)
+    }
+
+    /// Run the AIRSHED skeleton with explicit parameters.
+    pub fn run_airshed(&self, params: airshed::AirshedParams) -> RunResult<u64> {
+        run_spmd(self.cfg.clone(), move |ctx| {
+            airshed::airshed_rank(ctx, &params)
+        })
+    }
+
+    /// Run an arbitrary SPMD program on the testbed.
+    pub fn run<T, F>(&self, f: F) -> RunResult<T>
+    where
+        T: Send + 'static,
+        F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+    {
+        run_spmd(self.cfg.clone(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxnet_sim::Proto;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let tb = Testbed::paper();
+        assert_eq!(tb.config().p, 4);
+        assert_eq!(tb.config().hosts, 9);
+    }
+
+    #[test]
+    fn heartbeats_from_idle_machines_present_by_default() {
+        // Even a compute-only program sees daemon UDP chatter from the
+        // other LAN machines, as the paper's connection definition notes.
+        let tb = Testbed::paper();
+        let run = tb.run(|ctx| {
+            ctx.compute_time(SimTime::from_secs(65));
+        });
+        let udp = run.trace.iter().filter(|r| r.proto == Proto::Udp).count();
+        // Two 30 s rounds × 8 slave daemons.
+        assert!(udp >= 16, "expected heartbeat rounds, saw {udp} datagrams");
+    }
+
+    #[test]
+    fn without_heartbeats_is_silent_when_idle() {
+        let tb = Testbed::paper().without_heartbeats();
+        let run = tb.run(|ctx| {
+            ctx.compute_time(SimTime::from_secs(65));
+        });
+        assert!(run.trace.is_empty());
+    }
+
+    #[test]
+    fn seeds_change_mac_level_timing() {
+        let a = Testbed::paper()
+            .with_seed(1)
+            .run_kernel(KernelKind::Hist, 100);
+        let b = Testbed::paper()
+            .with_seed(1)
+            .run_kernel(KernelKind::Hist, 100);
+        assert_eq!(a.trace, b.trace, "same seed must reproduce exactly");
+    }
+
+    #[test]
+    fn kernel_runs_produce_traffic() {
+        let run = Testbed::quiet(4).run_kernel(KernelKind::Sor, 100);
+        assert!(!run.trace.is_empty());
+        assert!(run.finished_at > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,131 @@
+//! Block distribution arithmetic.
+//!
+//! Fx distributes the rows (or columns, or layers) of an `n`-element axis
+//! across `p` processors by contiguous blocks: "processor 0 owns the first
+//! N/P rows, processor 1 the next N/P rows, etc." (§3.1). Non-divisible
+//! sizes give the leading ranks one extra element, as HPF BLOCK does.
+
+/// A block distribution of `n` elements over `p` ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockDist {
+    n: usize,
+    p: usize,
+}
+
+impl BlockDist {
+    /// Distribute `n` elements over `p` ranks.
+    pub fn new(n: usize, p: usize) -> BlockDist {
+        assert!(p >= 1);
+        BlockDist { n, p }
+    }
+
+    /// Total element count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Rank count.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// First global index owned by `rank`.
+    pub fn lo(&self, rank: usize) -> usize {
+        assert!(rank < self.p);
+        let base = self.n / self.p;
+        let extra = self.n % self.p;
+        rank * base + rank.min(extra)
+    }
+
+    /// One past the last global index owned by `rank`.
+    pub fn hi(&self, rank: usize) -> usize {
+        if rank + 1 == self.p {
+            self.n
+        } else {
+            self.lo(rank + 1)
+        }
+    }
+
+    /// Number of elements owned by `rank`.
+    pub fn size(&self, rank: usize) -> usize {
+        self.hi(rank) - self.lo(rank)
+    }
+
+    /// The rank owning global index `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        assert!(i < self.n);
+        let base = self.n / self.p;
+        let extra = self.n % self.p;
+        let split = extra * (base + 1);
+        if i < split {
+            i / (base + 1)
+        } else {
+            extra + (i - split) / base
+        }
+    }
+
+    /// Local index of global index `i` on its owner.
+    pub fn local(&self, i: usize) -> usize {
+        i - self.lo(self.owner(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn even_split() {
+        let d = BlockDist::new(512, 4);
+        assert_eq!(d.lo(0), 0);
+        assert_eq!(d.hi(0), 128);
+        assert_eq!(d.lo(3), 384);
+        assert_eq!(d.hi(3), 512);
+        assert!((0..4).all(|r| d.size(r) == 128));
+        assert_eq!(d.owner(127), 0);
+        assert_eq!(d.owner(128), 1);
+        assert_eq!(d.local(130), 2);
+    }
+
+    #[test]
+    fn uneven_split_gives_leading_ranks_extra() {
+        let d = BlockDist::new(10, 3);
+        assert_eq!((d.size(0), d.size(1), d.size(2)), (4, 3, 3));
+        assert_eq!(d.lo(1), 4);
+        assert_eq!(d.owner(3), 0);
+        assert_eq!(d.owner(4), 1);
+        assert_eq!(d.owner(9), 2);
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let d = BlockDist::new(7, 1);
+        assert_eq!(d.size(0), 7);
+        assert_eq!(d.owner(6), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn blocks_tile_the_axis(n in 0usize..2000, p in 1usize..33) {
+            let d = BlockDist::new(n, p);
+            let mut covered = 0;
+            for r in 0..p {
+                prop_assert_eq!(d.lo(r), covered);
+                covered = d.hi(r);
+                // Sizes differ by at most one.
+                prop_assert!(d.size(r) + 1 >= n / p.max(1));
+            }
+            prop_assert_eq!(covered, n);
+        }
+
+        #[test]
+        fn owner_and_local_are_consistent(n in 1usize..2000, p in 1usize..33, frac in 0.0f64..1.0) {
+            let d = BlockDist::new(n, p);
+            let i = ((n as f64 - 1.0) * frac) as usize;
+            let r = d.owner(i);
+            prop_assert!(d.lo(r) <= i && i < d.hi(r));
+            prop_assert_eq!(d.local(i), i - d.lo(r));
+        }
+    }
+}

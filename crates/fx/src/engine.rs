@@ -1,0 +1,780 @@
+//! The deterministic SPMD rank engine.
+//!
+//! Each rank runs as a real OS thread executing straight-line SPMD code
+//! against a [`RankCtx`]. A conservative sequencer on the calling thread
+//! owns the simulated clock: it collects one pending request per live
+//! rank, then repeatedly either executes the request with the earliest
+//! local clock or advances the network simulation by one event, whichever
+//! is earlier in simulated time. Rank threads therefore run concurrently
+//! on the host machine, but every simulation decision is made from a
+//! fully collected, deterministically ordered state — two runs with the
+//! same configuration produce byte-identical packet traces.
+//!
+//! The engine also implements *deschedule injection*: the paper observed
+//! (§6) that when the OS deschedules one processor, the fixed synchronous
+//! communication schedule stalls until that processor returns, merging
+//! adjacent traffic bursts. Enabling [`DescheduleConfig`] inserts
+//! exponentially spaced involuntary delays into compute phases.
+
+use crate::cost::CostModel;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use fxnet_pvm::{Message, MsgDelivery, OutMessage, PvmConfig, PvmSystem, TaskId};
+use fxnet_sim::{EtherStats, FrameRecord, SimRng, SimTime};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Involuntary OS descheduling model.
+#[derive(Debug, Clone)]
+pub struct DescheduleConfig {
+    /// Mean CPU time between deschedule events (exponentially distributed).
+    pub mean_cpu_between: SimTime,
+    /// Length of each descheduled interval.
+    pub duration: SimTime,
+}
+
+/// Configuration for one SPMD run.
+#[derive(Debug, Clone)]
+pub struct SpmdConfig {
+    /// Number of SPMD ranks (the paper compiles for 4).
+    pub p: u32,
+    /// Total workstations on the LAN (the paper's testbed had 9; the
+    /// extras are idle except for daemon chatter and one is the tracer).
+    pub hosts: u32,
+    /// PVM and network stack configuration.
+    pub pvm: PvmConfig,
+    /// Compute cost model.
+    pub cost: CostModel,
+    /// Optional deschedule injection.
+    pub deschedule: Option<DescheduleConfig>,
+    /// Engine RNG seed (deschedule sampling).
+    pub seed: u64,
+    /// Sender-side socket buffer: a rank's `send` blocks while its host's
+    /// TCP backlog exceeds this, pacing fast senders with the network as
+    /// blocking socket writes do (64 KB was a typical OSF/1 default).
+    pub socket_buf: u64,
+    /// Abort if any rank's clock passes this (runaway guard).
+    pub max_sim_time: SimTime,
+}
+
+impl Default for SpmdConfig {
+    fn default() -> Self {
+        SpmdConfig {
+            p: 4,
+            hosts: 9,
+            pvm: PvmConfig::default(),
+            cost: CostModel::default(),
+            deschedule: None,
+            seed: 42,
+            socket_buf: 64 * 1024,
+            max_sim_time: SimTime::from_secs(24 * 3600),
+        }
+    }
+}
+
+/// Outcome of a run: per-rank return values plus the captured trace.
+#[derive(Debug)]
+pub struct RunResult<T> {
+    /// Rank return values, indexed by rank.
+    pub results: Vec<T>,
+    /// The promiscuous packet trace (the paper's tcpdump capture).
+    pub trace: Vec<FrameRecord>,
+    /// MAC statistics.
+    pub ether: EtherStats,
+    /// Simulated time at which the last rank finished.
+    pub finished_at: SimTime,
+}
+
+enum Request {
+    Compute(SimTime),
+    Send { dst: u32, msg: OutMessage },
+    Recv { src: u32 },
+    Barrier,
+    Done,
+}
+
+enum Reply {
+    Proceed,
+    Message(Message),
+}
+
+/// The per-rank handle SPMD program code runs against.
+pub struct RankCtx {
+    rank: u32,
+    p: u32,
+    cost: CostModel,
+    tx: Sender<(u32, Request)>,
+    rx: Receiver<Reply>,
+}
+
+impl RankCtx {
+    /// This rank's id, `0..nprocs()`.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Number of SPMD ranks.
+    pub fn nprocs(&self) -> u32 {
+        self.p
+    }
+
+    /// The cost model in effect (for apps that precompute durations).
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    fn request(&mut self, r: Request) -> Reply {
+        self.tx
+            .send((self.rank, r))
+            .expect("engine terminated while rank still running");
+        self.rx
+            .recv()
+            .expect("engine terminated while rank still running")
+    }
+
+    /// Spend a local computation phase of `n` floating-point operations.
+    pub fn compute_flops(&mut self, n: u64) {
+        let d = self.cost.flops(n);
+        self.compute_time(d);
+    }
+
+    /// Spend a memory-bound phase moving `bytes` through memory.
+    pub fn compute_mem(&mut self, bytes: u64) {
+        let d = self.cost.mem(bytes);
+        self.compute_time(d);
+    }
+
+    /// Spend an explicit amount of local computation time.
+    pub fn compute_time(&mut self, d: SimTime) {
+        if d == SimTime::ZERO {
+            return;
+        }
+        let _ = self.request(Request::Compute(d));
+    }
+
+    /// Send a message to `dst` (asynchronous, PVM semantics: returns once
+    /// the message is handed to the transport).
+    pub fn send(&mut self, dst: u32, msg: OutMessage) {
+        assert!(dst < self.p && dst != self.rank);
+        let _ = self.request(Request::Send { dst, msg });
+    }
+
+    /// Block until a message from `src` arrives.
+    pub fn recv(&mut self, src: u32) -> Message {
+        assert!(src < self.p && src != self.rank);
+        match self.request(Request::Recv { src }) {
+            Reply::Message(m) => m,
+            Reply::Proceed => unreachable!("recv must return a message"),
+        }
+    }
+
+    /// Global barrier across all ranks.
+    pub fn barrier(&mut self) {
+        let _ = self.request(Request::Barrier);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RankState {
+    /// Reply sent; the rank thread is executing and will request again.
+    Waiting,
+    /// A request is queued for sequencing.
+    Ready,
+    /// Blocked in `recv(src)`.
+    BlockedRecv(u32),
+    /// Blocked in `send` waiting for socket-buffer space.
+    BlockedSend,
+    /// Blocked in `barrier()`.
+    BlockedBarrier,
+    /// Finished.
+    Done,
+}
+
+struct Deschedule {
+    rng: SimRng,
+    mean_s: f64,
+    duration: SimTime,
+    /// CPU seconds consumed so far.
+    cpu_acc: f64,
+    /// CPU-time threshold of the next involuntary deschedule.
+    next_at: f64,
+}
+
+impl Deschedule {
+    fn new(cfg: &DescheduleConfig, mut rng: SimRng) -> Deschedule {
+        let mean_s = cfg.mean_cpu_between.as_secs_f64();
+        let first = rng.exponential(mean_s);
+        Deschedule {
+            rng,
+            mean_s,
+            duration: cfg.duration,
+            cpu_acc: 0.0,
+            next_at: first,
+        }
+    }
+
+    /// Extra wall time injected into a compute phase of length `d`.
+    fn extra_for(&mut self, d: SimTime) -> SimTime {
+        self.cpu_acc += d.as_secs_f64();
+        let mut extra = SimTime::ZERO;
+        while self.cpu_acc >= self.next_at {
+            extra += self.duration;
+            self.next_at += self.rng.exponential(self.mean_s);
+        }
+        extra
+    }
+}
+
+/// Run `f` as an SPMD program on a freshly built virtual machine and LAN.
+///
+/// `f` is invoked once per rank on its own thread; use the [`RankCtx`] to
+/// structure the program as compute and communication phases. Returns the
+/// per-rank results and the promiscuous packet trace of the entire run.
+pub fn run_spmd<T, F>(cfg: SpmdConfig, f: F) -> RunResult<T>
+where
+    T: Send + 'static,
+    F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+{
+    assert!(cfg.p >= 1 && cfg.hosts >= cfg.p);
+    let mut pvm = PvmSystem::new(cfg.pvm.clone(), cfg.p, cfg.hosts);
+    pvm.set_promiscuous(true);
+
+    let p = cfg.p as usize;
+    let (req_tx, req_rx) = unbounded::<(u32, Request)>();
+    let mut reply_txs: Vec<Sender<Reply>> = Vec::with_capacity(p);
+    let mut handles = Vec::with_capacity(p);
+    let f = Arc::new(f);
+    for rank in 0..cfg.p {
+        let (rtx, rrx) = unbounded::<Reply>();
+        reply_txs.push(rtx);
+        let mut ctx = RankCtx {
+            rank,
+            p: cfg.p,
+            cost: cfg.cost.clone(),
+            tx: req_tx.clone(),
+            rx: rrx,
+        };
+        let f = Arc::clone(&f);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("spmd-rank-{rank}"))
+                .spawn(move || {
+                    let out = f(&mut ctx);
+                    // Signal completion; ignore failure if the engine
+                    // already tore down due to another rank's panic.
+                    let _ = ctx.tx.send((ctx.rank, Request::Done));
+                    out
+                })
+                .expect("spawn rank thread"),
+        );
+    }
+    drop(req_tx);
+
+    let mut clocks = vec![SimTime::ZERO; p];
+    let mut states = vec![RankState::Waiting; p];
+    let mut pending: Vec<Option<Request>> = (0..p).map(|_| None).collect();
+    let mut mailbox: HashMap<(u32, u32), VecDeque<(SimTime, Message)>> = HashMap::new();
+    let mut barrier_waiters: Vec<u32> = Vec::new();
+    let mut engine_rng = SimRng::new(cfg.seed);
+    let mut desched: Vec<Option<Deschedule>> = (0..p)
+        .map(|r| {
+            cfg.deschedule
+                .as_ref()
+                .map(|d| Deschedule::new(d, engine_rng.fork(r as u64)))
+        })
+        .collect();
+    let mut deliveries: Vec<MsgDelivery> = Vec::new();
+
+    let wake = |rank: u32,
+                t_deliver: SimTime,
+                msg: Message,
+                clocks: &mut [SimTime],
+                states: &mut [RankState],
+                reply_txs: &[Sender<Reply>],
+                cost: &CostModel| {
+        let r = rank as usize;
+        let overhead = cost.recv_overhead(msg.body.len());
+        clocks[r] = clocks[r].max(t_deliver) + overhead;
+        states[r] = RankState::Waiting;
+        reply_txs[r]
+            .send(Reply::Message(msg))
+            .expect("rank thread alive");
+    };
+
+    loop {
+        // Phase 1: every non-blocked, non-done rank must have a request in
+        // hand before we sequence anything.
+        while states.contains(&RankState::Waiting) {
+            match req_rx.recv() {
+                Ok((rank, req)) => {
+                    let r = rank as usize;
+                    debug_assert_eq!(states[r], RankState::Waiting);
+                    if matches!(req, Request::Done) {
+                        states[r] = RankState::Done;
+                    } else {
+                        states[r] = RankState::Ready;
+                        pending[r] = Some(req);
+                    }
+                }
+                Err(_) => {
+                    // A rank thread died without Done: surface its panic.
+                    for h in handles {
+                        if let Err(e) = h.join() {
+                            std::panic::resume_unwind(e);
+                        }
+                    }
+                    panic!("rank channel closed without completion");
+                }
+            }
+        }
+
+        // All ranks finished: stop sequencing (the network may still hold
+        // events — e.g. periodic daemon chatter — which are drained up to
+        // the program's end time below, never past it).
+        if states.iter().all(|s| *s == RankState::Done) {
+            break;
+        }
+
+        // Phase 2: pick the next action in simulated-time order.
+        let mut best: Option<usize> = None;
+        for r in 0..p {
+            if states[r] == RankState::Ready && best.is_none_or(|b| clocks[r] < clocks[b]) {
+                best = Some(r);
+            }
+        }
+        let t_net = pvm.next_event_time();
+        let rank_first = match (best, t_net) {
+            (Some(r), Some(tn)) => clocks[r] <= tn,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => {
+                let blocked: Vec<String> = states
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !matches!(s, RankState::Done))
+                    .map(|(r, s)| format!("rank {r}: {s:?} at {}", clocks[r]))
+                    .collect();
+                panic!(
+                    "SPMD deadlock: no runnable rank and network idle\n{}",
+                    blocked.join("\n")
+                );
+            }
+        };
+
+        if rank_first {
+            let r = best.expect("rank_first implies a ready rank");
+            let req = pending[r].take().expect("ready rank has request");
+            assert!(
+                clocks[r] <= cfg.max_sim_time,
+                "rank {r} exceeded max_sim_time at {}",
+                clocks[r]
+            );
+            match req {
+                Request::Compute(d) => {
+                    let extra = desched[r]
+                        .as_mut()
+                        .map_or(SimTime::ZERO, |ds| ds.extra_for(d));
+                    clocks[r] += d + extra;
+                    states[r] = RankState::Waiting;
+                    reply_txs[r].send(Reply::Proceed).expect("rank alive");
+                }
+                Request::Send { dst, msg } => {
+                    let overhead = cfg.cost.send_overhead(&msg);
+                    let t_wire = clocks[r] + overhead;
+                    pvm.send(t_wire, TaskId(r as u32), TaskId(dst), msg);
+                    clocks[r] = t_wire;
+                    // A blocking socket write: the rank stalls while its
+                    // host's TCP backlog exceeds the socket buffer.
+                    if pvm.sender_backlog(TaskId(r as u32)) > cfg.socket_buf {
+                        states[r] = RankState::BlockedSend;
+                    } else {
+                        states[r] = RankState::Waiting;
+                        reply_txs[r].send(Reply::Proceed).expect("rank alive");
+                    }
+                }
+                Request::Recv { src } => {
+                    let key = (src, r as u32);
+                    let queued = mailbox.get_mut(&key).and_then(VecDeque::pop_front);
+                    if let Some((t_d, msg)) = queued {
+                        wake(
+                            r as u32,
+                            t_d,
+                            msg,
+                            &mut clocks,
+                            &mut states,
+                            &reply_txs,
+                            &cfg.cost,
+                        );
+                    } else {
+                        states[r] = RankState::BlockedRecv(src);
+                    }
+                }
+                Request::Barrier => {
+                    states[r] = RankState::BlockedBarrier;
+                    barrier_waiters.push(r as u32);
+                    if barrier_waiters.len() == p {
+                        let t = clocks.iter().copied().max().unwrap() + cfg.cost.per_message;
+                        for &w in &barrier_waiters {
+                            let w = w as usize;
+                            clocks[w] = t;
+                            states[w] = RankState::Waiting;
+                            reply_txs[w].send(Reply::Proceed).expect("rank alive");
+                        }
+                        barrier_waiters.clear();
+                    }
+                }
+                Request::Done => unreachable!("handled at intake"),
+            }
+        } else {
+            deliveries.clear();
+            let event_time = pvm.advance(&mut deliveries);
+            for d in deliveries.drain(..) {
+                let dst = d.dst.0 as usize;
+                if states[dst] == RankState::BlockedRecv(d.src.0) {
+                    wake(
+                        d.dst.0,
+                        d.time,
+                        d.msg,
+                        &mut clocks,
+                        &mut states,
+                        &reply_txs,
+                        &cfg.cost,
+                    );
+                } else {
+                    mailbox
+                        .entry((d.src.0, d.dst.0))
+                        .or_default()
+                        .push_back((d.time, d.msg));
+                }
+            }
+            // Network drain may have freed socket-buffer space.
+            if let Some(t) = event_time {
+                for r in 0..p {
+                    if states[r] == RankState::BlockedSend
+                        && pvm.sender_backlog(TaskId(r as u32)) <= cfg.socket_buf
+                    {
+                        clocks[r] = clocks[r].max(t);
+                        states[r] = RankState::Waiting;
+                        reply_txs[r].send(Reply::Proceed).expect("rank alive");
+                    }
+                }
+            }
+        }
+    }
+
+    // All ranks done. First advance the network through events scheduled
+    // within the program's lifetime (periodic daemon chatter a compute-
+    // heavy program never yielded to), then let trailing wire activity
+    // (delayed ACKs, in-flight frames) complete so the trace is whole.
+    let end_of_run = clocks.iter().copied().max().unwrap_or(SimTime::ZERO);
+    while let Some(t) = pvm.next_event_time() {
+        if t > end_of_run {
+            break;
+        }
+        deliveries.clear();
+        pvm.advance(&mut deliveries);
+    }
+    let _ = pvm.finish();
+    let results: Vec<T> = handles
+        .into_iter()
+        .map(|h| h.join().expect("rank panicked after completion"))
+        .collect();
+    RunResult {
+        results,
+        trace: pvm.take_trace(),
+        ether: pvm.ether_stats(),
+        finished_at: clocks.into_iter().max().unwrap_or(SimTime::ZERO),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxnet_pvm::MessageBuilder;
+
+    fn quiet_cfg(p: u32) -> SpmdConfig {
+        let mut cfg = SpmdConfig {
+            p,
+            hosts: p,
+            ..SpmdConfig::default()
+        };
+        cfg.pvm.heartbeat = None;
+        cfg
+    }
+
+    fn f64_msg(tag: i32, v: &[f64]) -> OutMessage {
+        let mut b = MessageBuilder::new(tag);
+        b.pack_f64(v);
+        b.finish()
+    }
+
+    #[test]
+    fn ping_pong_content_and_causality() {
+        let res = run_spmd(quiet_cfg(2), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, f64_msg(1, &[3.5, 4.5]));
+                let back = ctx.recv(1);
+                back.reader().f64s(2)
+            } else {
+                let m = ctx.recv(0);
+                let mut v = m.reader().f64s(2);
+                for x in &mut v {
+                    *x *= 2.0;
+                }
+                ctx.send(0, f64_msg(2, &v));
+                v
+            }
+        });
+        assert_eq!(res.results[0], vec![7.0, 9.0]);
+        assert_eq!(res.results[1], vec![7.0, 9.0]);
+        assert!(res.finished_at > SimTime::ZERO);
+        assert!(!res.trace.is_empty());
+    }
+
+    #[test]
+    fn compute_advances_only_local_clock() {
+        let res = run_spmd(quiet_cfg(2), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.compute_time(SimTime::from_millis(500));
+            }
+            ctx.barrier();
+        });
+        // The barrier aligns both ranks at ≥ 500 ms.
+        assert!(res.finished_at >= SimTime::from_millis(500));
+        assert!(res.finished_at < SimTime::from_millis(502));
+    }
+
+    #[test]
+    fn messages_queue_when_receiver_is_late() {
+        let res = run_spmd(quiet_cfg(2), |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..5 {
+                    ctx.send(1, f64_msg(i, &[f64::from(i)]));
+                }
+                0.0
+            } else {
+                ctx.compute_time(SimTime::from_secs(1));
+                let mut sum = 0.0;
+                for _ in 0..5 {
+                    sum += ctx.recv(0).reader().f64s(1)[0];
+                }
+                sum
+            }
+        });
+        assert_eq!(res.results[1], 10.0);
+    }
+
+    #[test]
+    fn recv_before_send_blocks_until_delivery() {
+        let res = run_spmd(quiet_cfg(2), |ctx| {
+            if ctx.rank() == 1 {
+                let m = ctx.recv(0);
+                m.reader().f64s(1)[0]
+            } else {
+                ctx.compute_time(SimTime::from_millis(300));
+                ctx.send(1, f64_msg(0, &[9.0]));
+                0.0
+            }
+        });
+        assert_eq!(res.results[1], 9.0);
+        assert!(res.finished_at >= SimTime::from_millis(300));
+    }
+
+    #[test]
+    fn deterministic_trace_across_threaded_runs() {
+        let run = || {
+            run_spmd(quiet_cfg(4), |ctx| {
+                let me = ctx.rank();
+                ctx.compute_flops(u64::from(me + 1) * 100_000);
+                for d in 0..4 {
+                    if d != me {
+                        ctx.send(d, f64_msg(0, &vec![f64::from(me); 200]));
+                    }
+                }
+                for s in 0..4 {
+                    if s != me {
+                        let _ = ctx.recv(s);
+                    }
+                }
+            })
+            .trace
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "SPMD deadlock")]
+    fn deadlock_is_detected() {
+        let _ = run_spmd(quiet_cfg(2), |ctx| {
+            if ctx.rank() == 0 {
+                let _ = ctx.recv(1); // nobody ever sends
+            }
+        });
+    }
+
+    #[test]
+    fn deschedule_injection_slows_the_run() {
+        let base = run_spmd(quiet_cfg(2), |ctx| {
+            ctx.compute_time(SimTime::from_secs(10));
+            ctx.barrier();
+        })
+        .finished_at;
+        let mut cfg = quiet_cfg(2);
+        cfg.deschedule = Some(DescheduleConfig {
+            mean_cpu_between: SimTime::from_secs(1),
+            duration: SimTime::from_millis(100),
+        });
+        let slowed = run_spmd(cfg, |ctx| {
+            ctx.compute_time(SimTime::from_secs(10));
+            ctx.barrier();
+        })
+        .finished_at;
+        assert!(slowed > base, "{slowed} vs {base}");
+    }
+
+    #[test]
+    fn barrier_synchronizes_staggered_ranks() {
+        let res = run_spmd(quiet_cfg(3), |ctx| {
+            ctx.compute_time(SimTime::from_millis(u64::from(ctx.rank()) * 100));
+            ctx.barrier();
+            // After the barrier all clocks are equal; a second barrier
+            // should not reorder anything.
+            ctx.barrier();
+        });
+        assert!(res.finished_at >= SimTime::from_millis(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_sim_time")]
+    fn runaway_guard_trips() {
+        let mut cfg = quiet_cfg(1);
+        cfg.max_sim_time = SimTime::from_secs(1);
+        let _ = run_spmd(cfg, |ctx| {
+            for _ in 0..10 {
+                ctx.compute_time(SimTime::from_secs(1));
+            }
+        });
+    }
+
+    #[test]
+    fn per_pair_fifo_order() {
+        let res = run_spmd(quiet_cfg(2), |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..20 {
+                    ctx.send(1, f64_msg(i, &[f64::from(i)]));
+                }
+                Vec::new()
+            } else {
+                (0..20).map(|_| ctx.recv(0).msg_tag_and_val()).collect()
+            }
+        });
+        let got = &res.results[1];
+        for (i, (tag, v)) in got.iter().enumerate() {
+            assert_eq!(*tag, i as i32);
+            assert_eq!(*v, i as f64);
+        }
+    }
+
+    trait TagVal {
+        fn msg_tag_and_val(&self) -> (i32, f64);
+    }
+    impl TagVal for Message {
+        fn msg_tag_and_val(&self) -> (i32, f64) {
+            (self.tag, self.reader().f64s(1)[0])
+        }
+    }
+
+    #[test]
+    fn blocking_send_paces_a_fast_sender() {
+        // A sender blasting far more than the socket buffer must be paced
+        // by the wire: its messages cannot all be timestamped at ~0.
+        let big = 512 * 1024; // bytes per message, » 64 KB socket buffer
+        let res = run_spmd(quiet_cfg(2), move |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..4 {
+                    let mut b = MessageBuilder::new(i);
+                    b.pack_bytes(&vec![0u8; big]);
+                    ctx.send(1, b.finish());
+                }
+                SimTime::ZERO
+            } else {
+                for _ in 0..4 {
+                    let _ = ctx.recv(0);
+                }
+                SimTime::from_nanos(1)
+            }
+        });
+        // 4 × 512 KB at ≤1.25 MB/s needs ≥ 1.6 s of simulated time.
+        assert!(
+            res.finished_at > SimTime::from_millis(1500),
+            "run finished implausibly fast at {} — sender was not paced",
+            res.finished_at
+        );
+    }
+
+    #[test]
+    fn small_sends_do_not_block() {
+        // Below the socket buffer, sends are asynchronous: a sender can
+        // race far ahead of a sleeping receiver.
+        let res = run_spmd(quiet_cfg(2), |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..10 {
+                    ctx.send(1, f64_msg(i, &[1.0]));
+                }
+                // All sends complete in software-overhead time only.
+                SimTime::ZERO
+            } else {
+                ctx.compute_time(SimTime::from_secs(5));
+                for _ in 0..10 {
+                    let _ = ctx.recv(0);
+                }
+                SimTime::ZERO
+            }
+        });
+        assert!(res.finished_at >= SimTime::from_secs(5));
+        assert!(res.finished_at < SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn cost_model_is_visible_to_ranks() {
+        let res = run_spmd(quiet_cfg(1), |ctx| ctx.cost().flops(8_000_000).as_nanos());
+        // Default model: 8 MFLOP at 8 MFLOP/s = 1 s.
+        assert_eq!(res.results[0], 1_000_000_000);
+    }
+
+    #[test]
+    fn trace_is_sorted_and_complete() {
+        let res = run_spmd(quiet_cfg(3), |ctx| {
+            let me = ctx.rank();
+            ctx.send((me + 1) % 3, f64_msg(0, &vec![2.0; 500]));
+            let _ = ctx.recv((me + 2) % 3);
+        });
+        assert!(res.trace.windows(2).all(|w| w[0].time <= w[1].time));
+        assert_eq!(res.ether.frames_dropped, 0);
+        assert!(res.ether.frames_delivered as usize >= res.trace.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "SPMD deadlock")]
+    fn barrier_after_a_rank_exits_is_a_deadlock() {
+        // A barrier can never complete once some rank has finished: the
+        // engine must detect it rather than hang.
+        let _ = run_spmd(quiet_cfg(2), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_program_needs_no_network() {
+        let res = run_spmd(quiet_cfg(1), |ctx| {
+            ctx.compute_flops(1000);
+            ctx.barrier();
+            42u32
+        });
+        assert_eq!(res.results, vec![42]);
+        assert!(res.trace.is_empty());
+    }
+}

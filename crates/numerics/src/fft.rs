@@ -1,0 +1,205 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+//!
+//! Used in two roles: as the *workload* of the 2DFFT and T2DFFT kernels
+//! (local row/column FFTs over distributed matrices), and as the *analysis
+//! tool* computing the power spectra of Figures 7 and 11.
+
+use crate::complex::Complex;
+
+/// In-place forward FFT. Length must be a power of two.
+pub fn fft(x: &mut [Complex]) {
+    transform(x, false);
+}
+
+/// In-place inverse FFT (including the 1/N normalization).
+pub fn ifft(x: &mut [Complex]) {
+    transform(x, true);
+    let scale = 1.0 / x.len() as f64;
+    for v in x.iter_mut() {
+        *v = v.scale(scale);
+    }
+}
+
+/// `|FFT(x)|²` for a real-valued signal, returning only the first half of
+/// the spectrum (DC through Nyquist inclusive). This is the periodogram
+/// core used by the trace analysis.
+pub fn fft_magnitude_squared(signal: &[f64]) -> Vec<f64> {
+    let n = signal.len().next_power_of_two();
+    let mut buf = vec![Complex::ZERO; n];
+    for (b, &s) in buf.iter_mut().zip(signal) {
+        *b = Complex::real(s);
+    }
+    fft(&mut buf);
+    buf[..n / 2 + 1].iter().map(|z| z.norm_sq()).collect()
+}
+
+fn transform(x: &mut [Complex], inverse: bool) {
+    let n = x.len();
+    if n <= 1 {
+        return;
+    }
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+    // Butterfly passes.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = x[start + k];
+                let v = x[start + k + len / 2] * w;
+                x[start + k] = u + v;
+                x[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Approximate floating-point operation count of one length-`n` FFT
+/// (the standard `5 n log2 n` figure), used by the compute cost model.
+pub fn fft_flops(n: usize) -> u64 {
+    let n = n as u64;
+    5 * n * (63 - n.leading_zeros() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    acc += v * Complex::cis(ang);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let x: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let want = naive_dft(&x);
+        let mut got = x.clone();
+        fft(&mut got);
+        for (g, w) in got.iter().zip(&want) {
+            assert!(close(*g, *w, 1e-9), "{g:?} vs {w:?}");
+        }
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 16];
+        x[0] = Complex::ONE;
+        fft(&mut x);
+        for z in &x {
+            assert!(close(*z, Complex::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn pure_tone_has_single_bin() {
+        let n = 256;
+        let k0 = 17;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let p = fft_magnitude_squared(&signal);
+        let peak = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, k0);
+        // Energy concentrated in that bin.
+        let total: f64 = p.iter().sum();
+        assert!(p[k0] / total > 0.9);
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        let mut empty: Vec<Complex> = vec![];
+        fft(&mut empty);
+        let mut one = vec![Complex::new(2.0, 3.0)];
+        fft(&mut one);
+        assert_eq!(one[0], Complex::new(2.0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut x = vec![Complex::ZERO; 12];
+        fft(&mut x);
+    }
+
+    #[test]
+    fn flops_estimate() {
+        assert_eq!(fft_flops(512), 5 * 512 * 9);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip(vals in prop::collection::vec(-100.0f64..100.0, 1..6)) {
+            // Build a power-of-two signal from the values.
+            let n = vals.len().next_power_of_two() * 8;
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(vals[i % vals.len()] * (i as f64 * 0.1).sin(), 0.0))
+                .collect();
+            let mut y = x.clone();
+            fft(&mut y);
+            ifft(&mut y);
+            for (a, b) in x.iter().zip(&y) {
+                prop_assert!(close(*a, *b, 1e-9));
+            }
+        }
+
+        #[test]
+        fn parseval(vals in prop::collection::vec(-10.0f64..10.0, 8..64)) {
+            let n = vals.len().next_power_of_two();
+            let mut x = vec![Complex::ZERO; n];
+            for (xi, &v) in x.iter_mut().zip(&vals) {
+                *xi = Complex::real(v);
+            }
+            let time_energy: f64 = x.iter().map(|z| z.norm_sq()).sum();
+            fft(&mut x);
+            let freq_energy: f64 = x.iter().map(|z| z.norm_sq()).sum::<f64>() / n as f64;
+            prop_assert!((time_energy - freq_energy).abs() < 1e-6 * (1.0 + time_energy));
+        }
+
+        #[test]
+        fn linearity(scale in -5.0f64..5.0) {
+            let x: Vec<Complex> = (0..32).map(|i| Complex::new((i as f64).cos(), 0.0)).collect();
+            let mut fx = x.clone();
+            fft(&mut fx);
+            let mut sx: Vec<Complex> = x.iter().map(|z| z.scale(scale)).collect();
+            fft(&mut sx);
+            for (a, b) in fx.iter().zip(&sx) {
+                prop_assert!(close(a.scale(scale), *b, 1e-8));
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Dense LU factorization and triangular solves.
+//!
+//! AIRSHED's horizontal-transport phase assembles and factors one finite
+//! element stiffness matrix per atmospheric layer once per simulated hour,
+//! then performs `l × s` backsolves per transport phase (one per layer and
+//! species). This module provides that direct solver.
+
+use crate::matrix::Matrix;
+
+/// An LU factorization with partial pivoting: `P·A = L·U`, stored packed
+/// in a single matrix plus a pivot vector.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    pivots: Vec<usize>,
+}
+
+/// Error returned when the matrix is singular to working precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Singular;
+
+impl Lu {
+    /// Factor `a` (consumed). O(n³/3) flops.
+    pub fn factor(mut a: Matrix) -> Result<Lu, Singular> {
+        let n = a.rows();
+        assert_eq!(n, a.cols(), "LU requires a square matrix");
+        let mut pivots = Vec::with_capacity(n);
+        for k in 0..n {
+            // Partial pivoting: pick the largest magnitude in column k.
+            let mut p = k;
+            let mut best = a[(k, k)].abs();
+            for r in k + 1..n {
+                let v = a[(r, k)].abs();
+                if v > best {
+                    best = v;
+                    p = r;
+                }
+            }
+            if best < f64::EPSILON * 16.0 {
+                return Err(Singular);
+            }
+            a.swap_rows(k, p);
+            pivots.push(p);
+            let inv = 1.0 / a[(k, k)];
+            for r in k + 1..n {
+                let m = a[(r, k)] * inv;
+                a[(r, k)] = m;
+                for c in k + 1..n {
+                    a[(r, c)] -= m * a[(k, c)];
+                }
+            }
+        }
+        Ok(Lu { lu: a, pivots })
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A x = b` in place. O(n²) flops — this is the per-species
+    /// backsolve AIRSHED repeats.
+    pub fn solve(&self, b: &mut [f64]) {
+        let n = self.n();
+        assert_eq!(b.len(), n);
+        // Apply the row permutation.
+        for (k, &p) in self.pivots.iter().enumerate() {
+            b.swap(k, p);
+        }
+        // Forward substitution with unit-diagonal L.
+        for r in 1..n {
+            let mut acc = b[r];
+            for (c, &bc) in b.iter().enumerate().take(r) {
+                acc -= self.lu[(r, c)] * bc;
+            }
+            b[r] = acc;
+        }
+        // Back substitution with U.
+        for r in (0..n).rev() {
+            let mut acc = b[r];
+            for (c, &bc) in b.iter().enumerate().skip(r + 1) {
+                acc -= self.lu[(r, c)] * bc;
+            }
+            b[r] = acc / self.lu[(r, r)];
+        }
+    }
+
+    /// Approximate flop count of one `solve`.
+    pub fn solve_flops(&self) -> u64 {
+        2 * (self.n() as u64).pow(2)
+    }
+
+    /// Approximate flop count of one `factor` of size `n`.
+    pub fn factor_flops(n: usize) -> u64 {
+        2 * (n as u64).pow(3) / 3
+    }
+}
+
+/// Assemble a 1-D Poisson-like stiffness matrix of dimension `n` with
+/// wrap-around coupling scaled by `coupling`, a stand-in for AIRSHED's
+/// per-layer finite element stiffness matrix (diagonally dominant, hence
+/// always factorable).
+pub fn stiffness_matrix(n: usize, coupling: f64) -> Matrix {
+    Matrix::from_fn(n, n, |r, c| {
+        if r == c {
+            2.0 + coupling.abs() * 2.0
+        } else if r + 1 == c || c + 1 == r || (r == 0 && c == n - 1) || (c == 0 && r == n - 1) {
+            -coupling
+        } else {
+            0.0
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_known_system() {
+        // [[2,1],[1,3]] x = [3,5] → x = [0.8, 1.4]
+        let a = Matrix::from_fn(2, 2, |r, c| [[2.0, 1.0], [1.0, 3.0]][r][c]);
+        let lu = Lu::factor(a).unwrap();
+        let mut b = vec![3.0, 5.0];
+        lu.solve(&mut b);
+        assert!((b[0] - 0.8).abs() < 1e-12);
+        assert!((b[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let lu = Lu::factor(Matrix::identity(5)).unwrap();
+        let mut b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        lu.solve(&mut b);
+        assert_eq!(b, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // Without pivoting this matrix fails at k=0.
+        let a = Matrix::from_fn(2, 2, |r, c| [[0.0, 1.0], [1.0, 0.0]][r][c]);
+        let lu = Lu::factor(a).unwrap();
+        let mut b = vec![7.0, 9.0];
+        lu.solve(&mut b);
+        // x = [9, 7]
+        assert!((b[0] - 9.0).abs() < 1e-12);
+        assert!((b[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_fn(3, 3, |_, c| c as f64); // rank 1
+        assert!(Lu::factor(a).is_err());
+    }
+
+    #[test]
+    fn stiffness_is_factorable_and_symmetric() {
+        let m = stiffness_matrix(32, 0.9);
+        for r in 0..32 {
+            for c in 0..32 {
+                assert_eq!(m[(r, c)], m[(c, r)]);
+            }
+        }
+        assert!(Lu::factor(m).is_ok());
+    }
+
+    proptest! {
+        #[test]
+        fn solves_random_diagonally_dominant_systems(
+            n in 2usize..24,
+            seed in 0u64..500,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut a = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+            for i in 0..n {
+                let rowsum: f64 = a.row(i).iter().map(|v| v.abs()).sum();
+                a[(i, i)] = rowsum + 1.0; // enforce strict dominance
+            }
+            let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+            let mut b = a.matvec(&x_true);
+            let lu = Lu::factor(a).unwrap();
+            lu.solve(&mut b);
+            for (got, want) in b.iter().zip(&x_true) {
+                prop_assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+            }
+        }
+    }
+}

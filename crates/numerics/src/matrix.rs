@@ -1,0 +1,134 @@
+//! A minimal row-major dense matrix.
+
+/// Row-major dense matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a generator `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Swap two rows.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (top, bot) = self.data.split_at_mut(hi * self.cols);
+        top[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut bot[..self.cols]);
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_fn(3, 2, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m[(2, 1)], 21.0);
+        assert_eq!(m.row(1), &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn identity_matvec() {
+        let i = Matrix::identity(4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.matvec(&x), x);
+    }
+
+    #[test]
+    fn matvec_known() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r + c) as f64);
+        // [[0,1,2],[1,2,3]] * [1,1,1] = [3,6]
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn swap_rows() {
+        let mut m = Matrix::from_fn(3, 3, |r, _| r as f64);
+        m.swap_rows(0, 2);
+        assert_eq!(m.row(0), &[2.0, 2.0, 2.0]);
+        assert_eq!(m.row(2), &[0.0, 0.0, 0.0]);
+        m.swap_rows(1, 1);
+        assert_eq!(m.row(1), &[1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,525 @@
+//! PVM message representation: typed packing into fragment lists, the wire
+//! format, and typed unpacking.
+//!
+//! The fragment structure is observable on the network (paper §4/§6.1):
+//! each fragment is written to the socket independently, so pack-call
+//! boundaries become TCP write boundaries and ultimately packet
+//! boundaries. The 24-byte fragment header is sized so that SEQ's
+//! single-`f64` broadcasts appear as 90-byte frames (58 B protocol
+//! overhead + 24 B header + 8 B data), matching Figure 3's SEQ maximum.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Bytes of wire header preceding every fragment.
+pub const FRAG_HEADER: usize = 24;
+
+/// Magic tag opening every fragment header.
+pub const MAGIC: u32 = 0x7076_6D33; // "pvm3"
+
+const FLAG_FIRST: u32 = 0b01;
+const FLAG_LAST: u32 = 0b10;
+
+/// A message under construction at the sender.
+///
+/// In the default *copy-loop* mode every `pack_*` call appends to one
+/// buffer, and the finished message is a single fragment — this is how
+/// SOR, 2DFFT, SEQ, HIST and AIRSHED behave ("an artifact of other (older)
+/// Fx implementations"). With [`MessageBuilder::multi_pack`], each pack
+/// call closes the previous fragment and starts a new one — T2DFFT's
+/// behaviour, which PVM sends as a series of independent socket writes.
+#[derive(Debug)]
+pub struct MessageBuilder {
+    tag: i32,
+    frags: Vec<Vec<u8>>,
+    current: Vec<u8>,
+    multi_pack: bool,
+}
+
+impl MessageBuilder {
+    /// Start a message with the given application tag (copy-loop mode).
+    pub fn new(tag: i32) -> MessageBuilder {
+        MessageBuilder {
+            tag,
+            frags: Vec::new(),
+            current: Vec::new(),
+            multi_pack: false,
+        }
+    }
+
+    /// Switch to multi-pack mode: each `pack_*` call becomes its own
+    /// fragment (T2DFFT's pattern).
+    pub fn multi_pack(mut self) -> MessageBuilder {
+        self.multi_pack = true;
+        self
+    }
+
+    fn close_fragment(&mut self) {
+        if !self.current.is_empty() {
+            self.frags.push(std::mem::take(&mut self.current));
+        }
+    }
+
+    fn begin_pack(&mut self) {
+        if self.multi_pack {
+            self.close_fragment();
+        }
+    }
+
+    /// Pack a slice of `f64` values.
+    pub fn pack_f64(&mut self, v: &[f64]) -> &mut Self {
+        self.begin_pack();
+        self.current.reserve(v.len() * 8);
+        for &x in v {
+            self.current.extend_from_slice(&x.to_le_bytes());
+        }
+        self
+    }
+
+    /// Pack a slice of `f32` values (Fortran `REAL`, and the components of
+    /// Fortran single-precision `COMPLEX`).
+    pub fn pack_f32(&mut self, v: &[f32]) -> &mut Self {
+        self.begin_pack();
+        self.current.reserve(v.len() * 4);
+        for &x in v {
+            self.current.extend_from_slice(&x.to_le_bytes());
+        }
+        self
+    }
+
+    /// Pack a slice of `i32` values.
+    pub fn pack_i32(&mut self, v: &[i32]) -> &mut Self {
+        self.begin_pack();
+        self.current.reserve(v.len() * 4);
+        for &x in v {
+            self.current.extend_from_slice(&x.to_le_bytes());
+        }
+        self
+    }
+
+    /// Pack a slice of `u32` values.
+    pub fn pack_u32(&mut self, v: &[u32]) -> &mut Self {
+        self.begin_pack();
+        self.current.reserve(v.len() * 4);
+        for &x in v {
+            self.current.extend_from_slice(&x.to_le_bytes());
+        }
+        self
+    }
+
+    /// Pack a slice of `u64` values.
+    pub fn pack_u64(&mut self, v: &[u64]) -> &mut Self {
+        self.begin_pack();
+        self.current.reserve(v.len() * 8);
+        for &x in v {
+            self.current.extend_from_slice(&x.to_le_bytes());
+        }
+        self
+    }
+
+    /// Pack raw bytes.
+    pub fn pack_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.begin_pack();
+        self.current.extend_from_slice(v);
+        self
+    }
+
+    /// Finish packing; the result is ready for [`crate::PvmSystem::send`].
+    pub fn finish(mut self) -> OutMessage {
+        self.close_fragment();
+        if self.frags.is_empty() {
+            // Zero-length messages still occupy a fragment on the wire so
+            // the receiver can observe them (e.g. barrier tokens).
+            self.frags.push(Vec::new());
+        }
+        OutMessage {
+            tag: self.tag,
+            frags: self.frags.into_iter().map(Bytes::from).collect(),
+        }
+    }
+}
+
+/// A finished outbound message: an application tag plus its fragment list.
+#[derive(Debug, Clone)]
+pub struct OutMessage {
+    pub tag: i32,
+    pub frags: Vec<Bytes>,
+}
+
+impl OutMessage {
+    /// Total payload bytes (excluding wire headers).
+    pub fn payload_len(&self) -> usize {
+        self.frags.iter().map(Bytes::len).sum()
+    }
+
+    /// Bytes this message will occupy on the TCP stream, headers included.
+    pub fn wire_len(&self) -> usize {
+        self.payload_len() + FRAG_HEADER * self.frags.len()
+    }
+
+    /// Encode fragment `i` (header + data) for transmission from `src_task`
+    /// with message sequence number `seq`.
+    pub fn encode_frag(&self, i: usize, src_task: u32, seq: u32) -> Bytes {
+        let data = &self.frags[i];
+        let mut flags = 0u32;
+        if i == 0 {
+            flags |= FLAG_FIRST;
+        }
+        if i + 1 == self.frags.len() {
+            flags |= FLAG_LAST;
+        }
+        let mut b = BytesMut::with_capacity(FRAG_HEADER + data.len());
+        b.put_u32_le(MAGIC);
+        b.put_u32_le(seq);
+        b.put_u32_le(data.len() as u32);
+        b.put_u32_le(flags);
+        b.put_i32_le(self.tag);
+        b.put_u32_le(src_task);
+        b.extend_from_slice(data);
+        b.freeze()
+    }
+}
+
+/// A fully reassembled inbound message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    pub tag: i32,
+    /// Sending task id, recovered from the fragment headers.
+    pub src_task: u32,
+    /// Number of wire fragments the message arrived in (T2DFFT > 1).
+    pub n_frags: u32,
+    /// Concatenated payload.
+    pub body: Bytes,
+}
+
+impl Message {
+    /// Typed sequential reader over the body.
+    pub fn reader(&self) -> MessageReader<'_> {
+        MessageReader {
+            body: &self.body,
+            pos: 0,
+        }
+    }
+}
+
+/// Sequential typed unpacking, mirroring the pack calls.
+#[derive(Debug)]
+pub struct MessageReader<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> MessageReader<'a> {
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        assert!(
+            self.pos + n <= self.body.len(),
+            "unpack past end of message ({} + {} > {})",
+            self.pos,
+            n,
+            self.body.len()
+        );
+        let s = &self.body[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Unpack `n` `f64` values.
+    pub fn f64s(&mut self, n: usize) -> Vec<f64> {
+        self.take(n * 8)
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Unpack `n` `f32` values.
+    pub fn f32s(&mut self, n: usize) -> Vec<f32> {
+        self.take(n * 4)
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Unpack `n` `i32` values.
+    pub fn i32s(&mut self, n: usize) -> Vec<i32> {
+        self.take(n * 4)
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Unpack `n` `u32` values.
+    pub fn u32s(&mut self, n: usize) -> Vec<u32> {
+        self.take(n * 4)
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Unpack `n` `u64` values.
+    pub fn u64s(&mut self, n: usize) -> Vec<u64> {
+        self.take(n * 8)
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Unpack `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> &'a [u8] {
+        self.take(n)
+    }
+
+    /// Bytes not yet unpacked.
+    pub fn remaining(&self) -> usize {
+        self.body.len() - self.pos
+    }
+}
+
+/// Incremental parser converting an in-order byte stream back into
+/// messages. One parser exists per (connection, direction); TCP delivers
+/// arbitrary chunkings of the stream and the parser is insensitive to
+/// where chunk boundaries fall.
+#[derive(Debug, Default)]
+pub struct StreamParser {
+    buf: BytesMut,
+    /// Fragments of the in-progress message.
+    partial: Vec<Bytes>,
+    partial_tag: i32,
+    partial_src: u32,
+}
+
+impl StreamParser {
+    /// A parser with empty state.
+    pub fn new() -> StreamParser {
+        StreamParser::default()
+    }
+
+    /// Feed stream bytes; returns any messages completed by this chunk.
+    pub fn feed(&mut self, chunk: &[u8]) -> Vec<Message> {
+        self.buf.extend_from_slice(chunk);
+        let mut done = Vec::new();
+        loop {
+            if self.buf.len() < FRAG_HEADER {
+                break;
+            }
+            let magic = u32::from_le_bytes(self.buf[0..4].try_into().unwrap());
+            assert_eq!(magic, MAGIC, "stream desynchronized");
+            let frag_len = u32::from_le_bytes(self.buf[8..12].try_into().unwrap()) as usize;
+            if self.buf.len() < FRAG_HEADER + frag_len {
+                break;
+            }
+            let flags = u32::from_le_bytes(self.buf[12..16].try_into().unwrap());
+            let tag = i32::from_le_bytes(self.buf[16..20].try_into().unwrap());
+            let src = u32::from_le_bytes(self.buf[20..24].try_into().unwrap());
+            let _ = self.buf.split_to(FRAG_HEADER);
+            let data = self.buf.split_to(frag_len).freeze();
+            if flags & FLAG_FIRST != 0 {
+                debug_assert!(
+                    self.partial.is_empty(),
+                    "interleaved fragments on one stream"
+                );
+                self.partial_tag = tag;
+                self.partial_src = src;
+            }
+            self.partial.push(data);
+            if flags & FLAG_LAST != 0 {
+                let n_frags = self.partial.len() as u32;
+                let body = if n_frags == 1 {
+                    self.partial.pop().expect("one fragment")
+                } else {
+                    let total: usize = self.partial.iter().map(Bytes::len).sum();
+                    let mut b = BytesMut::with_capacity(total);
+                    for f in self.partial.drain(..) {
+                        b.extend_from_slice(&f);
+                    }
+                    b.freeze()
+                };
+                self.partial.clear();
+                done.push(Message {
+                    tag: self.partial_tag,
+                    src_task: self.partial_src,
+                    n_frags,
+                    body,
+                });
+            }
+        }
+        done
+    }
+
+    /// Whether a message is partially received.
+    pub fn mid_message(&self) -> bool {
+        !self.partial.is_empty() || !self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(out: OutMessage, src: u32) -> Message {
+        let mut p = StreamParser::new();
+        let mut msgs = Vec::new();
+        for i in 0..out.frags.len() {
+            msgs.extend(p.feed(&out.encode_frag(i, src, 42)));
+        }
+        assert_eq!(msgs.len(), 1);
+        assert!(!p.mid_message());
+        msgs.pop().unwrap()
+    }
+
+    #[test]
+    fn copy_loop_mode_is_single_fragment() {
+        let mut b = MessageBuilder::new(7);
+        b.pack_f64(&[1.0, 2.0]).pack_i32(&[3, 4]).pack_bytes(b"xy");
+        let m = b.finish();
+        assert_eq!(m.frags.len(), 1);
+        assert_eq!(m.payload_len(), 16 + 8 + 2);
+        assert_eq!(m.wire_len(), 26 + FRAG_HEADER);
+    }
+
+    #[test]
+    fn multi_pack_mode_fragments_per_pack() {
+        let mut b = MessageBuilder::new(9).multi_pack();
+        b.pack_f32(&[1.0; 8])
+            .pack_f32(&[2.0; 8])
+            .pack_f32(&[3.0; 8]);
+        let m = b.finish();
+        assert_eq!(m.frags.len(), 3);
+        assert_eq!(m.wire_len(), 3 * 32 + 3 * FRAG_HEADER);
+    }
+
+    #[test]
+    fn seq_style_message_is_32_wire_bytes() {
+        // One f64 element: 24 B header + 8 B data → with 58 B protocol
+        // overhead this is the paper's 90-byte SEQ frame.
+        let mut b = MessageBuilder::new(0);
+        b.pack_f64(&[3.25]);
+        let m = b.finish();
+        assert_eq!(m.wire_len(), 32);
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let mut b = MessageBuilder::new(-3);
+        b.pack_f64(&[1.5, -2.5])
+            .pack_f32(&[0.25])
+            .pack_i32(&[-7])
+            .pack_u32(&[9])
+            .pack_u64(&[u64::MAX])
+            .pack_bytes(&[1, 2, 3]);
+        let m = round_trip(b.finish(), 2);
+        assert_eq!(m.tag, -3);
+        assert_eq!(m.src_task, 2);
+        let mut r = m.reader();
+        assert_eq!(r.f64s(2), vec![1.5, -2.5]);
+        assert_eq!(r.f32s(1), vec![0.25]);
+        assert_eq!(r.i32s(1), vec![-7]);
+        assert_eq!(r.u32s(1), vec![9]);
+        assert_eq!(r.u64s(1), vec![u64::MAX]);
+        assert_eq!(r.bytes(3), &[1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn multi_fragment_round_trip_preserves_frag_count() {
+        let mut b = MessageBuilder::new(5).multi_pack();
+        for i in 0..10 {
+            b.pack_u32(&[i]);
+        }
+        let m = round_trip(b.finish(), 1);
+        assert_eq!(m.n_frags, 10);
+        let mut r = m.reader();
+        assert_eq!(r.u32s(10), (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn empty_message_still_transmits() {
+        let m = MessageBuilder::new(11).finish();
+        assert_eq!(m.frags.len(), 1);
+        let got = round_trip(m, 0);
+        assert_eq!(got.tag, 11);
+        assert_eq!(got.body.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unpack past end")]
+    fn over_read_panics() {
+        let mut b = MessageBuilder::new(0);
+        b.pack_i32(&[1]);
+        let m = round_trip(b.finish(), 0);
+        let mut r = m.reader();
+        let _ = r.i32s(2);
+    }
+
+    proptest! {
+        #[test]
+        fn parser_is_chunking_invariant(
+            payload in prop::collection::vec(any::<u8>(), 0..2000),
+            cuts in prop::collection::vec(1usize..64, 0..40),
+            multi in any::<bool>(),
+        ) {
+            let mut b = MessageBuilder::new(1);
+            if multi {
+                b = b.multi_pack();
+                for c in payload.chunks(97) {
+                    b.pack_bytes(c);
+                }
+            } else {
+                b.pack_bytes(&payload);
+            }
+            let out = b.finish();
+            let mut wire = Vec::new();
+            for i in 0..out.frags.len() {
+                wire.extend_from_slice(&out.encode_frag(i, 3, 1));
+            }
+            // Feed the wire bytes in arbitrary chunk sizes.
+            let mut p = StreamParser::new();
+            let mut msgs = Vec::new();
+            let mut pos = 0;
+            for &c in &cuts {
+                if pos >= wire.len() { break; }
+                let end = (pos + c).min(wire.len());
+                msgs.extend(p.feed(&wire[pos..end]));
+                pos = end;
+            }
+            if pos < wire.len() {
+                msgs.extend(p.feed(&wire[pos..]));
+            }
+            prop_assert_eq!(msgs.len(), 1);
+            prop_assert_eq!(msgs[0].body.to_vec(), payload);
+        }
+
+        #[test]
+        fn f64_pack_unpack_round_trip(v in prop::collection::vec(any::<f64>(), 0..200)) {
+            let mut b = MessageBuilder::new(0);
+            b.pack_f64(&v);
+            let m = round_trip(b.finish(), 0);
+            let got = m.reader().f64s(v.len());
+            for (a, b) in got.iter().zip(&v) {
+                prop_assert!(a.to_bits() == b.to_bits());
+            }
+        }
+
+        #[test]
+        fn back_to_back_messages_parse(
+            n1 in 0usize..300,
+            n2 in 0usize..300,
+        ) {
+            let mut b1 = MessageBuilder::new(1);
+            b1.pack_bytes(&vec![0xAA; n1]);
+            let m1 = b1.finish();
+            let mut b2 = MessageBuilder::new(2);
+            b2.pack_bytes(&vec![0xBB; n2]);
+            let m2 = b2.finish();
+            let mut wire = Vec::new();
+            wire.extend_from_slice(&m1.encode_frag(0, 0, 1));
+            wire.extend_from_slice(&m2.encode_frag(0, 0, 2));
+            let mut p = StreamParser::new();
+            let msgs = p.feed(&wire);
+            prop_assert_eq!(msgs.len(), 2);
+            prop_assert_eq!(msgs[0].tag, 1);
+            prop_assert_eq!(msgs[1].tag, 2);
+            prop_assert_eq!(msgs[0].body.len(), n1);
+            prop_assert_eq!(msgs[1].body.len(), n2);
+        }
+    }
+}

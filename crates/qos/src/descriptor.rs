@@ -1,0 +1,154 @@
+//! Application traffic descriptors `[l(P), b(P), c]` and the burst algebra.
+
+use fxnet_fx::Pattern;
+
+/// Timing of one compute/communicate cycle at a given `(P, B)` operating
+/// point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstTiming {
+    /// Burst length `t_b = N / B`, seconds.
+    pub t_burst: f64,
+    /// Burst interval `t_bi = W/P + N/B`, seconds — the program's period.
+    pub t_interval: f64,
+    /// The per-connection burst bandwidth used, bytes/s.
+    pub burst_bw: f64,
+}
+
+impl BurstTiming {
+    /// Fraction of time the program occupies its connections.
+    pub fn duty_cycle(&self) -> f64 {
+        if self.t_interval == 0.0 {
+            0.0
+        } else {
+            self.t_burst / self.t_interval
+        }
+    }
+
+    /// Mean bandwidth per connection (burst bandwidth × duty cycle).
+    pub fn mean_bw(&self) -> f64 {
+        self.burst_bw * self.duty_cycle()
+    }
+}
+
+/// The `[l(), b(), c]` characterization an SPMD program hands the
+/// network: its communication pattern, its local-computation time as a
+/// function of the processor count, and its per-connection burst size as
+/// a function of the processor count — both known at compile time for Fx
+/// programs.
+pub struct AppDescriptor {
+    /// The communication pattern `c`.
+    pub pattern: Pattern,
+    /// `l(P)`: local computation time per processor per cycle, seconds.
+    pub local: Box<dyn Fn(u32) -> f64 + Send + Sync>,
+    /// `b(P)`: burst size per connection, bytes.
+    pub burst: Box<dyn Fn(u32) -> u64 + Send + Sync>,
+}
+
+impl AppDescriptor {
+    /// A perfectly scalable program: total work `w_s` seconds divided
+    /// over `P` processors, message of `bytes(P)` per connection.
+    pub fn scalable(
+        pattern: Pattern,
+        total_work_s: f64,
+        burst: impl Fn(u32) -> u64 + Send + Sync + 'static,
+    ) -> AppDescriptor {
+        AppDescriptor {
+            pattern,
+            local: Box::new(move |p| total_work_s / f64::from(p)),
+            burst: Box::new(burst),
+        }
+    }
+
+    /// The burst timing at `p` processors with per-connection burst
+    /// bandwidth `b` bytes/s.
+    pub fn timing(&self, p: u32, bw: f64) -> BurstTiming {
+        assert!(p >= 1 && bw > 0.0);
+        let n = (self.burst)(p) as f64;
+        let t_burst = n / bw;
+        BurstTiming {
+            t_burst,
+            t_interval: (self.local)(p) + t_burst,
+            burst_bw: bw,
+        }
+    }
+
+    /// Simplex connections the program uses at `p` processors — the
+    /// pattern-dependent count of §7.1.
+    pub fn connections(&self, p: u32) -> usize {
+        self.pattern.connection_count(p)
+    }
+
+    /// Maximum connections active concurrently in one schedule round —
+    /// what actually contends for capacity during a burst.
+    pub fn concurrent_connections(&self, p: u32) -> usize {
+        self.pattern
+            .schedule(p)
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shift_app() -> AppDescriptor {
+        // §7.3's example: a shift pattern, W seconds of work, constant
+        // per-connection message of 1 MB.
+        AppDescriptor::scalable(Pattern::Shift { k: 1 }, 40.0, |_| 1_000_000)
+    }
+
+    #[test]
+    fn burst_algebra_matches_formulae() {
+        let app = shift_app();
+        let t = app.timing(4, 500_000.0);
+        assert!((t.t_burst - 2.0).abs() < 1e-12); // 1 MB / 500 KB/s
+        assert!((t.t_interval - (10.0 + 2.0)).abs() < 1e-12); // 40/4 + 2
+        assert!((t.duty_cycle() - 2.0 / 12.0).abs() < 1e-12);
+        assert!((t.mean_bw() - 500_000.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_processors_shrink_compute_share() {
+        let app = shift_app();
+        let t4 = app.timing(4, 500_000.0);
+        let t8 = app.timing(8, 500_000.0);
+        assert!(t8.t_interval < t4.t_interval);
+    }
+
+    #[test]
+    fn lower_bandwidth_stretches_interval() {
+        let app = shift_app();
+        let fast = app.timing(4, 1_000_000.0);
+        let slow = app.timing(4, 100_000.0);
+        assert!(slow.t_interval > fast.t_interval);
+        assert_eq!(
+            slow.t_interval - slow.t_burst,
+            fast.t_interval - fast.t_burst
+        );
+    }
+
+    #[test]
+    fn connection_counts_follow_pattern() {
+        let a2a = AppDescriptor::scalable(Pattern::AllToAll, 1.0, |_| 1);
+        assert_eq!(a2a.connections(4), 12);
+        // All-to-all shift rounds have P concurrent transfers.
+        assert_eq!(a2a.concurrent_connections(4), 4);
+        let nb = AppDescriptor::scalable(Pattern::Neighbor, 1.0, |_| 1);
+        assert_eq!(nb.connections(4), 6);
+        assert_eq!(nb.concurrent_connections(4), 6);
+    }
+
+    #[test]
+    fn burst_size_can_depend_on_p() {
+        // 2DFFT-like: per-connection message shrinks as (N/P)².
+        let app = AppDescriptor::scalable(Pattern::AllToAll, 10.0, |p| {
+            let n = 512u64;
+            (n / u64::from(p)).pow(2) * 8
+        });
+        assert_eq!((app.burst)(4), 128 * 128 * 8);
+        assert_eq!((app.burst)(8), 64 * 64 * 8);
+    }
+}

@@ -1,0 +1,138 @@
+//! The network side of the negotiation: a shared capacity from which
+//! per-connection burst bandwidths are committed.
+
+/// A network offering QoS commitments from a fixed aggregate capacity
+/// (the paper's Ethernet: 1.25 MB/s shared by every connection).
+#[derive(Debug, Clone)]
+pub struct QosNetwork {
+    /// Total capacity, bytes/second.
+    capacity: f64,
+    /// Capacity already committed to other applications, bytes/second.
+    committed: f64,
+    /// Floor below which a per-connection commitment is refused
+    /// (protects against absurdly long bursts).
+    min_burst_bw: f64,
+}
+
+impl QosNetwork {
+    /// A network with `capacity` bytes/s total.
+    pub fn new(capacity: f64) -> QosNetwork {
+        assert!(capacity > 0.0);
+        QosNetwork {
+            capacity,
+            committed: 0.0,
+            min_burst_bw: 1.0,
+        }
+    }
+
+    /// The paper's testbed: a 10 Mb/s shared Ethernet.
+    pub fn ethernet_10mbps() -> QosNetwork {
+        QosNetwork::new(1_250_000.0)
+    }
+
+    /// Set the minimum per-connection commitment.
+    pub fn with_min_burst_bw(mut self, bw: f64) -> QosNetwork {
+        self.min_burst_bw = bw;
+        self
+    }
+
+    /// Capacity not yet committed.
+    pub fn available(&self) -> f64 {
+        (self.capacity - self.committed).max(0.0)
+    }
+
+    /// The burst bandwidth the network can offer *each* of `concurrent`
+    /// simultaneously active connections, or `None` if it falls below the
+    /// floor.
+    pub fn offer(&self, concurrent: usize) -> Option<f64> {
+        if concurrent == 0 {
+            return None;
+        }
+        let per_conn = self.available() / concurrent as f64;
+        (per_conn >= self.min_burst_bw).then_some(per_conn)
+    }
+
+    /// Commit `mean_bw` bytes/s of long-run capacity (burst bandwidth ×
+    /// duty cycle summed over connections). Fails if it exceeds what is
+    /// available.
+    pub fn commit(&mut self, mean_bw: f64) -> Result<(), Overcommit> {
+        if mean_bw > self.available() + 1e-9 {
+            return Err(Overcommit {
+                requested: mean_bw,
+                available: self.available(),
+            });
+        }
+        self.committed += mean_bw;
+        Ok(())
+    }
+
+    /// Release previously committed capacity.
+    pub fn release(&mut self, mean_bw: f64) {
+        self.committed = (self.committed - mean_bw).max(0.0);
+    }
+}
+
+/// Admission failure: the request exceeds the remaining capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Overcommit {
+    pub requested: f64,
+    pub available: f64,
+}
+
+impl std::fmt::Display for Overcommit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "requested {:.0} B/s but only {:.0} B/s available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for Overcommit {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offer_splits_capacity_over_concurrent_connections() {
+        let net = QosNetwork::ethernet_10mbps();
+        assert_eq!(net.offer(4), Some(312_500.0));
+        assert_eq!(net.offer(1), Some(1_250_000.0));
+        assert_eq!(net.offer(0), None);
+    }
+
+    #[test]
+    fn commitments_reduce_offers() {
+        let mut net = QosNetwork::ethernet_10mbps();
+        net.commit(1_000_000.0).unwrap();
+        assert_eq!(net.offer(1), Some(250_000.0));
+        net.release(500_000.0);
+        assert_eq!(net.offer(1), Some(750_000.0));
+    }
+
+    #[test]
+    fn overcommit_rejected() {
+        let mut net = QosNetwork::new(100.0);
+        assert!(net.commit(50.0).is_ok());
+        let err = net.commit(60.0).unwrap_err();
+        assert_eq!(err.available, 50.0);
+        assert_eq!(err.requested, 60.0);
+        assert!(err.to_string().contains("available"));
+    }
+
+    #[test]
+    fn floor_refuses_tiny_offers() {
+        let net = QosNetwork::new(1000.0).with_min_burst_bw(100.0);
+        assert!(net.offer(5).is_some());
+        assert!(net.offer(11).is_none());
+    }
+
+    #[test]
+    fn release_never_goes_negative() {
+        let mut net = QosNetwork::new(100.0);
+        net.release(50.0);
+        assert_eq!(net.available(), 100.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! # fxnet-sim
+//!
+//! Deterministic discrete-event simulation substrate for the `fxnet`
+//! reproduction of *"The Measured Network Traffic of Compiler-Parallelized
+//! Programs"* (Dinda, Garcia, Leung; CMU-CS-98-144 / ICPP).
+//!
+//! The paper's testbed was nine DEC 3000/400 Alpha workstations sharing a
+//! single bridged 10 Mb/s Ethernet collision domain, with one workstation
+//! capturing every frame in promiscuous mode. This crate provides the
+//! corresponding simulated substrate:
+//!
+//! * [`SimTime`] — nanosecond-resolution simulated time (one 10 Mb/s bit
+//!   time is exactly 100 ns, so all MAC-layer quantities are exact).
+//! * [`SimRng`] — a seeded, reproducible random number generator; every
+//!   run of the simulator with the same seed produces an identical packet
+//!   trace.
+//! * [`Frame`] / [`FrameRecord`] — Ethernet frames and the promiscuous
+//!   trace records derived from them (timestamp, wire size including all
+//!   headers and the trailer, protocol, source and destination host), the
+//!   exact record schema of the paper's §5.3 tcpdump methodology.
+//! * [`EtherBus`] — a single shared collision domain with CSMA/CD:
+//!   carrier sense, deference, inter-frame gap, collisions among stations
+//!   that attempt transmission simultaneously, jam, and truncated binary
+//!   exponential backoff.
+//! * [`EventQueue`] — a generic time-ordered event queue with stable FIFO
+//!   ordering among simultaneous events, used by the protocol layers.
+//!
+//! Layering is pull-based rather than callback-based: the bus exposes
+//! [`EtherBus::next_event_time`] and [`EtherBus::advance`], and the owner
+//! (the protocol stack in `fxnet-proto`) interleaves bus events with its
+//! own timers. This keeps each layer independently testable.
+//!
+//! ```
+//! use fxnet_sim::{EtherBus, EtherConfig, Frame, FrameKind, HostId, NicId, SimRng, SimTime};
+//!
+//! let mut bus = EtherBus::new(EtherConfig::default(), SimRng::new(7));
+//! let a = bus.attach();
+//! let _b = bus.attach();
+//! bus.set_promiscuous(true);
+//! bus.enqueue(a, Frame::tcp(HostId(0), HostId(1), FrameKind::Data, 1460, 1), SimTime::ZERO);
+//! let delivered = bus.run_to_idle();
+//! assert_eq!(delivered.len(), 1);
+//! assert_eq!(bus.trace()[0].wire_len, 1518);
+//! ```
+
+pub mod ethernet;
+pub mod frame;
+pub mod queue;
+pub mod rng;
+pub mod switch;
+pub mod time;
+
+pub use ethernet::{EtherBus, EtherConfig, EtherStats, NicId, TxError};
+pub use frame::{
+    Frame, FrameKind, FrameRecord, HostId, Proto, ETHER_OVERHEAD, MAX_FRAME, MIN_FRAME,
+};
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use switch::{SwitchConfig, SwitchFabric};
+pub use time::SimTime;

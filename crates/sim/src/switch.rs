@@ -1,0 +1,243 @@
+//! Switched Ethernet — the counterfactual fabric.
+//!
+//! The paper's LAN is a single shared collision domain; its successor
+//! technology gives every station a dedicated full-duplex port into a
+//! store-and-forward switch with output queuing. This module provides
+//! that fabric behind the same pull interface as [`crate::EtherBus`], as
+//! an *ablation*: running the same programs over both answers how much of
+//! the measured burst shaping is CSMA/CD contention versus program
+//! structure (DESIGN.md §8).
+//!
+//! Model: each frame occupies its source's uplink for one transmission
+//! time, arrives at the switch, then occupies the destination's downlink
+//! for another transmission time, queuing FIFO behind earlier arrivals
+//! for the same output port. No collisions, no backoff; concurrent
+//! transfers between disjoint host pairs proceed in parallel.
+
+use crate::ethernet::Delivery;
+use crate::frame::{Frame, FrameRecord};
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// Configuration of the switched fabric.
+#[derive(Debug, Clone)]
+pub struct SwitchConfig {
+    /// Per-port rate in bits/second (default matches the bus: 10 Mb/s).
+    pub port_bps: u64,
+    /// Fixed switching latency added between uplink completion and the
+    /// start of the downlink transmission.
+    pub forward_latency: SimTime,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            port_bps: 10_000_000,
+            forward_latency: SimTime::from_micros(10),
+        }
+    }
+}
+
+enum Event {
+    /// Frame fully received by the switch; ready for output queuing.
+    AtSwitch(Frame),
+    /// Frame fully transmitted on the destination port.
+    Delivered(Frame),
+}
+
+/// A store-and-forward switch with one full-duplex port per host.
+pub struct SwitchFabric {
+    cfg: SwitchConfig,
+    /// Next instant each host's uplink is free.
+    uplink_free: Vec<SimTime>,
+    /// Next instant each host's downlink is free.
+    downlink_free: Vec<SimTime>,
+    events: EventQueue<Event>,
+    promiscuous: bool,
+    trace: Vec<FrameRecord>,
+    frames_delivered: u64,
+    bytes_delivered: u64,
+}
+
+impl SwitchFabric {
+    /// A switch with `ports` host ports.
+    pub fn new(cfg: SwitchConfig, ports: usize) -> SwitchFabric {
+        SwitchFabric {
+            cfg,
+            uplink_free: vec![SimTime::ZERO; ports],
+            downlink_free: vec![SimTime::ZERO; ports],
+            events: EventQueue::new(),
+            promiscuous: false,
+            trace: Vec::new(),
+            frames_delivered: 0,
+            bytes_delivered: 0,
+        }
+    }
+
+    /// Number of host ports.
+    pub fn port_count(&self) -> usize {
+        self.uplink_free.len()
+    }
+
+    /// Enable the monitoring tap (a mirror port).
+    pub fn set_promiscuous(&mut self, on: bool) {
+        self.promiscuous = on;
+    }
+
+    /// Captured trace so far.
+    pub fn trace(&self) -> &[FrameRecord] {
+        &self.trace
+    }
+
+    /// Take ownership of the captured trace.
+    pub fn take_trace(&mut self) -> Vec<FrameRecord> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Delivered frame/byte counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.frames_delivered, self.bytes_delivered)
+    }
+
+    /// Queue a frame from its source host at time `now`. The uplink
+    /// serializes this host's frames; the transfer itself is scheduled
+    /// immediately since nothing later can affect it.
+    pub fn enqueue(&mut self, frame: Frame, now: SimTime) {
+        let src = frame.src.0 as usize;
+        let tx = frame.tx_time(self.cfg.port_bps);
+        let start = self.uplink_free[src].max(now);
+        let at_switch = start + tx;
+        self.uplink_free[src] = at_switch;
+        self.events
+            .push(at_switch + self.cfg.forward_latency, Event::AtSwitch(frame));
+    }
+
+    /// Whether nothing is pending.
+    pub fn idle(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the next fabric event.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    /// Process exactly one fabric event, appending any delivered frame.
+    pub fn advance(&mut self, out: &mut Vec<Delivery>) -> Option<SimTime> {
+        let (t, ev) = self.events.pop()?;
+        match ev {
+            Event::AtSwitch(frame) => {
+                let dst = frame.dst.0 as usize;
+                let tx = frame.tx_time(self.cfg.port_bps);
+                let done = self.downlink_free[dst].max(t) + tx;
+                self.downlink_free[dst] = done;
+                self.events.push(done, Event::Delivered(frame));
+            }
+            Event::Delivered(frame) => {
+                self.frames_delivered += 1;
+                self.bytes_delivered += u64::from(frame.wire_len());
+                if self.promiscuous {
+                    self.trace.push(FrameRecord::capture(t, &frame));
+                }
+                out.push(Delivery { time: t, frame });
+            }
+        }
+        Some(t)
+    }
+
+    /// Drain every pending event (test helper).
+    pub fn run_to_idle(&mut self) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while self.advance(&mut out).is_some() {}
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{FrameKind, HostId};
+
+    fn data(src: u32, dst: u32, payload: u32, token: u64) -> Frame {
+        Frame::tcp(HostId(src), HostId(dst), FrameKind::Data, payload, token)
+    }
+
+    fn fabric(n: usize) -> SwitchFabric {
+        SwitchFabric::new(SwitchConfig::default(), n)
+    }
+
+    #[test]
+    fn single_frame_latency_is_two_transmissions() {
+        let mut f = fabric(2);
+        f.enqueue(data(0, 1, 1460, 1), SimTime::ZERO);
+        let out = f.run_to_idle();
+        assert_eq!(out.len(), 1);
+        // Store-and-forward: 2 × 1.2208 ms + 10 µs forwarding.
+        assert_eq!(out[0].time, SimTime::from_nanos(2 * 1_220_800 + 10_000));
+    }
+
+    #[test]
+    fn disjoint_pairs_transfer_in_parallel() {
+        let mut f = fabric(4);
+        f.enqueue(data(0, 1, 1460, 1), SimTime::ZERO);
+        f.enqueue(data(2, 3, 1460, 2), SimTime::ZERO);
+        let out = f.run_to_idle();
+        assert_eq!(out.len(), 2);
+        // Both complete at the same instant: no shared-medium serialization.
+        assert_eq!(out[0].time, out[1].time);
+    }
+
+    #[test]
+    fn output_port_contention_serializes() {
+        let mut f = fabric(3);
+        f.enqueue(data(0, 2, 1460, 1), SimTime::ZERO);
+        f.enqueue(data(1, 2, 1460, 2), SimTime::ZERO);
+        let out = f.run_to_idle();
+        assert_eq!(out.len(), 2);
+        let gap = out[1].time - out[0].time;
+        // Second frame waits exactly one downlink transmission.
+        assert_eq!(gap, data(0, 2, 1460, 0).tx_time(10_000_000));
+    }
+
+    #[test]
+    fn uplink_serializes_one_senders_frames() {
+        let mut f = fabric(3);
+        f.enqueue(data(0, 1, 1460, 1), SimTime::ZERO);
+        f.enqueue(data(0, 2, 1460, 2), SimTime::ZERO);
+        let out = f.run_to_idle();
+        // Different destinations, same source: staggered by one uplink tx.
+        let gap = out[1].time - out[0].time;
+        assert_eq!(gap, data(0, 1, 1460, 0).tx_time(10_000_000));
+    }
+
+    #[test]
+    fn aggregate_throughput_exceeds_bus_line_rate() {
+        // Two disjoint saturated pairs → ~2× the shared bus's capacity.
+        let mut f = fabric(4);
+        for i in 0..100u64 {
+            f.enqueue(data(0, 1, 1460, i), SimTime::ZERO);
+            f.enqueue(data(2, 3, 1460, 100 + i), SimTime::ZERO);
+        }
+        let out = f.run_to_idle();
+        let span = out.last().unwrap().time.as_secs_f64();
+        let bytes: u64 = out.iter().map(|d| u64::from(d.frame.wire_len())).sum();
+        let rate = bytes as f64 / span;
+        assert!(rate > 2_000_000.0, "aggregate {rate:.0} B/s");
+    }
+
+    #[test]
+    fn trace_captured_in_delivery_order() {
+        let mut f = fabric(4);
+        f.set_promiscuous(true);
+        for i in 0..20u64 {
+            f.enqueue(
+                data((i % 3) as u32, 3, 500, i),
+                SimTime::from_micros(i * 37),
+            );
+        }
+        f.run_to_idle();
+        assert_eq!(f.trace().len(), 20);
+        assert!(f.trace().windows(2).all(|w| w[0].time <= w[1].time));
+        assert_eq!(f.stats().0, 20);
+    }
+}

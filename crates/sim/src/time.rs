@@ -1,0 +1,162 @@
+//! Simulated time.
+//!
+//! Time is a nanosecond count since the start of the simulation. At the
+//! paper's 10 Mb/s Ethernet rate one bit time is exactly 100 ns, so every
+//! MAC-layer quantity (slot time 51.2 µs = 512 bit times, inter-frame gap
+//! 9.6 µs = 96 bit times, jam 3.2 µs = 32 bit times) is representable
+//! exactly. A `u64` nanosecond clock covers ~584 years of simulated time,
+//! comfortably beyond any trace in the paper (50 s – several hundred s).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// A sentinel later than any reachable time.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    ///
+    /// Panics if `s` is negative or not finite.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// This time as whole nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This time as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This time as fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction; `SimTime` has no negative values.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
+    }
+
+    #[test]
+    fn secs_f64_round_trip() {
+        let t = SimTime::from_secs_f64(1.234_567_891);
+        assert_eq!(t.as_nanos(), 1_234_567_891);
+        assert!((t.as_secs_f64() - 1.234_567_891).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_time_is_exact() {
+        // 10 Mb/s → one bit = 100 ns; one 1518-byte frame = 1.2144 ms.
+        let bit = SimTime::from_nanos(100);
+        let frame = SimTime(bit.as_nanos() * 1518 * 8);
+        assert_eq!(frame, SimTime::from_nanos(1_214_400));
+    }
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::from_millis(5);
+        let b = SimTime::from_millis(7);
+        assert!(a < b);
+        assert_eq!(b - a, SimTime::from_millis(2));
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_millis(12));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_duration_rejected() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Truncated Fourier-series bandwidth models (Equations 1–2 of §7.2).
+
+use fxnet_sim::SimTime;
+use fxnet_trace::{Periodogram, Spike};
+use serde::{Deserialize, Serialize};
+
+/// An analytic bandwidth model: the signal mean plus a truncated Fourier
+/// series over the dominant spectral spikes.
+///
+/// For a real signal the coefficients come in conjugate pairs, so each
+/// retained positive-frequency spike `a_k` contributes
+/// `2·|a_k|·cos(2π f_k t + φ_k)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FourierModel {
+    /// The DC term (average bandwidth, bytes/s).
+    pub mean: f64,
+    /// Retained spikes, strongest first.
+    pub spikes: Vec<Spike>,
+}
+
+impl FourierModel {
+    /// Build a model from a periodogram by keeping the `k` strongest
+    /// spikes separated by at least `min_sep_hz`.
+    pub fn from_periodogram(p: &Periodogram, k: usize, min_sep_hz: f64) -> FourierModel {
+        FourierModel {
+            mean: p.mean,
+            spikes: p.top_spikes(k, min_sep_hz),
+        }
+    }
+
+    /// Evaluate the modelled bandwidth at time `t` seconds. Clamped at
+    /// zero: bandwidth cannot be negative, truncation ringing can be.
+    pub fn eval(&self, t: f64) -> f64 {
+        let mut x = self.mean;
+        for s in &self.spikes {
+            let w = 2.0 * std::f64::consts::PI * s.freq * t;
+            // 2·Re(a_k e^{jωt}) = 2(Re cos − Im sin).
+            x += 2.0 * (s.coeff_re * w.cos() - s.coeff_im * w.sin());
+        }
+        x.max(0.0)
+    }
+
+    /// Sample the model on `n` points spaced `dt` apart.
+    pub fn sample(&self, n: usize, dt: SimTime) -> Vec<f64> {
+        let dt_s = dt.as_secs_f64();
+        (0..n).map(|i| self.eval(i as f64 * dt_s)).collect()
+    }
+
+    /// Normalized RMS reconstruction error against the original binned
+    /// series the periodogram came from (0 = perfect).
+    pub fn reconstruction_error(&self, series: &[f64], dt: SimTime) -> f64 {
+        assert!(!series.is_empty());
+        let dt_s = dt.as_secs_f64();
+        let mut se = 0.0;
+        let mut ref_energy = 0.0;
+        for (i, &v) in series.iter().enumerate() {
+            let m = self.eval(i as f64 * dt_s);
+            se += (v - m) * (v - m);
+            ref_energy += v * v;
+        }
+        if ref_energy == 0.0 {
+            return if se == 0.0 { 0.0 } else { f64::INFINITY };
+        }
+        (se / ref_energy).sqrt()
+    }
+
+    /// Fraction of the periodogram's total AC power captured by the
+    /// retained spikes (a cheap convergence indicator).
+    pub fn captured_power_fraction(&self, p: &Periodogram) -> f64 {
+        let total = p.total_power();
+        if total == 0.0 {
+            return 1.0;
+        }
+        let kept: f64 = self.spikes.iter().map(|s| s.power).sum();
+        (kept / total).min(1.0)
+    }
+
+    /// Mean modelled bandwidth over one fundamental period (equals the DC
+    /// term up to clamping effects).
+    pub fn fundamental(&self) -> Option<f64> {
+        self.spikes
+            .iter()
+            .map(|s| s.freq)
+            .filter(|&f| f > 0.0)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const DT: SimTime = SimTime(10_000_000); // 10 ms
+
+    fn burst_train(period_s: f64, duty: f64, level: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let phase = (i as f64 * 0.01 / period_s) % 1.0;
+                if phase < duty {
+                    level
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pure_tone_model_is_nearly_exact() {
+        // Use a frequency landing exactly on an FFT bin (k=205 of 4096 at
+        // 100 Hz sampling ≈ 5.005 Hz) so there is no spectral leakage.
+        let f0 = 100.0 * 205.0 / 4096.0;
+        let s: Vec<f64> = (0..4096)
+            .map(|i| 500.0 + 200.0 * (2.0 * std::f64::consts::PI * f0 * i as f64 * 0.01).cos())
+            .collect();
+        let p = Periodogram::compute(&s, DT);
+        let m = FourierModel::from_periodogram(&p, 1, 0.5);
+        let err = m.reconstruction_error(&s, DT);
+        assert!(err < 0.02, "tone reconstruction error {err}");
+        assert!((m.eval(0.0) - 700.0).abs() < 20.0);
+    }
+
+    #[test]
+    fn more_spikes_reduce_burst_train_error() {
+        let s = burst_train(0.5, 0.2, 1_000_000.0, 8192);
+        let p = Periodogram::compute(&s, DT);
+        let errs: Vec<f64> = [1, 2, 4, 8, 16, 32]
+            .iter()
+            .map(|&k| FourierModel::from_periodogram(&p, k, 0.1).reconstruction_error(&s, DT))
+            .collect();
+        for w in errs.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "error must be non-increasing in k: {errs:?}"
+            );
+        }
+        assert!(errs.last().unwrap() < &0.5, "{errs:?}");
+    }
+
+    #[test]
+    fn fundamental_is_lowest_retained_frequency() {
+        let s = burst_train(0.5, 0.2, 100.0, 8192);
+        let p = Periodogram::compute(&s, DT);
+        let m = FourierModel::from_periodogram(&p, 8, 0.2);
+        let f0 = m.fundamental().unwrap();
+        assert!((f0 - 2.0).abs() < 0.1, "fundamental {f0} Hz");
+    }
+
+    #[test]
+    fn eval_is_clamped_nonnegative() {
+        let s = burst_train(1.0, 0.05, 100.0, 4096);
+        let p = Periodogram::compute(&s, DT);
+        let m = FourierModel::from_periodogram(&p, 3, 0.1);
+        for i in 0..1000 {
+            assert!(m.eval(i as f64 * 0.013) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn captured_power_increases_with_k() {
+        let s = burst_train(0.5, 0.2, 100.0, 8192);
+        let p = Periodogram::compute(&s, DT);
+        let f1 = FourierModel::from_periodogram(&p, 1, 0.1).captured_power_fraction(&p);
+        let f8 = FourierModel::from_periodogram(&p, 8, 0.1).captured_power_fraction(&p);
+        assert!(f8 >= f1);
+        assert!(f8 <= 1.0 && f1 > 0.0);
+    }
+
+    #[test]
+    fn zero_signal_handled() {
+        let s = vec![0.0; 256];
+        let p = Periodogram::compute(&s, DT);
+        let m = FourierModel::from_periodogram(&p, 4, 0.1);
+        assert_eq!(m.reconstruction_error(&s, DT), 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn reconstruction_error_nonincreasing_in_k(
+            period_ds in 2u32..20,    // 0.2 .. 2.0 s
+            duty_pct in 5u32..50,
+            seedish in 0u32..8,
+        ) {
+            let period = f64::from(period_ds) * 0.1;
+            let duty = f64::from(duty_pct) / 100.0;
+            let level = 1000.0 + f64::from(seedish) * 300.0;
+            let s = burst_train(period, duty, level, 4096);
+            let p = Periodogram::compute(&s, DT);
+            let mut last = f64::INFINITY;
+            for k in [1usize, 4, 16, 64] {
+                let e = FourierModel::from_periodogram(&p, k, 0.05)
+                    .reconstruction_error(&s, DT);
+                prop_assert!(e <= last + 1e-9, "k={k}: {e} > {last}");
+                last = e;
+            }
+        }
+
+        #[test]
+        fn sample_matches_eval(n in 1usize..64) {
+            let s = burst_train(0.5, 0.3, 50.0, 1024);
+            let p = Periodogram::compute(&s, DT);
+            let m = FourierModel::from_periodogram(&p, 4, 0.1);
+            let samples = m.sample(n, DT);
+            for (i, v) in samples.iter().enumerate() {
+                prop_assert_eq!(*v, m.eval(i as f64 * 0.01));
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # fxnet-spectral
+//!
+//! The paper's characterization contribution (§7.2): because an Fx
+//! program's communication phases are synchronized, its connections act
+//! in phase and the power spectrum of its instantaneous average bandwidth
+//! fully characterizes its demand. The spectrum of a periodic signal is a
+//! Fourier series,
+//!
+//! ```text
+//! X(ω) = Σ 2π a_k δ(ω − k ω₀)        x(t) = Σ a_k e^{j k ω₀ t}
+//! ```
+//!
+//! and because the measured spectra are sparse and "spiky", the expansion
+//! can be truncated to the dominant spikes, giving a *simple analytic
+//! model* that approximates — and can regenerate — the bandwidth signal.
+//!
+//! This crate provides:
+//!
+//! * [`FourierModel`] — a truncated Fourier-series bandwidth model built
+//!   from a [`fxnet_trace::Periodogram`], with evaluation and
+//!   reconstruction-error measurement (convergence in the number of
+//!   retained spikes is property-tested).
+//! * [`generate`] — synthetic packet-trace generation from a model, so a
+//!   network planner can replay "2DFFT-like" load without the program.
+//! * [`media`] — the baseline traffic classes the paper contrasts
+//!   against: constant-bit-rate, on/off VBR, and self-similar traffic
+//!   (aggregated heavy-tailed on/off sources à la Garrett & Willinger),
+//!   plus a Hurst-exponent estimator. Parallel-program traffic differs
+//!   from all of them: no frame-rate periodicity, bandwidth-dependent
+//!   period, spiky rather than flat or power-law spectra.
+
+//! ```
+//! use fxnet_sim::SimTime;
+//! use fxnet_spectral::FourierModel;
+//! use fxnet_trace::Periodogram;
+//!
+//! // 1 Hz rectangular bandwidth signal, 10 ms samples.
+//! let series: Vec<f64> = (0..4096)
+//!     .map(|i| if (i / 20) % 5 == 0 { 1_000_000.0 } else { 0.0 })
+//!     .collect();
+//! let spec = Periodogram::compute(&series, SimTime::from_millis(10));
+//! let m1 = FourierModel::from_periodogram(&spec, 1, 0.1);
+//! let m16 = FourierModel::from_periodogram(&spec, 16, 0.1);
+//! let (e1, e16) = (
+//!     m1.reconstruction_error(&series, SimTime::from_millis(10)),
+//!     m16.reconstruction_error(&series, SimTime::from_millis(10)),
+//! );
+//! assert!(e16 < e1); // more spikes, better reconstruction (§7.2)
+//! ```
+
+pub mod fourier;
+pub mod generate;
+pub mod hurst;
+pub mod media;
+
+pub use fourier::FourierModel;
+pub use generate::synthesize_trace;
+pub use hurst::hurst_aggregated_variance;
+pub use media::{cbr_trace, onoff_vbr_trace, self_similar_trace};

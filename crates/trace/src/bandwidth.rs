@@ -1,0 +1,171 @@
+//! Bandwidth series: lifetime average, sliding-window instantaneous
+//! bandwidth, and the statically binned series used for spectra.
+
+use fxnet_sim::{FrameRecord, SimTime};
+
+/// Average bandwidth in bytes/second over the lifetime of the trace
+/// (Figure 5's quantity). `None` for traces spanning zero time.
+pub fn average_bandwidth(trace: &[FrameRecord]) -> Option<f64> {
+    let (first, last) = (trace.first()?, trace.last()?);
+    let span = (last.time - first.time).as_secs_f64();
+    if span <= 0.0 {
+        return None;
+    }
+    let bytes: u64 = trace.iter().map(|r| u64::from(r.wire_len)).sum();
+    Some(bytes as f64 / span)
+}
+
+/// Instantaneous average bandwidth over a `window` sliding one packet at
+/// a time (Figures 6 and 10): for each packet arrival `t`, the bytes
+/// received in `(t − window, t]` divided by the window length. Returns
+/// `(time, bytes_per_second)` points.
+pub fn sliding_window_bandwidth(trace: &[FrameRecord], window: SimTime) -> Vec<(SimTime, f64)> {
+    let w = window.as_secs_f64();
+    assert!(w > 0.0);
+    let mut out = Vec::with_capacity(trace.len());
+    let mut lo = 0usize;
+    let mut bytes_in_window: u64 = 0;
+    for r in trace {
+        bytes_in_window += u64::from(r.wire_len);
+        // Evict packets at or before t − window: window is (t − w, t].
+        while trace[lo].time + window <= r.time {
+            bytes_in_window -= u64::from(trace[lo].wire_len);
+            lo += 1;
+        }
+        out.push((r.time, bytes_in_window as f64 / w));
+    }
+    out
+}
+
+/// Bandwidth binned on static `bin`-long intervals starting at the first
+/// packet (bytes/second per bin). "Because a power spectrum computation
+/// requires evenly spaced input data, the input bandwidth was computed
+/// along static 10 ms intervals by including all packets that arrived
+/// during the interval" (§6.1).
+pub fn binned_bandwidth(trace: &[FrameRecord], bin: SimTime) -> Vec<f64> {
+    if trace.is_empty() {
+        return Vec::new();
+    }
+    // Robust to unsorted input: bin against the observed min/max times.
+    let t0 = trace.iter().map(|r| r.time).min().expect("nonempty");
+    let t_end = trace.iter().map(|r| r.time).max().expect("nonempty");
+    let bin_ns = bin.as_nanos();
+    assert!(bin_ns > 0);
+    let span = (t_end - t0).as_nanos();
+    let nbins = (span / bin_ns + 1) as usize;
+    let mut bytes = vec![0u64; nbins];
+    for r in trace {
+        let idx = ((r.time - t0).as_nanos() / bin_ns) as usize;
+        bytes[idx] += u64::from(r.wire_len);
+    }
+    let bin_s = bin.as_secs_f64();
+    bytes.into_iter().map(|b| b as f64 / bin_s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxnet_sim::{Frame, FrameKind, HostId};
+    use proptest::prelude::*;
+
+    fn rec(t: SimTime, size: u32) -> FrameRecord {
+        let f = Frame::tcp(HostId(0), HostId(1), FrameKind::Data, size - 58, 0);
+        FrameRecord::capture(t, &f)
+    }
+
+    #[test]
+    fn average_over_span() {
+        let tr = vec![
+            rec(SimTime::ZERO, 1000),
+            rec(SimTime::from_secs(1), 1000),
+            rec(SimTime::from_secs(2), 1000),
+        ];
+        // 3000 bytes over 2 seconds.
+        assert_eq!(average_bandwidth(&tr), Some(1500.0));
+    }
+
+    #[test]
+    fn average_degenerate_cases() {
+        assert_eq!(average_bandwidth(&[]), None);
+        assert_eq!(average_bandwidth(&[rec(SimTime::ZERO, 100)]), None);
+    }
+
+    #[test]
+    fn sliding_window_counts_recent_bytes() {
+        let w = SimTime::from_millis(10);
+        let tr = vec![
+            rec(SimTime::from_millis(0), 500),
+            rec(SimTime::from_millis(5), 500),
+            rec(SimTime::from_millis(20), 500),
+        ];
+        let bw = sliding_window_bandwidth(&tr, w);
+        assert_eq!(bw.len(), 3);
+        // First point: 500 B in 10 ms.
+        assert_eq!(bw[0].1, 50_000.0);
+        // Second: both packets inside the window.
+        assert_eq!(bw[1].1, 100_000.0);
+        // Third: the early packets fell out of the window.
+        assert_eq!(bw[2].1, 50_000.0);
+    }
+
+    #[test]
+    fn binned_distributes_packets() {
+        let bin = SimTime::from_millis(10);
+        let tr = vec![
+            rec(SimTime::from_millis(0), 100),
+            rec(SimTime::from_millis(3), 100),
+            rec(SimTime::from_millis(25), 100),
+        ];
+        let b = binned_bandwidth(&tr, bin);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0], 20_000.0); // 200 B / 10 ms
+        assert_eq!(b[1], 0.0);
+        assert_eq!(b[2], 10_000.0);
+    }
+
+    #[test]
+    fn binned_empty() {
+        assert!(binned_bandwidth(&[], SimTime::from_millis(10)).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn binned_conserves_total_bytes(
+            times in prop::collection::vec(0u64..1_000_000u64, 1..200),
+            sizes in prop::collection::vec(58u32..1518, 1..200),
+        ) {
+            let mut ts: Vec<u64> = times;
+            ts.sort_unstable();
+            let tr: Vec<FrameRecord> = ts
+                .iter()
+                .zip(sizes.iter().cycle())
+                .map(|(&t, &s)| rec(SimTime::from_micros(t), s))
+                .collect();
+            let bin = SimTime::from_millis(10);
+            let b = binned_bandwidth(&tr, bin);
+            let total_from_bins: f64 = b.iter().sum::<f64>() * bin.as_secs_f64();
+            let total: u64 = tr.iter().map(|r| u64::from(r.wire_len)).sum();
+            prop_assert!((total_from_bins - total as f64).abs() < 1e-6 * total as f64 + 1e-6);
+        }
+
+        #[test]
+        fn sliding_window_is_nonnegative_and_bounded(
+            times in prop::collection::vec(0u64..100_000u64, 2..100),
+        ) {
+            let mut ts = times;
+            ts.sort_unstable();
+            let tr: Vec<FrameRecord> = ts
+                .iter()
+                .map(|&t| rec(SimTime::from_micros(t), 1518))
+                .collect();
+            let w = SimTime::from_millis(10);
+            let bw = sliding_window_bandwidth(&tr, w);
+            prop_assert_eq!(bw.len(), tr.len());
+            for (_, v) in bw {
+                prop_assert!(v >= 0.0);
+                // Cannot exceed all bytes in one window.
+                prop_assert!(v <= tr.len() as f64 * 1518.0 / w.as_secs_f64());
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Trace persistence: a line-oriented text format equivalent to the
+//! paper's tcpdump output, so traces can be saved, diffed, and re-analyzed
+//! without re-running the simulation.
+//!
+//! One frame per line: `time_ns wire_len proto kind src dst`, e.g.
+//! `1234567 1518 tcp data 0 1`.
+
+use fxnet_sim::{FrameKind, FrameRecord, HostId, Proto, SimTime};
+use std::io::{BufRead, Write};
+
+/// Error from parsing a saved trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    Io(std::io::Error),
+    /// Malformed line, with its (1-based) line number.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O: {e}"),
+            TraceIoError::Parse(line, text) => {
+                write!(f, "trace parse error at line {line}: {text}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+fn proto_str(p: Proto) -> &'static str {
+    match p {
+        Proto::Tcp => "tcp",
+        Proto::Udp => "udp",
+    }
+}
+
+fn kind_str(k: FrameKind) -> &'static str {
+    match k {
+        FrameKind::Data => "data",
+        FrameKind::Ack => "ack",
+        FrameKind::Syn => "syn",
+        FrameKind::Datagram => "dgram",
+    }
+}
+
+/// Write a trace to `w`, one record per line.
+pub fn write_trace(w: &mut impl Write, trace: &[FrameRecord]) -> std::io::Result<()> {
+    let mut buf = std::io::BufWriter::new(w);
+    for r in trace {
+        writeln!(
+            buf,
+            "{} {} {} {} {} {}",
+            r.time.as_nanos(),
+            r.wire_len,
+            proto_str(r.proto),
+            kind_str(r.kind),
+            r.src.0,
+            r.dst.0
+        )?;
+    }
+    buf.flush()
+}
+
+/// Read a trace written by [`write_trace`].
+pub fn read_trace(r: &mut impl BufRead) -> Result<Vec<FrameRecord>, TraceIoError> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut f = line.split_ascii_whitespace();
+        let bad = || TraceIoError::Parse(i + 1, line.to_string());
+        let time = f
+            .next()
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(bad)?;
+        let wire_len = f
+            .next()
+            .and_then(|s| s.parse::<u32>().ok())
+            .ok_or_else(bad)?;
+        let proto = match f.next().ok_or_else(bad)? {
+            "tcp" => Proto::Tcp,
+            "udp" => Proto::Udp,
+            _ => return Err(bad()),
+        };
+        let kind = match f.next().ok_or_else(bad)? {
+            "data" => FrameKind::Data,
+            "ack" => FrameKind::Ack,
+            "syn" => FrameKind::Syn,
+            "dgram" => FrameKind::Datagram,
+            _ => return Err(bad()),
+        };
+        let src = f
+            .next()
+            .and_then(|s| s.parse::<u32>().ok())
+            .ok_or_else(bad)?;
+        let dst = f
+            .next()
+            .and_then(|s| s.parse::<u32>().ok())
+            .ok_or_else(bad)?;
+        if f.next().is_some() {
+            return Err(bad());
+        }
+        out.push(FrameRecord {
+            time: SimTime::from_nanos(time),
+            wire_len,
+            proto,
+            kind,
+            src: HostId(src),
+            dst: HostId(dst),
+        });
+    }
+    Ok(out)
+}
+
+/// Save a trace to a file path.
+pub fn save_trace(path: impl AsRef<std::path::Path>, trace: &[FrameRecord]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    write_trace(&mut f, trace)
+}
+
+/// Load a trace from a file path.
+pub fn load_trace(path: impl AsRef<std::path::Path>) -> Result<Vec<FrameRecord>, TraceIoError> {
+    let f = std::fs::File::open(path).map_err(TraceIoError::Io)?;
+    read_trace(&mut std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxnet_sim::Frame;
+    use proptest::prelude::*;
+
+    fn sample() -> Vec<FrameRecord> {
+        vec![
+            FrameRecord::capture(
+                SimTime::from_micros(5),
+                &Frame::tcp(HostId(0), HostId(1), FrameKind::Data, 1460, 0),
+            ),
+            FrameRecord::capture(
+                SimTime::from_micros(9),
+                &Frame::tcp(HostId(1), HostId(0), FrameKind::Ack, 0, 0),
+            ),
+            FrameRecord::capture(
+                SimTime::from_micros(12),
+                &Frame::udp(HostId(3), HostId(0), 32, 0),
+            ),
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let tr = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &tr).unwrap();
+        let back = read_trace(&mut &buf[..]).unwrap();
+        assert_eq!(back, tr);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\n5000 1518 tcp data 0 1\n";
+        let tr = read_trace(&mut text.as_bytes()).unwrap();
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr[0].wire_len, 1518);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let text = "5000 1518 tcp data 0 1\nnot a frame\n";
+        match read_trace(&mut text.as_bytes()) {
+            Err(TraceIoError::Parse(2, _)) => {}
+            other => panic!("expected parse error at line 2, got {other:?}"),
+        }
+        let trailing = "5000 1518 tcp data 0 1 junk\n";
+        assert!(read_trace(&mut trailing.as_bytes()).is_err());
+        let bad_proto = "5000 1518 icmp data 0 1\n";
+        assert!(read_trace(&mut bad_proto.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let path = std::env::temp_dir().join("fxnet-trace-io-test.txt");
+        let tr = sample();
+        save_trace(&path, &tr).unwrap();
+        let back = load_trace(&path).unwrap();
+        assert_eq!(back, tr);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_records_round_trip(
+            times in prop::collection::vec(0u64..u64::MAX / 2, 1..50),
+            sizes in prop::collection::vec(58u32..1519, 1..50),
+            hosts in prop::collection::vec((0u32..16, 0u32..16), 1..50),
+        ) {
+            let tr: Vec<FrameRecord> = times
+                .iter()
+                .zip(sizes.iter().cycle())
+                .zip(hosts.iter().cycle())
+                .map(|((&t, &sz), &(a, b))| FrameRecord {
+                    time: SimTime::from_nanos(t),
+                    wire_len: sz,
+                    proto: if t % 2 == 0 { Proto::Tcp } else { Proto::Udp },
+                    kind: match t % 4 {
+                        0 => FrameKind::Data,
+                        1 => FrameKind::Ack,
+                        2 => FrameKind::Syn,
+                        _ => FrameKind::Datagram,
+                    },
+                    src: HostId(a),
+                    dst: HostId(b),
+                })
+                .collect();
+            let mut buf = Vec::new();
+            write_trace(&mut buf, &tr).unwrap();
+            let back = read_trace(&mut &buf[..]).unwrap();
+            prop_assert_eq!(back, tr);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # fxnet-trace
+//!
+//! Analysis of promiscuous-mode packet traces, following the paper's
+//! methodology (§5.3, §6) record for record:
+//!
+//! * **Statistics** — min/max/average/standard deviation of packet sizes
+//!   and interarrival times (Figures 3, 4, 8, 9), for the aggregate trace
+//!   and for single *connections*. A connection is "a kernel-specific
+//!   simplex channel between a source machine and a destination machine":
+//!   all frames from one host to another, which captures message-passing
+//!   TCP data, PVM-daemon UDP traffic, and the TCP ACKs of the symmetric
+//!   reverse channel.
+//! * **Bandwidth** — the lifetime average (Figure 5), the instantaneous
+//!   bandwidth over a 10 ms window sliding one packet at a time
+//!   (Figures 6, 10), and the 10 ms statically binned series the spectra
+//!   are computed from.
+//! * **Power spectra** — the periodogram `|FFT|²` of the binned
+//!   bandwidth (Figures 7, 11), with spike extraction: the sparse,
+//!   "spiky" spectra are what §7.2 truncates into analytic traffic
+//!   models.
+//! * **Size populations** — exact packet-size histograms, used to verify
+//!   the trimodal distributions the paper describes for SOR/2DFFT/HIST.
+
+//! ```
+//! use fxnet_sim::{Frame, FrameKind, FrameRecord, HostId, SimTime};
+//! use fxnet_trace::{binned_bandwidth, Periodogram, Stats};
+//!
+//! // A 2 Hz burst train of full frames: 20-packet bursts spanning
+//! // 200 ms, repeating every 500 ms.
+//! let trace: Vec<FrameRecord> = (0..2000)
+//!     .map(|i| {
+//!         let t = SimTime::from_millis((i / 20) * 500 + (i % 20) * 10);
+//!         let f = Frame::tcp(HostId(0), HostId(1), FrameKind::Data, 1460, i as u64);
+//!         FrameRecord::capture(t, &f)
+//!     })
+//!     .collect();
+//! let sizes = Stats::packet_sizes(&trace).unwrap();
+//! assert_eq!(sizes.max, 1518.0);
+//! let spectrum = Periodogram::compute(
+//!     &binned_bandwidth(&trace, SimTime::from_millis(10)),
+//!     SimTime::from_millis(10),
+//! );
+//! let f0 = spectrum.dominant_frequency(0.5).unwrap();
+//! assert!((f0 - 2.0).abs() < 0.1);
+//! ```
+
+pub mod bandwidth;
+pub mod bursts;
+pub mod coherence;
+pub mod io;
+pub mod report;
+pub mod select;
+pub mod spectrum;
+pub mod stats;
+
+pub use bandwidth::{average_bandwidth, binned_bandwidth, sliding_window_bandwidth};
+pub use bursts::{detect_bursts, Burst, BurstProfile};
+pub use coherence::{correlation, mean_connection_correlation};
+pub use io::{load_trace, save_trace};
+pub use report::{markdown_table, ReportOptions, TraceReport};
+pub use select::{connection, dominant_modes, host_pairs, size_population};
+pub use spectrum::{autocorrelation, Periodogram, Spike};
+pub use stats::Stats;

@@ -1,0 +1,113 @@
+//! Trace selection: connections and size populations.
+
+use fxnet_sim::{FrameRecord, HostId};
+use std::collections::BTreeMap;
+
+/// Extract the *connection* from `src` to `dst`: every frame with that
+/// source and destination machine. Per the paper's definition this
+/// captures the message-passing TCP data flowing `src → dst`, the UDP
+/// daemon traffic on that direction, and the TCP ACKs `src` emits for the
+/// symmetric reverse channel.
+pub fn connection(trace: &[FrameRecord], src: HostId, dst: HostId) -> Vec<FrameRecord> {
+    trace
+        .iter()
+        .filter(|r| r.src == src && r.dst == dst)
+        .copied()
+        .collect()
+}
+
+/// All (src, dst) host pairs carrying traffic, with frame counts,
+/// deterministically ordered.
+pub fn host_pairs(trace: &[FrameRecord]) -> Vec<((HostId, HostId), usize)> {
+    let mut m: BTreeMap<(HostId, HostId), usize> = BTreeMap::new();
+    for r in trace {
+        *m.entry((r.src, r.dst)).or_insert(0) += 1;
+    }
+    m.into_iter().collect()
+}
+
+/// Exact packet-size population: (wire size, frame count), ascending by
+/// size. Used to verify the trimodal distributions of §6.1.
+pub fn size_population(trace: &[FrameRecord]) -> Vec<(u32, usize)> {
+    let mut m: BTreeMap<u32, usize> = BTreeMap::new();
+    for r in trace {
+        *m.entry(r.wire_len).or_insert(0) += 1;
+    }
+    m.into_iter().collect()
+}
+
+/// Number of distinct sizes that each cover at least `frac` of the trace —
+/// a crude mode count (a trimodal population has three dominant sizes).
+pub fn dominant_modes(trace: &[FrameRecord], frac: f64) -> Vec<u32> {
+    let total = trace.len().max(1);
+    size_population(trace)
+        .into_iter()
+        .filter(|&(_, c)| c as f64 / total as f64 >= frac)
+        .map(|(s, _)| s)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxnet_sim::{Frame, FrameKind, SimTime};
+
+    fn rec(src: u32, dst: u32, size: u32, t: u64) -> FrameRecord {
+        let f = Frame::tcp(HostId(src), HostId(dst), FrameKind::Data, size - 58, 0);
+        FrameRecord::capture(SimTime::from_micros(t), &f)
+    }
+
+    #[test]
+    fn connection_is_directional() {
+        let tr = vec![
+            rec(0, 1, 100, 0),
+            rec(1, 0, 100, 1),
+            rec(0, 1, 200, 2),
+            rec(0, 2, 300, 3),
+        ];
+        let c = connection(&tr, HostId(0), HostId(1));
+        assert_eq!(c.len(), 2);
+        assert!(c.iter().all(|r| r.src == HostId(0) && r.dst == HostId(1)));
+    }
+
+    #[test]
+    fn host_pairs_counts() {
+        let tr = vec![rec(0, 1, 100, 0), rec(0, 1, 100, 1), rec(2, 3, 100, 2)];
+        let pairs = host_pairs(&tr);
+        assert_eq!(
+            pairs,
+            vec![((HostId(0), HostId(1)), 2), ((HostId(2), HostId(3)), 1)]
+        );
+    }
+
+    #[test]
+    fn size_population_ascending() {
+        let tr = vec![rec(0, 1, 1518, 0), rec(0, 1, 58, 1), rec(0, 1, 1518, 2)];
+        assert_eq!(size_population(&tr), vec![(58, 1), (1518, 2)]);
+    }
+
+    #[test]
+    fn dominant_modes_filters_rare_sizes() {
+        let mut tr = Vec::new();
+        for i in 0..45 {
+            tr.push(rec(0, 1, 1518, i));
+        }
+        for i in 0..45 {
+            tr.push(rec(0, 1, 58, 100 + i));
+        }
+        for i in 0..10 {
+            tr.push(rec(0, 1, 700, 200 + i));
+        }
+        let modes = dominant_modes(&tr, 0.08);
+        assert_eq!(modes, vec![58, 700, 1518]);
+        let strict = dominant_modes(&tr, 0.2);
+        assert_eq!(strict, vec![58, 1518]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert!(host_pairs(&[]).is_empty());
+        assert!(size_population(&[]).is_empty());
+        assert!(dominant_modes(&[], 0.1).is_empty());
+    }
+}

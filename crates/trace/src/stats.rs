@@ -1,0 +1,147 @@
+//! Min/max/average/standard-deviation summaries.
+
+use fxnet_sim::FrameRecord;
+
+/// Summary statistics over a sample, as the paper's tables report them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    pub min: f64,
+    pub max: f64,
+    pub avg: f64,
+    /// Population standard deviation.
+    pub sd: f64,
+    pub count: usize,
+}
+
+impl Stats {
+    /// Compute over an iterator of samples. Returns `None` when empty.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Option<Stats> {
+        // Welford's online algorithm: numerically stable in one pass.
+        let mut n = 0usize;
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in values {
+            n += 1;
+            let d = v - mean;
+            mean += d / n as f64;
+            m2 += d * (v - mean);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if n == 0 {
+            return None;
+        }
+        Some(Stats {
+            min,
+            max,
+            avg: mean,
+            sd: (m2 / n as f64).max(0.0).sqrt(),
+            count: n,
+        })
+    }
+
+    /// Packet-size statistics in bytes (Figures 3 and 8).
+    pub fn packet_sizes(trace: &[FrameRecord]) -> Option<Stats> {
+        Stats::of(trace.iter().map(|r| f64::from(r.wire_len)))
+    }
+
+    /// Packet interarrival statistics in milliseconds (Figures 4 and 9).
+    /// Needs at least two packets.
+    pub fn interarrivals_ms(trace: &[FrameRecord]) -> Option<Stats> {
+        if trace.len() < 2 {
+            return None;
+        }
+        Stats::of(
+            trace
+                .windows(2)
+                .map(|w| (w[1].time - w[0].time).as_millis_f64()),
+        )
+    }
+
+    /// The max/avg ratio the paper uses as its burstiness indicator.
+    pub fn burstiness(&self) -> f64 {
+        if self.avg == 0.0 {
+            f64::INFINITY
+        } else {
+            self.max / self.avg
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxnet_sim::{Frame, FrameKind, FrameRecord, HostId, SimTime};
+    use proptest::prelude::*;
+
+    fn rec(t_ms: u64, size: u32) -> FrameRecord {
+        let f = Frame::tcp(HostId(0), HostId(1), FrameKind::Data, size - 58, 0);
+        FrameRecord::capture(SimTime::from_millis(t_ms), &f)
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Stats::of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.avg, 5.0);
+        assert_eq!(s.sd, 2.0);
+        assert_eq!(s.count, 8);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Stats::of(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn packet_sizes_use_wire_length() {
+        let tr = vec![rec(0, 58), rec(1, 1518)];
+        let s = Stats::packet_sizes(&tr).unwrap();
+        assert_eq!(s.min, 58.0);
+        assert_eq!(s.max, 1518.0);
+        assert_eq!(s.avg, 788.0);
+    }
+
+    #[test]
+    fn interarrivals_in_ms() {
+        let tr = vec![rec(0, 100), rec(10, 100), rec(40, 100)];
+        let s = Stats::interarrivals_ms(&tr).unwrap();
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.max, 30.0);
+        assert_eq!(s.avg, 20.0);
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn interarrivals_need_two_packets() {
+        assert!(Stats::interarrivals_ms(&[rec(0, 100)]).is_none());
+        assert!(Stats::interarrivals_ms(&[]).is_none());
+    }
+
+    #[test]
+    fn burstiness_ratio() {
+        let s = Stats::of([1.0, 1.0, 10.0]).unwrap();
+        assert!((s.burstiness() - 10.0 / 4.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn sd_is_zero_for_constant_samples(v in -100.0f64..100.0, n in 1usize..50) {
+            let s = Stats::of(std::iter::repeat_n(v, n)).unwrap();
+            prop_assert!(s.sd < 1e-6);
+            prop_assert_eq!(s.min, v);
+            prop_assert_eq!(s.max, v);
+        }
+
+        #[test]
+        fn min_le_avg_le_max(vals in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+            let s = Stats::of(vals.iter().copied()).unwrap();
+            prop_assert!(s.min <= s.avg + 1e-9);
+            prop_assert!(s.avg <= s.max + 1e-9);
+            prop_assert!(s.sd >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! The QoS negotiation model of §7.3: the program hands the network its
+//! [l(P), b(P), c] descriptor; the network answers with the processor
+//! count P that minimizes the burst interval.
+//!
+//! ```sh
+//! cargo run --release --example qos_negotiation
+//! ```
+
+use fxnet::fx::Pattern;
+use fxnet::qos::{negotiate, AppDescriptor, QosNetwork};
+
+fn show(label: &str, app: &AppDescriptor, net: &QosNetwork) {
+    println!("\n{label} (pattern: {})", app.pattern.name());
+    println!("   P   B/conn KB/s    t_b s    t_bi s");
+    for p in [2u32, 4, 8, 16] {
+        match net.offer(app.concurrent_connections(p)) {
+            Some(bw) => {
+                let t = app.timing(p, bw);
+                println!(
+                    "  {p:>2}   {:>11.1}   {:>6.2}   {:>7.2}",
+                    bw / 1000.0,
+                    t.t_burst,
+                    t.t_interval
+                );
+            }
+            None => println!("  {p:>2}   (no admissible bandwidth)"),
+        }
+    }
+    match negotiate(app, net, 1..=16) {
+        Some(n) => println!(
+            "  -> network recommends P = {} (t_bi = {:.2} s, {:.0} KB/s per connection)",
+            n.p,
+            n.timing.t_interval,
+            n.burst_bw / 1000.0
+        ),
+        None => println!("  -> network rejects the application"),
+    }
+}
+
+fn main() {
+    println!("QoS negotiation on the paper's 10 Mb/s Ethernet");
+    let net = QosNetwork::ethernet_10mbps();
+
+    // A 2DFFT-shaped application: all-to-all, message (N/P)² complex f32.
+    let fft = AppDescriptor::scalable(Pattern::AllToAll, 24.0, |p| (512 / u64::from(p)).pow(2) * 8);
+    show("2DFFT-like application", &fft, &net);
+
+    // A SOR-shaped application: neighbor pattern, constant O(N) rows.
+    let sor = AppDescriptor::scalable(Pattern::Neighbor, 60.0, |_| 512 * 8);
+    show("SOR-like application", &sor, &net);
+
+    // §7.3's shift-pattern example with a heavyweight message.
+    let shift = AppDescriptor::scalable(Pattern::Shift { k: 1 }, 8.0, |_| 1_000_000);
+    show("shift-pattern application (1 MB bursts)", &shift, &net);
+
+    // The same negotiation on a congested network.
+    let mut busy = QosNetwork::ethernet_10mbps();
+    busy.commit(900_000.0).expect("capacity available");
+    show("shift-pattern application on a busy network", &shift, &busy);
+}

@@ -1,0 +1,119 @@
+//! Failure injection: OS descheduling (the paper's burst-merging
+//! artifact, §6.1) and the lossy-bus extension with TCP recovery.
+
+use fxnet::apps::sor::{sor_rank, sor_sequential, SorParams};
+use fxnet::apps::KernelKind;
+use fxnet::trace::{binned_bandwidth, Stats};
+use fxnet::{SimTime, Testbed};
+
+#[test]
+fn deschedule_injection_stalls_the_synchronous_schedule() {
+    // §6.1 on 2DFFT: "the third and fourth burst are short because they
+    // are, in fact, a single communication phase where some processor
+    // descheduled the program ... the communication phase stalled until
+    // that processor was able to send again." With injection the run
+    // takes longer and the worst interarrival gap grows.
+    let clean = Testbed::paper()
+        .with_seed(11)
+        .run_kernel(KernelKind::Fft2d, 20);
+    let slowed = Testbed::paper()
+        .with_seed(11)
+        .with_deschedule(SimTime::from_millis(400), SimTime::from_millis(150))
+        .run_kernel(KernelKind::Fft2d, 20);
+    assert!(
+        slowed.finished_at > clean.finished_at,
+        "descheduling must stretch the run ({} vs {})",
+        slowed.finished_at,
+        clean.finished_at
+    );
+    let g_clean = Stats::interarrivals_ms(&clean.trace).unwrap().max;
+    let g_slow = Stats::interarrivals_ms(&slowed.trace).unwrap().max;
+    assert!(
+        g_slow > g_clean,
+        "stalls must appear as longer silent gaps ({g_slow:.0} vs {g_clean:.0} ms)"
+    );
+}
+
+#[test]
+fn deschedule_preserves_results() {
+    let params = SorParams::tiny();
+    let want = sor_sequential(&params, 4);
+    let p2 = params.clone();
+    let run = Testbed::quiet(4)
+        .with_deschedule(SimTime::from_millis(50), SimTime::from_millis(30))
+        .run(move |ctx| sor_rank(ctx, &p2));
+    assert_eq!(run.results, want, "descheduling must not corrupt data");
+}
+
+#[test]
+fn lossy_bus_recovers_correct_results_via_retransmission() {
+    let params = SorParams::tiny();
+    let want = sor_sequential(&params, 4);
+    let p2 = params.clone();
+    let run = Testbed::quiet(4)
+        .with_loss(0.05)
+        .run(move |ctx| sor_rank(ctx, &p2));
+    assert_eq!(run.results, want, "TCP must mask frame corruption");
+}
+
+#[test]
+fn lossy_bus_stretches_the_run() {
+    let params = SorParams::tiny();
+    let p1 = params.clone();
+    let clean = Testbed::quiet(4).run(move |ctx| sor_rank(ctx, &p1));
+    let p2 = params.clone();
+    let lossy = Testbed::quiet(4)
+        .with_loss(0.08)
+        .run(move |ctx| sor_rank(ctx, &p2));
+    assert!(
+        lossy.finished_at > clean.finished_at,
+        "retransmission timeouts must cost simulated time ({} vs {})",
+        lossy.finished_at,
+        clean.finished_at
+    );
+}
+
+#[test]
+fn heavy_contention_still_delivers_everything() {
+    // All four ranks blast simultaneously: collisions and backoff must
+    // resolve without losing a message (MAC-level stress).
+    let run = Testbed::quiet(4).run(|ctx| {
+        let me = ctx.rank();
+        let mut b = fxnet::pvm::MessageBuilder::new(0);
+        b.pack_f64(&vec![f64::from(me); 20_000]);
+        let msg = b.finish();
+        for d in 0..4 {
+            if d != me {
+                ctx.send(d, msg.clone());
+            }
+        }
+        let mut got = 0;
+        for s in 0..4 {
+            if s != me {
+                let m = ctx.recv(s);
+                assert_eq!(m.reader().f64s(20_000)[0], f64::from(s));
+                got += 1;
+            }
+        }
+        got
+    });
+    assert!(run.results.iter().all(|&g| g == 3));
+    assert!(
+        run.ether.collisions > 0,
+        "simultaneous senders must collide"
+    );
+    assert_eq!(run.ether.frames_dropped, 0);
+}
+
+#[test]
+fn burst_structure_survives_mild_loss() {
+    // The periodicity claim is robust: mild corruption does not destroy
+    // the quiet/burst alternation.
+    let run = Testbed::paper()
+        .with_seed(13)
+        .with_loss(0.01)
+        .run_kernel(KernelKind::Hist, 10);
+    let series = binned_bandwidth(&run.trace, SimTime::from_millis(10));
+    let quiet = series.iter().filter(|&&v| v < 1000.0).count();
+    assert!(quiet * 10 > series.len(), "quiet gaps must persist");
+}

@@ -1,0 +1,91 @@
+//! PVM routing ablation: direct TCP (what the paper's programs used)
+//! versus the daemon UDP relay (§4), plus daemon background chatter.
+
+use fxnet::apps::hist::{hist_rank, hist_sequential, HistParams};
+use fxnet::pvm::Route;
+use fxnet::sim::Proto;
+use fxnet::{KernelKind, Testbed};
+
+#[test]
+fn daemon_route_gives_identical_results() {
+    let params = HistParams::tiny();
+    let want = hist_sequential(&params);
+    let p2 = params.clone();
+    let run = Testbed::quiet(4)
+        .with_route(Route::Daemon)
+        .run(move |ctx| hist_rank(ctx, &p2));
+    for r in &run.results {
+        assert_eq!(r, &want);
+    }
+}
+
+#[test]
+fn daemon_route_is_slower_and_udp_only() {
+    let direct = Testbed::quiet(4)
+        .with_route(Route::Direct)
+        .run_kernel(KernelKind::Hist, 25);
+    let daemon = Testbed::quiet(4)
+        .with_route(Route::Daemon)
+        .run_kernel(KernelKind::Hist, 25);
+    assert!(
+        daemon.finished_at > direct.finished_at,
+        "daemon route must be slower ({} vs {})",
+        daemon.finished_at,
+        direct.finished_at
+    );
+    assert!(daemon.trace.iter().all(|r| r.proto == Proto::Udp));
+    assert!(direct.trace.iter().any(|r| r.proto == Proto::Tcp));
+}
+
+#[test]
+fn daemon_route_changes_packet_mix_not_volume_class() {
+    // Same payload moves either way; the daemon route adds stop-and-wait
+    // ack datagrams, the direct route adds TCP ACKs.
+    let direct = Testbed::quiet(4)
+        .with_route(Route::Direct)
+        .run_kernel(KernelKind::Sor, 25);
+    let daemon = Testbed::quiet(4)
+        .with_route(Route::Daemon)
+        .run_kernel(KernelKind::Sor, 25);
+    let payload =
+        |tr: &[fxnet::FrameRecord]| -> u64 { tr.iter().map(|r| u64::from(r.wire_len)).sum() };
+    let (d, m) = (payload(&direct.trace), payload(&daemon.trace));
+    assert!(
+        d / 2 < m && m < d * 2,
+        "byte volumes should be comparable: direct {d} vs daemon {m}"
+    );
+}
+
+#[test]
+fn idle_lan_machines_contribute_daemon_chatter() {
+    // The paper's testbed has 9 machines; only 4 compute. The PVM
+    // daemons on all of them exchange periodic UDP state — part of the
+    // measured traffic mix.
+    // 25 SOR steps ≈ 60+ s of simulated time: beyond two 30 s
+    // heartbeat rounds.
+    let run = Testbed::paper().with_seed(5).run_kernel(KernelKind::Sor, 4);
+    let udp_sources: std::collections::HashSet<u32> = run
+        .trace
+        .iter()
+        .filter(|r| r.proto == Proto::Udp)
+        .map(|r| r.src.0)
+        .collect();
+    assert!(
+        udp_sources.iter().any(|&h| h >= 4),
+        "idle hosts (4..9) must emit daemon datagrams, saw {udp_sources:?}"
+    );
+}
+
+#[test]
+fn tracer_host_never_transmits() {
+    // Host 8 is the measurement workstation: promiscuous, silent except
+    // for its own daemon heartbeat. With heartbeats off it must be
+    // totally silent.
+    let run = Testbed::paper()
+        .without_heartbeats()
+        .run_kernel(KernelKind::Hist, 50);
+    assert!(
+        run.trace.iter().all(|r| r.src.0 != 8),
+        "the tracer workstation must not source traffic"
+    );
+}
