@@ -183,6 +183,7 @@ pub fn airshed_rank(ctx: &mut RankCtx, p: &AirshedParams) -> u64 {
             // Forward transpose: layer layout → grid layout. Data moves
             // as f32 (Fortran REAL); the diagonal piece is rounded the
             // same way so every element sees exactly one rounding.
+            ctx.phase_begin("forward_transpose");
             let mut g = vec![0.0f64; p.layers * p.species * gw];
             // Own diagonal piece.
             for l in llo..lhi {
@@ -221,12 +222,14 @@ pub fn airshed_rank(ctx: &mut RankCtx, p: &AirshedParams) -> u64 {
                     }
                 }
             }
+            ctx.phase_end();
 
             // Chemistry / vertical transport (local in grid distribution).
             chem_block(&mut g, p, gw);
             ctx.compute_time(p.chem);
 
             // Reverse transpose: grid layout → layer layout (f32 wire).
+            ctx.phase_begin("reverse_transpose");
             for l in llo..lhi {
                 for sp in 0..p.species {
                     for gp in glo..ghi {
@@ -263,6 +266,7 @@ pub fn airshed_rank(ctx: &mut RankCtx, p: &AirshedParams) -> u64 {
                     }
                 }
             }
+            ctx.phase_end();
 
             // Second horizontal transport of the step.
             transport_block(&mut c, p, llo, lhi, &lus);

@@ -115,6 +115,7 @@ pub fn fft2d_rank(ctx: &mut RankCtx, p: &FftParams) -> u64 {
         ctx.compute_flops(rows as u64 * fft_flops(p.n));
 
         // Stage 2: the distribution transpose (all-to-all, shift schedule).
+        ctx.phase_begin("transpose");
         let mut next = vec![0.0f32; rows * p.n * 2];
         // Diagonal block stays local.
         let diag = gather_block(&local, p.n, rows, lo, hi);
@@ -133,6 +134,7 @@ pub fn fft2d_rank(ctx: &mut RankCtx, p: &FftParams) -> u64 {
             let vals = m.reader().f32s((shi - slo) * rows * 2);
             scatter_transposed(&mut next, p.n, slo, shi, &vals, rows);
         }
+        ctx.phase_end();
         local = next;
 
         // Stage 3: local column FFTs (rows of the transposed layout).

@@ -75,6 +75,7 @@ pub fn hist_rank(ctx: &mut RankCtx, p: &HistParams) -> Vec<u32> {
         ctx.compute_flops(values.len() as u64 * p.ops_per_point);
 
         // Tree up-sweep.
+        ctx.phase_begin("tree_reduce");
         for round in &up {
             for &(src, dst) in round {
                 if src as usize == me {
@@ -89,8 +90,10 @@ pub fn hist_rank(ctx: &mut RankCtx, p: &HistParams) -> Vec<u32> {
                 }
             }
         }
+        ctx.phase_end();
 
         // Broadcast the complete histogram from processor 0.
+        ctx.phase_begin("result_broadcast");
         for &(src, dst) in &bcast[0] {
             if src as usize == me {
                 let mut b = MessageBuilder::new(!(iter as i32));
@@ -100,6 +103,7 @@ pub fn hist_rank(ctx: &mut RankCtx, p: &HistParams) -> Vec<u32> {
                 h = ctx.recv(src).reader().u32s(p.bins);
             }
         }
+        ctx.phase_end();
         result = h;
     }
     result

@@ -69,6 +69,7 @@ pub fn seq_rank(ctx: &mut RankCtx, p: &SeqParams) -> u64 {
             for r in 0..p.n {
                 // One sequential-I/O record read per row.
                 ctx.compute_time(p.row_io);
+                ctx.phase_begin("element_broadcast");
                 for c in 0..p.n {
                     let v = element(p.n, r, c);
                     if dist.owner(r) == 0 {
@@ -80,9 +81,11 @@ pub fn seq_rank(ctx: &mut RankCtx, p: &SeqParams) -> u64 {
                         ctx.send(dst as u32, b.finish());
                     }
                 }
+                ctx.phase_end();
             }
         } else {
             for r in 0..p.n {
+                ctx.phase_begin("element_broadcast");
                 for c in 0..p.n {
                     let m = ctx.recv(0);
                     let v = m.reader().f64s(1)[0];
@@ -91,6 +94,7 @@ pub fn seq_rank(ctx: &mut RankCtx, p: &SeqParams) -> u64 {
                         block[dist.local(r) * p.n + c] = v;
                     }
                 }
+                ctx.phase_end();
             }
         }
     }

@@ -75,6 +75,7 @@ pub fn sor_rank(ctx: &mut RankCtx, p: &SorParams) -> u64 {
         // Communication phase: exchange boundary rows with neighbors.
         // Sends are buffered, so send-then-receive cannot deadlock.
         let tag = step as i32;
+        ctx.phase_begin("boundary_exchange");
         if me > 0 {
             let mut b = MessageBuilder::new(tag);
             b.pack_f64(&block[0]);
@@ -95,6 +96,7 @@ pub fn sor_rank(ctx: &mut RankCtx, p: &SorParams) -> u64 {
         } else {
             None
         };
+        ctx.phase_end();
 
         // Local computation phase: one weighted-Jacobi sweep (memory-bound).
         block = sor_sweep_block(&block, above.as_deref(), below.as_deref(), p.omega);

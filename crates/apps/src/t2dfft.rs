@@ -59,6 +59,7 @@ pub fn t2dfft_rank(ctx: &mut RankCtx, p: &T2dfftParams) -> u64 {
             ctx.compute_flops(rows as u64 * fft_flops(p.n));
             // Shift schedule across the partition: round r sends to
             // receiver h + (me + r) mod h.
+            ctx.phase_begin("pipeline_transpose");
             for r in 0..h {
                 let dst = h + (me + r) % h;
                 let (clo, chi) = (dist.lo(dst - h), dist.hi(dst - h));
@@ -79,6 +80,7 @@ pub fn t2dfft_rank(ctx: &mut RankCtx, p: &T2dfftParams) -> u64 {
                 }
                 ctx.send(dst as u32, b.finish());
             }
+            ctx.phase_end();
             acc = acc.wrapping_add(local.len() as u64);
         }
         acc
@@ -90,6 +92,7 @@ pub fn t2dfft_rank(ctx: &mut RankCtx, p: &T2dfftParams) -> u64 {
         let mut final_sum = 0u64;
         for _iter in 0..p.iters {
             let mut block = vec![0.0f32; width * p.n * 2];
+            ctx.phase_begin("pipeline_transpose");
             for r in 0..h {
                 // Inverse of the sender schedule: in round r, sender
                 // (col_rank − r) mod h targets me.
@@ -107,6 +110,7 @@ pub fn t2dfft_rank(ctx: &mut RankCtx, p: &T2dfftParams) -> u64 {
                     }
                 }
             }
+            ctx.phase_end();
             fft_rows(&mut block, p.n);
             ctx.compute_flops(width as u64 * fft_flops(p.n));
             let as_f64: Vec<f64> = block.iter().map(|&v| f64::from(v)).collect();

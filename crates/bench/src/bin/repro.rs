@@ -18,11 +18,14 @@ use fxnet::spectral::generate::SynthConfig;
 use fxnet::spectral::{
     hurst_aggregated_variance, onoff_vbr_trace, self_similar_trace, synthesize_trace, FourierModel,
 };
+use fxnet::telemetry::write_json_artifact;
+use fxnet::trace::PhaseBreakdown;
 use fxnet::trace::{
     average_bandwidth, binned_bandwidth, sliding_window_bandwidth, Periodogram, Stats,
 };
 use fxnet::{KernelKind, SimTime};
 use fxnet_bench::{bandwidth_row, stats_row, Experiments};
+use serde::Value;
 use std::io::Write;
 
 const BIN: SimTime = SimTime(10_000_000); // the paper's 10 ms window
@@ -31,6 +34,7 @@ fn main() {
     let mut div = 1usize;
     let mut hours = 100usize;
     let mut out = "out".to_string();
+    let mut telemetry = false;
     let mut exps: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -38,11 +42,13 @@ fn main() {
             "--div" => div = args.next().and_then(|s| s.parse().ok()).unwrap_or(1),
             "--hours" => hours = args.next().and_then(|s| s.parse().ok()).unwrap_or(100),
             "--out" => out = args.next().unwrap_or_else(|| "out".into()),
+            "--telemetry" => telemetry = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--div N] [--hours H] [--out DIR] <exp>...\n\
+                    "usage: repro [--div N] [--hours H] [--out DIR] [--telemetry] <exp>...\n\
                      exps: fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 airshed-avg fig10 fig11 model qos baseline all\n\
-                     ablations (not in `all`): ablate-switch ablate-route ablate-p summary"
+                     extras (not in `all`): phases ablate-switch ablate-route ablate-p summary\n\
+                     --telemetry collects spans/counters and writes out/telemetry_<exp>.json"
                 );
                 return;
             }
@@ -55,7 +61,13 @@ fn main() {
     let all = exps.iter().any(|e| e == "all");
     let want = |name: &str| all || exps.iter().any(|e| e == name);
 
-    let mut ctx = Experiments::new(div, hours, &out);
+    // The phases experiment is the span × trace join; it needs telemetry.
+    if exps.iter().any(|e| e == "phases") && !telemetry {
+        eprintln!("note: `phases` needs telemetry; enabling --telemetry\n");
+        telemetry = true;
+    }
+
+    let mut ctx = Experiments::new(div, hours, &out).with_telemetry(telemetry);
     if div != 1 {
         println!(
             "note: kernel iteration counts scaled by 1/{div} (pass --div 1 for full paper scale)\n"
@@ -104,6 +116,9 @@ fn main() {
     if want("baseline") {
         baseline(&mut ctx);
     }
+    if exps.iter().any(|e| e == "phases") {
+        phases(&mut ctx);
+    }
     if exps.iter().any(|e| e == "summary") {
         summary(&mut ctx);
     }
@@ -117,6 +132,53 @@ fn main() {
     if exps.iter().any(|e| e == "ablate-p") {
         ablate_p();
     }
+
+    // Telemetry artifacts: one deterministic JSON (spans + counter
+    // registry of every cached run) per requested experiment id.
+    // `phases` writes its own, richer artifact.
+    if telemetry {
+        for e in exps.iter().filter(|e| e.as_str() != "phases") {
+            let path = ctx.out_path(&format!("telemetry_{e}.json"));
+            write_json_artifact(&path, &ctx.telemetry_value()).expect("write telemetry artifact");
+            println!("wrote {}", path.display());
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Per-phase traffic attribution: the span × trace join.
+
+fn phases(ctx: &mut Experiments) {
+    header("Per-phase traffic attribution (10 ms peak bins)");
+    let ranks = fxnet::Testbed::paper().config().p;
+    let mut entries: Vec<(String, Value)> = Vec::new();
+    let mut programs: Vec<(String, PhaseBreakdown, Value)> = Vec::new();
+    for k in KernelKind::ALL {
+        let run = ctx.kernel(k);
+        let tel = run.telemetry.as_ref().expect("phases runs with telemetry");
+        let bd = PhaseBreakdown::compute(&run.trace, &tel.spans, ranks, BIN);
+        programs.push((k.name().to_string(), bd, tel.to_value()));
+    }
+    {
+        let run = ctx.airshed();
+        let tel = run.telemetry.as_ref().expect("phases runs with telemetry");
+        let bd = PhaseBreakdown::compute(&run.trace, &tel.spans, ranks, BIN);
+        programs.push(("AIRSHED".to_string(), bd, tel.to_value()));
+    }
+    for (name, bd, tel_value) in programs {
+        println!("\n{name}:");
+        print!("{}", bd.table());
+        entries.push((
+            name,
+            Value::Object(vec![
+                ("phases".to_string(), serde::Serialize::to_value(&bd)),
+                ("telemetry".to_string(), tel_value),
+            ]),
+        ));
+    }
+    let path = ctx.out_path("telemetry_phases.json");
+    write_json_artifact(&path, &Value::Object(entries)).expect("write telemetry artifact");
+    println!("\nwrote {}", path.display());
 }
 
 // --------------------------------------------------------------------

@@ -19,6 +19,7 @@ pub struct Experiments {
     /// Output directory for series/spectrum files.
     pub out_dir: std::path::PathBuf,
     seed: u64,
+    telemetry: bool,
     kernels: HashMap<&'static str, RunResult<u64>>,
     airshed: Option<RunResult<u64>>,
 }
@@ -32,19 +33,32 @@ impl Experiments {
             hours: hours.max(1),
             out_dir: out_dir.into(),
             seed: 1998,
+            telemetry: false,
             kernels: HashMap::new(),
             airshed: None,
         }
+    }
+
+    /// Collect telemetry (phase spans + counter registry) on every run.
+    /// Must be set before the first run is cached; the packet traces are
+    /// identical either way.
+    pub fn with_telemetry(mut self, on: bool) -> Experiments {
+        self.telemetry = on;
+        self
     }
 
     /// The measured trace of a kernel (cached).
     pub fn kernel(&mut self, k: KernelKind) -> &RunResult<u64> {
         let div = self.div;
         let seed = self.seed;
+        let telemetry = self.telemetry;
         self.kernels.entry(k.name()).or_insert_with(|| {
             eprintln!("[run] {} (paper scale / {div}) ...", k.name());
             let t0 = std::time::Instant::now();
-            let run = Testbed::paper().with_seed(seed).run_kernel(k, div);
+            let run = Testbed::paper()
+                .with_seed(seed)
+                .with_telemetry(telemetry)
+                .run_kernel(k, div);
             eprintln!(
                 "[run] {}: {} frames, {:.1} s simulated, {:.1} s wall",
                 k.name(),
@@ -65,7 +79,10 @@ impl Experiments {
             };
             eprintln!("[run] AIRSHED ({} hours) ...", self.hours);
             let t0 = std::time::Instant::now();
-            let run = Testbed::paper().with_seed(self.seed).run_airshed(params);
+            let run = Testbed::paper()
+                .with_seed(self.seed)
+                .with_telemetry(self.telemetry)
+                .run_airshed(params);
             eprintln!(
                 "[run] AIRSHED: {} frames, {:.1} s simulated, {:.1} s wall",
                 run.trace.len(),
@@ -88,6 +105,25 @@ impl Experiments {
             KernelKind::Seq | KernelKind::Hist => return None,
         };
         Some(connection(&self.kernel(k).trace, src, dst))
+    }
+
+    /// Deterministic telemetry JSON (spans + counter registry) for every
+    /// cached run, keyed by program name. Runs made without telemetry
+    /// are omitted.
+    pub fn telemetry_value(&self) -> serde::Value {
+        let mut names: Vec<&&str> = self.kernels.keys().collect();
+        names.sort();
+        let mut entries: Vec<(String, serde::Value)> = names
+            .into_iter()
+            .filter_map(|name| {
+                let tel = self.kernels[*name].telemetry.as_ref()?;
+                Some((name.to_string(), tel.to_value()))
+            })
+            .collect();
+        if let Some(tel) = self.airshed.as_ref().and_then(|r| r.telemetry.as_ref()) {
+            entries.push(("AIRSHED".to_string(), tel.to_value()));
+        }
+        serde::Value::Object(entries)
     }
 
     /// Ensure the output directory exists and return a path inside it.

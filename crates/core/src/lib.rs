@@ -33,6 +33,7 @@
 //! | FFT/SOR/LU numerics | `fxnet-numerics` | [`numerics`] |
 //! | the six measured programs | `fxnet-apps` | [`apps`] |
 //! | trace statistics, bandwidth, spectra | `fxnet-trace` | [`trace`] |
+//! | phase spans, counter registry, profiling | `fxnet-telemetry` | [`telemetry`] |
 //! | Fourier traffic models + media baselines | `fxnet-spectral` | [`spectral`] |
 //! | QoS negotiation | `fxnet-qos` | [`qos`] |
 
@@ -44,6 +45,7 @@ pub use fxnet_pvm as pvm;
 pub use fxnet_qos as qos;
 pub use fxnet_sim as sim;
 pub use fxnet_spectral as spectral;
+pub use fxnet_telemetry as telemetry;
 pub use fxnet_trace as trace;
 
 mod testbed;

@@ -101,6 +101,14 @@ impl Testbed {
         self
     }
 
+    /// Enable telemetry collection: phase spans, the cross-layer counter
+    /// registry, and the simulator self-profile appear in
+    /// [`RunResult::telemetry`]. The packet trace is unchanged.
+    pub fn with_telemetry(mut self, on: bool) -> Testbed {
+        self.cfg.telemetry = on;
+        self
+    }
+
     /// Access the full configuration for fine-grained control.
     pub fn config(&self) -> &SpmdConfig {
         &self.cfg

@@ -28,23 +28,25 @@ pub fn neighbor_exchange(
     up: &[u8],
     down: &[u8],
 ) -> (Option<Vec<u8>>, Option<Vec<u8>>) {
-    let me = ctx.rank();
-    let np = ctx.nprocs();
-    if me > 0 {
-        ctx.send(me - 1, msg(tag, up));
-    }
-    if me + 1 < np {
-        ctx.send(me + 1, msg(tag, down));
-    }
-    let above = (me > 0).then(|| {
-        let m = ctx.recv(me - 1);
-        m.body.to_vec()
-    });
-    let below = (me + 1 < np).then(|| {
-        let m = ctx.recv(me + 1);
-        m.body.to_vec()
-    });
-    (above, below)
+    ctx.phase("neighbor_exchange", |ctx| {
+        let me = ctx.rank();
+        let np = ctx.nprocs();
+        if me > 0 {
+            ctx.send(me - 1, msg(tag, up));
+        }
+        if me + 1 < np {
+            ctx.send(me + 1, msg(tag, down));
+        }
+        let above = (me > 0).then(|| {
+            let m = ctx.recv(me - 1);
+            m.body.to_vec()
+        });
+        let below = (me + 1 < np).then(|| {
+            let m = ctx.recv(me + 1);
+            m.body.to_vec()
+        });
+        (above, below)
+    })
 }
 
 /// All-to-all (the distribution transpose): `blocks[d]` goes to rank `d`
@@ -52,36 +54,40 @@ pub fn neighbor_exchange(
 /// source rank. Uses the shift schedule: round `r` sends to `(me+r) mod P`
 /// and receives from `(me−r) mod P`, tightly synchronizing the ranks.
 pub fn all_to_all(ctx: &mut RankCtx, tag: i32, blocks: &[Vec<u8>]) -> Vec<Vec<u8>> {
-    let me = ctx.rank() as usize;
-    let np = ctx.nprocs() as usize;
-    assert_eq!(blocks.len(), np, "one block per destination rank");
-    let mut out: Vec<Vec<u8>> = vec![Vec::new(); np];
-    out[me] = blocks[me].clone();
-    for r in 1..np {
-        let dst = (me + r) % np;
-        let src = (me + np - r) % np;
-        ctx.send(dst as u32, msg(tag, &blocks[dst]));
-        let m = ctx.recv(src as u32);
-        out[src] = m.body.to_vec();
-    }
-    out
+    ctx.phase("all_to_all", |ctx| {
+        let me = ctx.rank() as usize;
+        let np = ctx.nprocs() as usize;
+        assert_eq!(blocks.len(), np, "one block per destination rank");
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); np];
+        out[me] = blocks[me].clone();
+        for r in 1..np {
+            let dst = (me + r) % np;
+            let src = (me + np - r) % np;
+            ctx.send(dst as u32, msg(tag, &blocks[dst]));
+            let m = ctx.recv(src as u32);
+            out[src] = m.body.to_vec();
+        }
+        out
+    })
 }
 
 /// Broadcast from `root` (SEQ's pattern, message-granular): the root's
 /// `payload` is returned on every rank.
 pub fn broadcast(ctx: &mut RankCtx, tag: i32, root: u32, payload: &[u8]) -> Vec<u8> {
-    let me = ctx.rank();
-    let np = ctx.nprocs();
-    if me == root {
-        for d in 0..np {
-            if d != root {
-                ctx.send(d, msg(tag, payload));
+    ctx.phase("broadcast", |ctx| {
+        let me = ctx.rank();
+        let np = ctx.nprocs();
+        if me == root {
+            for d in 0..np {
+                if d != root {
+                    ctx.send(d, msg(tag, payload));
+                }
             }
+            payload.to_vec()
+        } else {
+            ctx.recv(root).body.to_vec()
         }
-        payload.to_vec()
-    } else {
-        ctx.recv(root).body.to_vec()
-    }
+    })
 }
 
 /// Tree reduction to rank 0 (HIST's up-sweep): combine message bodies
@@ -93,73 +99,81 @@ pub fn reduce_tree(
     mine: Vec<u8>,
     mut combine: impl FnMut(Vec<u8>, &Message) -> Vec<u8>,
 ) -> Option<Vec<u8>> {
-    let me = ctx.rank();
-    let np = ctx.nprocs();
-    let mut acc = mine;
-    for round in Pattern::TreeUp.schedule(np) {
-        for (src, dst) in round {
-            if src == me {
-                ctx.send(dst, msg(tag, &acc));
-            } else if dst == me {
-                let m = ctx.recv(src);
-                acc = combine(acc, &m);
+    ctx.phase("reduce_tree", |ctx| {
+        let me = ctx.rank();
+        let np = ctx.nprocs();
+        let mut acc = mine;
+        for round in Pattern::TreeUp.schedule(np) {
+            for (src, dst) in round {
+                if src == me {
+                    ctx.send(dst, msg(tag, &acc));
+                } else if dst == me {
+                    let m = ctx.recv(src);
+                    acc = combine(acc, &m);
+                }
             }
         }
-    }
-    (me == 0).then_some(acc)
+        (me == 0).then_some(acc)
+    })
 }
 
 /// Scatter from `root`: rank `d` receives `blocks[d]`; the root keeps its
 /// own block locally (the distribution step of an Fx array assignment).
 /// `blocks` is only read on the root.
 pub fn scatter(ctx: &mut RankCtx, tag: i32, root: u32, blocks: &[Vec<u8>]) -> Vec<u8> {
-    let me = ctx.rank();
-    let np = ctx.nprocs();
-    if me == root {
-        assert_eq!(blocks.len(), np as usize, "one block per rank");
-        for d in 0..np {
-            if d != root {
-                ctx.send(d, msg(tag, &blocks[d as usize]));
+    ctx.phase("scatter", |ctx| {
+        let me = ctx.rank();
+        let np = ctx.nprocs();
+        if me == root {
+            assert_eq!(blocks.len(), np as usize, "one block per rank");
+            for d in 0..np {
+                if d != root {
+                    ctx.send(d, msg(tag, &blocks[d as usize]));
+                }
             }
+            blocks[root as usize].clone()
+        } else {
+            ctx.recv(root).body.to_vec()
         }
-        blocks[root as usize].clone()
-    } else {
-        ctx.recv(root).body.to_vec()
-    }
+    })
 }
 
 /// Gather to `root`: returns `Some(blocks)` (indexed by source rank) on
 /// the root, `None` elsewhere — the inverse of [`scatter`], e.g. for
 /// collecting a distributed result for output.
 pub fn gather(ctx: &mut RankCtx, tag: i32, root: u32, mine: &[u8]) -> Option<Vec<Vec<u8>>> {
-    let me = ctx.rank();
-    let np = ctx.nprocs();
-    if me == root {
-        let mut out: Vec<Vec<u8>> = vec![Vec::new(); np as usize];
-        out[root as usize] = mine.to_vec();
-        for s in 0..np {
-            if s != root {
-                out[s as usize] = ctx.recv(s).body.to_vec();
+    ctx.phase("gather", |ctx| {
+        let me = ctx.rank();
+        let np = ctx.nprocs();
+        if me == root {
+            let mut out: Vec<Vec<u8>> = vec![Vec::new(); np as usize];
+            out[root as usize] = mine.to_vec();
+            for s in 0..np {
+                if s != root {
+                    out[s as usize] = ctx.recv(s).body.to_vec();
+                }
             }
+            Some(out)
+        } else {
+            ctx.send(root, msg(tag, mine));
+            None
         }
-        Some(out)
-    } else {
-        ctx.send(root, msg(tag, mine));
-        None
-    }
+    })
 }
 
 /// Shift: send `payload` to `(me+k) mod P`, return what arrives from
 /// `(me−k) mod P` (§7.3's example pattern).
 pub fn shift(ctx: &mut RankCtx, tag: i32, k: u32, payload: &[u8]) -> Vec<u8> {
-    let me = ctx.rank();
-    let np = ctx.nprocs();
-    assert!(
-        !k.is_multiple_of(np),
-        "shift by a multiple of P is a self-send"
-    );
-    ctx.send((me + k) % np, msg(tag, payload));
-    ctx.recv((me + np - k % np) % np).body.to_vec()
+    ctx.phase("shift", |ctx| {
+        let me = ctx.rank();
+        let np = ctx.nprocs();
+        assert!(
+            !k.is_multiple_of(np),
+            "shift by a multiple of P is a self-send"
+        );
+        ctx.send((me + k) % np, msg(tag, payload));
+        ctx.recv((me + np - k % np) % np).body.to_vec()
+    })
 }
 
 #[cfg(test)]

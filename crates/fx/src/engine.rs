@@ -20,8 +20,10 @@ use crate::cost::CostModel;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use fxnet_pvm::{Message, MsgDelivery, OutMessage, PvmConfig, PvmSystem, TaskId};
 use fxnet_sim::{EtherStats, FrameRecord, SimRng, SimTime};
+use fxnet_telemetry::{EventClass, RunTelemetry, SimProfile, SpanKind, SpanRecord};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Involuntary OS descheduling model.
 #[derive(Debug, Clone)]
@@ -54,6 +56,10 @@ pub struct SpmdConfig {
     pub socket_buf: u64,
     /// Abort if any rank's clock passes this (runaway guard).
     pub max_sim_time: SimTime,
+    /// Collect telemetry (phase spans, counter registry, sim profile).
+    /// Span requests never advance a rank's clock, so the packet trace is
+    /// byte-identical with telemetry on or off.
+    pub telemetry: bool,
 }
 
 impl Default for SpmdConfig {
@@ -67,6 +73,7 @@ impl Default for SpmdConfig {
             seed: 42,
             socket_buf: 64 * 1024,
             max_sim_time: SimTime::from_secs(24 * 3600),
+            telemetry: false,
         }
     }
 }
@@ -82,13 +89,24 @@ pub struct RunResult<T> {
     pub ether: EtherStats,
     /// Simulated time at which the last rank finished.
     pub finished_at: SimTime,
+    /// Telemetry captured for the run, when [`SpmdConfig::telemetry`] is on.
+    pub telemetry: Option<RunTelemetry>,
 }
 
 enum Request {
     Compute(SimTime),
-    Send { dst: u32, msg: OutMessage },
-    Recv { src: u32 },
+    Send {
+        dst: u32,
+        msg: OutMessage,
+    },
+    Recv {
+        src: u32,
+    },
     Barrier,
+    /// Open a named collective span at the rank's current clock.
+    SpanBegin(&'static str),
+    /// Close the most recent open span on this rank.
+    SpanEnd,
     Done,
 }
 
@@ -102,6 +120,7 @@ pub struct RankCtx {
     rank: u32,
     p: u32,
     cost: CostModel,
+    telemetry: bool,
     tx: Sender<(u32, Request)>,
     rx: Receiver<Reply>,
 }
@@ -170,6 +189,29 @@ impl RankCtx {
     /// Global barrier across all ranks.
     pub fn barrier(&mut self) {
         let _ = self.request(Request::Barrier);
+    }
+
+    /// Open a named collective phase span (telemetry). Spans cost no
+    /// simulated time; when telemetry is off this is a no-op.
+    pub fn phase_begin(&mut self, name: &'static str) {
+        if self.telemetry {
+            let _ = self.request(Request::SpanBegin(name));
+        }
+    }
+
+    /// Close the most recently opened phase span on this rank.
+    pub fn phase_end(&mut self) {
+        if self.telemetry {
+            let _ = self.request(Request::SpanEnd);
+        }
+    }
+
+    /// Run `f` inside a named collective phase span.
+    pub fn phase<R>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.phase_begin(name);
+        let out = f(self);
+        self.phase_end();
+        out
     }
 }
 
@@ -250,6 +292,7 @@ where
             rank,
             p: cfg.p,
             cost: cfg.cost.clone(),
+            telemetry: cfg.telemetry,
             tx: req_tx.clone(),
             rx: rrx,
         };
@@ -284,16 +327,37 @@ where
         .collect();
     let mut deliveries: Vec<MsgDelivery> = Vec::new();
 
+    // Telemetry state; all of it stays empty when cfg.telemetry is off.
+    let run_start = Instant::now();
+    let mut spans: Vec<SpanRecord> = Vec::new();
+    let mut open_spans: Vec<Vec<(&'static str, SimTime)>> = vec![Vec::new(); p];
+    let mut blocked_since: Vec<Option<(SpanKind, SimTime)>> = vec![None; p];
+    let mut event_counts = [0u64; EventClass::ALL.len()];
+    let mut profile = SimProfile::default();
+    let mut mailbox_high_water = 0usize;
+    let mut mailbox_len = 0usize;
+
     let wake = |rank: u32,
                 t_deliver: SimTime,
                 msg: Message,
                 clocks: &mut [SimTime],
                 states: &mut [RankState],
                 reply_txs: &[Sender<Reply>],
-                cost: &CostModel| {
+                cost: &CostModel,
+                blocked_since: &mut [Option<(SpanKind, SimTime)>],
+                spans: &mut Vec<SpanRecord>| {
         let r = rank as usize;
         let overhead = cost.recv_overhead(msg.body.len());
         clocks[r] = clocks[r].max(t_deliver) + overhead;
+        if let Some((kind, begin)) = blocked_since[r].take() {
+            spans.push(SpanRecord {
+                rank,
+                name: kind.label().to_string(),
+                kind,
+                begin,
+                end: clocks[r],
+            });
+        }
         states[r] = RankState::Waiting;
         reply_txs[r]
             .send(Reply::Message(msg))
@@ -360,6 +424,12 @@ where
             }
         };
 
+        let t0 = if cfg.telemetry {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let mut class = EventClass::NetAdvance;
         if rank_first {
             let r = best.expect("rank_first implies a ready rank");
             let req = pending[r].take().expect("ready rank has request");
@@ -370,14 +440,26 @@ where
             );
             match req {
                 Request::Compute(d) => {
+                    class = EventClass::Compute;
+                    let begin = clocks[r];
                     let extra = desched[r]
                         .as_mut()
                         .map_or(SimTime::ZERO, |ds| ds.extra_for(d));
                     clocks[r] += d + extra;
+                    if cfg.telemetry {
+                        spans.push(SpanRecord {
+                            rank: r as u32,
+                            name: "compute".to_string(),
+                            kind: SpanKind::Compute,
+                            begin,
+                            end: clocks[r],
+                        });
+                    }
                     states[r] = RankState::Waiting;
                     reply_txs[r].send(Reply::Proceed).expect("rank alive");
                 }
                 Request::Send { dst, msg } => {
+                    class = EventClass::Send;
                     let overhead = cfg.cost.send_overhead(&msg);
                     let t_wire = clocks[r] + overhead;
                     pvm.send(t_wire, TaskId(r as u32), TaskId(dst), msg);
@@ -386,15 +468,20 @@ where
                     // host's TCP backlog exceeds the socket buffer.
                     if pvm.sender_backlog(TaskId(r as u32)) > cfg.socket_buf {
                         states[r] = RankState::BlockedSend;
+                        if cfg.telemetry {
+                            blocked_since[r] = Some((SpanKind::BlockedSend, clocks[r]));
+                        }
                     } else {
                         states[r] = RankState::Waiting;
                         reply_txs[r].send(Reply::Proceed).expect("rank alive");
                     }
                 }
                 Request::Recv { src } => {
+                    class = EventClass::Recv;
                     let key = (src, r as u32);
                     let queued = mailbox.get_mut(&key).and_then(VecDeque::pop_front);
                     if let Some((t_d, msg)) = queued {
+                        mailbox_len -= 1;
                         wake(
                             r as u32,
                             t_d,
@@ -403,24 +490,62 @@ where
                             &mut states,
                             &reply_txs,
                             &cfg.cost,
+                            &mut blocked_since,
+                            &mut spans,
                         );
                     } else {
                         states[r] = RankState::BlockedRecv(src);
+                        if cfg.telemetry {
+                            blocked_since[r] = Some((SpanKind::BlockedRecv, clocks[r]));
+                        }
                     }
                 }
                 Request::Barrier => {
+                    class = EventClass::Barrier;
                     states[r] = RankState::BlockedBarrier;
+                    if cfg.telemetry {
+                        blocked_since[r] = Some((SpanKind::Barrier, clocks[r]));
+                    }
                     barrier_waiters.push(r as u32);
                     if barrier_waiters.len() == p {
                         let t = clocks.iter().copied().max().unwrap() + cfg.cost.per_message;
                         for &w in &barrier_waiters {
                             let w = w as usize;
                             clocks[w] = t;
+                            if let Some((kind, begin)) = blocked_since[w].take() {
+                                spans.push(SpanRecord {
+                                    rank: w as u32,
+                                    name: kind.label().to_string(),
+                                    kind,
+                                    begin,
+                                    end: t,
+                                });
+                            }
                             states[w] = RankState::Waiting;
                             reply_txs[w].send(Reply::Proceed).expect("rank alive");
                         }
                         barrier_waiters.clear();
                     }
+                }
+                Request::SpanBegin(name) => {
+                    class = EventClass::Span;
+                    open_spans[r].push((name, clocks[r]));
+                    states[r] = RankState::Waiting;
+                    reply_txs[r].send(Reply::Proceed).expect("rank alive");
+                }
+                Request::SpanEnd => {
+                    class = EventClass::Span;
+                    if let Some((name, begin)) = open_spans[r].pop() {
+                        spans.push(SpanRecord {
+                            rank: r as u32,
+                            name: name.to_string(),
+                            kind: SpanKind::Collective,
+                            begin,
+                            end: clocks[r],
+                        });
+                    }
+                    states[r] = RankState::Waiting;
+                    reply_txs[r].send(Reply::Proceed).expect("rank alive");
                 }
                 Request::Done => unreachable!("handled at intake"),
             }
@@ -438,12 +563,16 @@ where
                         &mut states,
                         &reply_txs,
                         &cfg.cost,
+                        &mut blocked_since,
+                        &mut spans,
                     );
                 } else {
                     mailbox
                         .entry((d.src.0, d.dst.0))
                         .or_default()
                         .push_back((d.time, d.msg));
+                    mailbox_len += 1;
+                    mailbox_high_water = mailbox_high_water.max(mailbox_len);
                 }
             }
             // Network drain may have freed socket-buffer space.
@@ -453,11 +582,28 @@ where
                         && pvm.sender_backlog(TaskId(r as u32)) <= cfg.socket_buf
                     {
                         clocks[r] = clocks[r].max(t);
+                        if let Some((kind, begin)) = blocked_since[r].take() {
+                            spans.push(SpanRecord {
+                                rank: r as u32,
+                                name: kind.label().to_string(),
+                                kind,
+                                begin,
+                                end: clocks[r],
+                            });
+                        }
                         states[r] = RankState::Waiting;
                         reply_txs[r].send(Reply::Proceed).expect("rank alive");
                     }
                 }
             }
+        }
+        if let Some(t0) = t0 {
+            let idx = EventClass::ALL
+                .iter()
+                .position(|&c| c == class)
+                .expect("class listed in ALL");
+            event_counts[idx] += 1;
+            profile.record(class, t0.elapsed());
         }
     }
 
@@ -478,11 +624,86 @@ where
         .into_iter()
         .map(|h| h.join().expect("rank panicked after completion"))
         .collect();
+    let finished_at = clocks.iter().copied().max().unwrap_or(SimTime::ZERO);
+
+    let telemetry = if cfg.telemetry {
+        // Close any span the application never ended.
+        for r in 0..p {
+            while let Some((name, begin)) = open_spans[r].pop() {
+                spans.push(SpanRecord {
+                    rank: r as u32,
+                    name: name.to_string(),
+                    kind: SpanKind::Collective,
+                    begin,
+                    end: clocks[r],
+                });
+            }
+        }
+        spans.sort_by(|a, b| {
+            (a.begin, a.rank, &a.name, a.end).cmp(&(b.begin, b.rank, &b.name, b.end))
+        });
+
+        let mut reg = fxnet_telemetry::TelemetryRegistry::new();
+        let mac = pvm.ether_stats();
+        reg.set_counter("mac.frames_delivered", mac.frames_delivered);
+        reg.set_counter("mac.bytes_delivered", mac.bytes_delivered);
+        reg.set_counter("mac.collisions", mac.collisions);
+        reg.set_counter("mac.backoffs", mac.backoffs);
+        reg.set_counter("mac.frames_dropped", mac.frames_dropped);
+        reg.set_counter("mac.busy_ns", mac.busy_ns);
+        let tcp = pvm.tcp_stats();
+        reg.set_counter("tcp.data_segments", tcp.data_segments);
+        reg.set_counter("tcp.acks_sent", tcp.acks_sent);
+        reg.set_counter("tcp.delayed_ack_fires", tcp.delayed_ack_fires);
+        reg.set_counter("tcp.syn_frames", tcp.syn_frames);
+        reg.set_counter("tcp.retransmits", tcp.retransmits);
+        let pstats = pvm.pvm_stats();
+        reg.set_counter("pvm.messages_sent", pstats.messages_sent);
+        reg.set_counter("pvm.fragments_sent", pstats.fragments_sent);
+        reg.set_counter("pvm.pack_bytes", pstats.pack_bytes);
+        reg.set_counter("pvm.daemon_datagrams", pstats.daemon_datagrams);
+        reg.set_counter("pvm.daemon_acks", pstats.daemon_acks);
+        reg.set_counter("pvm.heartbeats", pstats.heartbeats);
+        for (class, &n) in EventClass::ALL.iter().zip(&event_counts) {
+            reg.set_counter(format!("engine.events.{}", class.label()), n);
+        }
+        reg.set_counter(
+            "engine.timer_queue_high_water",
+            pvm.timer_high_water() as u64,
+        );
+        reg.set_counter("engine.mailbox_high_water", mailbox_high_water as u64);
+        for r in 0..p {
+            let blocked_ns: u64 = spans
+                .iter()
+                .filter(|s| {
+                    s.rank == r as u32
+                        && matches!(
+                            s.kind,
+                            SpanKind::BlockedRecv | SpanKind::BlockedSend | SpanKind::Barrier
+                        )
+                })
+                .map(|s| s.duration().as_nanos())
+                .sum();
+            reg.set_counter(format!("engine.rank{r}.blocked_ns"), blocked_ns);
+        }
+
+        profile.wall = run_start.elapsed();
+        profile.sim_seconds = finished_at.as_secs_f64();
+        Some(RunTelemetry {
+            spans,
+            registry: reg,
+            profile: Some(profile),
+        })
+    } else {
+        None
+    };
+
     RunResult {
         results,
         trace: pvm.take_trace(),
         ether: pvm.ether_stats(),
-        finished_at: clocks.into_iter().max().unwrap_or(SimTime::ZERO),
+        finished_at,
+        telemetry,
     }
 }
 

@@ -45,5 +45,5 @@
 pub mod network;
 pub mod tcp;
 
-pub use network::{AppEvent, LinkKind, NetConfig, Network};
+pub use network::{AppEvent, LinkKind, NetConfig, Network, TcpStats};
 pub use tcp::{ConnId, Dir};

@@ -206,6 +206,22 @@ impl Fabric {
     }
 }
 
+/// Aggregate TCP-layer counters, snapshot via [`Network::tcp_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TcpStats {
+    /// Data segments handed to the MAC layer (first transmissions only).
+    pub data_segments: u64,
+    /// Pure cumulative ACK frames sent.
+    pub acks_sent: u64,
+    /// Delayed-ACK timers that fired while still armed (the 200 ms clock
+    /// the paper blames for half-window stalls).
+    pub delayed_ack_fires: u64,
+    /// SYN frames sent, including handshake retries.
+    pub syn_frames: u64,
+    /// Go-back-N retransmission bursts across all connections.
+    pub retransmits: u64,
+}
+
 /// The protocol stack: every host's TCP/UDP endpoints over one fabric.
 pub struct Network {
     cfg: NetConfig,
@@ -216,6 +232,7 @@ pub struct Network {
     next_token: u64,
     errors_seen: usize,
     scratch: Vec<Delivery>,
+    tcp_stats: TcpStats,
 }
 
 impl Network {
@@ -240,6 +257,7 @@ impl Network {
             next_token: 1,
             errors_seen: 0,
             scratch: Vec::new(),
+            tcp_stats: TcpStats::default(),
         }
     }
 
@@ -300,6 +318,19 @@ impl Network {
             .sum()
     }
 
+    /// Snapshot of the TCP-layer counters.
+    pub fn tcp_stats(&self) -> TcpStats {
+        TcpStats {
+            retransmits: self.total_retransmits(),
+            ..self.tcp_stats
+        }
+    }
+
+    /// Largest number of protocol timers ever pending at once.
+    pub fn timer_high_water(&self) -> usize {
+        self.timers.high_water()
+    }
+
     fn token(&mut self, info: TokenInfo) -> u64 {
         let t = self.next_token;
         self.next_token += 1;
@@ -317,6 +348,7 @@ impl Network {
         let id = ConnId(self.conns.len() as u32);
         self.conns.push(TcpConn::new(a, b, now));
         let tok = self.token(TokenInfo::Syn { conn: id, stage: 0 });
+        self.tcp_stats.syn_frames += 1;
         self.bus
             .enqueue(Self::nic(a), Frame::tcp(a, b, FrameKind::Syn, 0, tok), now);
         self.timers
@@ -389,6 +421,7 @@ impl Network {
                 seq,
                 bytes: payload,
             });
+            self.tcp_stats.data_segments += 1;
             self.bus.enqueue(
                 Self::nic(src),
                 Frame::tcp(src, dst, FrameKind::Data, n as u32, tok),
@@ -421,6 +454,7 @@ impl Network {
             h.rcv_next
         };
         let tok = self.token(TokenInfo::Ack { conn, dir, upto });
+        self.tcp_stats.acks_sent += 1;
         self.bus.enqueue(
             Self::nic(from),
             Frame::tcp(from, to, FrameKind::Ack, 0, tok),
@@ -494,6 +528,7 @@ impl Network {
         match timer {
             Timer::DelAck { conn, dir } => {
                 if self.conns[conn.0 as usize].half(dir).delack_armed {
+                    self.tcp_stats.delayed_ack_fires += 1;
                     self.send_ack(conn, dir, now);
                 }
             }
@@ -510,6 +545,7 @@ impl Network {
                 };
                 if let Some((from, to)) = retry {
                     let tok = self.token(TokenInfo::Syn { conn, stage });
+                    self.tcp_stats.syn_frames += 1;
                     self.bus.enqueue(
                         Self::nic(from),
                         Frame::tcp(from, to, FrameKind::Syn, 0, tok),

@@ -43,4 +43,4 @@ pub mod message;
 pub mod system;
 
 pub use message::{Message, MessageBuilder, MessageReader, OutMessage, FRAG_HEADER};
-pub use system::{MsgDelivery, PvmConfig, PvmSystem, Route, TaskId};
+pub use system::{MsgDelivery, PvmConfig, PvmStats, PvmSystem, Route, TaskId};

@@ -75,6 +75,23 @@ pub struct MsgDelivery {
     pub msg: Message,
 }
 
+/// Aggregate PVM-layer counters, snapshot via [`PvmSystem::pvm_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PvmStats {
+    /// Messages accepted by [`PvmSystem::send`].
+    pub messages_sent: u64,
+    /// Direct-route fragments written to TCP.
+    pub fragments_sent: u64,
+    /// Application payload bytes packed across all sent messages.
+    pub pack_bytes: u64,
+    /// Daemon-route datagrams launched on the wire.
+    pub daemon_datagrams: u64,
+    /// Daemon-route stop-and-wait acks sent.
+    pub daemon_acks: u64,
+    /// Daemon heartbeat datagrams emitted.
+    pub heartbeats: u64,
+}
+
 /// The PVM "parallel virtual machine": all tasks, daemons, and routing
 /// state over one simulated LAN.
 pub struct PvmSystem {
@@ -93,6 +110,7 @@ pub struct PvmSystem {
     daemon_parsers: HashMap<(u32, u32), StreamParser>,
     next_heartbeat: Option<SimTime>,
     events_scratch: Vec<AppEvent>,
+    stats: PvmStats,
 }
 
 impl PvmSystem {
@@ -116,6 +134,7 @@ impl PvmSystem {
             daemon_parsers: HashMap::new(),
             next_heartbeat,
             events_scratch: Vec::new(),
+            stats: PvmStats::default(),
         }
     }
 
@@ -150,6 +169,21 @@ impl PvmSystem {
         self.net.ether_stats()
     }
 
+    /// TCP layer statistics.
+    pub fn tcp_stats(&self) -> fxnet_proto::TcpStats {
+        self.net.tcp_stats()
+    }
+
+    /// PVM layer statistics.
+    pub fn pvm_stats(&self) -> PvmStats {
+        self.stats
+    }
+
+    /// Largest number of TCP timers ever pending at once.
+    pub fn timer_high_water(&self) -> usize {
+        self.net.timer_high_water()
+    }
+
     /// Sender-side TCP backlog of the task's host (socket-buffer
     /// occupancy), used by the SPMD engine to block fast senders the way
     /// a real blocking socket write does.
@@ -179,11 +213,14 @@ impl PvmSystem {
         assert_ne!(src, dst, "self-sends are host-local IPC, never on the wire");
         self.msg_seq += 1;
         let seq = self.msg_seq;
+        self.stats.messages_sent += 1;
+        self.stats.pack_bytes += msg.payload_len() as u64;
         match self.cfg.route {
             Route::Direct => {
                 let (ha, hb) = (self.host_of(src), self.host_of(dst));
                 let conn = self.direct_conn(ha, hb, now);
                 let stagger = self.cfg.frag_stagger;
+                self.stats.fragments_sent += msg.frags.len() as u64;
                 for i in 0..msg.frags.len() {
                     let wire = msg.encode_frag(i, src.0, seq);
                     let t = now + SimTime(stagger.as_nanos() * i as u64);
@@ -238,6 +275,7 @@ impl PvmSystem {
         };
         if let Some(gram) = q.pop_front() {
             self.daemon_wait.insert(key);
+            self.stats.daemon_datagrams += 1;
             self.net.udp_send(HostId(key.0), HostId(key.1), gram, now);
         }
     }
@@ -294,6 +332,7 @@ impl PvmSystem {
             b.put_u32_le(MAGIC_HB);
             b.put_u32_le(h);
             b.resize(payload_len, 0);
+            self.stats.heartbeats += 1;
             self.net.udp_send(HostId(h), HostId(0), b.freeze(), t);
         }
     }
@@ -348,6 +387,7 @@ impl PvmSystem {
                 // A relayed fragment at the destination daemon: ack it and
                 // feed the reassembler.
                 let mut ack = BytesMut::with_capacity(12);
+                self.stats.daemon_acks += 1;
                 ack.put_u32_le(MAGIC_ACK);
                 ack.put_u32_le(u32::from_le_bytes(data[4..8].try_into().unwrap()));
                 ack.put_u32_le(0);

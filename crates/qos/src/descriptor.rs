@@ -4,7 +4,7 @@ use fxnet_fx::Pattern;
 
 /// Timing of one compute/communicate cycle at a given `(P, B)` operating
 /// point.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct BurstTiming {
     /// Burst length `t_b = N / B`, seconds.
     pub t_burst: f64,

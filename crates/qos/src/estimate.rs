@@ -16,7 +16,7 @@ use fxnet_sim::{FrameRecord, SimTime};
 use fxnet_trace::BurstProfile;
 
 /// Point estimates extracted from one measured run at a known `P`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TrafficEstimate {
     /// Processor count of the measured run.
     pub p: u32,
@@ -34,7 +34,7 @@ pub struct TrafficEstimate {
 }
 
 /// How the program's message sizes scale with the processor count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum BurstScaling {
     /// Per-connection bursts independent of `P` (SOR's O(N) rows).
     Constant,

@@ -13,7 +13,7 @@ use crate::descriptor::{AppDescriptor, BurstTiming};
 use crate::network::QosNetwork;
 
 /// The accepted operating point of a negotiation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Negotiation {
     /// The processor count the network recommends.
     pub p: u32,

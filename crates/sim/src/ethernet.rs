@@ -83,11 +83,14 @@ pub enum TxError {
 }
 
 /// Aggregate MAC statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct EtherStats {
     pub frames_delivered: u64,
     pub bytes_delivered: u64,
     pub collisions: u64,
+    /// Individual station backoff rounds entered (one collision event
+    /// backs off every collider).
+    pub backoffs: u64,
     pub frames_dropped: u64,
     /// Total time the medium was occupied (transmissions + jams), in ns.
     pub busy_ns: u64,
@@ -360,6 +363,7 @@ impl EtherBus {
                             let exp = n.attempts.min(self.cfg.max_backoff_exp);
                             let k = self.rng.below(1u64 << exp);
                             n.backoff_until = jam_end + SimTime(self.cfg.slot.as_nanos() * k);
+                            self.stats.backoffs += 1;
                         }
                     }
                     self.reroll_all_jitters();

@@ -40,6 +40,7 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    high_water: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -54,6 +55,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            high_water: 0,
         }
     }
 
@@ -62,6 +64,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, event });
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Time of the earliest pending event.
@@ -82,6 +85,11 @@ impl<E> EventQueue<E> {
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Largest number of events ever pending at once.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 

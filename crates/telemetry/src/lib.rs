@@ -1,0 +1,34 @@
+//! # fxnet-telemetry
+//!
+//! Cross-layer instrumentation for the fxnet stack, making the paper's
+//! causal claim — every traffic burst is caused by a specific
+//! compiler-generated collective phase — measurable instead of asserted:
+//!
+//! * [`span`] — per-rank phase spans (compute, named collective,
+//!   blocked) with simulated-time begin/end, emitted by the SPMD engine.
+//! * [`attribution`] — tags every captured frame with the collective
+//!   span active on its source rank, yielding the per-phase traffic
+//!   tables of the `repro -- phases` experiment.
+//! * [`registry`] — the unified counter/gauge registry that MAC, TCP,
+//!   PVM and engine counters snapshot into at the end of a run.
+//! * [`profile`] — simulator self-profiling (wall-clock per simulated
+//!   second, events/sec, per-event-type timing histograms); deliberately
+//!   excluded from the deterministic JSON artifact.
+//! * [`run`] — the per-run container and the JSON export path shared by
+//!   all `out/telemetry_<exp>.json` artifacts.
+//!
+//! Only `parking_lot` and `serde` (plus `fxnet-sim` for time/frame
+//! types) are dependencies; the layer adds nothing to the simulation
+//! itself and, when disabled, costs nothing on the hot path.
+
+pub mod attribution;
+pub mod profile;
+pub mod registry;
+pub mod run;
+pub mod span;
+
+pub use attribution::{attribute_collectives, AttributedTrace};
+pub use profile::{EventClass, SimProfile, TimingHistogram};
+pub use registry::TelemetryRegistry;
+pub use run::{write_json_artifact, RunTelemetry};
+pub use span::{SpanCollector, SpanKind, SpanRecord};

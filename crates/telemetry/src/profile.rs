@@ -1,0 +1,196 @@
+//! Simulator self-profiling: how fast the simulator itself runs.
+//!
+//! Wall-clock measurements are inherently non-deterministic, so the
+//! profile is kept OUT of the deterministic telemetry artifact (see
+//! [`crate::RunTelemetry`]) and only surfaced in the human-readable
+//! summary. What is recorded per run: wall seconds per simulated second,
+//! events processed per wall second, and a log₂ timing histogram per
+//! engine event type.
+
+use std::time::Duration;
+
+/// Number of log₂(ns) buckets: bucket i covers [2^i, 2^(i+1)) ns,
+/// with the last bucket open-ended.
+pub const HISTOGRAM_BUCKETS: usize = 24;
+
+/// Log₂ histogram of per-event wall-clock processing times.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimingHistogram {
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    pub count: u64,
+    pub total_ns: u64,
+}
+
+impl TimingHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let bucket = if ns == 0 {
+            0
+        } else {
+            (63 - ns.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total_ns += ns;
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Compact sparkline-style rendering: `2^i:count` for non-empty buckets.
+    pub fn summary(&self) -> String {
+        let cells: Vec<String> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| format!("2^{i}ns:{c}"))
+            .collect();
+        cells.join(" ")
+    }
+}
+
+/// One engine event class, for per-type profiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventClass {
+    Compute,
+    Send,
+    Recv,
+    Barrier,
+    Span,
+    NetAdvance,
+}
+
+impl EventClass {
+    pub const ALL: [EventClass; 6] = [
+        EventClass::Compute,
+        EventClass::Send,
+        EventClass::Recv,
+        EventClass::Barrier,
+        EventClass::Span,
+        EventClass::NetAdvance,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            EventClass::Compute => "compute",
+            EventClass::Send => "send",
+            EventClass::Recv => "recv",
+            EventClass::Barrier => "barrier",
+            EventClass::Span => "span",
+            EventClass::NetAdvance => "net_advance",
+        }
+    }
+}
+
+/// The per-run simulator profile.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimProfile {
+    /// Total wall-clock time of the run.
+    pub wall: Duration,
+    /// Total simulated time covered.
+    pub sim_seconds: f64,
+    /// Total engine events processed.
+    pub events: u64,
+    /// Per-event-type wall-clock timing histograms, indexed like
+    /// [`EventClass::ALL`].
+    pub histograms: [TimingHistogram; 6],
+}
+
+impl SimProfile {
+    pub fn record(&mut self, class: EventClass, elapsed: Duration) {
+        let idx = EventClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class in ALL");
+        self.histograms[idx].record(elapsed);
+        self.events += 1;
+    }
+
+    /// Wall seconds needed per simulated second (lower is faster).
+    pub fn wall_per_sim_second(&self) -> f64 {
+        if self.sim_seconds <= 0.0 {
+            0.0
+        } else {
+            self.wall.as_secs_f64() / self.sim_seconds
+        }
+    }
+
+    /// Engine events processed per wall second.
+    pub fn events_per_second(&self) -> f64 {
+        let w = self.wall.as_secs_f64();
+        if w <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / w
+        }
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  wall {:.3}s for {:.3} sim-s  ({:.3} wall-s/sim-s, {:.0} events/s, {} events)\n",
+            self.wall.as_secs_f64(),
+            self.sim_seconds,
+            self.wall_per_sim_second(),
+            self.events_per_second(),
+            self.events,
+        ));
+        for (class, hist) in EventClass::ALL.iter().zip(&self.histograms) {
+            if hist.count > 0 {
+                out.push_str(&format!(
+                    "  {:<12} {:>9} events  mean {:>8.0}ns  [{}]\n",
+                    class.label(),
+                    hist.count,
+                    hist.mean_ns(),
+                    hist.summary(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = TimingHistogram::new();
+        h.record(Duration::from_nanos(1)); // bucket 0
+        h.record(Duration::from_nanos(3)); // bucket 1
+        h.record(Duration::from_nanos(1024)); // bucket 10
+        assert_eq!(h.count, 3);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[10], 1);
+        assert!(h.mean_ns() > 300.0);
+        assert!(h.summary().contains("2^10ns:1"));
+    }
+
+    #[test]
+    fn profile_rates() {
+        let mut p = SimProfile {
+            wall: Duration::from_secs(2),
+            sim_seconds: 4.0,
+            ..Default::default()
+        };
+        p.record(EventClass::Send, Duration::from_nanos(100));
+        p.record(EventClass::NetAdvance, Duration::from_nanos(50));
+        assert_eq!(p.events, 2);
+        assert!((p.wall_per_sim_second() - 0.5).abs() < 1e-12);
+        assert!((p.events_per_second() - 1.0).abs() < 1e-12);
+        assert!(p.summary().contains("net_advance"));
+    }
+}

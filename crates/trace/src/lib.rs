@@ -48,6 +48,7 @@ pub mod bandwidth;
 pub mod bursts;
 pub mod coherence;
 pub mod io;
+pub mod phases;
 pub mod report;
 pub mod select;
 pub mod spectrum;
@@ -57,6 +58,7 @@ pub use bandwidth::{average_bandwidth, binned_bandwidth, sliding_window_bandwidt
 pub use bursts::{detect_bursts, Burst, BurstProfile};
 pub use coherence::{correlation, mean_connection_correlation};
 pub use io::{load_trace, save_trace};
+pub use phases::{PhaseBreakdown, PhaseRow};
 pub use report::{markdown_table, ReportOptions, TraceReport};
 pub use select::{connection, dominant_modes, host_pairs, size_population};
 pub use spectrum::{autocorrelation, Periodogram, Spike};

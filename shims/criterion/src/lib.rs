@@ -1,0 +1,185 @@
+//! Offline shim for `criterion` (0.5 API subset).
+//!
+//! A minimal wall-clock benchmark harness: each `bench_function` runs a
+//! short warm-up, then measures a handful of samples and prints the mean
+//! and min iteration time. No statistics beyond that, no HTML reports —
+//! just enough to keep `[[bench]]` targets building and producing useful
+//! numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    /// Iterations per measured sample.
+    iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher {
+            iters,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Time `f`, called `iters` times per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.samples.push(start.elapsed());
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples.push(total);
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up / calibration pass with a single iteration.
+    let mut calib = Bencher::new(1);
+    f(&mut calib);
+    let once = calib
+        .samples
+        .first()
+        .copied()
+        .unwrap_or(Duration::ZERO)
+        .max(Duration::from_nanos(1));
+    // Aim for ~20ms of work per sample, capped to keep long benches quick.
+    let iters = (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 1000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let mut measured = 0u64;
+    for _ in 0..samples {
+        let mut b = Bencher::new(iters);
+        f(&mut b);
+        for s in &b.samples {
+            let per_iter = *s / (iters as u32);
+            total += per_iter;
+            min = min.min(per_iter);
+            measured += 1;
+        }
+        if total > Duration::from_millis(200) {
+            break;
+        }
+    }
+    if measured == 0 {
+        println!("bench {name:<40} (no samples)");
+        return;
+    }
+    let mean = total / (measured as u32);
+    println!(
+        "bench {name:<40} mean {:>12.3?}  min {:>12.3?}  ({measured} samples x {iters} iters)",
+        mean, min
+    );
+}
+
+/// Top-level benchmark driver (stands in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 5 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 5,
+        }
+    }
+}
+
+/// A named group of benchmarks with its own sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion requires >= 10; the shim just bounds it to stay quick.
+        self.sample_size = n.clamp(1, 20);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// `criterion_group!(name, target...)` — defines `fn name()` running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// `criterion_main!(group...)` — defines `fn main()` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        let mut c = Criterion::default();
+        c.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

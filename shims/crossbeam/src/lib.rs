@@ -1,0 +1,94 @@
+//! Offline shim for the `crossbeam` crate: just `crossbeam::channel`
+//! with unbounded MPSC channels, implemented over `std::sync::mpsc`.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like upstream crossbeam, Debug does not require `T: Debug`.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(msg)
+                .map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || {
+            tx2.send(7).unwrap();
+        });
+        tx.send(3).unwrap();
+        let a = rx.recv().unwrap();
+        let b = rx.recv().unwrap();
+        assert_eq!(a + b, 10);
+        h.join().unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+}

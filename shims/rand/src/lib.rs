@@ -1,0 +1,220 @@
+//! Offline shim for the `rand` crate (0.8 API subset).
+//!
+//! Provides [`rngs::StdRng`], [`Rng`] and [`SeedableRng`] with exactly the
+//! operations this workspace uses: `seed_from_u64`, `gen::<T>()` and
+//! `gen_range(range)`. The generator is xoshiro256++ seeded through
+//! splitmix64 — fixed and documented so that seeded simulations are
+//! byte-identical across platforms and toolchains.
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a small seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from the "standard" distribution (`rng.gen::<T>()`).
+pub trait Standard: Sized {
+    fn sample<G: RngCore + ?Sized>(g: &mut G) -> Self;
+}
+
+/// Ranges samplable uniformly (`rng.gen_range(range)`).
+pub trait SampleRange<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, g: &mut G) -> T;
+}
+
+/// High-level convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<G: RngCore> Rng for G {}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stands in for `rand::rngs::StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            // An all-zero state would be a fixed point; splitmix64 cannot
+            // produce four zero words from any seed, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x1;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+fn unit_f64<G: RngCore + ?Sized>(g: &mut G) -> f64 {
+    // 53 high bits -> [0, 1)
+    (g.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Standard for u64 {
+    fn sample<G: RngCore + ?Sized>(g: &mut G) -> Self {
+        g.next_u64()
+    }
+}
+impl Standard for u32 {
+    fn sample<G: RngCore + ?Sized>(g: &mut G) -> Self {
+        (g.next_u64() >> 32) as u32
+    }
+}
+impl Standard for u8 {
+    fn sample<G: RngCore + ?Sized>(g: &mut G) -> Self {
+        (g.next_u64() >> 56) as u8
+    }
+}
+impl Standard for bool {
+    fn sample<G: RngCore + ?Sized>(g: &mut G) -> Self {
+        g.next_u64() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    fn sample<G: RngCore + ?Sized>(g: &mut G) -> Self {
+        unit_f64(g)
+    }
+}
+impl Standard for f32 {
+    fn sample<G: RngCore + ?Sized>(g: &mut G) -> Self {
+        unit_f64(g) as f32
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, g: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let width = (self.end as u128).wrapping_sub(self.start as u128) as u128;
+                let draw = ((g.next_u64() as u128) % width) as $t;
+                self.start.wrapping_add(draw)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, g: &mut G) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                let width = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                if width == 0 {
+                    return g.next_u64() as $t;
+                }
+                let draw = ((g.next_u64() as u128) % width) as $t;
+                start.wrapping_add(draw)
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! sint_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, g: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let draw = (g.next_u64() as u128) % width;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+sint_range!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<G: RngCore + ?Sized>(self, g: &mut G) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let u = unit_f64(g);
+        let v = self.start + u * (self.end - self.start);
+        // Floating rounding may land exactly on `end`; clamp into range.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_from<G: RngCore + ?Sized>(self, g: &mut G) -> f32 {
+        let r = (self.start as f64)..(self.end as f64);
+        r.sample_from(g) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let f = r.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u = r.gen::<f64>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Syn-free `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! Parses the item's `TokenStream` directly (no `syn`/`quote` available
+//! offline) and emits impls of `serde::Serialize` / `serde::Deserialize`
+//! as rendered source re-parsed into a `TokenStream`. Supported shapes —
+//! exactly those used in this workspace:
+//!
+//! * named-field structs          → JSON object, declaration order
+//! * newtype structs `S(T)`       → the inner value, transparently
+//! * tuple structs `S(A, B, ..)`  → JSON array
+//! * unit-only enums              → the variant name as a JSON string
+//!
+//! Generics and data-carrying enum variants are rejected with a clear
+//! compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match which {
+        Which::Serialize => render_serialize(&item),
+        Which::Deserialize => render_deserialize(&item),
+    };
+    code.parse().expect("derive shim generated invalid Rust")
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected type name".into()),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported"
+        ));
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            _ => return Err(format!("serde shim derive: unsupported struct `{name}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_unit_variants(g.stream(), &name)?)
+            }
+            _ => return Err(format!("serde shim derive: unsupported enum `{name}`")),
+        },
+        other => {
+            return Err(format!(
+                "serde shim derive: cannot derive for `{other}` items"
+            ))
+        }
+    };
+    Ok(Item { name, shape })
+}
+
+/// Advance past any `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' then the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Field names of `{ a: T, b: U, .. }`, skipping types with angle-bracket
+/// depth tracking so `BTreeMap<String, u64>` does not split on its comma.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            _ => return Err("serde shim derive: expected field name".into()),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde shim derive: expected `:` after `{name}`")),
+        }
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_any = false;
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    fields += 1;
+                    saw_any = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_any = true;
+    }
+    fields + usize::from(saw_any)
+}
+
+fn parse_unit_variants(stream: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            _ => return Err(format!("serde shim derive: bad variant in `{enum_name}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                i += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Skip an explicit discriminant.
+                i += 1;
+                loop {
+                    match tokens.get(i) {
+                        None => break,
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                        _ => i += 1,
+                    }
+                }
+                i += 1;
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde shim derive: enum `{enum_name}` has data-carrying variant `{name}`; only unit variants are supported"
+                ));
+            }
+            _ => return Err(format!("serde shim derive: bad token in `{enum_name}`")),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn render_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Value::Object(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},"))
+                .collect();
+            format!(
+                "serde::Value::Str(::std::string::String::from(match self {{ {} }}))",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{ {body} }}\n}}\n"
+    )
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(v.get({f:?}).unwrap_or(&serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|k| {
+                    format!(
+                        "serde::Deserialize::from_value(items.get({k}).unwrap_or(&serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| serde::Error::expected(\"array\", v))?;\n         ::std::result::Result::Ok({name}({}))",
+                gets.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|var| format!("::std::option::Option::Some({var:?}) => ::std::result::Result::Ok({name}::{var}),"))
+                .collect();
+            format!(
+                "match v.as_str() {{\n            {}\n            _ => ::std::result::Result::Err(serde::Error::expected({:?}, v)),\n        }}",
+                arms.join("\n            "),
+                format!("one of the unit variants of {name}")
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n    fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n        {body}\n    }}\n}}\n"
+    )
+}
