@@ -9,7 +9,13 @@
 //! fig9 airshed-avg fig10 fig11 model qos baseline. `--div N` scales the
 //! kernels' outer iteration counts by 1/N (default 1 = full paper
 //! scale); `--hours H` sets AIRSHED hours (default 100); `--out DIR`
-//! sets the series/spectra output directory (default `out/`).
+//! sets the series/spectra output directory (default `out/`); `--seed N`
+//! sets the simulation seed (default 1998) — the same seed reproduces
+//! every trace and table byte for byte.
+//!
+//! Extras (run only when named): phases, summary, the ablations,
+//! `all-extras` (all of those), and the multi-tenant experiments `mix`
+//! and `mix-admit`.
 
 use fxnet::fx::Pattern;
 use fxnet::qos::{negotiate, AppDescriptor, QosNetwork};
@@ -34,6 +40,7 @@ fn main() {
     let mut div = 1usize;
     let mut hours = 100usize;
     let mut out = "out".to_string();
+    let mut seed = 1998u64;
     let mut telemetry = false;
     let mut exps: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -42,12 +49,16 @@ fn main() {
             "--div" => div = args.next().and_then(|s| s.parse().ok()).unwrap_or(1),
             "--hours" => hours = args.next().and_then(|s| s.parse().ok()).unwrap_or(100),
             "--out" => out = args.next().unwrap_or_else(|| "out".into()),
+            "--seed" => seed = args.next().and_then(|s| s.parse().ok()).unwrap_or(1998),
             "--telemetry" => telemetry = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--div N] [--hours H] [--out DIR] [--telemetry] <exp>...\n\
+                    "usage: repro [--div N] [--hours H] [--out DIR] [--seed N] [--telemetry] <exp>...\n\
                      exps: fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 airshed-avg fig10 fig11 model qos baseline all\n\
                      extras (not in `all`): phases ablate-switch ablate-route ablate-p summary\n\
+                     multi-tenant: mix (SOR+2DFFT+HIST sharing the wire) mix-admit (QoS admission sweep)\n\
+                     all-extras = phases ablate-switch ablate-route ablate-p summary\n\
+                     --seed N sets the simulation seed (default 1998); same seed, byte-identical output\n\
                      --telemetry collects spans/counters and writes out/telemetry_<exp>.json"
                 );
                 return;
@@ -58,6 +69,21 @@ fn main() {
     if exps.is_empty() {
         exps.push("all".into());
     }
+    // `all-extras` expands to the named extras that `all` leaves out.
+    if exps.iter().any(|e| e == "all-extras") {
+        for id in [
+            "phases",
+            "ablate-switch",
+            "ablate-route",
+            "ablate-p",
+            "summary",
+        ] {
+            if !exps.iter().any(|e| e == id) {
+                exps.push(id.to_string());
+            }
+        }
+        exps.retain(|e| e != "all-extras");
+    }
     let all = exps.iter().any(|e| e == "all");
     let want = |name: &str| all || exps.iter().any(|e| e == name);
 
@@ -67,7 +93,9 @@ fn main() {
         telemetry = true;
     }
 
-    let mut ctx = Experiments::new(div, hours, &out).with_telemetry(telemetry);
+    let mut ctx = Experiments::new(div, hours, &out)
+        .with_seed(seed)
+        .with_telemetry(telemetry);
     if div != 1 {
         println!(
             "note: kernel iteration counts scaled by 1/{div} (pass --div 1 for full paper scale)\n"
@@ -124,13 +152,20 @@ fn main() {
     }
     // Ablations run only when asked for explicitly.
     if exps.iter().any(|e| e == "ablate-switch") {
-        ablate_switch(div);
+        ablate_switch(div, seed);
     }
     if exps.iter().any(|e| e == "ablate-route") {
-        ablate_route(div);
+        ablate_route(div, seed);
     }
     if exps.iter().any(|e| e == "ablate-p") {
-        ablate_p();
+        ablate_p(seed);
+    }
+    // Multi-tenant experiments run only when asked for explicitly.
+    if exps.iter().any(|e| e == "mix") {
+        mix_kernels(&ctx);
+    }
+    if exps.iter().any(|e| e == "mix-admit") {
+        mix_admit(seed);
     }
 
     // Telemetry artifacts: one deterministic JSON (spans + counter
@@ -216,12 +251,13 @@ fn kernel_row(label: &str, run: &fxnet::RunResult<u64>) -> String {
     )
 }
 
-fn ablate_switch(div: usize) {
+fn ablate_switch(div: usize, seed: u64) {
     header("Ablation: shared CSMA/CD bus vs store-and-forward switch");
     use fxnet::Testbed;
     for k in [KernelKind::Fft2d, KernelKind::Hist] {
-        let bus = Testbed::paper().run_kernel(k, div.max(5));
+        let bus = Testbed::paper().with_seed(seed).run_kernel(k, div.max(5));
         let sw = Testbed::paper()
+            .with_seed(seed)
             .with_switched_fabric()
             .run_kernel(k, div.max(5));
         println!(
@@ -240,13 +276,14 @@ fn ablate_switch(div: usize) {
     println!(" persists: it is program structure, not MAC contention.)");
 }
 
-fn ablate_route(div: usize) {
+fn ablate_route(div: usize, seed: u64) {
     header("Ablation: PVM direct TCP route vs daemon UDP relay");
     use fxnet::pvm::Route;
     use fxnet::Testbed;
     for k in [KernelKind::Fft2d, KernelKind::Hist] {
-        let direct = Testbed::paper().run_kernel(k, div.max(5));
+        let direct = Testbed::paper().with_seed(seed).run_kernel(k, div.max(5));
         let daemon = Testbed::paper()
+            .with_seed(seed)
             .with_route(Route::Daemon)
             .run_kernel(k, div.max(5));
         println!(
@@ -264,7 +301,7 @@ fn ablate_route(div: usize) {
     println!(" relaying stretches every communication phase.)");
 }
 
-fn ablate_p() {
+fn ablate_p(seed: u64) {
     header("Ablation: processor-count sweep vs the §7.3 model");
     use fxnet::pvm::MessageBuilder;
     use fxnet::Testbed;
@@ -277,7 +314,7 @@ fn ablate_p() {
     );
     println!("    P    model t_bi    measured t_bi");
     for p in [2u32, 4, 8] {
-        let run = Testbed::quiet(p).run(move |ctx| {
+        let run = Testbed::quiet(p).with_seed(seed).run(move |ctx| {
             let me = ctx.rank();
             let np = ctx.nprocs();
             let per_rank = SimTime::from_nanos(work.as_nanos() / u64::from(np));
@@ -304,6 +341,144 @@ fn ablate_p() {
 
 fn header(title: &str) {
     println!("\n=== {title} ===");
+}
+
+// --------------------------------------------------------------------
+// Multi-tenant experiments: the mixed workload and the admission sweep.
+
+fn mix_kernels(ctx: &Experiments) {
+    header("Mixed workload: SOR + 2DFFT + HIST sharing one wire");
+    use fxnet::mix::MixTenant;
+    use fxnet::Testbed;
+    let div = ctx.div;
+    // 2DFFT alone presents a ~1.4 MB/s mean load — more than the paper's
+    // whole 10 Mb/s Ethernet — so the admission controller would
+    // (correctly) refuse the three-way mix there; see `mix-admit` for
+    // that regime. The co-scheduling experiment runs on a 100 Mb/s
+    // fabric instead.
+    println!("(fabric: 100 Mb/s shared; the 10 Mb/s saturation regime is `mix-admit`)");
+    let out = Testbed::paper()
+        .with_seed(ctx.seed())
+        .with_bandwidth_bps(100_000_000)
+        .mix()
+        .network(QosNetwork::new(12_500_000.0))
+        .tenant(MixTenant::kernel(
+            "SOR",
+            KernelKind::Sor,
+            div,
+            4,
+            SimTime::ZERO,
+        ))
+        .tenant(MixTenant::kernel(
+            "2DFFT",
+            KernelKind::Fft2d,
+            div,
+            4,
+            SimTime::from_millis(250),
+        ))
+        .tenant(MixTenant::kernel(
+            "HIST",
+            KernelKind::Hist,
+            div,
+            4,
+            SimTime::from_millis(500),
+        ))
+        .run();
+    let total = out.check_conservation();
+    print!("{}", out.report());
+
+    println!("\n-- demuxed packet sizes: mixed vs solo (bytes) --");
+    println!("              min       max       avg        sd");
+    for t in &out.tenants {
+        println!("{}", stats_row(&t.name, t.sizes));
+        println!("{}", stats_row("  solo", t.solo_sizes));
+    }
+    println!("\n-- average bandwidth: mixed vs solo (KB/s) --");
+    for t in &out.tenants {
+        println!(
+            "{:<10} {:>10.1}   solo {:>10.1}",
+            t.name,
+            t.avg_bw.unwrap_or(0.0) / 1000.0,
+            t.solo_avg_bw.unwrap_or(0.0) / 1000.0
+        );
+    }
+
+    // The combined spectrum of the shared wire: three periodic programs
+    // superpose; their fundamentals coexist in one periodogram.
+    let series = binned_bandwidth(&out.trace, BIN);
+    let spec = Periodogram::compute(&series, BIN);
+    println!("\n-- combined spectrum of the shared wire --");
+    println!(
+        "dominant {:.2} Hz, flatness {:.4}",
+        spec.dominant_frequency(0.15).unwrap_or(0.0),
+        spec.flatness()
+    );
+    for s in spec.top_spikes(6, 0.25) {
+        println!("    spike {:>6.2} Hz  power {:.2e}", s.freq, s.power);
+    }
+    println!(
+        "\nconservation: {} + {} background = {} frames total (exact)",
+        out.tenants
+            .iter()
+            .map(|t| t.frames.len().to_string())
+            .collect::<Vec<_>>()
+            .join(" + "),
+        out.background.len(),
+        total
+    );
+}
+
+fn mix_admit(seed: u64) {
+    header("QoS admission under rising offered load (shift tenants, P=4)");
+    use fxnet::mix::MixTenant;
+    use fxnet::Testbed;
+    // Identical §7.3 shift tenants: 2 s of work per cycle, 400 KB bursts.
+    // Each admission commits its negotiated mean load, so the residual
+    // shrinks until the burst-bandwidth floor (50 KB/s) refuses the next.
+    let tenant = |i: usize| MixTenant::shift(&format!("T{}", i + 1), 2.0, 400_000, 3, 4);
+    let net = || QosNetwork::ethernet_10mbps().with_min_burst_bw(50_000.0);
+    println!("offered  admitted  rejected  residual KB/s");
+    let mut any_rejected = false;
+    for offered in 1..=4usize {
+        let mut b = Testbed::paper()
+            .with_seed(seed)
+            .without_heartbeats()
+            .mix()
+            .network(net())
+            .solo_baselines(offered == 2);
+        for i in 0..offered {
+            b = b.tenant(tenant(i));
+        }
+        let out = b.run();
+        any_rejected |= !out.rejected.is_empty();
+        let committed: f64 = out.tenants.iter().map(|t| t.negotiation.mean_load).sum();
+        println!(
+            "{offered:>7}  {:>8}  {:>8}  {:>13.1}",
+            out.tenants.len(),
+            out.rejected.len(),
+            (net().capacity() - committed) / 1000.0
+        );
+        for r in &out.rejected {
+            println!("         {r}");
+        }
+        if offered == 2 {
+            println!("         measured vs predicted slowdown at offered load 2:");
+            for t in &out.tenants {
+                println!(
+                    "           {}: measured {:.3}  QoS-model predicted {:.3}",
+                    t.name,
+                    t.measured_slowdown.unwrap_or(f64::NAN),
+                    t.predicted_slowdown
+                );
+            }
+        }
+    }
+    assert!(
+        any_rejected,
+        "the sweep must exhaust the residual bandwidth and reject"
+    );
+    println!("\n(the model splits burst bandwidth over every admitted tenant's concurrent");
+    println!(" connections; the measured slowdown comes from actually sharing the wire.)");
 }
 
 // --------------------------------------------------------------------

@@ -47,6 +47,19 @@ impl Experiments {
         self
     }
 
+    /// Override the simulation seed (default 1998, the paper's year).
+    /// Must be set before the first run is cached: same seed, same
+    /// byte-identical traces and tables.
+    pub fn with_seed(mut self, seed: u64) -> Experiments {
+        self.seed = seed;
+        self
+    }
+
+    /// The simulation seed runs are made with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The measured trace of a kernel (cached).
     pub fn kernel(&mut self, k: KernelKind) -> &RunResult<u64> {
         let div = self.div;

@@ -36,9 +36,11 @@
 //! | phase spans, counter registry, profiling | `fxnet-telemetry` | [`telemetry`] |
 //! | Fourier traffic models + media baselines | `fxnet-spectral` | [`spectral`] |
 //! | QoS negotiation | `fxnet-qos` | [`qos`] |
+//! | multi-tenant mixing, admission, interference | `fxnet-mix` | [`mix`] |
 
 pub use fxnet_apps as apps;
 pub use fxnet_fx as fx;
+pub use fxnet_mix as mix;
 pub use fxnet_numerics as numerics;
 pub use fxnet_proto as proto;
 pub use fxnet_pvm as pvm;

@@ -140,6 +140,13 @@ impl Testbed {
     {
         run_spmd(self.cfg.clone(), f)
     }
+
+    /// Start building a multi-tenant mixed run on this testbed: add
+    /// tenants with [`fxnet_mix::Mix::tenant`], then
+    /// [`fxnet_mix::Mix::run`].
+    pub fn mix(&self) -> fxnet_mix::Mix {
+        fxnet_mix::Mix::new(self.cfg.clone())
+    }
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@
 
 use crate::cost::CostModel;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use fxnet_pvm::{Message, MsgDelivery, OutMessage, PvmConfig, PvmSystem, TaskId};
+use fxnet_pvm::{Message, MsgDelivery, OutMessage, PvmConfig, PvmSystem, TaskId, TenantMap};
 use fxnet_sim::{EtherStats, FrameRecord, SimRng, SimTime};
 use fxnet_telemetry::{EventClass, RunTelemetry, SimProfile, SpanKind, SpanRecord};
 use std::collections::{HashMap, VecDeque};
@@ -116,9 +116,16 @@ enum Reply {
 }
 
 /// The per-rank handle SPMD program code runs against.
+///
+/// Ranks are always *group-local*: a program sees ids `0..nprocs()`
+/// regardless of where its group's task-id block sits in a multi-program
+/// run ([`run_multi`]). The context translates to global task ids at the
+/// request boundary, so cross-group sends are impossible by construction.
 pub struct RankCtx {
     rank: u32,
     p: u32,
+    /// First global task id of this rank's group (0 for single-program runs).
+    base: u32,
     cost: CostModel,
     telemetry: bool,
     tx: Sender<(u32, Request)>,
@@ -143,7 +150,7 @@ impl RankCtx {
 
     fn request(&mut self, r: Request) -> Reply {
         self.tx
-            .send((self.rank, r))
+            .send((self.base + self.rank, r))
             .expect("engine terminated while rank still running");
         self.rx
             .recv()
@@ -174,12 +181,14 @@ impl RankCtx {
     /// the message is handed to the transport).
     pub fn send(&mut self, dst: u32, msg: OutMessage) {
         assert!(dst < self.p && dst != self.rank);
+        let dst = self.base + dst;
         let _ = self.request(Request::Send { dst, msg });
     }
 
     /// Block until a message from `src` arrives.
     pub fn recv(&mut self, src: u32) -> Message {
         assert!(src < self.p && src != self.rank);
+        let src = self.base + src;
         match self.request(Request::Recv { src }) {
             Reply::Message(m) => m,
             Reply::Proceed => unreachable!("recv must return a message"),
@@ -266,6 +275,56 @@ impl Deschedule {
     }
 }
 
+/// One program (tenant) of a multi-program run: a rank group with its own
+/// task-id block and start time on the shared network.
+pub struct GroupSpec<T> {
+    /// Display name ("SOR", "tenant-2", ...), also the tenant name in the
+    /// returned [`TenantMap`].
+    pub name: String,
+    /// Ranks in this group; local ids are `0..p`.
+    pub p: u32,
+    /// Simulated time at which the group's ranks begin executing
+    /// (staggered starts model tenants arriving at different times).
+    pub start: SimTime,
+    /// The SPMD program, invoked once per rank.
+    pub program: Arc<dyn Fn(&mut RankCtx) -> T + Send + Sync + 'static>,
+}
+
+/// Per-group outcome of a multi-program run.
+#[derive(Debug)]
+pub struct GroupRunResult<T> {
+    /// The group's name as given in its [`GroupSpec`].
+    pub name: String,
+    /// First global task id of the group's block.
+    pub base: u32,
+    /// Ranks in the group.
+    pub p: u32,
+    /// The group's start time.
+    pub start: SimTime,
+    /// Rank return values, indexed by local rank.
+    pub results: Vec<T>,
+    /// Simulated time at which the group's last rank finished.
+    pub finished_at: SimTime,
+}
+
+/// Outcome of a multi-program run: per-group results plus the single
+/// shared promiscuous trace.
+#[derive(Debug)]
+pub struct MultiRunResult<T> {
+    /// Per-group results, in spec order.
+    pub groups: Vec<GroupRunResult<T>>,
+    /// Task-id/host ownership of each group, for trace demultiplexing.
+    pub map: TenantMap,
+    /// The promiscuous packet trace of the whole shared network.
+    pub trace: Vec<FrameRecord>,
+    /// MAC statistics.
+    pub ether: EtherStats,
+    /// Simulated time at which the last rank of any group finished.
+    pub finished_at: SimTime,
+    /// Telemetry captured for the run, when [`SpmdConfig::telemetry`] is on.
+    pub telemetry: Option<RunTelemetry>,
+}
+
 /// Run `f` as an SPMD program on a freshly built virtual machine and LAN.
 ///
 /// `f` is invoked once per rank on its own thread; use the [`RankCtx`] to
@@ -277,46 +336,89 @@ where
     F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
 {
     assert!(cfg.p >= 1 && cfg.hosts >= cfg.p);
-    let mut pvm = PvmSystem::new(cfg.pvm.clone(), cfg.p, cfg.hosts);
+    let group = GroupSpec {
+        name: "main".to_string(),
+        p: cfg.p,
+        start: SimTime::ZERO,
+        program: Arc::new(f),
+    };
+    let multi = run_multi(cfg, vec![group]);
+    let g = multi.groups.into_iter().next().expect("one group");
+    RunResult {
+        results: g.results,
+        trace: multi.trace,
+        ether: multi.ether,
+        finished_at: multi.finished_at,
+        telemetry: multi.telemetry,
+    }
+}
+
+/// Run several SPMD programs concurrently on one shared virtual machine
+/// and LAN — the multi-tenant engine behind `fxnet-mix`.
+///
+/// Each [`GroupSpec`] receives a contiguous block of global task ids (and
+/// therefore hosts), packed in spec order from task 0; `cfg.p` is ignored
+/// and `cfg.hosts` is raised to the total rank count if smaller, so idle
+/// hosts beyond the packed blocks keep contributing daemon chatter.
+/// Groups are fully isolated at the message layer (local rank spaces,
+/// per-group barriers) but share the wire, the MAC, and the tracer — the
+/// point of the exercise. Determinism is preserved: same config and
+/// groups → byte-identical trace.
+pub fn run_multi<T>(cfg: SpmdConfig, groups: Vec<GroupSpec<T>>) -> MultiRunResult<T>
+where
+    T: Send + 'static,
+{
+    assert!(!groups.is_empty(), "need at least one group");
+    let map = TenantMap::pack(groups.iter().map(|g| (g.name.clone(), g.p)));
+    let total = map.total_ranks();
+    let hosts = cfg.hosts.max(total);
+    let mut pvm = PvmSystem::new(cfg.pvm.clone(), total, hosts);
     pvm.set_promiscuous(true);
 
-    let p = cfg.p as usize;
+    let p = total as usize;
+    // Global rank → group index.
+    let group_of: Vec<usize> = (0..total)
+        .map(|r| map.owner_of_task(TaskId(r)).expect("packed rank"))
+        .collect();
     let (req_tx, req_rx) = unbounded::<(u32, Request)>();
     let mut reply_txs: Vec<Sender<Reply>> = Vec::with_capacity(p);
     let mut handles = Vec::with_capacity(p);
-    let f = Arc::new(f);
-    for rank in 0..cfg.p {
-        let (rtx, rrx) = unbounded::<Reply>();
-        reply_txs.push(rtx);
-        let mut ctx = RankCtx {
-            rank,
-            p: cfg.p,
-            cost: cfg.cost.clone(),
-            telemetry: cfg.telemetry,
-            tx: req_tx.clone(),
-            rx: rrx,
-        };
-        let f = Arc::clone(&f);
-        handles.push(
-            std::thread::Builder::new()
-                .name(format!("spmd-rank-{rank}"))
-                .spawn(move || {
-                    let out = f(&mut ctx);
-                    // Signal completion; ignore failure if the engine
-                    // already tore down due to another rank's panic.
-                    let _ = ctx.tx.send((ctx.rank, Request::Done));
-                    out
-                })
-                .expect("spawn rank thread"),
-        );
+    for (gi, slice) in map.slices().iter().enumerate() {
+        let program = Arc::clone(&groups[gi].program);
+        for local in 0..slice.p {
+            let (rtx, rrx) = unbounded::<Reply>();
+            reply_txs.push(rtx);
+            let mut ctx = RankCtx {
+                rank: local,
+                p: slice.p,
+                base: slice.base,
+                cost: cfg.cost.clone(),
+                telemetry: cfg.telemetry,
+                tx: req_tx.clone(),
+                rx: rrx,
+            };
+            let program = Arc::clone(&program);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("spmd-rank-{}", slice.base + local))
+                    .spawn(move || {
+                        let out = program(&mut ctx);
+                        // Signal completion; ignore failure if the engine
+                        // already tore down due to another rank's panic.
+                        let _ = ctx.tx.send((ctx.base + ctx.rank, Request::Done));
+                        out
+                    })
+                    .expect("spawn rank thread"),
+            );
+        }
     }
     drop(req_tx);
 
-    let mut clocks = vec![SimTime::ZERO; p];
+    let mut clocks: Vec<SimTime> = (0..p).map(|r| groups[group_of[r]].start).collect();
     let mut states = vec![RankState::Waiting; p];
     let mut pending: Vec<Option<Request>> = (0..p).map(|_| None).collect();
     let mut mailbox: HashMap<(u32, u32), VecDeque<(SimTime, Message)>> = HashMap::new();
-    let mut barrier_waiters: Vec<u32> = Vec::new();
+    let mut barrier_waiters: Vec<Vec<u32>> = vec![Vec::new(); groups.len()];
     let mut engine_rng = SimRng::new(cfg.seed);
     let mut desched: Vec<Option<Deschedule>> = (0..p)
         .map(|r| {
@@ -326,6 +428,7 @@ where
         })
         .collect();
     let mut deliveries: Vec<MsgDelivery> = Vec::new();
+    let mut done_at = vec![SimTime::ZERO; p];
 
     // Telemetry state; all of it stays empty when cfg.telemetry is off.
     let run_start = Instant::now();
@@ -374,6 +477,7 @@ where
                     debug_assert_eq!(states[r], RankState::Waiting);
                     if matches!(req, Request::Done) {
                         states[r] = RankState::Done;
+                        done_at[r] = clocks[r];
                     } else {
                         states[r] = RankState::Ready;
                         pending[r] = Some(req);
@@ -506,10 +610,18 @@ where
                     if cfg.telemetry {
                         blocked_since[r] = Some((SpanKind::Barrier, clocks[r]));
                     }
-                    barrier_waiters.push(r as u32);
-                    if barrier_waiters.len() == p {
-                        let t = clocks.iter().copied().max().unwrap() + cfg.cost.per_message;
-                        for &w in &barrier_waiters {
+                    // Barriers are group-local: only the requesting rank's
+                    // group synchronizes; other tenants are unaffected.
+                    let gi = group_of[r];
+                    barrier_waiters[gi].push(r as u32);
+                    if barrier_waiters[gi].len() == groups[gi].p as usize {
+                        let t = barrier_waiters[gi]
+                            .iter()
+                            .map(|&w| clocks[w as usize])
+                            .max()
+                            .unwrap()
+                            + cfg.cost.per_message;
+                        for &w in &barrier_waiters[gi] {
                             let w = w as usize;
                             clocks[w] = t;
                             if let Some((kind, begin)) = blocked_since[w].take() {
@@ -524,7 +636,7 @@ where
                             states[w] = RankState::Waiting;
                             reply_txs[w].send(Reply::Proceed).expect("rank alive");
                         }
-                        barrier_waiters.clear();
+                        barrier_waiters[gi].clear();
                     }
                 }
                 Request::SpanBegin(name) => {
@@ -620,11 +732,26 @@ where
         pvm.advance(&mut deliveries);
     }
     let _ = pvm.finish();
-    let results: Vec<T> = handles
+    let mut results: VecDeque<T> = handles
         .into_iter()
         .map(|h| h.join().expect("rank panicked after completion"))
         .collect();
     let finished_at = clocks.iter().copied().max().unwrap_or(SimTime::ZERO);
+    let group_results: Vec<GroupRunResult<T>> = groups
+        .iter()
+        .zip(map.slices())
+        .map(|(g, slice)| {
+            let members = slice.base as usize..(slice.base + slice.p) as usize;
+            GroupRunResult {
+                name: g.name.clone(),
+                base: slice.base,
+                p: slice.p,
+                start: g.start,
+                results: results.drain(..slice.p as usize).collect(),
+                finished_at: members.map(|r| done_at[r]).max().unwrap_or(g.start),
+            }
+        })
+        .collect();
 
     let telemetry = if cfg.telemetry {
         // Close any span the application never ended.
@@ -686,6 +813,37 @@ where
                 .sum();
             reg.set_counter(format!("engine.rank{r}.blocked_ns"), blocked_ns);
         }
+        // Per-tenant registry scoping: in multi-program runs, roll the
+        // rank-level counters up under each tenant's name so a tenant's
+        // share of engine time is legible without knowing its task block.
+        if map.len() > 1 {
+            for (gi, slice) in map.slices().iter().enumerate() {
+                let members = slice.base..slice.base + slice.p;
+                let blocked_ns: u64 = spans
+                    .iter()
+                    .filter(|s| {
+                        members.contains(&s.rank)
+                            && matches!(
+                                s.kind,
+                                SpanKind::BlockedRecv | SpanKind::BlockedSend | SpanKind::Barrier
+                            )
+                    })
+                    .map(|s| s.duration().as_nanos())
+                    .sum();
+                let name = &slice.name;
+                reg.set_counter(format!("tenant.{name}.ranks"), u64::from(slice.p));
+                reg.set_counter(format!("tenant.{name}.base_task"), u64::from(slice.base));
+                reg.set_counter(format!("tenant.{name}.blocked_ns"), blocked_ns);
+                reg.set_counter(
+                    format!("tenant.{name}.start_ns"),
+                    groups[gi].start.as_nanos(),
+                );
+                reg.set_counter(
+                    format!("tenant.{name}.finished_ns"),
+                    group_results[gi].finished_at.as_nanos(),
+                );
+            }
+        }
 
         profile.wall = run_start.elapsed();
         profile.sim_seconds = finished_at.as_secs_f64();
@@ -698,8 +856,9 @@ where
         None
     };
 
-    RunResult {
-        results,
+    MultiRunResult {
+        groups: group_results,
+        map,
         trace: pvm.take_trace(),
         ether: pvm.ether_stats(),
         finished_at,
@@ -986,6 +1145,130 @@ mod tests {
                 ctx.barrier();
             }
         });
+    }
+
+    fn group<T>(
+        name: &str,
+        p: u32,
+        start: SimTime,
+        f: impl Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+    ) -> GroupSpec<T> {
+        GroupSpec {
+            name: name.to_string(),
+            p,
+            start,
+            program: Arc::new(f),
+        }
+    }
+
+    #[test]
+    fn multi_groups_are_message_isolated() {
+        // Two ping-pong pairs; each group only ever names local ranks 0/1,
+        // and each group's answer depends only on its own traffic.
+        let mk = |scale: f64| {
+            move |ctx: &mut RankCtx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, f64_msg(1, &[scale]));
+                    ctx.recv(1).reader().f64s(1)[0]
+                } else {
+                    let v = ctx.recv(0).reader().f64s(1)[0];
+                    ctx.send(0, f64_msg(2, &[v * 10.0]));
+                    v
+                }
+            }
+        };
+        let res = run_multi(
+            quiet_cfg(2),
+            vec![
+                group("A", 2, SimTime::ZERO, mk(1.0)),
+                group("B", 2, SimTime::ZERO, mk(5.0)),
+            ],
+        );
+        assert_eq!(res.groups[0].results, vec![10.0, 1.0]);
+        assert_eq!(res.groups[1].results, vec![50.0, 5.0]);
+        assert_eq!(res.map.total_ranks(), 4);
+        assert_eq!(res.groups[1].base, 2);
+        // All four hosts put frames on the shared wire.
+        assert!(!res.trace.is_empty());
+    }
+
+    #[test]
+    fn multi_group_barriers_do_not_couple_groups() {
+        // Group A barriers while group B computes for much longer; A must
+        // finish long before B despite sharing the engine.
+        let res = run_multi(
+            quiet_cfg(2),
+            vec![
+                group("fast", 2, SimTime::ZERO, |ctx: &mut RankCtx| {
+                    ctx.compute_time(SimTime::from_millis(10));
+                    ctx.barrier();
+                }),
+                group("slow", 2, SimTime::ZERO, |ctx: &mut RankCtx| {
+                    ctx.compute_time(SimTime::from_secs(5));
+                    ctx.barrier();
+                }),
+            ],
+        );
+        assert!(res.groups[0].finished_at < SimTime::from_secs(1));
+        assert!(res.groups[1].finished_at >= SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn staggered_start_delays_a_group() {
+        let res = run_multi(
+            quiet_cfg(1),
+            vec![
+                group("early", 1, SimTime::ZERO, |ctx: &mut RankCtx| {
+                    ctx.compute_time(SimTime::from_millis(100));
+                }),
+                group("late", 1, SimTime::from_secs(2), |ctx: &mut RankCtx| {
+                    ctx.compute_time(SimTime::from_millis(100));
+                }),
+            ],
+        );
+        assert!(res.groups[0].finished_at < SimTime::from_secs(1));
+        assert!(res.groups[1].finished_at >= SimTime::from_secs(2));
+        assert_eq!(res.finished_at, res.groups[1].finished_at);
+    }
+
+    #[test]
+    fn multi_run_is_deterministic() {
+        let run = || {
+            let mk = || {
+                move |ctx: &mut RankCtx| {
+                    let me = ctx.rank();
+                    let np = ctx.nprocs();
+                    ctx.compute_flops(u64::from(me + 1) * 50_000);
+                    ctx.send((me + 1) % np, f64_msg(0, &vec![1.0; 300]));
+                    let _ = ctx.recv((me + np - 1) % np);
+                }
+            };
+            run_multi(
+                quiet_cfg(2),
+                vec![
+                    group("A", 3, SimTime::ZERO, mk()),
+                    group("B", 3, SimTime::from_millis(50), mk()),
+                ],
+            )
+            .trace
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn single_group_multi_matches_run_spmd_trace() {
+        // run_spmd is the single-group special case; the refactor must not
+        // have changed its traffic.
+        let prog = |ctx: &mut RankCtx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, f64_msg(0, &vec![2.0; 400]));
+            } else {
+                let _ = ctx.recv(0);
+            }
+        };
+        let a = run_spmd(quiet_cfg(2), prog).trace;
+        let b = run_multi(quiet_cfg(2), vec![group("main", 2, SimTime::ZERO, prog)]).trace;
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -58,5 +58,8 @@ pub use collectives::{
 };
 pub use cost::CostModel;
 pub use dist::BlockDist;
-pub use engine::{run_spmd, DescheduleConfig, RankCtx, RunResult, SpmdConfig};
+pub use engine::{
+    run_multi, run_spmd, DescheduleConfig, GroupRunResult, GroupSpec, MultiRunResult, RankCtx,
+    RunResult, SpmdConfig,
+};
 pub use pattern::Pattern;

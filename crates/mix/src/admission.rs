@@ -1,0 +1,182 @@
+//! Live QoS admission: the mixer's gatekeeper.
+//!
+//! Each arriving tenant presents its `[l(P), b(P), c]` descriptor
+//! (§7.3); the controller negotiates it against a [`QosNetwork`] whose
+//! residual capacity reflects everything already admitted. Admission
+//! commits the tenant's long-run mean load; a finishing tenant releases
+//! it, restoring residual bandwidth for later arrivals. Rejection means
+//! the network could not commit even the minimum per-connection burst
+//! bandwidth — the §7.3 "guarantee" would be meaningless.
+
+use fxnet_qos::{negotiate, AppDescriptor, Negotiation, QosNetwork};
+
+/// Why a tenant was refused.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Rejection {
+    /// Tenant name.
+    pub name: String,
+    /// Processor count it demanded.
+    pub p: u32,
+    /// Residual capacity at the time of the attempt, bytes/s.
+    pub residual: f64,
+    /// The long-run load the tenant would have consumed if it had been
+    /// offered the whole residual capacity — what it "asked for".
+    pub wanted: f64,
+    /// The per-connection burst bandwidth the residual could offer.
+    pub offer: f64,
+    /// The network's per-connection commitment floor.
+    pub floor: f64,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.offer < self.floor {
+            write!(
+                f,
+                "{} (P={}) rejected: residual {:.0} B/s offers only {:.0} B/s \
+                 per connection, under the {:.0} B/s floor",
+                self.name, self.p, self.residual, self.offer, self.floor
+            )
+        } else {
+            write!(
+                f,
+                "{} (P={}) rejected: wanted ≈{:.0} B/s, residual {:.0} B/s",
+                self.name, self.p, self.wanted, self.residual
+            )
+        }
+    }
+}
+
+/// The live admission controller: a QoS network plus a ledger of the
+/// commitments currently held by admitted tenants.
+pub struct AdmissionController {
+    net: QosNetwork,
+    ledger: Vec<(String, f64)>,
+}
+
+impl AdmissionController {
+    /// A controller over `net` with nothing admitted.
+    pub fn new(net: QosNetwork) -> AdmissionController {
+        AdmissionController {
+            net,
+            ledger: Vec::new(),
+        }
+    }
+
+    /// Residual (uncommitted) capacity, bytes/s.
+    pub fn residual(&self) -> f64 {
+        self.net.available()
+    }
+
+    /// Names and committed mean loads of the currently admitted tenants.
+    pub fn admitted(&self) -> &[(String, f64)] {
+        &self.ledger
+    }
+
+    /// The underlying network (for offer probes).
+    pub fn network(&self) -> &QosNetwork {
+        &self.net
+    }
+
+    /// Try to admit `name` running `app` at exactly `p` processors.
+    /// On success the negotiated mean load is committed against the
+    /// residual capacity; on failure nothing changes.
+    pub fn admit(
+        &mut self,
+        name: &str,
+        app: &AppDescriptor,
+        p: u32,
+    ) -> Result<Negotiation, Rejection> {
+        match negotiate(app, &self.net, [p]) {
+            Some(n) => {
+                self.net
+                    .commit(n.mean_load)
+                    .expect("negotiate admitted more than available");
+                self.ledger.push((name.to_string(), n.mean_load));
+                Ok(n)
+            }
+            None => {
+                let concurrent = app.concurrent_connections(p).max(1);
+                Err(Rejection {
+                    name: name.to_string(),
+                    p,
+                    residual: self.residual(),
+                    wanted: self.wanted(app, p),
+                    offer: self.residual() / concurrent as f64,
+                    floor: self.net.min_burst_bw(),
+                })
+            }
+        }
+    }
+
+    /// The mean load `app` at `p` would consume if offered the entire
+    /// residual capacity (ignoring the burst floor) — the "requested"
+    /// figure printed on rejection.
+    pub fn wanted(&self, app: &AppDescriptor, p: u32) -> f64 {
+        let concurrent = app.concurrent_connections(p).max(1);
+        let bw = (self.residual() / concurrent as f64).max(1.0);
+        app.timing(p, bw).mean_bw() * app.connections(p) as f64
+    }
+
+    /// Release the commitment held by `name` (the tenant finished).
+    /// Returns `false` if no such tenant is admitted.
+    pub fn release(&mut self, name: &str) -> bool {
+        match self.ledger.iter().position(|(n, _)| n == name) {
+            Some(i) => {
+                let (_, load) = self.ledger.remove(i);
+                self.net.release(load);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxnet_fx::Pattern;
+
+    fn shift_app(work_s: f64, bytes: u64) -> AppDescriptor {
+        AppDescriptor::scalable(Pattern::Shift { k: 1 }, work_s, move |_| bytes)
+    }
+
+    #[test]
+    fn sequential_admissions_shrink_the_residual() {
+        let mut ac =
+            AdmissionController::new(QosNetwork::ethernet_10mbps().with_min_burst_bw(50_000.0));
+        let full = ac.residual();
+        let n1 = ac.admit("t1", &shift_app(2.0, 400_000), 4).unwrap();
+        assert!(ac.residual() < full);
+        assert!((full - ac.residual() - n1.mean_load).abs() < 1e-6);
+        let n2 = ac.admit("t2", &shift_app(2.0, 400_000), 4).unwrap();
+        // The second tenant negotiated against a poorer network.
+        assert!(n2.burst_bw < n1.burst_bw);
+        assert_eq!(ac.admitted().len(), 2);
+    }
+
+    #[test]
+    fn exhausted_residual_rejects_and_release_recovers() {
+        let mut ac =
+            AdmissionController::new(QosNetwork::ethernet_10mbps().with_min_burst_bw(50_000.0));
+        ac.admit("t1", &shift_app(2.0, 400_000), 4).unwrap();
+        ac.admit("t2", &shift_app(2.0, 400_000), 4).unwrap();
+        let rej = ac.admit("t3", &shift_app(2.0, 400_000), 4).unwrap_err();
+        assert_eq!(rej.name, "t3");
+        assert!(rej.residual < 400_000.0);
+        assert!(rej.to_string().contains("rejected"));
+        // A tenant finishing frees enough capacity to admit t3 after all.
+        assert!(ac.release("t1"));
+        assert!(!ac.release("t1"), "double release refused");
+        assert!(ac.admit("t3", &shift_app(2.0, 400_000), 4).is_ok());
+    }
+
+    #[test]
+    fn rejection_leaves_state_untouched() {
+        let mut ac = AdmissionController::new(QosNetwork::new(1000.0).with_min_burst_bw(900.0));
+        ac.admit("big", &shift_app(0.1, 10_000), 1).ok();
+        let before = ac.residual();
+        let _ = ac.admit("huge", &shift_app(0.001, 1_000_000), 8);
+        assert_eq!(ac.residual(), before);
+    }
+}

@@ -1,0 +1,453 @@
+//! The mixer: admit tenants, co-execute the admitted set on one shared
+//! network, demultiplex the promiscuous trace, and quantify interference
+//! against per-tenant solo baselines.
+
+use crate::admission::{AdmissionController, Rejection};
+use crate::tenant::MixTenant;
+use fxnet_fx::{run_multi, run_spmd, GroupSpec, SpmdConfig};
+use fxnet_pvm::TenantMap;
+use fxnet_qos::{Negotiation, QosNetwork};
+use fxnet_sim::{FrameRecord, SimTime};
+use fxnet_telemetry::RunTelemetry;
+use fxnet_trace::{
+    average_bandwidth, binned_bandwidth, burst_collisions, demux, detect_bursts, slowdown, Burst,
+    Periodogram, SpectralInterference, Stats,
+};
+
+/// Everything measured about one admitted tenant.
+pub struct TenantOutcome {
+    /// Tenant name.
+    pub name: String,
+    /// Ranks it ran on.
+    pub p: u32,
+    /// Its staggered start time.
+    pub start: SimTime,
+    /// The accepted QoS operating point.
+    pub negotiation: Negotiation,
+    /// The tenant's demuxed share of the shared trace.
+    pub frames: Vec<FrameRecord>,
+    /// Per-rank return values.
+    pub results: Vec<u64>,
+    /// Wall-clock duration under the mix (start to its last rank done).
+    pub mixed_secs: f64,
+    /// Duration of the solo baseline run, when one was taken.
+    pub solo_secs: Option<f64>,
+    /// Measured slowdown: `mixed_secs / solo_secs`.
+    pub measured_slowdown: Option<f64>,
+    /// The QoS model's predicted slowdown (shared-capacity burst split).
+    pub predicted_slowdown: f64,
+    /// Packet-size statistics of the demuxed sub-trace.
+    pub sizes: Option<Stats>,
+    /// Lifetime average bandwidth of the sub-trace, bytes/s.
+    pub avg_bw: Option<f64>,
+    /// Packet-size statistics of the solo baseline trace.
+    pub solo_sizes: Option<Stats>,
+    /// Lifetime average bandwidth of the solo baseline, bytes/s.
+    pub solo_avg_bw: Option<f64>,
+    /// How many of this tenant's bursts overlapped other tenants' bursts.
+    pub burst_collisions: usize,
+    /// Bursts detected in the demuxed sub-trace.
+    pub burst_count: usize,
+    /// Spectral comparison against the solo baseline.
+    pub spectral: Option<SpectralInterference>,
+}
+
+/// Outcome of a whole mixed run.
+pub struct MixOutcome {
+    /// Admitted tenants, in admission order, with their measurements.
+    pub tenants: Vec<TenantOutcome>,
+    /// Tenants refused at admission (they did not run).
+    pub rejected: Vec<Rejection>,
+    /// Host/task ownership of the admitted set.
+    pub map: TenantMap,
+    /// The full promiscuous trace of the shared network.
+    pub trace: Vec<FrameRecord>,
+    /// Frames belonging to no single tenant (cross-boundary daemon
+    /// chatter, idle hosts).
+    pub background: Vec<FrameRecord>,
+    /// Simulated finish time of the last rank of any tenant.
+    pub finished_at: SimTime,
+    /// Telemetry of the mixed run, when enabled.
+    pub telemetry: Option<RunTelemetry>,
+}
+
+impl MixOutcome {
+    /// Assert the demux conservation property — per-tenant frame counts
+    /// plus background sum exactly to the aggregate — and return the
+    /// total.
+    pub fn check_conservation(&self) -> usize {
+        let attributed: usize =
+            self.tenants.iter().map(|t| t.frames.len()).sum::<usize>() + self.background.len();
+        assert_eq!(
+            attributed,
+            self.trace.len(),
+            "per-tenant frame counts must sum to the aggregate"
+        );
+        self.trace.len()
+    }
+
+    /// Human-readable report: admission log, per-tenant demuxed traffic
+    /// statistics, and interference metrics with the QoS model's
+    /// predicted slowdown next to the measured one.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let push = |out: &mut String, s: String| {
+            out.push_str(&s);
+            out.push('\n');
+        };
+        push(
+            &mut out,
+            format!(
+                "mixed run: {} admitted, {} rejected, {} frames total ({} background), finished at {:.3} s",
+                self.tenants.len(),
+                self.rejected.len(),
+                self.check_conservation(),
+                self.background.len(),
+                self.finished_at.as_secs_f64()
+            ),
+        );
+        for r in &self.rejected {
+            push(&mut out, format!("  admission: {r}"));
+        }
+        push(
+            &mut out,
+            "| tenant | P | start s | frames | avg BW B/s | pkt avg/sd B | bursts | collisions | slowdown meas | slowdown pred | peak solo→mix Hz | smearing |".to_string(),
+        );
+        push(
+            &mut out,
+            "|--------|---|---------|--------|------------|--------------|--------|------------|---------------|---------------|------------------|----------|".to_string(),
+        );
+        for t in &self.tenants {
+            let (avg, sd) = t.sizes.as_ref().map_or((0.0, 0.0), |s| (s.avg, s.sd));
+            let peaks = t.spectral.map_or("-".to_string(), |s| {
+                format!("{:.2}→{:.2}", s.solo_peak_hz, s.mixed_peak_hz)
+            });
+            let smear = t
+                .spectral
+                .map_or("-".to_string(), |s| format!("{:+.3}", s.smearing));
+            push(
+                &mut out,
+                format!(
+                    "| {} | {} | {:.3} | {} | {:.0} | {:.0}/{:.0} | {} | {} | {} | {:.3} | {} | {} |",
+                    t.name,
+                    t.p,
+                    t.start.as_secs_f64(),
+                    t.frames.len(),
+                    t.avg_bw.unwrap_or(0.0),
+                    avg,
+                    sd,
+                    t.burst_count,
+                    t.burst_collisions,
+                    t.measured_slowdown
+                        .map_or("-".to_string(), |s| format!("{s:.3}")),
+                    t.predicted_slowdown,
+                    peaks,
+                    smear,
+                ),
+            );
+        }
+        out
+    }
+}
+
+/// Builder for a mixed multi-tenant run.
+pub struct Mix {
+    cfg: SpmdConfig,
+    net: QosNetwork,
+    tenants: Vec<MixTenant>,
+    solo_baselines: bool,
+    burst_gap: SimTime,
+    spectrum_bin: SimTime,
+}
+
+impl Mix {
+    /// A mixer over the testbed configuration `cfg` and the paper's
+    /// 10 Mb/s shared Ethernet as the QoS network.
+    pub fn new(cfg: SpmdConfig) -> Mix {
+        Mix {
+            cfg,
+            net: QosNetwork::ethernet_10mbps(),
+            tenants: Vec::new(),
+            solo_baselines: true,
+            burst_gap: SimTime::from_millis(10),
+            spectrum_bin: SimTime::from_millis(10),
+        }
+    }
+
+    /// Replace the QoS network the admission controller draws from.
+    pub fn network(mut self, net: QosNetwork) -> Mix {
+        self.net = net;
+        self
+    }
+
+    /// Add a tenant to the offered load.
+    pub fn tenant(mut self, t: MixTenant) -> Mix {
+        self.tenants.push(t);
+        self
+    }
+
+    /// Whether to run each admitted tenant alone afterwards to measure
+    /// slowdown and spectral interference (default true; disable for
+    /// speed when only the mixed trace matters).
+    pub fn solo_baselines(mut self, on: bool) -> Mix {
+        self.solo_baselines = on;
+        self
+    }
+
+    /// Quiet gap separating bursts in the interference analysis.
+    pub fn burst_gap(mut self, gap: SimTime) -> Mix {
+        self.burst_gap = gap;
+        self
+    }
+
+    /// Admit, co-execute, demux, and analyze.
+    pub fn run(self) -> MixOutcome {
+        let Mix {
+            cfg,
+            net,
+            tenants,
+            solo_baselines,
+            burst_gap,
+            spectrum_bin,
+        } = self;
+
+        // Admission, in arrival order: the residual shrinks as each
+        // tenant commits its negotiated mean load.
+        let mut order: Vec<usize> = (0..tenants.len()).collect();
+        order.sort_by_key(|&i| tenants[i].start);
+        let capacity = net.available();
+        let mut ac = AdmissionController::new(net);
+        let mut admitted: Vec<(usize, Negotiation)> = Vec::new();
+        let mut rejected = Vec::new();
+        for i in order {
+            let t = &tenants[i];
+            let app = t.program.descriptor(&cfg.cost);
+            match ac.admit(&t.name, &app, t.p) {
+                Ok(n) => admitted.push((i, n)),
+                Err(r) => rejected.push(r),
+            }
+        }
+        admitted.sort_by_key(|&(i, _)| i);
+
+        // Predicted slowdown from the QoS burst algebra: solo, a burst
+        // gets capacity/concurrent_i; under the mix, every admitted
+        // tenant's connections contend, so each gets
+        // capacity/Σ concurrent_j.
+        let total_concurrent: usize = admitted
+            .iter()
+            .map(|&(i, _)| {
+                let t = &tenants[i];
+                t.program.descriptor(&cfg.cost).concurrent_connections(t.p)
+            })
+            .sum();
+        let predicted: Vec<f64> = admitted
+            .iter()
+            .map(|&(i, _)| {
+                let t = &tenants[i];
+                let app = t.program.descriptor(&cfg.cost);
+                let conc = app.concurrent_connections(t.p).max(1);
+                let solo = app.timing(t.p, capacity / conc as f64);
+                let mixed = app.timing(t.p, capacity / total_concurrent.max(1) as f64);
+                mixed.t_interval / solo.t_interval
+            })
+            .collect();
+
+        // Co-execute the admitted set on one shared network.
+        let groups: Vec<GroupSpec<u64>> = admitted
+            .iter()
+            .map(|&(i, _)| {
+                let t = &tenants[i];
+                GroupSpec {
+                    name: t.name.clone(),
+                    p: t.p,
+                    start: t.start,
+                    program: t.program.rank_program(),
+                }
+            })
+            .collect();
+        let multi = run_multi(cfg.clone(), groups);
+        let demuxed = demux(&multi.trace, &multi.map);
+        demuxed.check_conservation();
+
+        // Solo baselines: each admitted tenant alone on its own hosts.
+        let solos: Vec<Option<(f64, Vec<FrameRecord>)>> = admitted
+            .iter()
+            .map(|&(i, _)| {
+                if !solo_baselines {
+                    return None;
+                }
+                let t = &tenants[i];
+                let mut solo_cfg = cfg.clone();
+                solo_cfg.p = t.p;
+                solo_cfg.hosts = t.p;
+                solo_cfg.telemetry = false;
+                let prog = t.program.rank_program();
+                let r = run_spmd(solo_cfg, move |ctx| prog(ctx));
+                Some((r.finished_at.as_secs_f64(), r.trace))
+            })
+            .collect();
+
+        // Per-tenant bursts for the collision analysis.
+        let bursts: Vec<Vec<Burst>> = demuxed
+            .per_tenant
+            .iter()
+            .map(|f| detect_bursts(f, burst_gap))
+            .collect();
+
+        let mut outcomes = Vec::new();
+        for (gi, &(i, negotiation)) in admitted.iter().enumerate() {
+            let t = &tenants[i];
+            let g = &multi.groups[gi];
+            let frames = demuxed.per_tenant[gi].clone();
+            let mixed_secs = (g.finished_at.saturating_sub(g.start)).as_secs_f64();
+            let (solo_secs, solo_trace) = match &solos[gi] {
+                Some((s, tr)) => (Some(*s), Some(tr)),
+                None => (None, None),
+            };
+
+            // All other tenants' bursts, merged in start order.
+            let mut others: Vec<Burst> = bursts
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != gi)
+                .flat_map(|(_, b)| b.iter().copied())
+                .collect();
+            others.sort_by_key(|b| b.start);
+
+            let spectral = solo_trace.and_then(|tr| {
+                let solo_series = binned_bandwidth(tr, spectrum_bin);
+                let mixed_series = binned_bandwidth(&frames, spectrum_bin);
+                if solo_series.len() < 2 || mixed_series.len() < 2 {
+                    return None;
+                }
+                let solo = Periodogram::compute(&solo_series, spectrum_bin);
+                let mixed = Periodogram::compute(&mixed_series, spectrum_bin);
+                SpectralInterference::compare(&solo, &mixed, 0.5, 5)
+            });
+
+            outcomes.push(TenantOutcome {
+                name: t.name.clone(),
+                p: t.p,
+                start: t.start,
+                negotiation,
+                mixed_secs,
+                solo_secs,
+                measured_slowdown: solo_secs.map(|s| slowdown(mixed_secs, s)),
+                predicted_slowdown: predicted[gi],
+                sizes: Stats::packet_sizes(&frames),
+                avg_bw: average_bandwidth(&frames),
+                solo_sizes: solo_trace.and_then(|tr| Stats::packet_sizes(tr)),
+                solo_avg_bw: solo_trace.and_then(|tr| average_bandwidth(tr)),
+                burst_collisions: burst_collisions(&bursts[gi], &others),
+                burst_count: bursts[gi].len(),
+                spectral,
+                results: g.results.clone(),
+                frames,
+            });
+        }
+
+        // Finished tenants release their commitments: the controller ends
+        // the run with the full capacity available again.
+        for t in &outcomes {
+            ac.release(&t.name);
+        }
+        debug_assert!((ac.residual() - capacity).abs() < 1e-6);
+
+        MixOutcome {
+            tenants: outcomes,
+            rejected,
+            map: multi.map,
+            trace: multi.trace,
+            background: demuxed.background,
+            finished_at: multi.finished_at,
+            telemetry: multi.telemetry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::TenantProgram;
+
+    fn base_cfg() -> SpmdConfig {
+        let mut cfg = SpmdConfig::default();
+        cfg.pvm.heartbeat = None;
+        cfg.hosts = 1;
+        cfg
+    }
+
+    fn shift_tenant(name: &str, start_ms: u64) -> MixTenant {
+        MixTenant {
+            name: name.to_string(),
+            program: TenantProgram::Shift {
+                work_s: 0.05,
+                bytes: 20_000,
+                rounds: 4,
+            },
+            p: 2,
+            start: SimTime::from_millis(start_ms),
+        }
+    }
+
+    #[test]
+    fn two_tenant_mix_demuxes_and_conserves() {
+        let out = Mix::new(base_cfg())
+            .tenant(shift_tenant("alpha", 0))
+            .tenant(shift_tenant("beta", 30))
+            .run();
+        assert_eq!(out.tenants.len(), 2);
+        assert!(out.rejected.is_empty());
+        let total = out.check_conservation();
+        assert!(total > 0);
+        for t in &out.tenants {
+            assert!(!t.frames.is_empty(), "{} demuxed no frames", t.name);
+            assert!(t.measured_slowdown.unwrap() > 0.9);
+            assert!(t.predicted_slowdown >= 1.0);
+            assert_eq!(t.results.len(), 2);
+        }
+        let report = out.report();
+        assert!(report.contains("alpha") && report.contains("beta"));
+    }
+
+    #[test]
+    fn mix_is_deterministic() {
+        let run = || {
+            Mix::new(base_cfg())
+                .tenant(shift_tenant("alpha", 0))
+                .tenant(shift_tenant("beta", 30))
+                .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn saturating_load_rejects_a_tenant() {
+        let net = QosNetwork::ethernet_10mbps().with_min_burst_bw(50_000.0);
+        let hungry = |name: &str| MixTenant {
+            name: name.to_string(),
+            program: TenantProgram::Shift {
+                work_s: 0.02,
+                bytes: 100_000,
+                rounds: 3,
+            },
+            p: 4,
+            start: SimTime::ZERO,
+        };
+        let out = Mix::new(base_cfg())
+            .network(net)
+            .solo_baselines(false)
+            .tenant(hungry("t1"))
+            .tenant(hungry("t2"))
+            .tenant(hungry("t3"))
+            .run();
+        assert!(
+            !out.rejected.is_empty(),
+            "offered load beyond capacity must reject"
+        );
+        assert!(out.tenants.len() < 3);
+        out.check_conservation();
+    }
+}

@@ -41,6 +41,8 @@
 
 pub mod message;
 pub mod system;
+pub mod tenancy;
 
 pub use message::{Message, MessageBuilder, MessageReader, OutMessage, FRAG_HEADER};
 pub use system::{MsgDelivery, PvmConfig, PvmStats, PvmSystem, Route, TaskId};
+pub use tenancy::{TenantMap, TenantSlice};

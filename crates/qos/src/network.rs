@@ -36,6 +36,21 @@ impl QosNetwork {
         self
     }
 
+    /// Total capacity, bytes/s.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// The minimum per-connection commitment the network will make.
+    pub fn min_burst_bw(&self) -> f64 {
+        self.min_burst_bw
+    }
+
+    /// Capacity currently committed, bytes/s.
+    pub fn committed(&self) -> f64 {
+        self.committed
+    }
+
     /// Capacity not yet committed.
     pub fn available(&self) -> f64 {
         (self.capacity - self.committed).max(0.0)
@@ -134,5 +149,50 @@ mod tests {
         let mut net = QosNetwork::new(100.0);
         net.release(50.0);
         assert_eq!(net.available(), 100.0);
+    }
+
+    #[test]
+    fn accessors_track_the_ledger() {
+        let mut net = QosNetwork::new(1000.0);
+        assert_eq!(net.capacity(), 1000.0);
+        assert_eq!(net.committed(), 0.0);
+        net.commit(300.0).unwrap();
+        assert_eq!(net.committed(), 300.0);
+        assert_eq!(net.available(), 700.0);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any interleaving of admissions and releases keeps the residual
+        /// inside [0, capacity], and a load admitted once can always be
+        /// re-admitted after it is released.
+        #[test]
+        fn admit_release_sequences_keep_residual_bounded(
+            ops in proptest::collection::vec((0u8..2u8, 1u32..40u32), 1..30)
+        ) {
+            let capacity = 1_250_000.0;
+            let mut net = QosNetwork::new(capacity);
+            let mut held: Vec<f64> = Vec::new();
+            for (kind, amt) in ops {
+                let load = f64::from(amt) * 20_000.0;
+                if kind == 0 {
+                    if net.commit(load).is_ok() {
+                        held.push(load);
+                    }
+                } else if let Some(l) = held.pop() {
+                    net.release(l);
+                }
+                prop_assert!(net.available() >= 0.0);
+                prop_assert!(net.available() <= capacity + 1e-9);
+                prop_assert!(net.committed() >= 0.0);
+            }
+            // Admit-after-release of the same descriptor succeeds: the
+            // freed capacity is exactly what the load needs.
+            if let Some(l) = held.pop() {
+                net.release(l);
+                prop_assert!(net.commit(l).is_ok());
+            }
+        }
     }
 }

@@ -47,6 +47,8 @@
 pub mod bandwidth;
 pub mod bursts;
 pub mod coherence;
+pub mod demux;
+pub mod interference;
 pub mod io;
 pub mod phases;
 pub mod report;
@@ -57,6 +59,8 @@ pub mod stats;
 pub use bandwidth::{average_bandwidth, binned_bandwidth, sliding_window_bandwidth};
 pub use bursts::{detect_bursts, Burst, BurstProfile};
 pub use coherence::{correlation, mean_connection_correlation};
+pub use demux::{demux, DemuxedTrace};
+pub use interference::{burst_collisions, slowdown, spectral_concentration, SpectralInterference};
 pub use io::{load_trace, save_trace};
 pub use phases::{PhaseBreakdown, PhaseRow};
 pub use report::{markdown_table, ReportOptions, TraceReport};
