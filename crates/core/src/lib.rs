@@ -37,6 +37,7 @@
 //! | Fourier traffic models + media baselines | `fxnet-spectral` | [`spectral`] |
 //! | QoS negotiation | `fxnet-qos` | [`qos`] |
 //! | multi-tenant mixing, admission, interference | `fxnet-mix` | [`mix`] |
+//! | streaming trace watch, contract compliance | `fxnet-watch` | [`watch`] |
 
 pub use fxnet_apps as apps;
 pub use fxnet_fx as fx;
@@ -49,6 +50,7 @@ pub use fxnet_sim as sim;
 pub use fxnet_spectral as spectral;
 pub use fxnet_telemetry as telemetry;
 pub use fxnet_trace as trace;
+pub use fxnet_watch as watch;
 
 mod testbed;
 

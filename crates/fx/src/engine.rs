@@ -368,12 +368,31 @@ pub fn run_multi<T>(cfg: SpmdConfig, groups: Vec<GroupSpec<T>>) -> MultiRunResul
 where
     T: Send + 'static,
 {
+    run_multi_tapped(cfg, groups, None)
+}
+
+/// [`run_multi`] with an optional live frame tap installed at the
+/// tracer's capture point for the duration of the run. The tap observes
+/// every delivered frame as it is captured (the `fxnet-watch` hook); it
+/// cannot perturb the simulation, so the trace is byte-identical with
+/// and without one. A separate argument — not a `SpmdConfig` field —
+/// because the config must stay `Clone + Debug` for the solo-baseline
+/// replays.
+pub fn run_multi_tapped<T>(
+    cfg: SpmdConfig,
+    groups: Vec<GroupSpec<T>>,
+    tap: Option<fxnet_sim::FrameTap>,
+) -> MultiRunResult<T>
+where
+    T: Send + 'static,
+{
     assert!(!groups.is_empty(), "need at least one group");
     let map = TenantMap::pack(groups.iter().map(|g| (g.name.clone(), g.p)));
     let total = map.total_ranks();
     let hosts = cfg.hosts.max(total);
     let mut pvm = PvmSystem::new(cfg.pvm.clone(), total, hosts);
     pvm.set_promiscuous(true);
+    pvm.set_tap(tap);
 
     let p = total as usize;
     // Global rank → group index.

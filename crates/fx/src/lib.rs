@@ -59,7 +59,7 @@ pub use collectives::{
 pub use cost::CostModel;
 pub use dist::BlockDist;
 pub use engine::{
-    run_multi, run_spmd, DescheduleConfig, GroupRunResult, GroupSpec, MultiRunResult, RankCtx,
-    RunResult, SpmdConfig,
+    run_multi, run_multi_tapped, run_spmd, DescheduleConfig, GroupRunResult, GroupSpec,
+    MultiRunResult, RankCtx, RunResult, SpmdConfig,
 };
 pub use pattern::Pattern;

@@ -28,6 +28,12 @@
 //!    sub-trace is compared against a solo baseline run: measured
 //!    slowdown next to the QoS model's predicted slowdown, burst
 //!    collisions, and spectral peak shift/smearing.
+//! 4. **Live observation** (optional) — a `fxnet-watch` streaming
+//!    observer on the simulator's frame tap ([`Mix::watch`]) checks
+//!    each tenant's traffic against the contract it *claimed* at
+//!    admission while the run is still in flight, emitting latched
+//!    `ContractViolation` events with flight-recorder dumps; results
+//!    surface through [`MixOutcome::watch`].
 //!
 //! ```
 //! use fxnet_fx::SpmdConfig;
@@ -37,17 +43,13 @@
 //! let mut cfg = SpmdConfig::default();
 //! cfg.pvm.heartbeat = None;
 //! let out = Mix::new(cfg)
-//!     .tenant(MixTenant {
-//!         name: "alpha".into(),
-//!         program: TenantProgram::Shift { work_s: 0.05, bytes: 20_000, rounds: 3 },
-//!         p: 2,
-//!         start: SimTime::ZERO,
-//!     })
+//!     .tenant(MixTenant::shift("alpha", 0.05, 20_000, 3, 2))
 //!     .tenant(MixTenant {
 //!         name: "beta".into(),
 //!         program: TenantProgram::Shift { work_s: 0.05, bytes: 20_000, rounds: 3 },
 //!         p: 2,
 //!         start: SimTime::from_millis(20),
+//!         claim_scale: 1.0,
 //!     })
 //!     .run();
 //! assert_eq!(out.tenants.len(), 2);

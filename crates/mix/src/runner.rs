@@ -4,15 +4,17 @@
 
 use crate::admission::{AdmissionController, Rejection};
 use crate::tenant::MixTenant;
-use fxnet_fx::{run_multi, run_spmd, GroupSpec, SpmdConfig};
+use fxnet_fx::{run_multi_tapped, run_spmd, GroupSpec, SpmdConfig};
 use fxnet_pvm::TenantMap;
 use fxnet_qos::{Negotiation, QosNetwork};
-use fxnet_sim::{FrameRecord, SimTime};
+use fxnet_sim::{FrameRecord, FrameTap, HostId, SimTime};
 use fxnet_telemetry::RunTelemetry;
 use fxnet_trace::{
     average_bandwidth, binned_bandwidth, burst_collisions, demux, detect_bursts, slowdown, Burst,
     Periodogram, SpectralInterference, Stats,
 };
+use fxnet_watch::{StreamWatch, TenantContract, WatchConfig, WatchReport};
+use std::sync::{Arc, Mutex};
 
 /// Everything measured about one admitted tenant.
 pub struct TenantOutcome {
@@ -69,6 +71,8 @@ pub struct MixOutcome {
     pub finished_at: SimTime,
     /// Telemetry of the mixed run, when enabled.
     pub telemetry: Option<RunTelemetry>,
+    /// Streaming-watcher report, when a watcher was attached.
+    pub watch: Option<WatchReport>,
 }
 
 impl MixOutcome {
@@ -158,6 +162,7 @@ pub struct Mix {
     solo_baselines: bool,
     burst_gap: SimTime,
     spectrum_bin: SimTime,
+    watch: Option<WatchConfig>,
 }
 
 impl Mix {
@@ -171,6 +176,7 @@ impl Mix {
             solo_baselines: true,
             burst_gap: SimTime::from_millis(10),
             spectrum_bin: SimTime::from_millis(10),
+            watch: None,
         }
     }
 
@@ -200,6 +206,15 @@ impl Mix {
         self
     }
 
+    /// Attach a streaming watcher (`fxnet-watch`) to the mixed run's
+    /// frame tap. Each admitted tenant's *claimed* contract terms are
+    /// handed to the watcher, which checks the live traffic against
+    /// them and reports through [`MixOutcome::watch`].
+    pub fn watch(mut self, cfg: WatchConfig) -> Mix {
+        self.watch = Some(cfg);
+        self
+    }
+
     /// Admit, co-execute, demux, and analyze.
     pub fn run(self) -> MixOutcome {
         let Mix {
@@ -209,6 +224,7 @@ impl Mix {
             solo_baselines,
             burst_gap,
             spectrum_bin,
+            watch,
         } = self;
 
         // Admission, in arrival order: the residual shrinks as each
@@ -221,7 +237,9 @@ impl Mix {
         let mut rejected = Vec::new();
         for i in order {
             let t = &tenants[i];
-            let app = t.program.descriptor(&cfg.cost);
+            // Admission sees the descriptor the tenant *claims* — for
+            // an honest tenant this is the program's true descriptor.
+            let app = t.claimed_descriptor(&cfg.cost);
             match ac.admit(&t.name, &app, t.p) {
                 Ok(n) => admitted.push((i, n)),
                 Err(r) => rejected.push(r),
@@ -265,7 +283,40 @@ impl Mix {
                 }
             })
             .collect();
-        let multi = run_multi(cfg.clone(), groups);
+        // Streaming watcher on the frame tap: each admitted tenant's
+        // claimed contract, plus the host-ownership table the engine
+        // will pack (TenantMap::pack is deterministic, so packing the
+        // same groups here reproduces the engine's map exactly).
+        let watcher: Option<Arc<Mutex<StreamWatch>>> = watch.map(|wcfg| {
+            let map = TenantMap::pack(groups.iter().map(|g| (g.name.clone(), g.p)));
+            let hosts = cfg.hosts.max(map.total_ranks());
+            let host_owner: Vec<Option<usize>> =
+                (0..hosts).map(|h| map.owner_of_host(HostId(h))).collect();
+            let contracts = admitted
+                .iter()
+                .map(|&(i, n)| {
+                    let t = &tenants[i];
+                    TenantContract {
+                        name: t.name.clone(),
+                        terms: t.claimed_descriptor(&cfg.cost).terms(&n),
+                    }
+                })
+                .collect();
+            Arc::new(Mutex::new(StreamWatch::new(wcfg, contracts, host_owner)))
+        });
+        let tap: Option<FrameTap> = watcher.clone().map(|w| {
+            Box::new(move |r: &FrameRecord| w.lock().expect("watch tap").observe(r)) as FrameTap
+        });
+
+        let multi = run_multi_tapped(cfg.clone(), groups, tap);
+        let watch_report = watcher.map(|w| {
+            Arc::try_unwrap(w)
+                .ok()
+                .expect("engine dropped the tap with the run")
+                .into_inner()
+                .expect("watch tap")
+                .finalize()
+        });
         let demuxed = demux(&multi.trace, &multi.map);
         demuxed.check_conservation();
 
@@ -361,6 +412,7 @@ impl Mix {
             background: demuxed.background,
             finished_at: multi.finished_at,
             telemetry: multi.telemetry,
+            watch: watch_report,
         }
     }
 }
@@ -387,6 +439,7 @@ mod tests {
             },
             p: 2,
             start: SimTime::from_millis(start_ms),
+            claim_scale: 1.0,
         }
     }
 
@@ -424,6 +477,41 @@ mod tests {
     }
 
     #[test]
+    fn watcher_catches_the_overdriver_and_spares_the_honest_tenant() {
+        let honest = shift_tenant("honest", 0);
+        // Same program, but claims 1/10th of its real burst size at
+        // admission — the watcher must catch it from the live stream.
+        let liar = shift_tenant("liar", 30).with_claim_scale(0.1);
+        let out = Mix::new(base_cfg())
+            .solo_baselines(false)
+            .watch(fxnet_watch::WatchConfig::default())
+            .tenant(honest)
+            .tenant(liar)
+            .run();
+        assert!(out.rejected.is_empty());
+        let w = out.watch.as_ref().expect("watch report attached");
+        assert_eq!(w.violations_for("liar"), 1, "one latched violation");
+        assert_eq!(w.violations_for("honest"), 0, "honest tenant clean");
+        let e = w
+            .events
+            .iter()
+            .find(|e| e.tenant == "liar")
+            .expect("liar event");
+        assert!(e.measured > e.limit);
+        assert!(!e.flight_recorder.is_empty(), "event carries frame dump");
+        // The watcher saw the whole shared trace, no perturbation: the
+        // trace is identical to an unwatched run.
+        assert_eq!(w.frames as usize, out.trace.len());
+        let unwatched = Mix::new(base_cfg())
+            .solo_baselines(false)
+            .tenant(shift_tenant("honest", 0))
+            .tenant(shift_tenant("liar", 30).with_claim_scale(0.1))
+            .run();
+        assert_eq!(out.trace, unwatched.trace);
+        assert!(unwatched.watch.is_none());
+    }
+
+    #[test]
     fn saturating_load_rejects_a_tenant() {
         let net = QosNetwork::ethernet_10mbps().with_min_burst_bw(50_000.0);
         let hungry = |name: &str| MixTenant {
@@ -435,6 +523,7 @@ mod tests {
             },
             p: 4,
             start: SimTime::ZERO,
+            claim_scale: 1.0,
         };
         let out = Mix::new(base_cfg())
             .network(net)

@@ -168,6 +168,12 @@ pub struct MixTenant {
     pub p: u32,
     /// Simulated arrival/start time.
     pub start: SimTime,
+    /// Scale applied to the burst sizes of the descriptor this tenant
+    /// *presents at admission* — what it runs is unchanged. 1.0 is an
+    /// honest tenant; below 1.0 the tenant under-declares its traffic
+    /// (over-drives its contract), which admission cannot see but the
+    /// streaming watcher (`fxnet-watch`) catches online.
+    pub claim_scale: f64,
 }
 
 impl MixTenant {
@@ -178,6 +184,7 @@ impl MixTenant {
             program: TenantProgram::Kernel { kind, div },
             p,
             start,
+            claim_scale: 1.0,
         }
     }
 
@@ -192,6 +199,33 @@ impl MixTenant {
             },
             p,
             start: SimTime::ZERO,
+            claim_scale: 1.0,
+        }
+    }
+
+    /// Scale the burst sizes this tenant claims at admission (see
+    /// [`MixTenant::claim_scale`]).
+    pub fn with_claim_scale(mut self, scale: f64) -> MixTenant {
+        assert!(scale > 0.0, "claim scale must be positive");
+        self.claim_scale = scale;
+        self
+    }
+
+    /// The descriptor this tenant *presents* to the admission
+    /// controller: the program's true descriptor with burst sizes
+    /// scaled by `claim_scale`. Identical to the true descriptor for an
+    /// honest tenant.
+    pub fn claimed_descriptor(&self, cost: &CostModel) -> AppDescriptor {
+        let app = self.program.descriptor(cost);
+        if (self.claim_scale - 1.0).abs() < f64::EPSILON {
+            return app;
+        }
+        let scale = self.claim_scale;
+        let burst = app.burst;
+        AppDescriptor {
+            pattern: app.pattern,
+            local: app.local,
+            burst: Box::new(move |p| ((burst(p) as f64 * scale).round() as u64).max(1)),
         }
     }
 }
@@ -247,6 +281,24 @@ mod tests {
             assert!((d.burst)(4) > 0, "{kind:?} burst bytes");
             assert!(d.concurrent_connections(4) > 0, "{kind:?} connections");
         }
+    }
+
+    #[test]
+    fn claim_scale_shrinks_only_the_presented_descriptor() {
+        let t = MixTenant::shift("u", 2.0, 400_000, 3, 4).with_claim_scale(0.125);
+        let cost = CostModel::default();
+        let claimed = t.claimed_descriptor(&cost);
+        let truth = t.program.descriptor(&cost);
+        assert_eq!((claimed.burst)(4), 50_000, "burst claim scaled by 1/8");
+        assert_eq!((truth.burst)(4), 400_000, "the program itself is unchanged");
+        assert_eq!(
+            (claimed.local)(4),
+            (truth.local)(4),
+            "compute claim untouched"
+        );
+        let honest = MixTenant::shift("h", 2.0, 400_000, 3, 4);
+        assert_eq!(honest.claim_scale, 1.0);
+        assert_eq!((honest.claimed_descriptor(&cost).burst)(4), 400_000);
     }
 
     #[test]

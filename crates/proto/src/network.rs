@@ -5,7 +5,7 @@ use crate::tcp::{ConnId, ConnState, Dir, TcpConn, WriteChunk};
 use bytes::Bytes;
 use fxnet_sim::{
     ethernet::Delivery, EtherBus, EtherConfig, EtherStats, EventQueue, Frame, FrameKind,
-    FrameRecord, HostId, NicId, SimRng, SimTime, SwitchConfig, SwitchFabric,
+    FrameRecord, FrameTap, HostId, NicId, SimRng, SimTime, SwitchConfig, SwitchFabric,
 };
 use std::collections::HashMap;
 
@@ -170,6 +170,13 @@ impl Fabric {
         }
     }
 
+    fn set_tap(&mut self, tap: Option<FrameTap>) {
+        match self {
+            Fabric::Bus(b) => b.set_tap(tap),
+            Fabric::Switch(s) => s.set_tap(tap),
+        }
+    }
+
     fn trace(&self) -> &[FrameRecord] {
         match self {
             Fabric::Bus(b) => b.trace(),
@@ -269,6 +276,12 @@ impl Network {
     /// Enable the promiscuous trace tap (the tcpdump workstation).
     pub fn set_promiscuous(&mut self, on: bool) {
         self.bus.set_promiscuous(on);
+    }
+
+    /// Install a live frame tap at the promiscuous capture point (see
+    /// [`fxnet_sim::FrameTap`]); `None` removes it.
+    pub fn set_tap(&mut self, tap: Option<FrameTap>) {
+        self.bus.set_tap(tap);
     }
 
     /// The promiscuous trace so far.

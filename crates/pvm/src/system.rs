@@ -154,6 +154,13 @@ impl PvmSystem {
         self.net.set_promiscuous(on);
     }
 
+    /// Install a live frame tap at the tracer's capture point; `None`
+    /// removes it. The tap observes delivered frames only — it cannot
+    /// perturb the simulation.
+    pub fn set_tap(&mut self, tap: Option<fxnet_sim::FrameTap>) {
+        self.net.set_tap(tap);
+    }
+
     /// Captured trace so far.
     pub fn trace(&self) -> &[FrameRecord] {
         self.net.trace()

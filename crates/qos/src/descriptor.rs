@@ -30,6 +30,33 @@ impl BurstTiming {
     }
 }
 
+/// The plain-number form of an admitted contract: everything a runtime
+/// monitor needs to check a tenant's observed traffic against what it
+/// negotiated, with the closures of [`AppDescriptor`] evaluated at the
+/// admitted processor count. Serializable so it can ride along in event
+/// logs and metrics artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ContractTerms {
+    /// Admitted processor count.
+    pub p: u32,
+    /// Total simplex connections `c(P)` the pattern uses.
+    pub connections: u32,
+    /// Maximum connections active in one schedule round.
+    pub concurrent_connections: u32,
+    /// Claimed per-connection burst size `b(P)`, bytes.
+    pub burst_bytes: u64,
+    /// Claimed local computation time `l(P)`, seconds.
+    pub local_s: f64,
+    /// Committed per-connection burst bandwidth, bytes/s.
+    pub burst_bw: f64,
+    /// Burst length `t_b` at the committed bandwidth, seconds.
+    pub t_burst: f64,
+    /// Burst interval `t_bi` at the committed bandwidth, seconds.
+    pub t_interval: f64,
+    /// Long-run aggregate load across all connections, bytes/s.
+    pub mean_load: f64,
+}
+
 /// The `[l(), b(), c]` characterization an SPMD program hands the
 /// network: its communication pattern, its local-computation time as a
 /// function of the processor count, and its per-connection burst size as
@@ -88,6 +115,23 @@ impl AppDescriptor {
             .max()
             .unwrap_or(0)
     }
+
+    /// Evaluate the descriptor's closures at the operating point of an
+    /// accepted negotiation, producing the serializable contract a
+    /// runtime monitor checks observed traffic against.
+    pub fn terms(&self, neg: &crate::negotiate::Negotiation) -> ContractTerms {
+        ContractTerms {
+            p: neg.p,
+            connections: self.connections(neg.p) as u32,
+            concurrent_connections: self.concurrent_connections(neg.p) as u32,
+            burst_bytes: (self.burst)(neg.p),
+            local_s: (self.local)(neg.p),
+            burst_bw: neg.burst_bw,
+            t_burst: neg.timing.t_burst,
+            t_interval: neg.timing.t_interval,
+            mean_load: neg.mean_load,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +183,24 @@ mod tests {
         let nb = AppDescriptor::scalable(Pattern::Neighbor, 1.0, |_| 1);
         assert_eq!(nb.connections(4), 6);
         assert_eq!(nb.concurrent_connections(4), 6);
+    }
+
+    #[test]
+    fn terms_evaluate_closures_at_the_negotiated_point() {
+        let app = shift_app();
+        let net = crate::network::QosNetwork::ethernet_10mbps();
+        let n = crate::negotiate::negotiate(&app, &net, 1..=8).unwrap();
+        let t = app.terms(&n);
+        assert_eq!(t.p, n.p);
+        assert_eq!(t.burst_bytes, 1_000_000);
+        assert!((t.local_s - 40.0 / f64::from(n.p)).abs() < 1e-12);
+        assert_eq!(t.connections as usize, app.connections(n.p));
+        assert_eq!(
+            t.concurrent_connections as usize,
+            app.concurrent_connections(n.p)
+        );
+        assert!((t.mean_load - n.mean_load).abs() < 1e-12);
+        assert!((t.t_burst - n.timing.t_burst).abs() == 0.0);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod estimate;
 pub mod negotiate;
 pub mod network;
 
-pub use descriptor::{AppDescriptor, BurstTiming};
+pub use descriptor::{AppDescriptor, BurstTiming, ContractTerms};
 pub use estimate::{estimate_descriptor, TrafficEstimate};
 pub use negotiate::{negotiate, Negotiation};
 pub use network::QosNetwork;

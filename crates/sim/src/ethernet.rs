@@ -16,7 +16,7 @@
 //! collecting any delivered frame. A promiscuous tap (the paper's tcpdump
 //! workstation) can be enabled to record every delivered frame.
 
-use crate::frame::{Frame, FrameRecord};
+use crate::frame::{Frame, FrameRecord, FrameTap};
 use crate::rng::SimRng;
 use crate::time::SimTime;
 use std::collections::VecDeque;
@@ -133,6 +133,7 @@ pub struct EtherBus {
     rng: SimRng,
     promiscuous: bool,
     trace: Vec<FrameRecord>,
+    tap: Option<FrameTap>,
     stats: EtherStats,
     errors: Vec<(SimTime, Frame, TxError)>,
 }
@@ -148,6 +149,7 @@ impl EtherBus {
             rng,
             promiscuous: false,
             trace: Vec::new(),
+            tap: None,
             stats: EtherStats::default(),
             errors: Vec::new(),
         }
@@ -173,6 +175,13 @@ impl EtherBus {
     /// Enable or disable the promiscuous trace tap.
     pub fn set_promiscuous(&mut self, on: bool) {
         self.promiscuous = on;
+    }
+
+    /// Install (or remove) a live frame tap, called at the promiscuous
+    /// capture point for every delivered frame — independent of whether
+    /// the trace itself is enabled, and with no effect on MAC behavior.
+    pub fn set_tap(&mut self, tap: Option<FrameTap>) {
+        self.tap = tap;
     }
 
     /// The promiscuous trace captured so far.
@@ -322,8 +331,14 @@ impl EtherBus {
                 if self.cfg.drop_prob > 0.0 && self.rng.chance(self.cfg.drop_prob) {
                     self.errors.push((end, tx.frame, TxError::Corrupted));
                 } else {
-                    if self.promiscuous {
-                        self.trace.push(FrameRecord::capture(end, &tx.frame));
+                    if self.promiscuous || self.tap.is_some() {
+                        let record = FrameRecord::capture(end, &tx.frame);
+                        if let Some(tap) = &mut self.tap {
+                            tap(&record);
+                        }
+                        if self.promiscuous {
+                            self.trace.push(record);
+                        }
                     }
                     out.push(Delivery {
                         time: end,
@@ -494,6 +509,53 @@ mod tests {
             last = r.time;
             assert_eq!(r.wire_len, 58 + 500);
         }
+    }
+
+    #[test]
+    fn tap_sees_every_delivery_without_perturbing_the_trace() {
+        use std::sync::{Arc, Mutex};
+        let run = |with_tap: bool| {
+            let mut b = bus(4);
+            b.set_promiscuous(true);
+            let seen = Arc::new(Mutex::new(Vec::new()));
+            if with_tap {
+                let sink = Arc::clone(&seen);
+                b.set_tap(Some(Box::new(move |r: &FrameRecord| {
+                    sink.lock().unwrap().push(*r);
+                })));
+            }
+            for i in 0..10u64 {
+                b.enqueue(
+                    NicId((i % 3) as u32),
+                    data((i % 3) as u32, 3, 500, i),
+                    SimTime::ZERO,
+                );
+            }
+            b.run_to_idle();
+            let tapped = std::mem::take(&mut *seen.lock().unwrap());
+            (b.take_trace(), tapped)
+        };
+        let (plain, _) = run(false);
+        let (traced, tapped) = run(true);
+        assert_eq!(plain, traced, "tap must not perturb the trace");
+        assert_eq!(tapped, traced, "tap sees exactly the captured records");
+    }
+
+    #[test]
+    fn tap_fires_even_when_promiscuous_is_off() {
+        use std::sync::{Arc, Mutex};
+        let mut b = bus(2);
+        let seen = Arc::new(Mutex::new(0usize));
+        let sink = Arc::clone(&seen);
+        b.set_tap(Some(Box::new(move |_: &FrameRecord| {
+            *sink.lock().unwrap() += 1;
+        })));
+        for i in 0..5 {
+            b.enqueue(NicId(0), data(0, 1, 100, i), SimTime::ZERO);
+        }
+        b.run_to_idle();
+        assert_eq!(*seen.lock().unwrap(), 5);
+        assert!(b.trace().is_empty(), "no trace without promiscuous mode");
     }
 
     #[test]

@@ -144,6 +144,16 @@ pub struct FrameRecord {
     pub dst: HostId,
 }
 
+/// A live observer of delivered frames, invoked at the exact promiscuous
+/// capture point (after MAC arbitration, as the frame leaves the wire).
+///
+/// The tap sees the same [`FrameRecord`] the promiscuous trace would
+/// store, whether or not tracing is enabled, and runs strictly outside
+/// the MAC state machine: installing one cannot perturb timing, RNG
+/// draws, or the captured trace — the same non-perturbation guarantee
+/// `fxnet-telemetry` makes.
+pub type FrameTap = Box<dyn FnMut(&FrameRecord) + Send>;
+
 impl FrameRecord {
     /// Build the trace record for a frame delivered at `time`.
     pub fn capture(time: SimTime, frame: &Frame) -> FrameRecord {

@@ -52,7 +52,7 @@ pub mod time;
 
 pub use ethernet::{EtherBus, EtherConfig, EtherStats, NicId, TxError};
 pub use frame::{
-    Frame, FrameKind, FrameRecord, HostId, Proto, ETHER_OVERHEAD, MAX_FRAME, MIN_FRAME,
+    Frame, FrameKind, FrameRecord, FrameTap, HostId, Proto, ETHER_OVERHEAD, MAX_FRAME, MIN_FRAME,
 };
 pub use queue::EventQueue;
 pub use rng::SimRng;

@@ -15,7 +15,7 @@
 //! transfers between disjoint host pairs proceed in parallel.
 
 use crate::ethernet::Delivery;
-use crate::frame::{Frame, FrameRecord};
+use crate::frame::{Frame, FrameRecord, FrameTap};
 use crate::queue::EventQueue;
 use crate::time::SimTime;
 
@@ -55,6 +55,7 @@ pub struct SwitchFabric {
     events: EventQueue<Event>,
     promiscuous: bool,
     trace: Vec<FrameRecord>,
+    tap: Option<FrameTap>,
     frames_delivered: u64,
     bytes_delivered: u64,
 }
@@ -69,6 +70,7 @@ impl SwitchFabric {
             events: EventQueue::new(),
             promiscuous: false,
             trace: Vec::new(),
+            tap: None,
             frames_delivered: 0,
             bytes_delivered: 0,
         }
@@ -82,6 +84,12 @@ impl SwitchFabric {
     /// Enable the monitoring tap (a mirror port).
     pub fn set_promiscuous(&mut self, on: bool) {
         self.promiscuous = on;
+    }
+
+    /// Install (or remove) a live frame tap at the mirror port — same
+    /// contract as [`crate::EtherBus::set_tap`].
+    pub fn set_tap(&mut self, tap: Option<FrameTap>) {
+        self.tap = tap;
     }
 
     /// Captured trace so far.
@@ -136,8 +144,14 @@ impl SwitchFabric {
             Event::Delivered(frame) => {
                 self.frames_delivered += 1;
                 self.bytes_delivered += u64::from(frame.wire_len());
-                if self.promiscuous {
-                    self.trace.push(FrameRecord::capture(t, &frame));
+                if self.promiscuous || self.tap.is_some() {
+                    let record = FrameRecord::capture(t, &frame);
+                    if let Some(tap) = &mut self.tap {
+                        tap(&record);
+                    }
+                    if self.promiscuous {
+                        self.trace.push(record);
+                    }
                 }
                 out.push(Delivery { time: t, frame });
             }

@@ -52,8 +52,10 @@ pub mod fourier;
 pub mod generate;
 pub mod hurst;
 pub mod media;
+pub mod streamdft;
 
 pub use fourier::FourierModel;
 pub use generate::synthesize_trace;
 pub use hurst::hurst_aggregated_variance;
 pub use media::{cbr_trace, onoff_vbr_trace, self_similar_trace};
+pub use streamdft::{goertzel_power, padded_bin, SlidingDft};

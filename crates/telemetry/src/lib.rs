@@ -23,12 +23,14 @@
 
 pub mod attribution;
 pub mod profile;
+pub mod prometheus;
 pub mod registry;
 pub mod run;
 pub mod span;
 
 pub use attribution::{attribute_collectives, AttributedTrace};
 pub use profile::{EventClass, SimProfile, TimingHistogram};
+pub use prometheus::{prometheus_text, write_prometheus};
 pub use registry::TelemetryRegistry;
 pub use run::{write_json_artifact, RunTelemetry};
 pub use span::{SpanCollector, SpanKind, SpanRecord};

@@ -1,0 +1,120 @@
+//! Prometheus text-exposition rendering of a [`TelemetryRegistry`].
+//!
+//! The watcher (`fxnet-watch`) and the bench harness snapshot their
+//! registries into `out/*.prom` files so a scrape-based dashboard can
+//! ingest simulation metrics without any bespoke parsing. The format is
+//! the Prometheus text exposition format, version 0.0.4: one `# TYPE`
+//! line per metric, then `name value`. Counters render as `counter`,
+//! gauges as `gauge`.
+//!
+//! Metric names are derived from the registry's dotted names by
+//! replacing every character outside `[a-zA-Z0-9_:]` with `_`
+//! (`mac.collisions` → `mac_collisions`), which is the standard
+//! flattening and keeps the `BTreeMap`-sorted registry order — so the
+//! rendered text is deterministic and diffable across runs.
+
+use crate::registry::TelemetryRegistry;
+
+/// Flatten a dotted registry name into a legal Prometheus metric name.
+fn metric_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Render a float the way Prometheus expects: plain decimal, with
+/// `NaN`/`+Inf`/`-Inf` spelled out.
+fn metric_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the whole registry in Prometheus text exposition format.
+/// Counters first, then gauges, each in the registry's sorted order.
+pub fn prometheus_text(reg: &TelemetryRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in reg.counters() {
+        let m = metric_name(name);
+        out.push_str(&format!("# TYPE {m} counter\n{m} {value}\n"));
+    }
+    for (name, value) in reg.gauges() {
+        let m = metric_name(name);
+        out.push_str(&format!("# TYPE {m} gauge\n{m} {}\n", metric_value(value)));
+    }
+    out
+}
+
+/// Write the registry to `path` in Prometheus text format, creating
+/// parent directories as needed.
+pub fn write_prometheus(
+    path: impl AsRef<std::path::Path>,
+    reg: &TelemetryRegistry,
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, prometheus_text(reg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_and_gauges_with_type_lines() {
+        let mut r = TelemetryRegistry::new();
+        r.set_counter("watch.frames", 12);
+        r.set_gauge("watch.bw.peak", 1_250_000.5);
+        let text = prometheus_text(&r);
+        assert_eq!(
+            text,
+            "# TYPE watch_frames counter\nwatch_frames 12\n\
+             # TYPE watch_bw_peak gauge\nwatch_bw_peak 1250000.5\n"
+        );
+    }
+
+    #[test]
+    fn sanitizes_awkward_names() {
+        assert_eq!(metric_name("mac.collisions"), "mac_collisions");
+        assert_eq!(metric_name("tenant/SOR bw"), "tenant_SOR_bw");
+        assert_eq!(metric_name("2dfft.bytes"), "_2dfft_bytes");
+    }
+
+    #[test]
+    fn non_finite_gauges_are_spelled_out() {
+        let mut r = TelemetryRegistry::new();
+        r.set_gauge("a.inf", f64::INFINITY);
+        r.set_gauge("b.neg", f64::NEG_INFINITY);
+        let text = prometheus_text(&r);
+        assert!(text.contains("a_inf +Inf\n"));
+        assert!(text.contains("b_neg -Inf\n"));
+    }
+
+    #[test]
+    fn output_is_deterministic_across_insertion_orders() {
+        let mut a = TelemetryRegistry::new();
+        a.set_counter("z.last", 1);
+        a.set_counter("a.first", 2);
+        let mut b = TelemetryRegistry::new();
+        b.set_counter("a.first", 2);
+        b.set_counter("z.last", 1);
+        assert_eq!(prometheus_text(&a), prometheus_text(&b));
+    }
+}

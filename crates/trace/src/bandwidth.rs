@@ -19,22 +19,18 @@ pub fn average_bandwidth(trace: &[FrameRecord]) -> Option<f64> {
 /// a time (Figures 6 and 10): for each packet arrival `t`, the bytes
 /// received in `(t − window, t]` divided by the window length. Returns
 /// `(time, bytes_per_second)` points.
+///
+/// Delegates to the streaming [`crate::stream::SlidingBandwidth`] ring,
+/// so the batch and live-observer paths share one window semantics: a
+/// window reaching before the first packet (or a whole trace shorter
+/// than one window) holds fewer bytes but is still divided by the full
+/// window length.
 pub fn sliding_window_bandwidth(trace: &[FrameRecord], window: SimTime) -> Vec<(SimTime, f64)> {
-    let w = window.as_secs_f64();
-    assert!(w > 0.0);
-    let mut out = Vec::with_capacity(trace.len());
-    let mut lo = 0usize;
-    let mut bytes_in_window: u64 = 0;
-    for r in trace {
-        bytes_in_window += u64::from(r.wire_len);
-        // Evict packets at or before t − window: window is (t − w, t].
-        while trace[lo].time + window <= r.time {
-            bytes_in_window -= u64::from(trace[lo].wire_len);
-            lo += 1;
-        }
-        out.push((r.time, bytes_in_window as f64 / w));
-    }
-    out
+    let mut ring = crate::stream::SlidingBandwidth::new(window);
+    trace
+        .iter()
+        .map(|r| (r.time, ring.push(r.time, r.wire_len)))
+        .collect()
 }
 
 /// Bandwidth binned on static `bin`-long intervals starting at the first

@@ -55,6 +55,7 @@ pub mod report;
 pub mod select;
 pub mod spectrum;
 pub mod stats;
+pub mod stream;
 
 pub use bandwidth::{average_bandwidth, binned_bandwidth, sliding_window_bandwidth};
 pub use bursts::{detect_bursts, Burst, BurstProfile};
@@ -67,3 +68,4 @@ pub use report::{markdown_table, ReportOptions, TraceReport};
 pub use select::{connection, dominant_modes, host_pairs, size_population};
 pub use spectrum::{autocorrelation, Periodogram, Spike};
 pub use stats::Stats;
+pub use stream::{SlidingBandwidth, StreamBinner};

@@ -1,0 +1,263 @@
+//! Streaming (single-pass, O(1) amortized per frame) bandwidth state.
+//!
+//! The batch analyses in [`crate::bandwidth`] re-scan a finished trace;
+//! the live observer in `fxnet-watch` sees one frame at a time and may
+//! never hold the whole trace. Both must agree exactly, so the batch
+//! functions are thin wrappers over the incremental structures here:
+//! [`SlidingBandwidth`] is the ring behind `sliding_window_bandwidth`,
+//! and [`StreamBinner`] reproduces `binned_bandwidth` bin for bin on any
+//! time-ordered stream. Window semantics live in exactly one place —
+//! there is no batch/streaming edge-case drift to fix twice.
+
+use fxnet_sim::SimTime;
+use std::collections::VecDeque;
+
+/// Incremental sliding-window bandwidth: the bytes received in
+/// `(t − window, t]` divided by the full window length, updated one
+/// frame at a time. Frames must arrive in non-decreasing time order.
+///
+/// The first frames of a trace are *not* special-cased: a window that
+/// extends before the first packet simply contains fewer bytes and is
+/// still divided by the full `window`, matching Figures 6 and 10 (and
+/// the batch path, which delegates here).
+#[derive(Debug, Clone)]
+pub struct SlidingBandwidth {
+    window: SimTime,
+    w_secs: f64,
+    ring: VecDeque<(SimTime, u32)>,
+    bytes: u64,
+}
+
+impl SlidingBandwidth {
+    /// A window of `window` simulated time. Panics if zero.
+    pub fn new(window: SimTime) -> SlidingBandwidth {
+        assert!(window.as_nanos() > 0, "window must be positive");
+        SlidingBandwidth {
+            window,
+            w_secs: window.as_secs_f64(),
+            ring: VecDeque::new(),
+            bytes: 0,
+        }
+    }
+
+    /// Account one frame of `wire_len` bytes at `time` and return the
+    /// instantaneous bandwidth (bytes/second) of the window ending at
+    /// `time`. Panics if `time` precedes the newest frame seen.
+    pub fn push(&mut self, time: SimTime, wire_len: u32) -> f64 {
+        if let Some(&(last, _)) = self.ring.back() {
+            assert!(time >= last, "frames must arrive in time order");
+        }
+        self.ring.push_back((time, wire_len));
+        self.bytes += u64::from(wire_len);
+        // Evict frames at or before t − window: the window is (t − w, t].
+        while let Some(&(t0, len)) = self.ring.front() {
+            if t0 + self.window <= time {
+                self.bytes -= u64::from(len);
+                self.ring.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.bytes as f64 / self.w_secs
+    }
+
+    /// Bytes currently inside the window.
+    pub fn bytes_in_window(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Frames currently inside the window.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no frame is inside the window.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
+
+/// Incremental static binning: reproduces [`crate::binned_bandwidth`]
+/// (bins anchored at the first frame, bytes per bin divided by the bin
+/// length) over a time-ordered stream, closing bins as frames pass them.
+#[derive(Debug, Clone)]
+pub struct StreamBinner {
+    bin_ns: u64,
+    bin_s: f64,
+    t0: Option<SimTime>,
+    cur_idx: u64,
+    cur_bytes: u64,
+    pending: VecDeque<f64>,
+    closed: u64,
+}
+
+impl StreamBinner {
+    /// Bins of `bin` simulated time. Panics if zero.
+    pub fn new(bin: SimTime) -> StreamBinner {
+        assert!(bin.as_nanos() > 0, "bin must be positive");
+        StreamBinner {
+            bin_ns: bin.as_nanos(),
+            bin_s: bin.as_secs_f64(),
+            t0: None,
+            cur_idx: 0,
+            cur_bytes: 0,
+            pending: VecDeque::new(),
+            closed: 0,
+        }
+    }
+
+    /// Account one frame. Bins strictly before the frame's bin close and
+    /// become available from [`StreamBinner::pop_closed`]. Panics if the
+    /// stream runs backwards past a closed bin.
+    pub fn push(&mut self, time: SimTime, wire_len: u32) {
+        let t0 = *self.t0.get_or_insert(time);
+        let idx = (time - t0).as_nanos() / self.bin_ns;
+        assert!(idx >= self.cur_idx, "frames must arrive in time order");
+        while self.cur_idx < idx {
+            self.pending.push_back(self.cur_bytes as f64 / self.bin_s);
+            self.closed += 1;
+            self.cur_bytes = 0;
+            self.cur_idx += 1;
+        }
+        self.cur_bytes += u64::from(wire_len);
+    }
+
+    /// The next closed bin's bandwidth (bytes/second), oldest first.
+    pub fn pop_closed(&mut self) -> Option<f64> {
+        self.pending.pop_front()
+    }
+
+    /// Total bins closed so far (whether or not popped).
+    pub fn closed_count(&self) -> u64 {
+        self.closed
+    }
+
+    /// Close the final (possibly partial) bin and return every bin not
+    /// yet popped. The result appended to the already-popped bins equals
+    /// `binned_bandwidth` on the same frames exactly.
+    pub fn finish(mut self) -> Vec<f64> {
+        if self.t0.is_some() {
+            self.pending.push_back(self.cur_bytes as f64 / self.bin_s);
+        }
+        self.pending.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::{binned_bandwidth, sliding_window_bandwidth};
+    use fxnet_sim::{Frame, FrameKind, FrameRecord, HostId};
+    use proptest::prelude::*;
+
+    fn rec(t_us: u64, size: u32) -> FrameRecord {
+        let f = Frame::tcp(HostId(0), HostId(1), FrameKind::Data, size - 58, 0);
+        FrameRecord::capture(SimTime::from_micros(t_us), &f)
+    }
+
+    #[test]
+    fn ring_matches_batch_on_a_regular_trace() {
+        let tr: Vec<FrameRecord> = (0..50).map(|i| rec(i * 3_000, 500 + i as u32)).collect();
+        let w = SimTime::from_millis(10);
+        let batch = sliding_window_bandwidth(&tr, w);
+        let mut ring = SlidingBandwidth::new(w);
+        for (r, (bt, bv)) in tr.iter().zip(batch) {
+            let v = ring.push(r.time, r.wire_len);
+            assert_eq!(r.time, bt);
+            assert_eq!(v, bv, "exact agreement, not approximate");
+        }
+    }
+
+    #[test]
+    fn trace_shorter_than_one_window_never_evicts() {
+        // Regression (satellite): every frame fits in one window, so the
+        // series is the cumulative byte count over the full window — no
+        // partial-window renormalization at either edge.
+        let tr = vec![rec(0, 1000), rec(2_000, 1000), rec(4_000, 1000)];
+        let w = SimTime::from_millis(10);
+        let batch = sliding_window_bandwidth(&tr, w);
+        assert_eq!(batch[0].1, 100_000.0);
+        assert_eq!(batch[1].1, 200_000.0);
+        assert_eq!(batch[2].1, 300_000.0);
+        let mut ring = SlidingBandwidth::new(w);
+        for (r, (_, bv)) in tr.iter().zip(&batch) {
+            assert_eq!(ring.push(r.time, r.wire_len), *bv);
+        }
+        assert_eq!(ring.len(), 3, "nothing evicted");
+        assert_eq!(ring.bytes_in_window(), 3000);
+    }
+
+    #[test]
+    fn single_frame_window() {
+        let mut ring = SlidingBandwidth::new(SimTime::from_millis(10));
+        assert!(ring.is_empty());
+        let v = ring.push(SimTime::from_secs(5), 1518);
+        assert_eq!(v, 151_800.0);
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn binner_matches_batch_with_gaps() {
+        // Frames spanning empty bins: the binner must emit the zeros.
+        let tr = vec![
+            rec(0, 100),
+            rec(3_000, 100),
+            rec(25_000, 100),
+            rec(47_000, 200),
+        ];
+        let bin = SimTime::from_millis(10);
+        let batch = binned_bandwidth(&tr, bin);
+        let mut b = StreamBinner::new(bin);
+        let mut got = Vec::new();
+        for r in &tr {
+            b.push(r.time, r.wire_len);
+            while let Some(v) = b.pop_closed() {
+                got.push(v);
+            }
+        }
+        got.extend(b.finish());
+        assert_eq!(got, batch);
+    }
+
+    #[test]
+    fn binner_empty_stream() {
+        let b = StreamBinner::new(SimTime::from_millis(10));
+        assert_eq!(b.finish(), Vec::<f64>::new());
+        assert!(binned_bandwidth(&[], SimTime::from_millis(10)).is_empty());
+    }
+
+    proptest! {
+        /// The streaming ring and binner agree with the batch functions
+        /// exactly (bitwise) on arbitrary sorted traces.
+        #[test]
+        fn stream_equals_batch(
+            times in prop::collection::vec(0u64..2_000_000u64, 1..300),
+            sizes in prop::collection::vec(58u32..1518, 1..300),
+        ) {
+            let mut ts = times;
+            ts.sort_unstable();
+            let tr: Vec<FrameRecord> = ts
+                .iter()
+                .zip(sizes.iter().cycle())
+                .map(|(&t, &s)| rec(t, s))
+                .collect();
+            let w = SimTime::from_millis(10);
+            let batch = sliding_window_bandwidth(&tr, w);
+            let mut ring = SlidingBandwidth::new(w);
+            for (r, (_, bv)) in tr.iter().zip(&batch) {
+                prop_assert_eq!(ring.push(r.time, r.wire_len), *bv);
+            }
+            let bbatch = binned_bandwidth(&tr, w);
+            let mut binner = StreamBinner::new(w);
+            let mut got = Vec::new();
+            for r in &tr {
+                binner.push(r.time, r.wire_len);
+                while let Some(v) = binner.pop_closed() {
+                    got.push(v);
+                }
+            }
+            got.extend(binner.finish());
+            prop_assert_eq!(got, bbatch);
+        }
+    }
+}

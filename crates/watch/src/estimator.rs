@@ -1,0 +1,245 @@
+//! Streaming burst detection and live `[l, b, c]` estimation.
+//!
+//! The batch path (`fxnet_trace::detect_bursts` followed by
+//! `fxnet_qos::estimate::estimate_traffic`) needs the whole trace in
+//! memory. The watcher instead folds each frame into running sums as it
+//! arrives: a burst is open while consecutive frames are closer than the
+//! configured quiet gap, and closes — updating the running estimate —
+//! when the gap is exceeded or the stream ends. Same burst boundary rule
+//! as the batch detector, O(1) state per stream.
+
+use fxnet_sim::SimTime;
+
+/// A completed burst, reported as it closes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClosedBurst {
+    /// First frame's timestamp.
+    pub start: SimTime,
+    /// Last frame's timestamp.
+    pub end: SimTime,
+    /// Wire bytes carried.
+    pub bytes: u64,
+    /// Frames carried.
+    pub frames: u64,
+    /// Index of this burst in its stream (0-based).
+    pub index: u64,
+}
+
+impl ClosedBurst {
+    /// Burst length in seconds.
+    pub fn duration_s(&self) -> f64 {
+        (self.end.saturating_sub(self.start)).as_secs_f64()
+    }
+}
+
+/// The live traffic estimate, in the vocabulary of the QoS descriptor:
+/// the tenant *behaves as if* it had handed the network this `[l, b, c]`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LiveEstimate {
+    /// Completed bursts observed.
+    pub bursts: u64,
+    /// Mean burst length, seconds (`t_b`).
+    pub t_burst: f64,
+    /// Mean start-to-start burst interval, seconds (`t_bi`).
+    pub t_interval: f64,
+    /// Implied local computation per cycle: `t_bi − t_b`, clamped ≥ 0.
+    pub local_s: f64,
+    /// Mean bytes per burst per connection (the effective `b(P)`).
+    pub burst_bytes: f64,
+    /// Effective long-run load: mean cycle volume over mean interval,
+    /// bytes/s.
+    pub mean_bw: f64,
+}
+
+/// O(1)-state streaming burst detector with running `[l, b, c]` sums.
+#[derive(Debug, Clone)]
+pub struct BurstEstimator {
+    gap: SimTime,
+    cur: Option<(SimTime, SimTime, u64, u64)>, // (start, last, bytes, frames)
+    prev_start: Option<SimTime>,
+    closed: u64,
+    sum_burst_s: f64,
+    sum_interval_s: f64,
+    intervals: u64,
+    sum_bytes: f64,
+}
+
+impl BurstEstimator {
+    /// A detector splitting bursts at quiet gaps of at least `gap`.
+    pub fn new(gap: SimTime) -> BurstEstimator {
+        assert!(gap > SimTime::ZERO, "burst gap must be positive");
+        BurstEstimator {
+            gap,
+            cur: None,
+            prev_start: None,
+            closed: 0,
+            sum_burst_s: 0.0,
+            sum_interval_s: 0.0,
+            intervals: 0,
+            sum_bytes: 0.0,
+        }
+    }
+
+    /// Fold one frame in; returns the burst this frame closed, if any.
+    pub fn push(&mut self, time: SimTime, wire_len: u32) -> Option<ClosedBurst> {
+        if let Some((_, last, bytes, frames)) = &mut self.cur {
+            if time.saturating_sub(*last) <= self.gap {
+                *last = time;
+                *bytes += u64::from(wire_len);
+                *frames += 1;
+                return None;
+            }
+        }
+        let closed = self
+            .cur
+            .take()
+            .map(|(start, last, bytes, frames)| self.close(start, last, bytes, frames));
+        self.cur = Some((time, time, u64::from(wire_len), 1));
+        closed
+    }
+
+    /// Close the trailing burst at end of stream, if one is open.
+    pub fn finish(&mut self) -> Option<ClosedBurst> {
+        let (start, last, bytes, frames) = self.cur.take()?;
+        Some(self.close(start, last, bytes, frames))
+    }
+
+    fn close(&mut self, start: SimTime, end: SimTime, bytes: u64, frames: u64) -> ClosedBurst {
+        let b = ClosedBurst {
+            start,
+            end,
+            bytes,
+            frames,
+            index: self.closed,
+        };
+        self.closed += 1;
+        self.sum_burst_s += b.duration_s();
+        self.sum_bytes += bytes as f64;
+        if let Some(prev) = self.prev_start {
+            self.sum_interval_s += (start.saturating_sub(prev)).as_secs_f64();
+            self.intervals += 1;
+        }
+        self.prev_start = Some(start);
+        b
+    }
+
+    /// Completed bursts so far.
+    pub fn bursts(&self) -> u64 {
+        self.closed
+    }
+
+    /// Current estimate, spreading each burst over `connections`
+    /// simplex connections. Needs at least two completed bursts (one
+    /// interval), like the batch estimator.
+    pub fn estimate(&self, connections: u32) -> Option<LiveEstimate> {
+        if self.closed < 2 || self.intervals == 0 {
+            return None;
+        }
+        let t_burst = self.sum_burst_s / self.closed as f64;
+        let t_interval = self.sum_interval_s / self.intervals as f64;
+        let cycle_bytes = self.sum_bytes / self.closed as f64;
+        Some(LiveEstimate {
+            bursts: self.closed,
+            t_burst,
+            t_interval,
+            local_s: (t_interval - t_burst).max(0.0),
+            burst_bytes: cycle_bytes / f64::from(connections.max(1)),
+            mean_bw: if t_interval > 0.0 {
+                cycle_bytes / t_interval
+            } else {
+                0.0
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn splits_bursts_at_the_quiet_gap() {
+        let mut e = BurstEstimator::new(ms(10));
+        // Two frames 1 ms apart, then a 50 ms gap, then one more.
+        assert!(e.push(ms(0), 1000).is_none());
+        assert!(e.push(ms(1), 1000).is_none());
+        let b = e.push(ms(51), 500).expect("gap closes the first burst");
+        assert_eq!(b.bytes, 2000);
+        assert_eq!(b.frames, 2);
+        assert_eq!(b.index, 0);
+        assert_eq!((b.start, b.end), (ms(0), ms(1)));
+        let tail = e.finish().expect("trailing burst");
+        assert_eq!(tail.bytes, 500);
+        assert_eq!(tail.index, 1);
+        assert!(e.finish().is_none());
+    }
+
+    #[test]
+    fn estimate_matches_the_periodic_construction() {
+        // Perfectly periodic: 3 frames over 2 ms every 100 ms.
+        let mut e = BurstEstimator::new(ms(10));
+        for cycle in 0..5u64 {
+            for j in 0..3u64 {
+                e.push(ms(cycle * 100 + j), 1000);
+            }
+        }
+        e.finish();
+        let est = e.estimate(2).expect("five bursts seen");
+        assert_eq!(est.bursts, 5);
+        assert!((est.t_interval - 0.1).abs() < 1e-12);
+        assert!((est.t_burst - 0.002).abs() < 1e-12);
+        assert!((est.local_s - 0.098).abs() < 1e-12);
+        assert!((est.burst_bytes - 1500.0).abs() < 1e-9); // 3000 B over 2 conns
+        assert!((est.mean_bw - 30_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fewer_than_two_bursts_yields_no_estimate() {
+        let mut e = BurstEstimator::new(ms(10));
+        e.push(ms(0), 100);
+        e.push(ms(1), 100);
+        e.finish();
+        assert!(e.estimate(1).is_none());
+    }
+
+    #[test]
+    fn boundary_matches_batch_detector_rule() {
+        // detect_bursts merges frames whose spacing is <= gap; the
+        // first strictly-larger spacing starts a new burst.
+        let mut e = BurstEstimator::new(ms(10));
+        e.push(ms(0), 100);
+        assert!(e.push(ms(10), 100).is_none(), "exact-gap spacing merges");
+        let closed = e.push(SimTime::from_micros(20_001), 100);
+        assert!(closed.is_some(), "spacing beyond the gap must split");
+    }
+
+    #[test]
+    fn streaming_bursts_equal_batch_bursts() {
+        use fxnet_sim::{Frame, FrameKind, HostId};
+        // An irregular but deterministic spacing pattern.
+        let mut t = 0u64;
+        let mut trace = Vec::new();
+        for i in 0..200u64 {
+            t += 137 * ((i * i) % 97) + 1; // µs steps, some beyond the gap
+            let f = Frame::tcp(HostId(0), HostId(1), FrameKind::Data, (i % 1400) as u32, i);
+            trace.push(fxnet_sim::FrameRecord::capture(SimTime::from_micros(t), &f));
+        }
+        let gap = ms(2);
+        let batch = fxnet_trace::detect_bursts(&trace, gap);
+        let mut e = BurstEstimator::new(gap);
+        let mut stream: Vec<ClosedBurst> = trace
+            .iter()
+            .filter_map(|r| e.push(r.time, r.wire_len))
+            .collect();
+        stream.extend(e.finish());
+        assert_eq!(stream.len(), batch.len());
+        for (s, b) in stream.iter().zip(&batch) {
+            assert_eq!((s.start, s.end, s.bytes), (b.start, b.end, b.bytes));
+            assert_eq!(s.frames as usize, b.packets);
+        }
+    }
+}

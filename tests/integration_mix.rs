@@ -16,6 +16,7 @@ fn shift(name: &str, p: u32, start_ms: u64) -> MixTenant {
         },
         p,
         start: SimTime::from_millis(start_ms),
+        claim_scale: 1.0,
     }
 }
 
