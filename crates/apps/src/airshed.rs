@@ -308,7 +308,7 @@ pub fn airshed_sequential(p: &AirshedParams, np: usize) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fxnet_fx::{run_spmd, SpmdConfig};
+    use fxnet_fx::{run_single, RunOptions, SpmdConfig};
     use fxnet_sim::FrameKind;
 
     fn cfg(p: u32) -> SpmdConfig {
@@ -326,7 +326,12 @@ mod tests {
         let params = AirshedParams::tiny();
         let want = airshed_sequential(&params, 4);
         let pp = params.clone();
-        let res = run_spmd(cfg(4), move |ctx| airshed_rank(ctx, &pp));
+        let res = run_single(
+            cfg(4),
+            move |ctx| airshed_rank(ctx, &pp),
+            RunOptions::default(),
+        )
+        .unwrap();
         assert_eq!(res.results, want);
     }
 
@@ -335,7 +340,12 @@ mod tests {
         let params = AirshedParams::tiny();
         let want = airshed_sequential(&params, 2);
         let pp = params.clone();
-        let res = run_spmd(cfg(2), move |ctx| airshed_rank(ctx, &pp));
+        let res = run_single(
+            cfg(2),
+            move |ctx| airshed_rank(ctx, &pp),
+            RunOptions::default(),
+        )
+        .unwrap();
         assert_eq!(res.results, want);
     }
 
@@ -346,7 +356,12 @@ mod tests {
             steps: 3,
             ..AirshedParams::tiny()
         };
-        let res = run_spmd(cfg(4), move |ctx| airshed_rank(ctx, &params));
+        let res = run_single(
+            cfg(4),
+            move |ctx| airshed_rank(ctx, &params),
+            RunOptions::default(),
+        )
+        .unwrap();
         let data_msgs = res
             .trace
             .iter()

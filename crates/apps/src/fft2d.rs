@@ -176,7 +176,7 @@ pub fn fft2d_sequential(p: &FftParams, np: usize) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fxnet_fx::{run_spmd, SpmdConfig};
+    use fxnet_fx::{run_single, RunOptions, SpmdConfig};
 
     fn cfg(p: u32) -> SpmdConfig {
         let mut c = SpmdConfig {
@@ -193,7 +193,12 @@ mod tests {
         let params = FftParams::tiny();
         let want = fft2d_sequential(&params, 4);
         let pp = params.clone();
-        let res = run_spmd(cfg(4), move |ctx| fft2d_rank(ctx, &pp));
+        let res = run_single(
+            cfg(4),
+            move |ctx| fft2d_rank(ctx, &pp),
+            RunOptions::default(),
+        )
+        .unwrap();
         assert_eq!(res.results, want);
     }
 
@@ -202,14 +207,24 @@ mod tests {
         let params = FftParams { n: 8, iters: 1 };
         let want = fft2d_sequential(&params, 2);
         let pp = params.clone();
-        let res = run_spmd(cfg(2), move |ctx| fft2d_rank(ctx, &pp));
+        let res = run_single(
+            cfg(2),
+            move |ctx| fft2d_rank(ctx, &pp),
+            RunOptions::default(),
+        )
+        .unwrap();
         assert_eq!(res.results, want);
     }
 
     #[test]
     fn all_pairs_carry_traffic() {
         let params = FftParams::tiny();
-        let res = run_spmd(cfg(4), move |ctx| fft2d_rank(ctx, &params));
+        let res = run_single(
+            cfg(4),
+            move |ctx| fft2d_rank(ctx, &params),
+            RunOptions::default(),
+        )
+        .unwrap();
         let mut pairs = std::collections::HashSet::new();
         for r in &res.trace {
             if r.kind == fxnet_sim::FrameKind::Data {

@@ -120,7 +120,7 @@ pub fn hist_sequential(p: &HistParams) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fxnet_fx::{run_spmd, SpmdConfig};
+    use fxnet_fx::{run_single, RunOptions, SpmdConfig};
     use fxnet_sim::FrameKind;
 
     fn cfg(p: u32) -> SpmdConfig {
@@ -138,7 +138,12 @@ mod tests {
         let params = HistParams::tiny();
         let want = hist_sequential(&params);
         let pp = params.clone();
-        let res = run_spmd(cfg(4), move |ctx| hist_rank(ctx, &pp));
+        let res = run_single(
+            cfg(4),
+            move |ctx| hist_rank(ctx, &pp),
+            RunOptions::default(),
+        )
+        .unwrap();
         for r in &res.results {
             assert_eq!(r, &want);
         }
@@ -148,7 +153,12 @@ mod tests {
     fn total_count_is_n_squared() {
         let params = HistParams::tiny();
         let pp = params.clone();
-        let res = run_spmd(cfg(4), move |ctx| hist_rank(ctx, &pp));
+        let res = run_single(
+            cfg(4),
+            move |ctx| hist_rank(ctx, &pp),
+            RunOptions::default(),
+        )
+        .unwrap();
         let total: u32 = res.results[0].iter().sum();
         assert_eq!(total as usize, params.n * params.n);
     }
@@ -158,7 +168,12 @@ mod tests {
         let params = HistParams::tiny();
         let want = hist_sequential(&params);
         let pp = params.clone();
-        let res = run_spmd(cfg(3), move |ctx| hist_rank(ctx, &pp));
+        let res = run_single(
+            cfg(3),
+            move |ctx| hist_rank(ctx, &pp),
+            RunOptions::default(),
+        )
+        .unwrap();
         for r in &res.results {
             assert_eq!(r, &want);
         }
@@ -170,7 +185,12 @@ mod tests {
             iters: 1,
             ..HistParams::tiny()
         };
-        let res = run_spmd(cfg(4), move |ctx| hist_rank(ctx, &params));
+        let res = run_single(
+            cfg(4),
+            move |ctx| hist_rank(ctx, &params),
+            RunOptions::default(),
+        )
+        .unwrap();
         // Up-sweep P−1 messages + broadcast P−1 messages = 6 for P=4.
         let pvm_msgs: usize = res
             .trace

@@ -32,7 +32,7 @@ pub mod seq;
 pub mod sor;
 pub mod t2dfft;
 
-use fxnet_fx::{run_spmd, RunResult, SpmdConfig};
+use fxnet_fx::{run_single, FxnetResult, RunOptions, RunResult, SpmdConfig};
 
 /// The five kernels, for harnesses that sweep over all of them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,37 +78,46 @@ impl KernelKind {
 
     /// Run the kernel at paper scale, scaled down by `iter_div` on the
     /// outer iteration count (1 = the full measured run).
-    pub fn run_paper(&self, cfg: SpmdConfig, iter_div: usize) -> RunResult<u64> {
+    ///
+    /// # Errors
+    /// Propagates any [`fxnet_fx::FxnetError`] from the engine (invalid
+    /// config, deadlock, runaway clock).
+    pub fn run_paper(&self, cfg: SpmdConfig, iter_div: usize) -> FxnetResult<RunResult<u64>> {
         let d = iter_div.max(1);
+        let opts = RunOptions::default;
         match self {
             KernelKind::Sor => {
                 let mut p = sor::SorParams::paper();
                 p.steps = (p.steps / d).max(1);
-                run_spmd(cfg, move |ctx| sor::sor_rank(ctx, &p))
+                run_single(cfg, move |ctx| sor::sor_rank(ctx, &p), opts())
             }
             KernelKind::Fft2d => {
                 let mut p = fft2d::FftParams::paper();
                 p.iters = (p.iters / d).max(1);
-                run_spmd(cfg, move |ctx| fft2d::fft2d_rank(ctx, &p))
+                run_single(cfg, move |ctx| fft2d::fft2d_rank(ctx, &p), opts())
             }
             KernelKind::T2dfft => {
                 let mut p = t2dfft::T2dfftParams::paper();
                 p.iters = (p.iters / d).max(1);
-                run_spmd(cfg, move |ctx| t2dfft::t2dfft_rank(ctx, &p))
+                run_single(cfg, move |ctx| t2dfft::t2dfft_rank(ctx, &p), opts())
             }
             KernelKind::Seq => {
                 let mut p = seq::SeqParams::paper();
                 p.iters = (p.iters / d).max(1);
-                run_spmd(cfg, move |ctx| seq::seq_rank(ctx, &p))
+                run_single(cfg, move |ctx| seq::seq_rank(ctx, &p), opts())
             }
             KernelKind::Hist => {
                 let mut p = hist::HistParams::paper();
                 p.iters = (p.iters / d).max(1);
-                run_spmd(cfg, move |ctx| {
-                    let h = hist::hist_rank(ctx, &p);
-                    let as_f64: Vec<f64> = h.iter().map(|&v| f64::from(v)).collect();
-                    checksum(&as_f64)
-                })
+                run_single(
+                    cfg,
+                    move |ctx| {
+                        let h = hist::hist_rank(ctx, &p);
+                        let as_f64: Vec<f64> = h.iter().map(|&v| f64::from(v)).collect();
+                        checksum(&as_f64)
+                    },
+                    opts(),
+                )
             }
         }
     }

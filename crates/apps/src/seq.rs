@@ -120,7 +120,7 @@ pub fn seq_sequential(p: &SeqParams, np: usize) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fxnet_fx::{run_spmd, SpmdConfig};
+    use fxnet_fx::{run_single, RunOptions, SpmdConfig};
     use fxnet_sim::FrameKind;
 
     fn cfg(p: u32) -> SpmdConfig {
@@ -138,14 +138,19 @@ mod tests {
         let params = SeqParams::tiny();
         let want = seq_sequential(&params, 4);
         let pp = params.clone();
-        let res = run_spmd(cfg(4), move |ctx| seq_rank(ctx, &pp));
+        let res = run_single(cfg(4), move |ctx| seq_rank(ctx, &pp), RunOptions::default()).unwrap();
         assert_eq!(res.results, want);
     }
 
     #[test]
     fn element_frames_are_90_bytes() {
         let params = SeqParams::tiny();
-        let res = run_spmd(cfg(4), move |ctx| seq_rank(ctx, &params));
+        let res = run_single(
+            cfg(4),
+            move |ctx| seq_rank(ctx, &params),
+            RunOptions::default(),
+        )
+        .unwrap();
         let data: Vec<u32> = res
             .trace
             .iter()
@@ -162,7 +167,12 @@ mod tests {
     #[test]
     fn only_root_sends_data() {
         let params = SeqParams::tiny();
-        let res = run_spmd(cfg(3), move |ctx| seq_rank(ctx, &params));
+        let res = run_single(
+            cfg(3),
+            move |ctx| seq_rank(ctx, &params),
+            RunOptions::default(),
+        )
+        .unwrap();
         for r in &res.trace {
             if r.kind == FrameKind::Data {
                 assert_eq!(r.src.0, 0, "only processor 0 produces data");
@@ -177,7 +187,12 @@ mod tests {
             iters: 2,
             row_io: SimTime::from_millis(1),
         };
-        let res = run_spmd(cfg(2), move |ctx| seq_rank(ctx, &params));
+        let res = run_single(
+            cfg(2),
+            move |ctx| seq_rank(ctx, &params),
+            RunOptions::default(),
+        )
+        .unwrap();
         let data = res
             .trace
             .iter()

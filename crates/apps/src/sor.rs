@@ -127,7 +127,7 @@ pub fn sor_sequential(p: &SorParams, np: usize) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fxnet_fx::{run_spmd, SpmdConfig};
+    use fxnet_fx::{run_single, RunOptions, SpmdConfig};
 
     fn cfg(p: u32) -> SpmdConfig {
         let mut c = SpmdConfig {
@@ -144,7 +144,7 @@ mod tests {
         let params = SorParams::tiny();
         let want = sor_sequential(&params, 4);
         let pp = params.clone();
-        let res = run_spmd(cfg(4), move |ctx| sor_rank(ctx, &pp));
+        let res = run_single(cfg(4), move |ctx| sor_rank(ctx, &pp), RunOptions::default()).unwrap();
         assert_eq!(res.results, want);
     }
 
@@ -157,14 +157,19 @@ mod tests {
         };
         let want = sor_sequential(&params, 2);
         let pp = params.clone();
-        let res = run_spmd(cfg(2), move |ctx| sor_rank(ctx, &pp));
+        let res = run_single(cfg(2), move |ctx| sor_rank(ctx, &pp), RunOptions::default()).unwrap();
         assert_eq!(res.results, want);
     }
 
     #[test]
     fn traffic_uses_only_neighbor_connections() {
         let params = SorParams::tiny();
-        let res = run_spmd(cfg(4), move |ctx| sor_rank(ctx, &params));
+        let res = run_single(
+            cfg(4),
+            move |ctx| sor_rank(ctx, &params),
+            RunOptions::default(),
+        )
+        .unwrap();
         for r in &res.trace {
             let (a, b) = (r.src.0 as i64, r.dst.0 as i64);
             assert!(

@@ -152,7 +152,7 @@ pub fn t2dfft_sequential(p: &T2dfftParams, np: usize) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fxnet_fx::{run_spmd, SpmdConfig};
+    use fxnet_fx::{run_single, RunOptions, SpmdConfig};
     use fxnet_sim::FrameKind;
 
     fn cfg(p: u32) -> SpmdConfig {
@@ -170,7 +170,12 @@ mod tests {
         let params = T2dfftParams { n: 16, iters: 1 };
         let want = t2dfft_sequential(&params, 4);
         let pp = params.clone();
-        let res = run_spmd(cfg(4), move |ctx| t2dfft_rank(ctx, &pp));
+        let res = run_single(
+            cfg(4),
+            move |ctx| t2dfft_rank(ctx, &pp),
+            RunOptions::default(),
+        )
+        .unwrap();
         assert_eq!(res.results, want);
     }
 
@@ -179,14 +184,24 @@ mod tests {
         let params = T2dfftParams::tiny();
         let want = t2dfft_sequential(&params, 4);
         let pp = params.clone();
-        let res = run_spmd(cfg(4), move |ctx| t2dfft_rank(ctx, &pp));
+        let res = run_single(
+            cfg(4),
+            move |ctx| t2dfft_rank(ctx, &pp),
+            RunOptions::default(),
+        )
+        .unwrap();
         assert_eq!(res.results, want);
     }
 
     #[test]
     fn traffic_crosses_the_partition_only() {
         let params = T2dfftParams::tiny();
-        let res = run_spmd(cfg(4), move |ctx| t2dfft_rank(ctx, &params));
+        let res = run_single(
+            cfg(4),
+            move |ctx| t2dfft_rank(ctx, &params),
+            RunOptions::default(),
+        )
+        .unwrap();
         for r in &res.trace {
             if r.kind == FrameKind::Data {
                 assert!(
@@ -204,7 +219,12 @@ mod tests {
         // The defining T2DFFT behaviour: many packs → many fragments →
         // a broad mix of packet sizes rather than a trimodal one.
         let params = T2dfftParams { n: 32, iters: 1 };
-        let res = run_spmd(cfg(4), move |ctx| t2dfft_rank(ctx, &params));
+        let res = run_single(
+            cfg(4),
+            move |ctx| t2dfft_rank(ctx, &params),
+            RunOptions::default(),
+        )
+        .unwrap();
         let data_sizes: std::collections::HashSet<u32> = res
             .trace
             .iter()

@@ -15,7 +15,7 @@ fn bench_kernel(c: &mut Criterion, kernel: KernelKind, div: usize) {
     group.sample_size(10);
     group.bench_function(&id, |b| {
         b.iter(|| {
-            let run = Testbed::paper().run_kernel(kernel, div);
+            let run = Testbed::paper().run_kernel(kernel, div).unwrap();
             black_box(run.trace.len())
         })
     });
@@ -39,7 +39,7 @@ fn airshed(c: &mut Criterion) {
                 hours: 1,
                 ..AirshedParams::paper()
             };
-            let run = Testbed::paper().run_airshed(params);
+            let run = Testbed::paper().run_airshed(params).unwrap();
             black_box(run.trace.len())
         })
     });

@@ -2,22 +2,33 @@
 //!
 //! ```sh
 //! cargo run --release -p fxnet-bench --bin repro -- all --div 10
-//! cargo run --release -p fxnet-bench --bin repro -- fig3 fig7
+//! cargo run --release -p fxnet-bench --bin repro -- fig3 fig7 --jobs 4
+//! cargo run --release -p fxnet-bench --bin repro -- --list
 //! ```
 //!
-//! Experiment ids (DESIGN.md §4): fig1 fig3 fig4 fig5 fig6 fig7 fig8
-//! fig9 airshed-avg fig10 fig11 model qos baseline. `--div N` scales the
-//! kernels' outer iteration counts by 1/N (default 1 = full paper
-//! scale); `--hours H` sets AIRSHED hours (default 100); `--out DIR`
-//! sets the series/spectra output directory (default `out/`); `--seed N`
-//! sets the simulation seed (default 1998) — the same seed reproduces
-//! every trace and table byte for byte.
+//! Every experiment lives in one declarative [`REGISTRY`] entry — a
+//! stable id, a one-line description, which selection sets it belongs
+//! to, the programs it reads from the shared run cache, and the runner
+//! — so `--list`, `--help`, dispatch, and prewarming all derive from
+//! the same table (DESIGN.md §4).
+//!
+//! `--div N` scales the kernels' outer iteration counts by 1/N (default
+//! 1 = full paper scale); `--hours H` sets AIRSHED hours (default 100);
+//! `--out DIR` sets the series/spectra output directory (default
+//! `out/`); `--seed N` sets the simulation seed (default 1998) — the
+//! same seed reproduces every trace and table byte for byte. `--jobs N`
+//! fans the independent simulations (the cached programs, the ablation
+//! and admission sweeps) across N workers; output stays byte-identical
+//! to `--jobs 1` because results are collected in job order, never
+//! completion order.
 //!
 //! Extras (run only when named): phases, summary, the ablations,
 //! `all-extras` (all of those), the multi-tenant experiments `mix`
-//! and `mix-admit`, and the live-observability experiment `watch`
+//! and `mix-admit`, the live-observability experiment `watch`
 //! (streaming contract compliance; writes Prometheus-text metrics and a
-//! JSONL event log, directed by `--metrics-out DIR`, default `--out`).
+//! JSONL event log, directed by `--metrics-out DIR`, default `--out`),
+//! and `bench` (event-queue engines + parallel suite speedup; writes
+//! `out/bench_repro.json`).
 
 use fxnet::fx::Pattern;
 use fxnet::qos::{negotiate, AppDescriptor, QosNetwork};
@@ -32,11 +43,268 @@ use fxnet::trace::{
     average_bandwidth, binned_bandwidth, sliding_window_bandwidth, Periodogram, Stats,
 };
 use fxnet::{KernelKind, SimTime};
-use fxnet_bench::{bandwidth_row, stats_row, Experiments};
+use fxnet_bench::{bandwidth_row, queue_benchmark, stats_row, Experiments};
+use fxnet_harness::{timed, Pool};
 use serde::Value;
 use std::io::Write;
 
 const BIN: SimTime = SimTime(10_000_000); // the paper's 10 ms window
+
+/// Everything an experiment runner gets: the shared run cache, the
+/// worker pool, and the raw CLI knobs.
+struct Ctx {
+    exps: Experiments,
+    pool: Pool,
+    div: usize,
+    hours: usize,
+    seed: u64,
+    metrics_out: Option<String>,
+}
+
+/// One experiment: a stable id, what it is, which selection sets it
+/// belongs to, what it reads from the shared run cache, and how to run
+/// it. The whole CLI — `--list`, dispatch order, prewarming — derives
+/// from this table.
+struct Experiment {
+    id: &'static str,
+    desc: &'static str,
+    /// Member of the default `all` set.
+    in_all: bool,
+    /// Member of `all-extras`.
+    extra: bool,
+    /// Kernels the runner reads from the shared cache (prewarmed
+    /// through the pool before any experiment prints).
+    needs_kernels: &'static [KernelKind],
+    /// Whether the runner reads the shared AIRSHED run.
+    needs_airshed: bool,
+    run: fn(&mut Ctx),
+}
+
+/// The experiment registry, in execution order.
+const REGISTRY: &[Experiment] = &[
+    Experiment {
+        id: "fig1",
+        desc: "Fx communication patterns (P = 8)",
+        in_all: true,
+        extra: false,
+        needs_kernels: &[],
+        needs_airshed: false,
+        run: fig1,
+    },
+    Experiment {
+        id: "fig3",
+        desc: "packet size statistics for Fx kernels",
+        in_all: true,
+        extra: false,
+        needs_kernels: &KernelKind::ALL,
+        needs_airshed: false,
+        run: fig3,
+    },
+    Experiment {
+        id: "fig4",
+        desc: "packet interarrival statistics for Fx kernels",
+        in_all: true,
+        extra: false,
+        needs_kernels: &KernelKind::ALL,
+        needs_airshed: false,
+        run: fig4,
+    },
+    Experiment {
+        id: "fig5",
+        desc: "average bandwidth for Fx kernels",
+        in_all: true,
+        extra: false,
+        needs_kernels: &KernelKind::ALL,
+        needs_airshed: false,
+        run: fig5,
+    },
+    Experiment {
+        id: "fig6",
+        desc: "instantaneous bandwidth of Fx kernels (series files)",
+        in_all: true,
+        extra: false,
+        needs_kernels: &KernelKind::ALL,
+        needs_airshed: false,
+        run: fig6,
+    },
+    Experiment {
+        id: "fig7",
+        desc: "power spectra of kernel bandwidth (spectrum files)",
+        in_all: true,
+        extra: false,
+        needs_kernels: &KernelKind::ALL,
+        needs_airshed: false,
+        run: fig7,
+    },
+    Experiment {
+        id: "fig8",
+        desc: "packet size statistics for AIRSHED",
+        in_all: true,
+        extra: false,
+        needs_kernels: &[],
+        needs_airshed: true,
+        run: fig8,
+    },
+    Experiment {
+        id: "fig9",
+        desc: "packet interarrival statistics for AIRSHED",
+        in_all: true,
+        extra: false,
+        needs_kernels: &[],
+        needs_airshed: true,
+        run: fig9,
+    },
+    Experiment {
+        id: "airshed-avg",
+        desc: "AIRSHED average bandwidth (§6.2)",
+        in_all: true,
+        extra: false,
+        needs_kernels: &[],
+        needs_airshed: true,
+        run: airshed_avg,
+    },
+    Experiment {
+        id: "fig10",
+        desc: "instantaneous bandwidth of AIRSHED (series files)",
+        in_all: true,
+        extra: false,
+        needs_kernels: &[],
+        needs_airshed: true,
+        run: fig10,
+    },
+    Experiment {
+        id: "fig11",
+        desc: "power spectrum of AIRSHED bandwidth",
+        in_all: true,
+        extra: false,
+        needs_kernels: &[],
+        needs_airshed: true,
+        run: fig11,
+    },
+    Experiment {
+        id: "model",
+        desc: "truncated Fourier-series models of kernel bandwidth (§7.2)",
+        in_all: true,
+        extra: false,
+        needs_kernels: &[KernelKind::Fft2d, KernelKind::Hist, KernelKind::Seq],
+        needs_airshed: false,
+        run: model,
+    },
+    Experiment {
+        id: "qos",
+        desc: "QoS negotiation: t_bi vs P (§7.3)",
+        in_all: true,
+        extra: false,
+        needs_kernels: &[],
+        needs_airshed: false,
+        run: qos,
+    },
+    Experiment {
+        id: "baseline",
+        desc: "parallel-program vs media traffic (§1/§8)",
+        in_all: true,
+        extra: false,
+        needs_kernels: &[KernelKind::Fft2d, KernelKind::Hist],
+        needs_airshed: false,
+        run: baseline,
+    },
+    Experiment {
+        id: "phases",
+        desc: "per-phase traffic attribution (span × trace join; needs telemetry)",
+        in_all: false,
+        extra: true,
+        needs_kernels: &KernelKind::ALL,
+        needs_airshed: true,
+        run: phases,
+    },
+    Experiment {
+        id: "summary",
+        desc: "one-page markdown summary of every measured program",
+        in_all: false,
+        extra: true,
+        needs_kernels: &KernelKind::ALL,
+        needs_airshed: true,
+        run: summary,
+    },
+    Experiment {
+        id: "ablate-switch",
+        desc: "ablation: shared CSMA/CD bus vs store-and-forward switch",
+        in_all: false,
+        extra: true,
+        needs_kernels: &[],
+        needs_airshed: false,
+        run: ablate_switch,
+    },
+    Experiment {
+        id: "ablate-route",
+        desc: "ablation: PVM direct TCP route vs daemon UDP relay",
+        in_all: false,
+        extra: true,
+        needs_kernels: &[],
+        needs_airshed: false,
+        run: ablate_route,
+    },
+    Experiment {
+        id: "ablate-p",
+        desc: "ablation: processor-count sweep vs the §7.3 model",
+        in_all: false,
+        extra: true,
+        needs_kernels: &[],
+        needs_airshed: false,
+        run: ablate_p,
+    },
+    Experiment {
+        id: "mix",
+        desc: "multi-tenant: SOR + 2DFFT + HIST sharing one wire",
+        in_all: false,
+        extra: false,
+        needs_kernels: &[],
+        needs_airshed: false,
+        run: mix_kernels,
+    },
+    Experiment {
+        id: "mix-admit",
+        desc: "multi-tenant: QoS admission under rising offered load",
+        in_all: false,
+        extra: false,
+        needs_kernels: &[],
+        needs_airshed: false,
+        run: mix_admit,
+    },
+    Experiment {
+        id: "watch",
+        desc: "live observability: streaming contract compliance",
+        in_all: false,
+        extra: false,
+        needs_kernels: &[],
+        needs_airshed: false,
+        run: watch_live,
+    },
+    Experiment {
+        id: "bench",
+        desc: "perf probes: event-queue engines + parallel suite speedup",
+        in_all: false,
+        extra: false,
+        needs_kernels: &[],
+        needs_airshed: false,
+        run: bench_repro,
+    },
+];
+
+fn list_experiments() {
+    println!("experiments (run with `repro <id>...`):");
+    for e in REGISTRY {
+        let set = if e.in_all {
+            "all"
+        } else if e.extra {
+            "extras"
+        } else {
+            "named"
+        };
+        println!("  {:<14} [{set:<6}] {}", e.id, e.desc);
+    }
+    println!("\nsets: `all` (the default), `all-extras`; everything else runs only when named");
+}
 
 fn main() {
     let mut div = 1usize;
@@ -45,6 +313,7 @@ fn main() {
     let mut metrics_out: Option<String> = None;
     let mut seed = 1998u64;
     let mut telemetry = false;
+    let mut jobs = 1usize;
     let mut exps: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -54,16 +323,19 @@ fn main() {
             "--out" => out = args.next().unwrap_or_else(|| "out".into()),
             "--metrics-out" => metrics_out = args.next(),
             "--seed" => seed = args.next().and_then(|s| s.parse().ok()).unwrap_or(1998),
+            "--jobs" => jobs = args.next().and_then(|s| s.parse().ok()).unwrap_or(1),
             "--telemetry" => telemetry = true,
+            "--list" => {
+                list_experiments();
+                return;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--div N] [--hours H] [--out DIR] [--metrics-out DIR] [--seed N] [--telemetry] <exp>...\n\
-                     exps: fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 airshed-avg fig10 fig11 model qos baseline all\n\
-                     extras (not in `all`): phases ablate-switch ablate-route ablate-p summary\n\
-                     multi-tenant: mix (SOR+2DFFT+HIST sharing the wire) mix-admit (QoS admission sweep)\n\
-                     live observability: watch (streaming contract compliance; writes watch.prom + watch_events.jsonl)\n\
-                     all-extras = phases ablate-switch ablate-route ablate-p summary\n\
+                    "usage: repro [--div N] [--hours H] [--out DIR] [--metrics-out DIR] [--seed N] [--jobs N] [--telemetry] [--list] <exp>...\n\
+                     `repro --list` prints every experiment id with its description\n\
+                     sets: all (default) = every figure/table of the paper; all-extras = phases ablate-switch ablate-route ablate-p summary\n\
                      --seed N sets the simulation seed (default 1998); same seed, byte-identical output\n\
+                     --jobs N fans independent runs across N workers (0 = all CPUs); output is byte-identical to --jobs 1\n\
                      --metrics-out DIR directs the watch artifacts (default: the --out dir)\n\
                      --telemetry collects spans/counters and writes out/telemetry_<exp>.json"
                 );
@@ -75,106 +347,66 @@ fn main() {
     if exps.is_empty() {
         exps.push("all".into());
     }
-    // `all-extras` expands to the named extras that `all` leaves out.
-    if exps.iter().any(|e| e == "all-extras") {
-        for id in [
-            "phases",
-            "ablate-switch",
-            "ablate-route",
-            "ablate-p",
-            "summary",
-        ] {
-            if !exps.iter().any(|e| e == id) {
-                exps.push(id.to_string());
-            }
-        }
-        exps.retain(|e| e != "all-extras");
+    let known = |id: &str| id == "all" || id == "all-extras" || REGISTRY.iter().any(|e| e.id == id);
+    let unknown: Vec<&str> = exps
+        .iter()
+        .map(String::as_str)
+        .filter(|e| !known(e))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown experiment id(s): {} — see `repro --list`",
+            unknown.join(", ")
+        );
+        std::process::exit(2);
     }
     let all = exps.iter().any(|e| e == "all");
-    let want = |name: &str| all || exps.iter().any(|e| e == name);
+    let extras = exps.iter().any(|e| e == "all-extras");
+    // Selection preserves registry order, which is the execution order.
+    let selected: Vec<&Experiment> = REGISTRY
+        .iter()
+        .filter(|e| (all && e.in_all) || (extras && e.extra) || exps.iter().any(|x| x == e.id))
+        .collect();
 
     // The phases experiment is the span × trace join; it needs telemetry.
-    if exps.iter().any(|e| e == "phases") && !telemetry {
+    if selected.iter().any(|e| e.id == "phases") && !telemetry {
         eprintln!("note: `phases` needs telemetry; enabling --telemetry\n");
         telemetry = true;
     }
 
-    let mut ctx = Experiments::new(div, hours, &out)
-        .with_seed(seed)
-        .with_telemetry(telemetry);
+    let mut ctx = Ctx {
+        exps: Experiments::new(div, hours, &out)
+            .with_seed(seed)
+            .with_telemetry(telemetry),
+        pool: Pool::new(jobs),
+        div,
+        hours,
+        seed,
+        metrics_out,
+    };
     if div != 1 {
         println!(
             "note: kernel iteration counts scaled by 1/{div} (pass --div 1 for full paper scale)\n"
         );
     }
 
-    if want("fig1") {
-        fig1();
+    // Prewarm the union of what the selected experiments read from the
+    // shared cache, fanned across the pool. The cache is keyed by
+    // program, so every analysis afterwards prints the same bytes at
+    // any --jobs; only the [run] progress lines on stderr interleave.
+    let mut kernels: Vec<KernelKind> = Vec::new();
+    for e in &selected {
+        for k in e.needs_kernels {
+            if !kernels.contains(k) {
+                kernels.push(*k);
+            }
+        }
     }
-    if want("fig3") {
-        fig3(&mut ctx);
-    }
-    if want("fig4") {
-        fig4(&mut ctx);
-    }
-    if want("fig5") {
-        fig5(&mut ctx);
-    }
-    if want("fig6") {
-        fig6(&mut ctx);
-    }
-    if want("fig7") {
-        fig7(&mut ctx);
-    }
-    if want("fig8") {
-        fig8(&mut ctx);
-    }
-    if want("fig9") {
-        fig9(&mut ctx);
-    }
-    if want("airshed-avg") {
-        airshed_avg(&mut ctx);
-    }
-    if want("fig10") {
-        fig10(&mut ctx);
-    }
-    if want("fig11") {
-        fig11(&mut ctx);
-    }
-    if want("model") {
-        model(&mut ctx);
-    }
-    if want("qos") {
-        qos();
-    }
-    if want("baseline") {
-        baseline(&mut ctx);
-    }
-    if exps.iter().any(|e| e == "phases") {
-        phases(&mut ctx);
-    }
-    if exps.iter().any(|e| e == "summary") {
-        summary(&mut ctx);
-    }
-    // Ablations run only when asked for explicitly.
-    if exps.iter().any(|e| e == "ablate-switch") {
-        ablate_switch(div, seed);
-    }
-    if exps.iter().any(|e| e == "ablate-route") {
-        ablate_route(div, seed);
-    }
-    if exps.iter().any(|e| e == "ablate-p") {
-        ablate_p(seed);
-    }
-    // Multi-tenant experiments run only when asked for explicitly.
-    if exps.iter().any(|e| e == "mix") {
-        mix_kernels(&ctx);
-    }
-    if exps.iter().any(|e| e == "mix-admit") {
-        mix_admit(seed);
-    }
-    if exps.iter().any(|e| e == "watch") {
-        watch_live(&ctx, metrics_out.as_deref());
+    let airshed = selected.iter().any(|e| e.needs_airshed);
+    ctx.exps.prewarm(&ctx.pool, &kernels, airshed);
+
+    for e in &selected {
+        (e.run)(&mut ctx);
     }
 
     // Telemetry artifacts: one deterministic JSON (spans + counter
@@ -182,8 +414,9 @@ fn main() {
     // `phases` writes its own, richer artifact.
     if telemetry {
         for e in exps.iter().filter(|e| e.as_str() != "phases") {
-            let path = ctx.out_path(&format!("telemetry_{e}.json"));
-            write_json_artifact(&path, &ctx.telemetry_value()).expect("write telemetry artifact");
+            let path = ctx.exps.out_path(&format!("telemetry_{e}.json"));
+            write_json_artifact(&path, &ctx.exps.telemetry_value())
+                .expect("write telemetry artifact");
             println!("wrote {}", path.display());
         }
     }
@@ -192,7 +425,8 @@ fn main() {
 // --------------------------------------------------------------------
 // Per-phase traffic attribution: the span × trace join.
 
-fn phases(ctx: &mut Experiments) {
+fn phases(c: &mut Ctx) {
+    let ctx = &mut c.exps;
     header("Per-phase traffic attribution (10 ms peak bins)");
     let ranks = fxnet::Testbed::paper().config().p;
     let mut entries: Vec<(String, Value)> = Vec::new();
@@ -228,7 +462,8 @@ fn phases(ctx: &mut Experiments) {
 // --------------------------------------------------------------------
 // One-page markdown summary of every measured program.
 
-fn summary(ctx: &mut Experiments) {
+fn summary(c: &mut Ctx) {
+    let ctx = &mut c.exps;
     header("Summary: all measured programs (markdown)");
     use fxnet::trace::{markdown_table, ReportOptions};
     let opts = ReportOptions::default();
@@ -260,22 +495,33 @@ fn kernel_row(label: &str, run: &fxnet::RunResult<u64>) -> String {
     )
 }
 
-fn ablate_switch(div: usize, seed: u64) {
+fn ablate_switch(c: &mut Ctx) {
     header("Ablation: shared CSMA/CD bus vs store-and-forward switch");
     use fxnet::Testbed;
-    for k in [KernelKind::Fft2d, KernelKind::Hist] {
-        let bus = Testbed::paper().with_seed(seed).run_kernel(k, div.max(5));
-        let sw = Testbed::paper()
-            .with_seed(seed)
-            .with_switched_fabric()
-            .run_kernel(k, div.max(5));
+    let (div, seed) = (c.div, c.seed);
+    // Four independent (kernel, fabric) runs; the pool returns them in
+    // input order, so the table reads the same at any --jobs.
+    let runs = c.pool.map(
+        [KernelKind::Fft2d, KernelKind::Hist]
+            .into_iter()
+            .flat_map(|k| [(k, false), (k, true)])
+            .collect(),
+        |(k, switched)| {
+            let mut tb = Testbed::paper().with_seed(seed);
+            if switched {
+                tb = tb.with_switched_fabric();
+            }
+            tb.run_kernel(k, div.max(5)).unwrap()
+        },
+    );
+    for (pair, k) in runs.chunks(2).zip([KernelKind::Fft2d, KernelKind::Hist]) {
         println!(
             "
 {}:",
             k.name()
         );
-        println!("{}", kernel_row("  shared bus", &bus));
-        println!("{}", kernel_row("  switched fabric", &sw));
+        println!("{}", kernel_row("  shared bus", &pair[0]));
+        println!("{}", kernel_row("  switched fabric", &pair[1]));
     }
     println!(
         "
@@ -285,23 +531,32 @@ fn ablate_switch(div: usize, seed: u64) {
     println!(" persists: it is program structure, not MAC contention.)");
 }
 
-fn ablate_route(div: usize, seed: u64) {
+fn ablate_route(c: &mut Ctx) {
     header("Ablation: PVM direct TCP route vs daemon UDP relay");
     use fxnet::pvm::Route;
     use fxnet::Testbed;
-    for k in [KernelKind::Fft2d, KernelKind::Hist] {
-        let direct = Testbed::paper().with_seed(seed).run_kernel(k, div.max(5));
-        let daemon = Testbed::paper()
-            .with_seed(seed)
-            .with_route(Route::Daemon)
-            .run_kernel(k, div.max(5));
+    let (div, seed) = (c.div, c.seed);
+    let runs = c.pool.map(
+        [KernelKind::Fft2d, KernelKind::Hist]
+            .into_iter()
+            .flat_map(|k| [(k, Route::Direct), (k, Route::Daemon)])
+            .collect(),
+        |(k, route)| {
+            Testbed::paper()
+                .with_seed(seed)
+                .with_route(route)
+                .run_kernel(k, div.max(5))
+                .unwrap()
+        },
+    );
+    for (pair, k) in runs.chunks(2).zip([KernelKind::Fft2d, KernelKind::Hist]) {
         println!(
             "
 {}:",
             k.name()
         );
-        println!("{}", kernel_row("  direct (TCP)", &direct));
-        println!("{}", kernel_row("  daemon (UDP relay)", &daemon));
+        println!("{}", kernel_row("  direct (TCP)", &pair[0]));
+        println!("{}", kernel_row("  daemon (UDP relay)", &pair[1]));
     }
     println!(
         "
@@ -310,41 +565,51 @@ fn ablate_route(div: usize, seed: u64) {
     println!(" relaying stretches every communication phase.)");
 }
 
-fn ablate_p(seed: u64) {
+fn ablate_p(c: &mut Ctx) {
     header("Ablation: processor-count sweep vs the §7.3 model");
     use fxnet::pvm::MessageBuilder;
     use fxnet::Testbed;
     let work = SimTime::from_secs(8);
     let n_bytes = 200_000usize;
+    let seed = c.seed;
     println!(
         "shift pattern, W = {}s total work, N = {} KB bursts:",
         work.as_secs_f64(),
         n_bytes / 1000
     );
     println!("    P    model t_bi    measured t_bi");
+    // A keyed sweep: rows come back sorted by P no matter which worker
+    // finishes first.
+    let mut sweep = c.pool.sweep::<u32, String>();
     for p in [2u32, 4, 8] {
-        let run = Testbed::quiet(p).with_seed(seed).run(move |ctx| {
-            let me = ctx.rank();
-            let np = ctx.nprocs();
-            let per_rank = SimTime::from_nanos(work.as_nanos() / u64::from(np));
-            for i in 0..8usize {
-                ctx.compute_time(per_rank);
-                let mut b = MessageBuilder::new(i as i32);
-                b.pack_bytes(&vec![0u8; n_bytes]);
-                ctx.send((me + 1) % np, b.finish());
-                let _ = ctx.recv((me + np - 1) % np);
-            }
+        sweep = sweep.add(p, move || {
+            let run = Testbed::quiet(p).with_seed(seed).run(move |ctx| {
+                let me = ctx.rank();
+                let np = ctx.nprocs();
+                let per_rank = SimTime::from_nanos(work.as_nanos() / u64::from(np));
+                for i in 0..8usize {
+                    ctx.compute_time(per_rank);
+                    let mut b = MessageBuilder::new(i as i32);
+                    b.pack_bytes(&vec![0u8; n_bytes]);
+                    ctx.send((me + 1) % np, b.finish());
+                    let _ = ctx.recv((me + np - 1) % np);
+                }
+            });
+            let profile = fxnet::trace::BurstProfile::of(&run.trace, SimTime::from_millis(300))
+                .expect("bursts");
+            let measured = profile.intervals.map_or(f64::NAN, |i| i.avg);
+            let app =
+                AppDescriptor::scalable(Pattern::Shift { k: 1 }, work.as_secs_f64(), move |_| {
+                    n_bytes as u64
+                });
+            let net = QosNetwork::ethernet_10mbps();
+            let bw = net.offer(app.concurrent_connections(p)).expect("offer");
+            let model = app.timing(p, bw).t_interval;
+            format!("   {p:>2}    {model:>9.2}s    {measured:>12.2}s")
         });
-        let profile =
-            fxnet::trace::BurstProfile::of(&run.trace, SimTime::from_millis(300)).expect("bursts");
-        let measured = profile.intervals.map_or(f64::NAN, |i| i.avg);
-        let app = AppDescriptor::scalable(Pattern::Shift { k: 1 }, work.as_secs_f64(), move |_| {
-            n_bytes as u64
-        });
-        let net = QosNetwork::ethernet_10mbps();
-        let bw = net.offer(app.concurrent_connections(p)).expect("offer");
-        let model = app.timing(p, bw).t_interval;
-        println!("   {p:>2}    {model:>9.2}s    {measured:>12.2}s");
+    }
+    for (_, row) in sweep.run() {
+        println!("{row}");
     }
 }
 
@@ -355,10 +620,11 @@ fn header(title: &str) {
 // --------------------------------------------------------------------
 // Multi-tenant experiments: the mixed workload and the admission sweep.
 
-fn mix_kernels(ctx: &Experiments) {
+fn mix_kernels(c: &mut Ctx) {
     header("Mixed workload: SOR + 2DFFT + HIST sharing one wire");
     use fxnet::mix::MixTenant;
     use fxnet::Testbed;
+    let ctx = &c.exps;
     let div = ctx.div;
     // 2DFFT alone presents a ~1.4 MB/s mean load — more than the paper's
     // whole 10 Mb/s Ethernet — so the admission controller would
@@ -437,50 +703,71 @@ fn mix_kernels(ctx: &Experiments) {
     );
 }
 
-fn mix_admit(seed: u64) {
+fn mix_admit(c: &mut Ctx) {
     header("QoS admission under rising offered load (shift tenants, P=4)");
     use fxnet::mix::MixTenant;
     use fxnet::Testbed;
-    // Identical §7.3 shift tenants: 2 s of work per cycle, 400 KB bursts.
-    // Each admission commits its negotiated mean load, so the residual
-    // shrinks until the burst-bandwidth floor (50 KB/s) refuses the next.
-    let tenant = |i: usize| MixTenant::shift(&format!("T{}", i + 1), 2.0, 400_000, 3, 4);
-    let net = || QosNetwork::ethernet_10mbps().with_min_burst_bw(50_000.0);
+    use std::fmt::Write as _;
+    let seed = c.seed;
     println!("offered  admitted  rejected  residual KB/s");
-    let mut any_rejected = false;
+    // Each offered-load level is an independent mix run; sweep them
+    // across the pool keyed by the level so the report prints in order.
+    let mut sweep = c.pool.sweep::<usize, (String, bool)>();
     for offered in 1..=4usize {
-        let mut b = Testbed::paper()
-            .with_seed(seed)
-            .without_heartbeats()
-            .mix()
-            .network(net())
-            .solo_baselines(offered == 2);
-        for i in 0..offered {
-            b = b.tenant(tenant(i));
-        }
-        let out = b.run();
-        any_rejected |= !out.rejected.is_empty();
-        let committed: f64 = out.tenants.iter().map(|t| t.negotiation.mean_load).sum();
-        println!(
-            "{offered:>7}  {:>8}  {:>8}  {:>13.1}",
-            out.tenants.len(),
-            out.rejected.len(),
-            (net().capacity() - committed) / 1000.0
-        );
-        for r in &out.rejected {
-            println!("         {r}");
-        }
-        if offered == 2 {
-            println!("         measured vs predicted slowdown at offered load 2:");
-            for t in &out.tenants {
-                println!(
-                    "           {}: measured {:.3}  QoS-model predicted {:.3}",
-                    t.name,
-                    t.measured_slowdown.unwrap_or(f64::NAN),
-                    t.predicted_slowdown
-                );
+        sweep = sweep.add(offered, move || {
+            // Identical §7.3 shift tenants: 2 s of work per cycle,
+            // 400 KB bursts. Each admission commits its negotiated mean
+            // load, so the residual shrinks until the burst-bandwidth
+            // floor (50 KB/s) refuses the next.
+            let tenant = |i: usize| MixTenant::shift(&format!("T{}", i + 1), 2.0, 400_000, 3, 4);
+            let net = || QosNetwork::ethernet_10mbps().with_min_burst_bw(50_000.0);
+            let mut b = Testbed::paper()
+                .with_seed(seed)
+                .without_heartbeats()
+                .mix()
+                .network(net())
+                .solo_baselines(offered == 2);
+            for i in 0..offered {
+                b = b.tenant(tenant(i));
             }
-        }
+            let out = b.run();
+            let committed: f64 = out.tenants.iter().map(|t| t.negotiation.mean_load).sum();
+            let mut s = String::new();
+            writeln!(
+                s,
+                "{offered:>7}  {:>8}  {:>8}  {:>13.1}",
+                out.tenants.len(),
+                out.rejected.len(),
+                (net().capacity() - committed) / 1000.0
+            )
+            .expect("write row");
+            for r in &out.rejected {
+                writeln!(s, "         {r}").expect("write row");
+            }
+            if offered == 2 {
+                writeln!(
+                    s,
+                    "         measured vs predicted slowdown at offered load 2:"
+                )
+                .expect("write row");
+                for t in &out.tenants {
+                    writeln!(
+                        s,
+                        "           {}: measured {:.3}  QoS-model predicted {:.3}",
+                        t.name,
+                        t.measured_slowdown.unwrap_or(f64::NAN),
+                        t.predicted_slowdown
+                    )
+                    .expect("write row");
+                }
+            }
+            (s, !out.rejected.is_empty())
+        });
+    }
+    let mut any_rejected = false;
+    for (_, (block, rejected)) in sweep.run() {
+        print!("{block}");
+        any_rejected |= rejected;
     }
     assert!(
         any_rejected,
@@ -493,12 +780,14 @@ fn mix_admit(seed: u64) {
 // --------------------------------------------------------------------
 // Live observability: the streaming watcher on the mixed workload.
 
-fn watch_live(ctx: &Experiments, metrics_out: Option<&str>) {
+fn watch_live(c: &mut Ctx) {
     header("Live watch: streaming contract compliance on the shared wire");
     use fxnet::mix::MixTenant;
     use fxnet::telemetry::write_prometheus;
     use fxnet::watch::WatchConfig;
     use fxnet::Testbed;
+    let metrics_out = c.metrics_out.as_deref();
+    let ctx = &c.exps;
     let div = ctx.div;
     // SOR honestly declares its compile-time descriptor; 2DFFT presents
     // only 1/8 of its true burst sizes at admission. Offline analysis
@@ -564,7 +853,7 @@ fn watch_live(ctx: &Experiments, metrics_out: Option<&str>) {
 // --------------------------------------------------------------------
 // Figure 1: the communication patterns.
 
-fn fig1() {
+fn fig1(_c: &mut Ctx) {
     header("Figure 1: Fx communication patterns (P = 8)");
     for pat in [
         Pattern::Neighbor,
@@ -591,7 +880,8 @@ fn fig1() {
 // --------------------------------------------------------------------
 // Figures 3–5: kernel tables.
 
-fn fig3(ctx: &mut Experiments) {
+fn fig3(c: &mut Ctx) {
+    let ctx = &mut c.exps;
     header("Figure 3: packet size statistics for Fx kernels (bytes)");
     println!("-- aggregate --     min       max       avg        sd");
     for k in KernelKind::ALL {
@@ -608,7 +898,8 @@ fn fig3(ctx: &mut Experiments) {
     println!("(paper aggregate: SOR 58/1518/473/568, 2DFFT 58/1518/969/678, T2DFFT 58/1518/912/663, SEQ 58/90/75/14, HIST 58/1518/499/575)");
 }
 
-fn fig4(ctx: &mut Experiments) {
+fn fig4(c: &mut Ctx) {
+    let ctx = &mut c.exps;
     header("Figure 4: packet interarrival time statistics for Fx kernels (ms)");
     println!("-- aggregate --     min       max       avg        sd");
     for k in KernelKind::ALL {
@@ -625,7 +916,8 @@ fn fig4(ctx: &mut Experiments) {
     println!("(paper aggregate avg: SOR 82.1, 2DFFT 1.3, T2DFFT 1.5, SEQ 1.3, HIST 16.5)");
 }
 
-fn fig5(ctx: &mut Experiments) {
+fn fig5(c: &mut Ctx) {
+    let ctx = &mut c.exps;
     header("Figure 5: average bandwidth for Fx kernels (KB/s)");
     println!("-- aggregate --      KB/s");
     for k in KernelKind::ALL {
@@ -667,7 +959,8 @@ fn dump_spectrum(path: &std::path::Path, spec: &Periodogram, max_hz: f64) {
     }
 }
 
-fn fig6(ctx: &mut Experiments) {
+fn fig6(c: &mut Ctx) {
+    let ctx = &mut c.exps;
     header("Figure 6: instantaneous bandwidth of Fx kernels (10 ms window)");
     for k in KernelKind::ALL {
         let win = sliding_window_bandwidth(&ctx.kernel(k).trace, BIN);
@@ -687,7 +980,8 @@ fn fig6(ctx: &mut Experiments) {
     }
 }
 
-fn fig7(ctx: &mut Experiments) {
+fn fig7(c: &mut Ctx) {
+    let ctx = &mut c.exps;
     header("Figure 7: power spectra of kernel bandwidth (10 ms bins)");
     let paper = [
         ("SOR", "conn ~5 Hz fundamental; aggregate less clean"),
@@ -728,7 +1022,8 @@ fn fig7(ctx: &mut Experiments) {
 // --------------------------------------------------------------------
 // Figures 8–11 + §6.2: AIRSHED.
 
-fn fig8(ctx: &mut Experiments) {
+fn fig8(c: &mut Ctx) {
+    let ctx = &mut c.exps;
     header("Figure 8: packet size statistics for AIRSHED (bytes)");
     println!(
         "{}",
@@ -739,7 +1034,8 @@ fn fig8(ctx: &mut Experiments) {
     println!("(paper: aggregate 58/1518/899/693; connection 58/1518/889/688)");
 }
 
-fn fig9(ctx: &mut Experiments) {
+fn fig9(c: &mut Ctx) {
+    let ctx = &mut c.exps;
     header("Figure 9: packet interarrival statistics for AIRSHED (ms)");
     println!(
         "{}",
@@ -753,7 +1049,8 @@ fn fig9(ctx: &mut Experiments) {
     println!("(paper: aggregate 0/23448.6/26.8/513.3; connection 0/37018.5/317.4/2353.6)");
 }
 
-fn airshed_avg(ctx: &mut Experiments) {
+fn airshed_avg(c: &mut Ctx) {
+    let ctx = &mut c.exps;
     header("§6.2: AIRSHED average bandwidth");
     let agg = average_bandwidth(&ctx.airshed().trace).unwrap_or(0.0) / 1000.0;
     let conn = fxnet::trace::connection(&ctx.airshed().trace, fxnet::HostId(0), fxnet::HostId(1));
@@ -762,7 +1059,8 @@ fn airshed_avg(ctx: &mut Experiments) {
     println!("connection {cbw:>8.1} KB/s   (paper:  2.7)");
 }
 
-fn fig10(ctx: &mut Experiments) {
+fn fig10(c: &mut Ctx) {
+    let ctx = &mut c.exps;
     header("Figure 10: instantaneous bandwidth of AIRSHED (10 ms window)");
     let total = ctx.airshed().finished_at.as_secs_f64();
     let win = sliding_window_bandwidth(&ctx.airshed().trace, BIN);
@@ -778,7 +1076,8 @@ fn fig10(ctx: &mut Experiments) {
     println!("wrote {}", pc.display());
 }
 
-fn fig11(ctx: &mut Experiments) {
+fn fig11(c: &mut Ctx) {
+    let ctx = &mut c.exps;
     header("Figure 11: power spectrum of AIRSHED bandwidth");
     let series = binned_bandwidth(&ctx.airshed().trace, BIN);
     let spec = Periodogram::compute(&series, BIN);
@@ -812,7 +1111,8 @@ fn fig11(ctx: &mut Experiments) {
 // --------------------------------------------------------------------
 // §7.2 model, §7.3 QoS, §1/§8 baseline comparison.
 
-fn model(ctx: &mut Experiments) {
+fn model(c: &mut Ctx) {
+    let ctx = &mut c.exps;
     header("§7.2: truncated Fourier-series models of kernel bandwidth");
     for k in [KernelKind::Fft2d, KernelKind::Hist, KernelKind::Seq] {
         let series = binned_bandwidth(&ctx.kernel(k).trace, BIN);
@@ -849,7 +1149,7 @@ fn model(ctx: &mut Experiments) {
     }
 }
 
-fn qos() {
+fn qos(_c: &mut Ctx) {
     header("§7.3: QoS negotiation (t_bi vs P; the network returns P)");
     let net = QosNetwork::ethernet_10mbps();
     let apps: Vec<(&str, AppDescriptor)> = vec![
@@ -887,7 +1187,8 @@ fn qos() {
     }
 }
 
-fn baseline(ctx: &mut Experiments) {
+fn baseline(c: &mut Ctx) {
+    let ctx = &mut c.exps;
     header("§1/§8: parallel-program vs media traffic");
     let mut rows: Vec<(String, f64, f64, Option<f64>)> = Vec::new();
     for k in [KernelKind::Fft2d, KernelKind::Hist] {
@@ -924,4 +1225,133 @@ fn baseline(ctx: &mut Experiments) {
         println!("{name:<14} {flat:>8.4}   {:>12.1}%   {h}", conc * 100.0);
     }
     println!("(expected shape: kernels = low flatness, high spike concentration; media = the reverse; self-similar H > 0.6)");
+}
+
+// --------------------------------------------------------------------
+// Perf probes: the event-queue engines and the parallel suite.
+
+fn bench_repro(c: &mut Ctx) {
+    header("bench: event-queue engines + parallel suite speedup");
+    let jobs = c.pool.jobs();
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Engine probe: the calendar queue against the reference heap on an
+    // identical simulator-shaped schedule.
+    let qb = queue_benchmark(300_000, 1024);
+    println!(
+        "event queues ({} ops, {} pending): calendar {:.1}M events/s vs heap {:.1}M events/s  ({:.2}x)",
+        qb.ops,
+        qb.pending,
+        qb.calendar_events_per_sec / 1e6,
+        qb.heap_events_per_sec / 1e6,
+        qb.ratio
+    );
+    assert!(
+        qb.ratio >= 1.1,
+        "the calendar queue must clear 1.1x the heap's events/sec (got {:.2}x)",
+        qb.ratio
+    );
+
+    // Suite probe: the six measured programs, serial vs pooled, at a
+    // bench scale (outer iterations >= /10, AIRSHED <= 10 hours) so the
+    // probe stays in seconds even at full paper --div.
+    let div = c.div.max(10);
+    let hours = c.hours.min(10);
+    let seed = c.seed;
+    let out_dir = c.exps.out_dir.clone();
+    println!("suite: 6 programs at --div {div} / --hours {hours}, serial vs --jobs {jobs} ...");
+    let (mut serial, t_serial) = timed(|| {
+        let mut e = Experiments::new(div, hours, out_dir.clone()).with_seed(seed);
+        e.prewarm(&Pool::serial(), &KernelKind::ALL, true);
+        e
+    });
+    let (mut parallel, t_parallel) = timed(|| {
+        let mut e = Experiments::new(div, hours, out_dir.clone()).with_seed(seed);
+        e.prewarm(&c.pool, &KernelKind::ALL, true);
+        e
+    });
+    // Both caches are in hand: assert the determinism contract on the
+    // actual traces, not just wall clocks.
+    for k in KernelKind::ALL {
+        assert_eq!(
+            serial.kernel(k).trace,
+            parallel.kernel(k).trace,
+            "{} diverged under the pool",
+            k.name()
+        );
+    }
+    assert_eq!(
+        serial.airshed().trace,
+        parallel.airshed().trace,
+        "AIRSHED diverged under the pool"
+    );
+    let speedup = t_serial.as_secs_f64() / t_parallel.as_secs_f64();
+    println!(
+        "suite: serial {:.2}s, --jobs {jobs} {:.2}s  ({speedup:.2}x), traces byte-identical",
+        t_serial.as_secs_f64(),
+        t_parallel.as_secs_f64()
+    );
+    let enforce = jobs >= 4 && avail >= 4;
+    if enforce {
+        assert!(
+            speedup >= 1.8,
+            "suite speedup at --jobs {jobs} on {avail} CPUs must reach 1.8x (got {speedup:.2}x)"
+        );
+    } else {
+        println!(
+            "(speedup floor 1.8x enforced only with --jobs >= 4 on >= 4 CPUs; here jobs={jobs}, cpus={avail})"
+        );
+    }
+
+    let report = Value::Object(vec![
+        ("jobs".to_string(), Value::U64(jobs as u64)),
+        (
+            "available_parallelism".to_string(),
+            Value::U64(avail as u64),
+        ),
+        (
+            "scale".to_string(),
+            Value::Object(vec![
+                ("div".to_string(), Value::U64(div as u64)),
+                ("airshed_hours".to_string(), Value::U64(hours as u64)),
+            ]),
+        ),
+        (
+            "suite".to_string(),
+            Value::Object(vec![
+                ("programs".to_string(), Value::U64(6)),
+                (
+                    "serial_wall_s".to_string(),
+                    Value::F64(t_serial.as_secs_f64()),
+                ),
+                (
+                    "parallel_wall_s".to_string(),
+                    Value::F64(t_parallel.as_secs_f64()),
+                ),
+                ("speedup".to_string(), Value::F64(speedup)),
+                ("speedup_floor".to_string(), Value::F64(1.8)),
+                ("speedup_enforced".to_string(), Value::Bool(enforce)),
+            ]),
+        ),
+        (
+            "queue".to_string(),
+            Value::Object(vec![
+                ("ops".to_string(), Value::U64(qb.ops)),
+                ("pending".to_string(), Value::U64(qb.pending as u64)),
+                (
+                    "heap_events_per_sec".to_string(),
+                    Value::F64(qb.heap_events_per_sec),
+                ),
+                (
+                    "calendar_events_per_sec".to_string(),
+                    Value::F64(qb.calendar_events_per_sec),
+                ),
+                ("ratio".to_string(), Value::F64(qb.ratio)),
+                ("ratio_floor".to_string(), Value::F64(1.1)),
+            ]),
+        ),
+    ]);
+    let path = c.exps.out_path("bench_repro.json");
+    write_json_artifact(&path, &report).expect("write bench report");
+    println!("wrote {}", path.display());
 }

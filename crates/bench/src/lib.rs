@@ -8,6 +8,7 @@
 use fxnet::apps::airshed::AirshedParams;
 use fxnet::trace::{average_bandwidth, connection, Stats};
 use fxnet::{FrameRecord, HostId, KernelKind, RunResult, Testbed};
+use fxnet_harness::Pool;
 use std::collections::HashMap;
 
 /// Lazily runs and caches the measured programs for one harness process.
@@ -60,6 +61,86 @@ impl Experiments {
         self.seed
     }
 
+    /// Fill the run cache for `kernels` (and AIRSHED if `airshed`) by
+    /// fanning the missing simulations across `pool`.
+    ///
+    /// Each program is an independent run of a fixed `(seed, config)`,
+    /// so warming them in parallel yields byte-identical caches to the
+    /// lazy serial fills — the analyses that later read the cache print
+    /// the same tables and write the same artifacts regardless of
+    /// `pool.jobs()`. Only the `[run]` progress lines on stderr may
+    /// interleave differently.
+    pub fn prewarm(&mut self, pool: &Pool, kernels: &[KernelKind], airshed: bool) {
+        enum Done {
+            Kernel(&'static str, RunResult<u64>),
+            Airshed(RunResult<u64>),
+        }
+        let mut jobs: Vec<Option<KernelKind>> = kernels
+            .iter()
+            .filter(|k| !self.kernels.contains_key(k.name()))
+            .map(|k| Some(*k))
+            .collect();
+        if airshed && self.airshed.is_none() {
+            jobs.push(None); // None = the AIRSHED run
+        }
+        if jobs.is_empty() {
+            return;
+        }
+        // Longest-job-first keeps the pool's makespan near the longest
+        // single run (AIRSHED, then the talkative kernels). Results are
+        // keyed by program, so schedule order cannot affect them.
+        let weight = |j: &Option<KernelKind>| match j {
+            None => 0,
+            Some(KernelKind::T2dfft) => 1,
+            Some(KernelKind::Fft2d) => 2,
+            Some(KernelKind::Seq) => 3,
+            Some(KernelKind::Sor) => 4,
+            Some(KernelKind::Hist) => 5,
+        };
+        jobs.sort_by_key(weight);
+        let (div, hours, seed, telemetry) = (self.div, self.hours, self.seed, self.telemetry);
+        let done = pool.map(jobs, |job| {
+            let t0 = std::time::Instant::now();
+            let tb = Testbed::paper().with_seed(seed).with_telemetry(telemetry);
+            let (name, run) = match job {
+                Some(k) => (
+                    k.name(),
+                    tb.run_kernel(k, div)
+                        .unwrap_or_else(|e| panic!("{}: {e}", k.name())),
+                ),
+                None => {
+                    let params = AirshedParams {
+                        hours,
+                        ..AirshedParams::paper()
+                    };
+                    (
+                        "AIRSHED",
+                        tb.run_airshed(params)
+                            .unwrap_or_else(|e| panic!("AIRSHED: {e}")),
+                    )
+                }
+            };
+            eprintln!(
+                "[run] {name}: {} frames, {:.1} s simulated, {:.1} s wall",
+                run.trace.len(),
+                run.finished_at.as_secs_f64(),
+                t0.elapsed().as_secs_f64()
+            );
+            match job {
+                Some(k) => Done::Kernel(k.name(), run),
+                None => Done::Airshed(run),
+            }
+        });
+        for d in done {
+            match d {
+                Done::Kernel(name, run) => {
+                    self.kernels.insert(name, run);
+                }
+                Done::Airshed(run) => self.airshed = Some(run),
+            }
+        }
+    }
+
     /// The measured trace of a kernel (cached).
     pub fn kernel(&mut self, k: KernelKind) -> &RunResult<u64> {
         let div = self.div;
@@ -71,7 +152,8 @@ impl Experiments {
             let run = Testbed::paper()
                 .with_seed(seed)
                 .with_telemetry(telemetry)
-                .run_kernel(k, div);
+                .run_kernel(k, div)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
             eprintln!(
                 "[run] {}: {} frames, {:.1} s simulated, {:.1} s wall",
                 k.name(),
@@ -95,7 +177,8 @@ impl Experiments {
             let run = Testbed::paper()
                 .with_seed(self.seed)
                 .with_telemetry(self.telemetry)
-                .run_airshed(params);
+                .run_airshed(params)
+                .unwrap_or_else(|e| panic!("AIRSHED: {e}"));
             eprintln!(
                 "[run] AIRSHED: {} frames, {:.1} s simulated, {:.1} s wall",
                 run.trace.len(),
@@ -146,6 +229,117 @@ impl Experiments {
     }
 }
 
+/// Events/sec of the calendar `EventQueue` against the reference
+/// `BinaryHeapQueue`, driven by one identical simulator-shaped schedule
+/// (mostly MAC/segment-scale offsets inside the ring horizon, a few
+/// RTO-scale timers in the overflow).
+pub struct QueueBench {
+    /// Pushes + pops performed per engine.
+    pub ops: u64,
+    /// Steady-state pending events (the hold pattern).
+    pub pending: usize,
+    pub heap_events_per_sec: f64,
+    pub calendar_events_per_sec: f64,
+    /// `calendar_events_per_sec / heap_events_per_sec`.
+    pub ratio: f64,
+}
+
+/// Measure both event-queue implementations on the same deterministic
+/// schedule: prefill `pending` events, then hold that population for
+/// `ops` pop-push rounds, then drain. Best of three rounds per engine.
+pub fn queue_benchmark(ops: usize, pending: usize) -> QueueBench {
+    use fxnet::sim::{BinaryHeapQueue, EventQueue};
+    use fxnet::SimTime;
+
+    // One shared offset schedule (xorshift64*; fixed seed): ~70 %
+    // sub-frame MAC/segment offsets, ~25 % spanning a few ring buckets,
+    // ~5 % delayed-ACK/RTO-scale timers that land in the overflow.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let offsets: Vec<u64> = (0..ops + pending)
+        .map(|_| {
+            let r = next();
+            match r % 100 {
+                0..=69 => 100 + r % 57_600,        // bit .. min-frame time
+                70..=94 => r % 1_200_000,          // up to one max frame
+                _ => 200_000_000 + r % 50_000_000, // delayed-ACK / RTO scale
+            }
+        })
+        .collect();
+
+    fn drive<Q>(
+        offsets: &[u64],
+        pending: usize,
+        push: impl Fn(&mut Q, SimTime, u64),
+        pop: impl Fn(&mut Q) -> Option<(SimTime, u64)>,
+        mut q: Q,
+    ) -> (u64, u64, std::time::Duration) {
+        let t0 = std::time::Instant::now();
+        let mut ops_done = 0u64;
+        let mut checksum = 0u64;
+        let mut clock = 0u64;
+        for (i, &off) in offsets.iter().enumerate() {
+            if i >= pending {
+                let (t, e) = pop(&mut q).expect("hold pattern keeps the queue non-empty");
+                clock = clock.max(t.as_nanos());
+                checksum = checksum.wrapping_add(t.as_nanos() ^ e);
+                ops_done += 1;
+            }
+            push(&mut q, SimTime::from_nanos(clock + off), i as u64);
+            ops_done += 1;
+        }
+        while let Some((t, e)) = pop(&mut q) {
+            checksum = checksum.wrapping_add(t.as_nanos() ^ e);
+            ops_done += 1;
+        }
+        (ops_done, checksum, t0.elapsed())
+    }
+
+    let mut heap_best = f64::INFINITY;
+    let mut cal_best = f64::INFINITY;
+    let mut total_ops = 0u64;
+    let mut checks = (0u64, 0u64);
+    for _ in 0..3 {
+        let (n, ck, dt) = drive(
+            &offsets,
+            pending,
+            |q: &mut BinaryHeapQueue<u64>, t, e| q.push(t, e),
+            |q| q.pop(),
+            BinaryHeapQueue::new(),
+        );
+        heap_best = heap_best.min(dt.as_secs_f64());
+        total_ops = n;
+        checks.0 = ck;
+        let (_, ck, dt) = drive(
+            &offsets,
+            pending,
+            |q: &mut EventQueue<u64>, t, e| q.push(t, e),
+            |q| q.pop(),
+            EventQueue::new(),
+        );
+        cal_best = cal_best.min(dt.as_secs_f64());
+        checks.1 = ck;
+    }
+    assert_eq!(
+        checks.0, checks.1,
+        "both engines must pop the identical schedule"
+    );
+    let heap_eps = total_ops as f64 / heap_best;
+    let cal_eps = total_ops as f64 / cal_best;
+    QueueBench {
+        ops: total_ops,
+        pending,
+        heap_events_per_sec: heap_eps,
+        calendar_events_per_sec: cal_eps,
+        ratio: cal_eps / heap_eps,
+    }
+}
+
 /// Format one table row of size/interarrival statistics.
 pub fn stats_row(label: &str, s: Option<Stats>) -> String {
     match s {
@@ -185,6 +379,31 @@ mod tests {
         assert!(e.representative_connection(KernelKind::Hist).is_none());
         let sor = e.representative_connection(KernelKind::Sor).unwrap();
         assert!(sor.iter().all(|r| r.src == HostId(1) && r.dst == HostId(2)));
+    }
+
+    #[test]
+    fn prewarm_matches_the_lazy_serial_fill() {
+        let out = std::env::temp_dir().join("fxnet-test-out");
+        let mut lazy = Experiments::new(100, 1, &out);
+        let mut warm = Experiments::new(100, 1, &out);
+        warm.prewarm(&Pool::new(3), &[KernelKind::Hist, KernelKind::Seq], false);
+        for k in [KernelKind::Hist, KernelKind::Seq] {
+            assert_eq!(
+                lazy.kernel(k).trace,
+                warm.kernel(k).trace,
+                "{}: prewarmed cache must be byte-identical",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn queue_benchmark_runs_identical_schedules() {
+        let qb = queue_benchmark(5_000, 128);
+        assert!(qb.ops > 10_000, "push+pop on both sides");
+        assert!(qb.heap_events_per_sec > 0.0);
+        assert!(qb.calendar_events_per_sec > 0.0);
+        assert!(qb.ratio > 0.0);
     }
 
     #[test]

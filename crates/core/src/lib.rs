@@ -16,7 +16,7 @@
 //! // The paper's environment: P=4 tasks on a 9-workstation shared LAN,
 //! // scaled down 50× on the outer iteration count for a fast run.
 //! let tb = Testbed::paper().with_seed(7);
-//! let run = tb.run_kernel(KernelKind::Hist, 50);
+//! let run = tb.run_kernel(KernelKind::Hist, 50).expect("valid config");
 //! let sizes = Stats::packet_sizes(&run.trace).unwrap();
 //! assert_eq!(sizes.min, 58.0);               // pure TCP ACKs
 //! assert!(average_bandwidth(&run.trace).unwrap() < 1_250_000.0);
@@ -38,9 +38,11 @@
 //! | QoS negotiation | `fxnet-qos` | [`qos`] |
 //! | multi-tenant mixing, admission, interference | `fxnet-mix` | [`mix`] |
 //! | streaming trace watch, contract compliance | `fxnet-watch` | [`watch`] |
+//! | deterministic parallel experiment runner | `fxnet-harness` | [`harness`] |
 
 pub use fxnet_apps as apps;
 pub use fxnet_fx as fx;
+pub use fxnet_harness as harness;
 pub use fxnet_mix as mix;
 pub use fxnet_numerics as numerics;
 pub use fxnet_proto as proto;
@@ -55,6 +57,11 @@ pub use fxnet_watch as watch;
 mod testbed;
 
 pub use fxnet_apps::KernelKind;
-pub use fxnet_fx::{run_spmd, DescheduleConfig, RankCtx, RunResult, SpmdConfig};
+#[allow(deprecated)]
+pub use fxnet_fx::run_spmd;
+pub use fxnet_fx::{
+    run, run_single, DescheduleConfig, FxnetError, FxnetResult, GroupSpec, MultiRunResult, RankCtx,
+    RunOptions, RunResult, SpmdConfig,
+};
 pub use fxnet_sim::{FrameRecord, HostId, SimTime};
 pub use testbed::Testbed;

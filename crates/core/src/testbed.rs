@@ -2,7 +2,9 @@
 //! one configurable builder.
 
 use fxnet_apps::{airshed, KernelKind};
-use fxnet_fx::{run_spmd, DescheduleConfig, RankCtx, RunResult, SpmdConfig};
+use fxnet_fx::{
+    run_single, DescheduleConfig, FxnetResult, RankCtx, RunOptions, RunResult, SpmdConfig,
+};
 use fxnet_proto::LinkKind;
 use fxnet_pvm::Route;
 use fxnet_sim::{SimTime, SwitchConfig};
@@ -121,24 +123,51 @@ impl Testbed {
 
     /// Run one of the five kernels at paper scale with the outer
     /// iteration count divided by `iter_div` (1 = the full measured run).
-    pub fn run_kernel(&self, kernel: KernelKind, iter_div: usize) -> RunResult<u64> {
+    ///
+    /// # Errors
+    /// Propagates any [`fxnet_fx::FxnetError`] from the engine (invalid
+    /// config, deadlock, runaway clock).
+    pub fn run_kernel(&self, kernel: KernelKind, iter_div: usize) -> FxnetResult<RunResult<u64>> {
         kernel.run_paper(self.cfg.clone(), iter_div)
     }
 
     /// Run the AIRSHED skeleton with explicit parameters.
-    pub fn run_airshed(&self, params: airshed::AirshedParams) -> RunResult<u64> {
-        run_spmd(self.cfg.clone(), move |ctx| {
-            airshed::airshed_rank(ctx, &params)
-        })
+    ///
+    /// # Errors
+    /// Propagates any [`fxnet_fx::FxnetError`] from the engine.
+    pub fn run_airshed(&self, params: airshed::AirshedParams) -> FxnetResult<RunResult<u64>> {
+        run_single(
+            self.cfg.clone(),
+            move |ctx| airshed::airshed_rank(ctx, &params),
+            RunOptions::default(),
+        )
     }
 
     /// Run an arbitrary SPMD program on the testbed.
+    ///
+    /// Panics on engine errors (deadlock, runaway clock) — ad-hoc
+    /// programs are test code; use [`Testbed::try_run`] to handle them.
     pub fn run<T, F>(&self, f: F) -> RunResult<T>
     where
         T: Send + 'static,
         F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
     {
-        run_spmd(self.cfg.clone(), f)
+        match self.try_run(f) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Run an arbitrary SPMD program, surfacing engine errors.
+    ///
+    /// # Errors
+    /// Propagates any [`fxnet_fx::FxnetError`] from the engine.
+    pub fn try_run<T, F>(&self, f: F) -> FxnetResult<RunResult<T>>
+    where
+        T: Send + 'static,
+        F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+    {
+        run_single(self.cfg.clone(), f, RunOptions::default())
     }
 
     /// Start building a multi-tenant mixed run on this testbed: add
@@ -187,17 +216,30 @@ mod tests {
     fn seeds_change_mac_level_timing() {
         let a = Testbed::paper()
             .with_seed(1)
-            .run_kernel(KernelKind::Hist, 100);
+            .run_kernel(KernelKind::Hist, 100)
+            .unwrap();
         let b = Testbed::paper()
             .with_seed(1)
-            .run_kernel(KernelKind::Hist, 100);
+            .run_kernel(KernelKind::Hist, 100)
+            .unwrap();
         assert_eq!(a.trace, b.trace, "same seed must reproduce exactly");
     }
 
     #[test]
     fn kernel_runs_produce_traffic() {
-        let run = Testbed::quiet(4).run_kernel(KernelKind::Sor, 100);
+        let run = Testbed::quiet(4).run_kernel(KernelKind::Sor, 100).unwrap();
         assert!(!run.trace.is_empty());
         assert!(run.finished_at > SimTime::ZERO);
+    }
+
+    #[test]
+    fn invalid_testbed_surfaces_a_typed_error() {
+        let mut tb = Testbed::quiet(4);
+        tb.config_mut().hosts = 2; // fewer hosts than ranks
+        let err = tb.run_kernel(KernelKind::Sor, 100).unwrap_err();
+        assert!(
+            matches!(err, fxnet_fx::FxnetError::InvalidConfig(_)),
+            "{err:?}"
+        );
     }
 }

@@ -179,7 +179,7 @@ pub fn shift(ctx: &mut RankCtx, tag: i32, k: u32, payload: &[u8]) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{run_spmd, SpmdConfig};
+    use crate::engine::{run, GroupSpec, RunOptions, RunResult, SpmdConfig};
 
     fn cfg(p: u32) -> SpmdConfig {
         let mut c = SpmdConfig {
@@ -189,6 +189,16 @@ mod tests {
         };
         c.pvm.heartbeat = None;
         c
+    }
+
+    fn run_spmd<T: Send + 'static>(
+        cfg: SpmdConfig,
+        f: impl Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+    ) -> RunResult<T> {
+        let p = cfg.p;
+        run(cfg, vec![GroupSpec::single(p, f)], RunOptions::default())
+            .expect("valid config")
+            .into_single()
     }
 
     #[test]

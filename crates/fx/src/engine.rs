@@ -19,7 +19,7 @@
 use crate::cost::CostModel;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use fxnet_pvm::{Message, MsgDelivery, OutMessage, PvmConfig, PvmSystem, TaskId, TenantMap};
-use fxnet_sim::{EtherStats, FrameRecord, SimRng, SimTime};
+use fxnet_sim::{EtherStats, FrameRecord, FxnetError, FxnetResult, SimRng, SimTime};
 use fxnet_telemetry::{EventClass, RunTelemetry, SimProfile, SpanKind, SpanRecord};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -275,6 +275,33 @@ impl Deschedule {
     }
 }
 
+/// Per-call options for [`run`] that are not part of the simulated
+/// configuration proper: hooks and overrides that must not force the
+/// config out of `Clone + Debug` (taps are neither) and that callers
+/// routinely want to vary without rebuilding a [`SpmdConfig`].
+#[derive(Default)]
+pub struct RunOptions {
+    /// Live frame tap installed at the tracer's capture point for the
+    /// duration of the run (the `fxnet-watch` hook). The tap observes
+    /// every delivered frame as it is captured; it cannot perturb the
+    /// simulation, so the trace is byte-identical with and without one.
+    pub tap: Option<fxnet_sim::FrameTap>,
+    /// Override [`SpmdConfig::telemetry`] for this run only.
+    pub telemetry: Option<bool>,
+    /// Override [`SpmdConfig::deschedule`] for this run only.
+    pub deschedule: Option<DescheduleConfig>,
+}
+
+impl RunOptions {
+    /// Options with just a frame tap installed.
+    pub fn tapped(tap: fxnet_sim::FrameTap) -> RunOptions {
+        RunOptions {
+            tap: Some(tap),
+            ..RunOptions::default()
+        }
+    }
+}
+
 /// One program (tenant) of a multi-program run: a rank group with its own
 /// task-id block and start time on the shared network.
 pub struct GroupSpec<T> {
@@ -288,6 +315,29 @@ pub struct GroupSpec<T> {
     pub start: SimTime,
     /// The SPMD program, invoked once per rank.
     pub program: Arc<dyn Fn(&mut RankCtx) -> T + Send + Sync + 'static>,
+}
+
+impl<T> GroupSpec<T> {
+    /// A named group starting at time `start`.
+    pub fn new(
+        name: impl Into<String>,
+        p: u32,
+        start: SimTime,
+        f: impl Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+    ) -> GroupSpec<T> {
+        GroupSpec {
+            name: name.into(),
+            p,
+            start,
+            program: Arc::new(f),
+        }
+    }
+
+    /// The single-program shape: one group named "main" starting at time
+    /// zero — what `run_spmd` used to build internally.
+    pub fn single(p: u32, f: impl Fn(&mut RankCtx) -> T + Send + Sync + 'static) -> GroupSpec<T> {
+        GroupSpec::new("main", p, SimTime::ZERO, f)
+    }
 }
 
 /// Per-group outcome of a multi-program run.
@@ -325,59 +375,69 @@ pub struct MultiRunResult<T> {
     pub telemetry: Option<RunTelemetry>,
 }
 
+impl<T> MultiRunResult<T> {
+    /// Collapse a single-group result into the flat [`RunResult`] shape.
+    ///
+    /// # Panics
+    /// If the run had more than one group (their results would be
+    /// silently discarded).
+    pub fn into_single(self) -> RunResult<T> {
+        assert_eq!(
+            self.groups.len(),
+            1,
+            "into_single on a {}-group result",
+            self.groups.len()
+        );
+        let g = self.groups.into_iter().next().expect("one group");
+        RunResult {
+            results: g.results,
+            trace: self.trace,
+            ether: self.ether,
+            finished_at: self.finished_at,
+            telemetry: self.telemetry,
+        }
+    }
+}
+
 /// Run `f` as an SPMD program on a freshly built virtual machine and LAN.
 ///
 /// `f` is invoked once per rank on its own thread; use the [`RankCtx`] to
 /// structure the program as compute and communication phases. Returns the
 /// per-rank results and the promiscuous packet trace of the entire run.
+#[deprecated(
+    note = "use `run(cfg, vec![GroupSpec::single(p, f)], RunOptions::default())`; \
+                     this wrapper panics where `run` returns an error"
+)]
 pub fn run_spmd<T, F>(cfg: SpmdConfig, f: F) -> RunResult<T>
 where
     T: Send + 'static,
     F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
 {
     assert!(cfg.p >= 1 && cfg.hosts >= cfg.p);
-    let group = GroupSpec {
-        name: "main".to_string(),
-        p: cfg.p,
-        start: SimTime::ZERO,
-        program: Arc::new(f),
-    };
-    let multi = run_multi(cfg, vec![group]);
-    let g = multi.groups.into_iter().next().expect("one group");
-    RunResult {
-        results: g.results,
-        trace: multi.trace,
-        ether: multi.ether,
-        finished_at: multi.finished_at,
-        telemetry: multi.telemetry,
+    let group = GroupSpec::single(cfg.p, f);
+    match run(cfg, vec![group], RunOptions::default()) {
+        Ok(multi) => multi.into_single(),
+        Err(e) => panic!("{e}"),
     }
 }
 
 /// Run several SPMD programs concurrently on one shared virtual machine
-/// and LAN — the multi-tenant engine behind `fxnet-mix`.
-///
-/// Each [`GroupSpec`] receives a contiguous block of global task ids (and
-/// therefore hosts), packed in spec order from task 0; `cfg.p` is ignored
-/// and `cfg.hosts` is raised to the total rank count if smaller, so idle
-/// hosts beyond the packed blocks keep contributing daemon chatter.
-/// Groups are fully isolated at the message layer (local rank spaces,
-/// per-group barriers) but share the wire, the MAC, and the tracer — the
-/// point of the exercise. Determinism is preserved: same config and
-/// groups → byte-identical trace.
+/// and LAN.
+#[deprecated(note = "use `run(cfg, groups, RunOptions::default())`; \
+                     this wrapper panics where `run` returns an error")]
 pub fn run_multi<T>(cfg: SpmdConfig, groups: Vec<GroupSpec<T>>) -> MultiRunResult<T>
 where
     T: Send + 'static,
 {
-    run_multi_tapped(cfg, groups, None)
+    match run(cfg, groups, RunOptions::default()) {
+        Ok(multi) => multi,
+        Err(e) => panic!("{e}"),
+    }
 }
 
-/// [`run_multi`] with an optional live frame tap installed at the
-/// tracer's capture point for the duration of the run. The tap observes
-/// every delivered frame as it is captured (the `fxnet-watch` hook); it
-/// cannot perturb the simulation, so the trace is byte-identical with
-/// and without one. A separate argument — not a `SpmdConfig` field —
-/// because the config must stay `Clone + Debug` for the solo-baseline
-/// replays.
+/// [`run_multi`] with an optional live frame tap.
+#[deprecated(note = "use `run(cfg, groups, RunOptions::tapped(tap))`; \
+                     this wrapper panics where `run` returns an error")]
 pub fn run_multi_tapped<T>(
     cfg: SpmdConfig,
     groups: Vec<GroupSpec<T>>,
@@ -386,7 +446,105 @@ pub fn run_multi_tapped<T>(
 where
     T: Send + 'static,
 {
-    assert!(!groups.is_empty(), "need at least one group");
+    match run(
+        cfg,
+        groups,
+        RunOptions {
+            tap,
+            ..RunOptions::default()
+        },
+    ) {
+        Ok(multi) => multi,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Abandon a failed run: leak both channel endpoints so rank threads
+/// blocked in `request()` park quietly forever instead of panicking on a
+/// closed channel, and detach their join handles. The threads are leaked
+/// — an accepted cost on the error path, where the run's outcome is
+/// already lost; a panicking teardown would spray every rank's panic
+/// output over the caller's terminal instead.
+fn abandon<T>(
+    req_rx: Receiver<(u32, Request)>,
+    reply_txs: Vec<Sender<Reply>>,
+    handles: Vec<std::thread::JoinHandle<T>>,
+) {
+    std::mem::forget(req_rx);
+    std::mem::forget(reply_txs);
+    drop(handles);
+}
+
+/// The unified engine entry point: run one or more SPMD programs on a
+/// shared virtual machine and LAN.
+///
+/// This subsumes the deprecated `run_spmd` / `run_multi` /
+/// `run_multi_tapped` trio: a single program is a one-element group list
+/// (see [`GroupSpec::single`] and [`MultiRunResult::into_single`]), and
+/// the tap, telemetry, and deschedule hooks travel in [`RunOptions`].
+///
+/// Each [`GroupSpec`] receives a contiguous block of global task ids (and
+/// therefore hosts), packed in spec order from task 0; `cfg.p` is ignored
+/// and `cfg.hosts` is raised to the total rank count if smaller, so idle
+/// hosts beyond the packed blocks keep contributing daemon chatter.
+/// Groups are fully isolated at the message layer (local rank spaces,
+/// per-group barriers) but share the wire, the MAC, and the tracer.
+/// Determinism is preserved: same config and groups → byte-identical
+/// trace, on any host thread — per-run state is fully owned, so
+/// independent `run` calls may execute concurrently (the basis of
+/// `fxnet-harness`).
+///
+/// # Errors
+/// [`FxnetError::InvalidConfig`] for an empty group list or a zero-rank
+/// group; [`FxnetError::Deadlock`] when no rank can run and the network
+/// is idle; [`FxnetError::SimTimeExceeded`] when a rank's clock passes
+/// `cfg.max_sim_time`. A panic *inside a rank's program* is still
+/// propagated as a panic (it is a bug in the caller's code, not a
+/// simulation outcome).
+/// Sugar for the single-program case of [`run`]: one group named "main"
+/// with `cfg.p` ranks starting at time zero, collapsed to the flat
+/// [`RunResult`] shape. Unlike the multi-group path, `cfg.p` is honoured
+/// and `cfg.hosts < cfg.p` is rejected (idle hosts are part of the
+/// paper's testbed shape, missing hosts are a config error).
+pub fn run_single<T, F>(cfg: SpmdConfig, f: F, opts: RunOptions) -> FxnetResult<RunResult<T>>
+where
+    T: Send + 'static,
+    F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+{
+    if cfg.p == 0 || cfg.hosts < cfg.p {
+        return Err(FxnetError::InvalidConfig(format!(
+            "p = {} with hosts = {}",
+            cfg.p, cfg.hosts
+        )));
+    }
+    let p = cfg.p;
+    Ok(run(cfg, vec![GroupSpec::single(p, f)], opts)?.into_single())
+}
+
+pub fn run<T>(
+    mut cfg: SpmdConfig,
+    groups: Vec<GroupSpec<T>>,
+    opts: RunOptions,
+) -> FxnetResult<MultiRunResult<T>>
+where
+    T: Send + 'static,
+{
+    if let Some(t) = opts.telemetry {
+        cfg.telemetry = t;
+    }
+    if opts.deschedule.is_some() {
+        cfg.deschedule = opts.deschedule;
+    }
+    let tap = opts.tap;
+    if groups.is_empty() {
+        return Err(FxnetError::InvalidConfig("need at least one group".into()));
+    }
+    if let Some(g) = groups.iter().find(|g| g.p == 0) {
+        return Err(FxnetError::InvalidConfig(format!(
+            "group \"{}\" has zero ranks",
+            g.name
+        )));
+    }
     let map = TenantMap::pack(groups.iter().map(|g| (g.name.clone(), g.p)));
     let total = map.total_ranks();
     let hosts = cfg.hosts.max(total);
@@ -540,10 +698,8 @@ where
                     .filter(|(_, s)| !matches!(s, RankState::Done))
                     .map(|(r, s)| format!("rank {r}: {s:?} at {}", clocks[r]))
                     .collect();
-                panic!(
-                    "SPMD deadlock: no runnable rank and network idle\n{}",
-                    blocked.join("\n")
-                );
+                abandon(req_rx, reply_txs, handles);
+                return Err(FxnetError::Deadlock(blocked.join("\n")));
             }
         };
 
@@ -556,11 +712,14 @@ where
         if rank_first {
             let r = best.expect("rank_first implies a ready rank");
             let req = pending[r].take().expect("ready rank has request");
-            assert!(
-                clocks[r] <= cfg.max_sim_time,
-                "rank {r} exceeded max_sim_time at {}",
-                clocks[r]
-            );
+            if clocks[r] > cfg.max_sim_time {
+                abandon(req_rx, reply_txs, handles);
+                return Err(FxnetError::SimTimeExceeded {
+                    rank: r as u32,
+                    at: clocks[r],
+                    limit: cfg.max_sim_time,
+                });
+            }
             match req {
                 Request::Compute(d) => {
                     class = EventClass::Compute;
@@ -875,14 +1034,14 @@ where
         None
     };
 
-    MultiRunResult {
+    Ok(MultiRunResult {
         groups: group_results,
         map,
         trace: pvm.take_trace(),
         ether: pvm.ether_stats(),
         finished_at,
         telemetry,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -906,9 +1065,28 @@ mod tests {
         b.finish()
     }
 
+    /// Single-program run through the unified entry point.
+    fn run_one<T: Send + 'static>(
+        cfg: SpmdConfig,
+        f: impl Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+    ) -> RunResult<T> {
+        let p = cfg.p;
+        run(cfg, vec![GroupSpec::single(p, f)], RunOptions::default())
+            .expect("valid config")
+            .into_single()
+    }
+
+    /// Multi-group run through the unified entry point.
+    fn run_groups<T: Send + 'static>(
+        cfg: SpmdConfig,
+        groups: Vec<GroupSpec<T>>,
+    ) -> MultiRunResult<T> {
+        run(cfg, groups, RunOptions::default()).expect("valid config")
+    }
+
     #[test]
     fn ping_pong_content_and_causality() {
-        let res = run_spmd(quiet_cfg(2), |ctx| {
+        let res = run_one(quiet_cfg(2), |ctx| {
             if ctx.rank() == 0 {
                 ctx.send(1, f64_msg(1, &[3.5, 4.5]));
                 let back = ctx.recv(1);
@@ -931,7 +1109,7 @@ mod tests {
 
     #[test]
     fn compute_advances_only_local_clock() {
-        let res = run_spmd(quiet_cfg(2), |ctx| {
+        let res = run_one(quiet_cfg(2), |ctx| {
             if ctx.rank() == 0 {
                 ctx.compute_time(SimTime::from_millis(500));
             }
@@ -944,7 +1122,7 @@ mod tests {
 
     #[test]
     fn messages_queue_when_receiver_is_late() {
-        let res = run_spmd(quiet_cfg(2), |ctx| {
+        let res = run_one(quiet_cfg(2), |ctx| {
             if ctx.rank() == 0 {
                 for i in 0..5 {
                     ctx.send(1, f64_msg(i, &[f64::from(i)]));
@@ -964,7 +1142,7 @@ mod tests {
 
     #[test]
     fn recv_before_send_blocks_until_delivery() {
-        let res = run_spmd(quiet_cfg(2), |ctx| {
+        let res = run_one(quiet_cfg(2), |ctx| {
             if ctx.rank() == 1 {
                 let m = ctx.recv(0);
                 m.reader().f64s(1)[0]
@@ -981,7 +1159,7 @@ mod tests {
     #[test]
     fn deterministic_trace_across_threaded_runs() {
         let run = || {
-            run_spmd(quiet_cfg(4), |ctx| {
+            run_one(quiet_cfg(4), |ctx| {
                 let me = ctx.rank();
                 ctx.compute_flops(u64::from(me + 1) * 100_000);
                 for d in 0..4 {
@@ -1003,8 +1181,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "SPMD deadlock")]
     fn deadlock_is_detected() {
+        let err = run(
+            quiet_cfg(2),
+            vec![GroupSpec::single(2, |ctx: &mut RankCtx| {
+                if ctx.rank() == 0 {
+                    let _ = ctx.recv(1); // nobody ever sends
+                }
+            })],
+            RunOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FxnetError::Deadlock(_)), "{err:?}");
+        assert!(err.to_string().contains("SPMD deadlock"));
+    }
+
+    #[test]
+    #[should_panic(expected = "SPMD deadlock")]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_still_panics_on_deadlock() {
+        // Callers that matched on the old panic message keep working.
         let _ = run_spmd(quiet_cfg(2), |ctx| {
             if ctx.rank() == 0 {
                 let _ = ctx.recv(1); // nobody ever sends
@@ -1014,7 +1210,7 @@ mod tests {
 
     #[test]
     fn deschedule_injection_slows_the_run() {
-        let base = run_spmd(quiet_cfg(2), |ctx| {
+        let base = run_one(quiet_cfg(2), |ctx| {
             ctx.compute_time(SimTime::from_secs(10));
             ctx.barrier();
         })
@@ -1024,7 +1220,7 @@ mod tests {
             mean_cpu_between: SimTime::from_secs(1),
             duration: SimTime::from_millis(100),
         });
-        let slowed = run_spmd(cfg, |ctx| {
+        let slowed = run_one(cfg, |ctx| {
             ctx.compute_time(SimTime::from_secs(10));
             ctx.barrier();
         })
@@ -1034,7 +1230,7 @@ mod tests {
 
     #[test]
     fn barrier_synchronizes_staggered_ranks() {
-        let res = run_spmd(quiet_cfg(3), |ctx| {
+        let res = run_one(quiet_cfg(3), |ctx| {
             ctx.compute_time(SimTime::from_millis(u64::from(ctx.rank()) * 100));
             ctx.barrier();
             // After the barrier all clocks are equal; a second barrier
@@ -1045,8 +1241,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "max_sim_time")]
     fn runaway_guard_trips() {
+        let mut cfg = quiet_cfg(1);
+        cfg.max_sim_time = SimTime::from_secs(1);
+        let err = run(
+            cfg,
+            vec![GroupSpec::single(1, |ctx: &mut RankCtx| {
+                for _ in 0..10 {
+                    ctx.compute_time(SimTime::from_secs(1));
+                }
+            })],
+            RunOptions::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, FxnetError::SimTimeExceeded { rank: 0, .. }),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("max_sim_time"));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_sim_time")]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_still_panics_on_runaway() {
         let mut cfg = quiet_cfg(1);
         cfg.max_sim_time = SimTime::from_secs(1);
         let _ = run_spmd(cfg, |ctx| {
@@ -1058,7 +1276,7 @@ mod tests {
 
     #[test]
     fn per_pair_fifo_order() {
-        let res = run_spmd(quiet_cfg(2), |ctx| {
+        let res = run_one(quiet_cfg(2), |ctx| {
             if ctx.rank() == 0 {
                 for i in 0..20 {
                     ctx.send(1, f64_msg(i, &[f64::from(i)]));
@@ -1089,7 +1307,7 @@ mod tests {
         // A sender blasting far more than the socket buffer must be paced
         // by the wire: its messages cannot all be timestamped at ~0.
         let big = 512 * 1024; // bytes per message, » 64 KB socket buffer
-        let res = run_spmd(quiet_cfg(2), move |ctx| {
+        let res = run_one(quiet_cfg(2), move |ctx| {
             if ctx.rank() == 0 {
                 for i in 0..4 {
                     let mut b = MessageBuilder::new(i);
@@ -1116,7 +1334,7 @@ mod tests {
     fn small_sends_do_not_block() {
         // Below the socket buffer, sends are asynchronous: a sender can
         // race far ahead of a sleeping receiver.
-        let res = run_spmd(quiet_cfg(2), |ctx| {
+        let res = run_one(quiet_cfg(2), |ctx| {
             if ctx.rank() == 0 {
                 for i in 0..10 {
                     ctx.send(1, f64_msg(i, &[1.0]));
@@ -1137,14 +1355,14 @@ mod tests {
 
     #[test]
     fn cost_model_is_visible_to_ranks() {
-        let res = run_spmd(quiet_cfg(1), |ctx| ctx.cost().flops(8_000_000).as_nanos());
+        let res = run_one(quiet_cfg(1), |ctx| ctx.cost().flops(8_000_000).as_nanos());
         // Default model: 8 MFLOP at 8 MFLOP/s = 1 s.
         assert_eq!(res.results[0], 1_000_000_000);
     }
 
     #[test]
     fn trace_is_sorted_and_complete() {
-        let res = run_spmd(quiet_cfg(3), |ctx| {
+        let res = run_one(quiet_cfg(3), |ctx| {
             let me = ctx.rank();
             ctx.send((me + 1) % 3, f64_msg(0, &vec![2.0; 500]));
             let _ = ctx.recv((me + 2) % 3);
@@ -1155,15 +1373,86 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "SPMD deadlock")]
     fn barrier_after_a_rank_exits_is_a_deadlock() {
         // A barrier can never complete once some rank has finished: the
         // engine must detect it rather than hang.
-        let _ = run_spmd(quiet_cfg(2), |ctx| {
+        let err = run(
+            quiet_cfg(2),
+            vec![GroupSpec::single(2, |ctx: &mut RankCtx| {
+                if ctx.rank() == 0 {
+                    ctx.barrier();
+                }
+            })],
+            RunOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FxnetError::Deadlock(_)), "{err:?}");
+    }
+
+    #[test]
+    fn empty_group_list_is_invalid_config() {
+        let err = run::<()>(quiet_cfg(2), Vec::new(), RunOptions::default()).unwrap_err();
+        assert!(matches!(err, FxnetError::InvalidConfig(_)), "{err:?}");
+    }
+
+    #[test]
+    fn zero_rank_group_is_invalid_config() {
+        let err = run(
+            quiet_cfg(2),
+            vec![GroupSpec::new(
+                "empty",
+                0,
+                SimTime::ZERO,
+                |_ctx: &mut RankCtx| {},
+            )],
+            RunOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FxnetError::InvalidConfig(_)), "{err:?}");
+        assert!(err.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn run_options_override_telemetry() {
+        let cfg = quiet_cfg(1);
+        assert!(!cfg.telemetry);
+        let res = run(
+            cfg,
+            vec![GroupSpec::single(1, |ctx: &mut RankCtx| {
+                ctx.phase("solve", |c| c.compute_time(SimTime::from_millis(1)));
+            })],
+            RunOptions {
+                telemetry: Some(true),
+                ..RunOptions::default()
+            },
+        )
+        .expect("valid config");
+        let tel = res.telemetry.expect("telemetry forced on via options");
+        assert!(tel.spans.iter().any(|s| s.name == "compute"));
+    }
+
+    #[test]
+    fn run_options_tap_sees_every_traced_frame() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        let prog = |ctx: &mut RankCtx| {
             if ctx.rank() == 0 {
-                ctx.barrier();
+                ctx.send(1, f64_msg(0, &vec![1.0; 200]));
+            } else {
+                let _ = ctx.recv(0);
             }
-        });
+        };
+        let res = run(
+            quiet_cfg(2),
+            vec![GroupSpec::single(2, prog)],
+            RunOptions::tapped(Box::new(move |_r| {
+                seen2.fetch_add(1, Ordering::Relaxed);
+            })),
+        )
+        .expect("valid config");
+        assert_eq!(seen.load(Ordering::Relaxed), res.trace.len());
+        assert!(!res.trace.is_empty());
     }
 
     fn group<T>(
@@ -1196,7 +1485,7 @@ mod tests {
                 }
             }
         };
-        let res = run_multi(
+        let res = run_groups(
             quiet_cfg(2),
             vec![
                 group("A", 2, SimTime::ZERO, mk(1.0)),
@@ -1215,7 +1504,7 @@ mod tests {
     fn multi_group_barriers_do_not_couple_groups() {
         // Group A barriers while group B computes for much longer; A must
         // finish long before B despite sharing the engine.
-        let res = run_multi(
+        let res = run_groups(
             quiet_cfg(2),
             vec![
                 group("fast", 2, SimTime::ZERO, |ctx: &mut RankCtx| {
@@ -1234,7 +1523,7 @@ mod tests {
 
     #[test]
     fn staggered_start_delays_a_group() {
-        let res = run_multi(
+        let res = run_groups(
             quiet_cfg(1),
             vec![
                 group("early", 1, SimTime::ZERO, |ctx: &mut RankCtx| {
@@ -1262,7 +1551,7 @@ mod tests {
                     let _ = ctx.recv((me + np - 1) % np);
                 }
             };
-            run_multi(
+            run_groups(
                 quiet_cfg(2),
                 vec![
                     group("A", 3, SimTime::ZERO, mk()),
@@ -1285,14 +1574,14 @@ mod tests {
                 let _ = ctx.recv(0);
             }
         };
-        let a = run_spmd(quiet_cfg(2), prog).trace;
-        let b = run_multi(quiet_cfg(2), vec![group("main", 2, SimTime::ZERO, prog)]).trace;
+        let a = run_one(quiet_cfg(2), prog).trace;
+        let b = run_groups(quiet_cfg(2), vec![group("main", 2, SimTime::ZERO, prog)]).trace;
         assert_eq!(a, b);
     }
 
     #[test]
     fn single_rank_program_needs_no_network() {
-        let res = run_spmd(quiet_cfg(1), |ctx| {
+        let res = run_one(quiet_cfg(1), |ctx| {
             ctx.compute_flops(1000);
             ctx.barrier();
             42u32

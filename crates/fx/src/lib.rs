@@ -17,23 +17,26 @@
 //!   Alpha 21064-class workstation (the single calibration knob of
 //!   DESIGN.md §5), plus messaging software overheads including the
 //!   message-assembly "copy loop" the paper describes.
-//! * [`run_spmd`] — a deterministic process-oriented engine: each rank
-//!   runs as a real OS thread executing straight-line SPMD code
-//!   (`compute` / `send` / `recv` / `barrier` on a [`RankCtx`]), while a
-//!   conservative sequencer on the main thread interleaves rank progress
-//!   with the network simulation in global simulated-time order. Two runs
-//!   with the same seed produce byte-identical packet traces.
+//! * [`run`] — a deterministic process-oriented engine: each rank runs
+//!   as a real OS thread executing straight-line SPMD code (`compute` /
+//!   `send` / `recv` / `barrier` on a [`RankCtx`]), while a conservative
+//!   sequencer on the calling thread interleaves rank progress with the
+//!   network simulation in global simulated-time order. Two runs with
+//!   the same seed produce byte-identical packet traces, and per-run
+//!   state is fully owned, so independent runs may execute concurrently.
+//!   One or many programs (tenants) per run; [`RunOptions`] carries the
+//!   frame tap, telemetry, and deschedule hooks.
 //! * Optional *deschedule injection* — reproducing the paper's
 //!   observation that an OS descheduling a processor stalls the whole
 //!   synchronous communication schedule and merges bursts.
 //!
 //! ```
-//! use fxnet_fx::{run_spmd, SpmdConfig};
+//! use fxnet_fx::{run, GroupSpec, RunOptions, SpmdConfig};
 //! use fxnet_pvm::MessageBuilder;
 //!
 //! let mut cfg = SpmdConfig { p: 2, hosts: 2, ..SpmdConfig::default() };
 //! cfg.pvm.heartbeat = None;
-//! let result = run_spmd(cfg, |ctx| {
+//! let group = GroupSpec::single(2, |ctx| {
 //!     if ctx.rank() == 0 {
 //!         let mut b = MessageBuilder::new(0);
 //!         b.pack_u32(&[99]);
@@ -43,6 +46,9 @@
 //!         ctx.recv(0).reader().u32s(1)[0]
 //!     }
 //! });
+//! let result = run(cfg, vec![group], RunOptions::default())
+//!     .expect("valid config")
+//!     .into_single();
 //! assert_eq!(result.results, vec![0, 99]);
 //! assert!(!result.trace.is_empty()); // the exchange is on the wire
 //! ```
@@ -59,7 +65,10 @@ pub use collectives::{
 pub use cost::CostModel;
 pub use dist::BlockDist;
 pub use engine::{
-    run_multi, run_multi_tapped, run_spmd, DescheduleConfig, GroupRunResult, GroupSpec,
-    MultiRunResult, RankCtx, RunResult, SpmdConfig,
+    run, run_single, DescheduleConfig, GroupRunResult, GroupSpec, MultiRunResult, RankCtx,
+    RunOptions, RunResult, SpmdConfig,
 };
+#[allow(deprecated)]
+pub use engine::{run_multi, run_multi_tapped, run_spmd};
+pub use fxnet_sim::{FxnetError, FxnetResult};
 pub use pattern::Pattern;

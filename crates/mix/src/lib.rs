@@ -19,7 +19,7 @@
 //!    against the shared capacity) or refuses, in which case the tenant
 //!    never runs.
 //! 2. **Co-execution** — the admitted set runs concurrently via
-//!    `fxnet_fx::run_multi`: each tenant gets a contiguous block of task
+//!    `fxnet_fx::run`: each tenant gets a contiguous block of task
 //!    ids/hosts ([`fxnet_pvm::TenantMap`]), its own barriers, and a
 //!    staggered start, all over one shared Ethernet whose promiscuous
 //!    trace is captured as usual.

@@ -4,7 +4,7 @@
 
 use crate::admission::{AdmissionController, Rejection};
 use crate::tenant::MixTenant;
-use fxnet_fx::{run_multi_tapped, run_spmd, GroupSpec, SpmdConfig};
+use fxnet_fx::{run, run_single, GroupSpec, RunOptions, SpmdConfig};
 use fxnet_pvm::TenantMap;
 use fxnet_qos::{Negotiation, QosNetwork};
 use fxnet_sim::{FrameRecord, FrameTap, HostId, SimTime};
@@ -308,7 +308,15 @@ impl Mix {
             Box::new(move |r: &FrameRecord| w.lock().expect("watch tap").observe(r)) as FrameTap
         });
 
-        let multi = run_multi_tapped(cfg.clone(), groups, tap);
+        let multi = run(
+            cfg.clone(),
+            groups,
+            RunOptions {
+                tap,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         let watch_report = watcher.map(|w| {
             Arc::try_unwrap(w)
                 .ok()
@@ -333,7 +341,8 @@ impl Mix {
                 solo_cfg.hosts = t.p;
                 solo_cfg.telemetry = false;
                 let prog = t.program.rank_program();
-                let r = run_spmd(solo_cfg, move |ctx| prog(ctx));
+                let r = run_single(solo_cfg, move |ctx| prog(ctx), RunOptions::default())
+                    .unwrap_or_else(|e| panic!("{e}"));
                 Some((r.finished_at.as_secs_f64(), r.trace))
             })
             .collect();

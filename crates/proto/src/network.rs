@@ -7,8 +7,6 @@ use fxnet_sim::{
     ethernet::Delivery, EtherBus, EtherConfig, EtherStats, EventQueue, Frame, FrameKind,
     FrameRecord, FrameTap, HostId, NicId, SimRng, SimTime, SwitchConfig, SwitchFabric,
 };
-use std::collections::HashMap;
-
 /// Maximum TCP payload per segment (1500 B MTU − 40 B headers).
 pub const MSS: u32 = 1460;
 /// Maximum UDP payload per datagram (1500 B MTU − 28 B headers).
@@ -103,6 +101,49 @@ enum TokenInfo {
         dst: HostId,
         bytes: Bytes,
     },
+}
+
+/// Slab of in-flight frame payloads keyed by [`Frame::token`].
+///
+/// Token 0 means "no token"; a live token encodes its slot index plus
+/// one, so lookup is a bounds-checked `Vec` index rather than a hash.
+/// Slots freed on delivery (or bus reaping) are recycled through a free
+/// list, so the table stays as small as the peak number of frames
+/// simultaneously on the wire instead of growing with every frame ever
+/// sent. Recycling is safe because a token is only looked up while its
+/// frame is in flight, and in-flight tokens are unique.
+#[derive(Debug, Default)]
+struct TokenTable {
+    slots: Vec<Option<TokenInfo>>,
+    free: Vec<u32>,
+    live: usize,
+    high_water: usize,
+}
+
+impl TokenTable {
+    fn insert(&mut self, info: TokenInfo) -> u64 {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(info);
+                s as usize
+            }
+            None => {
+                self.slots.push(Some(info));
+                self.slots.len() - 1
+            }
+        };
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        slot as u64 + 1
+    }
+
+    fn remove(&mut self, token: u64) -> Option<TokenInfo> {
+        let idx = usize::try_from(token.checked_sub(1)?).ok()?;
+        let info = self.slots.get_mut(idx)?.take()?;
+        self.free.push(idx as u32);
+        self.live -= 1;
+        Some(info)
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -235,8 +276,7 @@ pub struct Network {
     bus: Fabric,
     conns: Vec<TcpConn>,
     timers: EventQueue<Timer>,
-    tokens: HashMap<u64, TokenInfo>,
-    next_token: u64,
+    tokens: TokenTable,
     errors_seen: usize,
     scratch: Vec<Delivery>,
     tcp_stats: TcpStats,
@@ -260,8 +300,7 @@ impl Network {
             bus,
             conns: Vec::new(),
             timers: EventQueue::new(),
-            tokens: HashMap::new(),
-            next_token: 1,
+            tokens: TokenTable::default(),
             errors_seen: 0,
             scratch: Vec::new(),
             tcp_stats: TcpStats::default(),
@@ -345,10 +384,13 @@ impl Network {
     }
 
     fn token(&mut self, info: TokenInfo) -> u64 {
-        let t = self.next_token;
-        self.next_token += 1;
-        self.tokens.insert(t, info);
-        t
+        self.tokens.insert(info)
+    }
+
+    /// Largest number of frame tokens (frames in flight) ever live at
+    /// once — a direct read of the slab's high-water mark.
+    pub fn token_high_water(&self) -> usize {
+        self.tokens.high_water
     }
 
     fn nic(h: HostId) -> NicId {
@@ -413,7 +455,9 @@ impl Network {
             if h.inflight() >= window || !h.has_pending() {
                 break;
             }
-            let chunk = h.sndq.front_mut().expect("has_pending");
+            let Some(chunk) = h.sndq.front_mut() else {
+                break;
+            };
             let n = mss.min(chunk.data.len() - chunk.sent);
             let payload = chunk.data.slice(chunk.sent..chunk.sent + n);
             chunk.sent += n;
@@ -510,7 +554,7 @@ impl Network {
             self.scratch = deliveries;
             t
         } else {
-            let (t, timer) = self.timers.pop().expect("peeked");
+            let (t, timer) = self.timers.pop()?;
             self.handle_timer(t, timer);
             Some(t)
         }
@@ -531,7 +575,7 @@ impl Network {
             let errs = bus.errors();
             while self.errors_seen < errs.len() {
                 let (_, frame, _) = errs[self.errors_seen];
-                self.tokens.remove(&frame.token);
+                self.tokens.remove(frame.token);
                 self.errors_seen += 1;
             }
         }
@@ -604,7 +648,7 @@ impl Network {
     }
 
     fn handle_frame(&mut self, now: SimTime, frame: Frame, out: &mut Vec<AppEvent>) {
-        let info = match self.tokens.remove(&frame.token) {
+        let info = match self.tokens.remove(frame.token) {
             Some(i) => i,
             None => return, // reaped or stale
         };

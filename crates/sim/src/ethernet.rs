@@ -136,6 +136,9 @@ pub struct EtherBus {
     tap: Option<FrameTap>,
     stats: EtherStats,
     errors: Vec<(SimTime, Frame, TxError)>,
+    /// Scratch list of stations starting at the earliest instant, reused
+    /// across `advance` calls so the per-event hot path allocates nothing.
+    starters: Vec<usize>,
 }
 
 impl EtherBus {
@@ -152,6 +155,7 @@ impl EtherBus {
             tap: None,
             stats: EtherStats::default(),
             errors: Vec::new(),
+            starters: Vec::new(),
         }
     }
 
@@ -259,7 +263,7 @@ impl EtherBus {
                 return None; // already transmitting its head frame
             }
         }
-        let head_ready = n.queue.front().expect("nonempty").1;
+        let head_ready = n.queue.front()?.1;
         let after_medium = self.free_at + self.cfg.ifg;
         Some(head_ready.max(n.backoff_until).max(after_medium) + n.jitter)
     }
@@ -286,7 +290,8 @@ impl EtherBus {
     /// `out`. Returns the event time, or `None` if the bus is idle.
     pub fn advance(&mut self, out: &mut Vec<Delivery>) -> Option<SimTime> {
         let tx_end = self.medium_busy_until();
-        let mut starters: Vec<usize> = Vec::new();
+        let mut starters = std::mem::take(&mut self.starters);
+        starters.clear();
         let mut t_start = SimTime::MAX;
         for i in 0..self.nics.len() {
             if let Some(s) = self.effective_start(i) {
@@ -319,11 +324,23 @@ impl EtherBus {
             starters.sort_unstable();
         }
 
-        match (tx_end, starters.is_empty()) {
-            (None, true) => None,
-            (Some(end), _) if starters.is_empty() || end <= t_start => {
-                // Current transmission completes and the frame is delivered.
-                let tx = self.current.take().expect("tx in flight");
+        let complete_first = match (tx_end, starters.is_empty()) {
+            (None, true) => {
+                self.starters = starters;
+                return None;
+            }
+            (None, false) => false,
+            (Some(_), true) => true,
+            (Some(end), false) => end <= t_start,
+        };
+
+        let result = if complete_first {
+            // Current transmission completes and the frame is delivered.
+            // `complete_first` implies an in-flight transmission, so the
+            // take cannot fail; degrade to idle rather than abort if it
+            // ever did.
+            self.current.take().map(|tx| {
+                let end = tx.end;
                 self.free_at = end;
                 self.reroll_all_jitters();
                 self.stats.frames_delivered += 1;
@@ -345,47 +362,52 @@ impl EtherBus {
                         frame: tx.frame,
                     });
                 }
-                Some(end)
-            }
-            _ => {
-                // One or more stations begin transmitting at t_start.
-                if starters.len() == 1 {
-                    let i = starters[0];
-                    let (frame, _) = self.nics[i].queue.pop_front().expect("head frame");
+                end
+            })
+        } else {
+            // One or more stations begin transmitting at t_start.
+            if starters.len() == 1 {
+                let i = starters[0];
+                // Starters always hold their head frame; the if-let keeps
+                // the hot path free of panicking unwraps.
+                if let Some((frame, _)) = self.nics[i].queue.pop_front() {
                     let end = t_start + frame.tx_time(self.cfg.bandwidth_bps);
                     self.nics[i].attempts = 0;
                     self.nics[i].backoff_until = SimTime::ZERO;
                     self.stats.busy_ns += (end - t_start).as_nanos();
                     self.current = Some(CurrentTx { nic: i, frame, end });
                     self.free_at = end;
-                } else {
-                    // Collision: jam, then each collider backs off.
-                    self.stats.collisions += 1;
-                    let jam_end = t_start + self.cfg.collision_window + self.cfg.jam;
-                    self.free_at = jam_end;
-                    self.stats.busy_ns += (self.cfg.jam + self.cfg.collision_window).as_nanos();
-                    for &i in &starters {
-                        let n = &mut self.nics[i];
-                        n.attempts += 1;
-                        if n.attempts > self.cfg.attempt_limit {
-                            let (frame, _) = n.queue.pop_front().expect("head frame");
-                            n.attempts = 0;
-                            n.backoff_until = SimTime::ZERO;
+                }
+            } else {
+                // Collision: jam, then each collider backs off.
+                self.stats.collisions += 1;
+                let jam_end = t_start + self.cfg.collision_window + self.cfg.jam;
+                self.free_at = jam_end;
+                self.stats.busy_ns += (self.cfg.jam + self.cfg.collision_window).as_nanos();
+                for &i in &starters {
+                    let n = &mut self.nics[i];
+                    n.attempts += 1;
+                    if n.attempts > self.cfg.attempt_limit {
+                        n.attempts = 0;
+                        n.backoff_until = SimTime::ZERO;
+                        if let Some((frame, _)) = n.queue.pop_front() {
                             self.stats.frames_dropped += 1;
                             self.errors
                                 .push((jam_end, frame, TxError::ExcessiveCollisions));
-                        } else {
-                            let exp = n.attempts.min(self.cfg.max_backoff_exp);
-                            let k = self.rng.below(1u64 << exp);
-                            n.backoff_until = jam_end + SimTime(self.cfg.slot.as_nanos() * k);
-                            self.stats.backoffs += 1;
                         }
+                    } else {
+                        let exp = n.attempts.min(self.cfg.max_backoff_exp);
+                        let k = self.rng.below(1u64 << exp);
+                        n.backoff_until = jam_end + SimTime(self.cfg.slot.as_nanos() * k);
+                        self.stats.backoffs += 1;
                     }
-                    self.reroll_all_jitters();
                 }
-                Some(t_start)
+                self.reroll_all_jitters();
             }
-        }
+            Some(t_start)
+        };
+        self.starters = starters;
+        result
     }
 
     /// Drain every pending MAC event, returning all deliveries. Useful in

@@ -43,6 +43,7 @@
 //! assert_eq!(bus.trace()[0].wire_len, 1518);
 //! ```
 
+pub mod error;
 pub mod ethernet;
 pub mod frame;
 pub mod queue;
@@ -50,11 +51,12 @@ pub mod rng;
 pub mod switch;
 pub mod time;
 
+pub use error::{FxnetError, FxnetResult};
 pub use ethernet::{EtherBus, EtherConfig, EtherStats, NicId, TxError};
 pub use frame::{
     Frame, FrameKind, FrameRecord, FrameTap, HostId, Proto, ETHER_OVERHEAD, MAX_FRAME, MIN_FRAME,
 };
-pub use queue::EventQueue;
+pub use queue::{BinaryHeapQueue, EventQueue};
 pub use rng::SimRng;
 pub use switch::{SwitchConfig, SwitchFabric};
 pub use time::SimTime;

@@ -35,6 +35,12 @@ impl From<std::io::Error> for TraceIoError {
     }
 }
 
+impl From<TraceIoError> for fxnet_sim::FxnetError {
+    fn from(e: TraceIoError) -> Self {
+        fxnet_sim::FxnetError::Io(e.to_string())
+    }
+}
+
 fn proto_str(p: Proto) -> &'static str {
     match p {
         Proto::Tcp => "tcp",

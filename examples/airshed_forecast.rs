@@ -23,7 +23,7 @@ fn main() {
         params.species, params.grid, params.layers, params.steps, params.hours
     );
 
-    let run = Testbed::paper().run_airshed(params.clone());
+    let run = Testbed::paper().run_airshed(params.clone()).unwrap();
     println!(
         "{} frames over {:.1} s simulated ({:.1} s per hour)",
         run.trace.len(),

@@ -31,7 +31,7 @@ fn main() {
         kernel.name(),
         kernel.pattern().name()
     );
-    let run = Testbed::paper().run_kernel(kernel, iter_div);
+    let run = Testbed::paper().run_kernel(kernel, iter_div).unwrap();
     println!(
         "{} frames, {:.1} s simulated",
         run.trace.len(),

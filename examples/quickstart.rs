@@ -17,7 +17,7 @@ fn main() {
     let kernel = KernelKind::Hist;
     // 10 of the paper's 100 outer iterations: enough to see periodicity.
     println!("running {} on the simulated testbed...", kernel.name());
-    let run = testbed.run_kernel(kernel, 10);
+    let run = testbed.run_kernel(kernel, 10).unwrap();
 
     println!(
         "\ntrace: {} frames over {:.1} s of simulated time",

@@ -17,7 +17,7 @@ use fxnet::{KernelKind, SimTime, Testbed};
 
 fn main() {
     println!("measuring 2DFFT...");
-    let run = Testbed::paper().run_kernel(KernelKind::Fft2d, 10);
+    let run = Testbed::paper().run_kernel(KernelKind::Fft2d, 10).unwrap();
     let bin = SimTime::from_millis(10);
     let series = binned_bandwidth(&run.trace, bin);
     let spec = Periodogram::compute(&series, bin);

@@ -11,10 +11,11 @@ fn switched_fabric_speeds_up_the_all_to_all() {
     // On the shared bus every transfer serializes; a switch forwards
     // disjoint pairs in parallel, so 2DFFT's transpose drains faster and
     // the program finishes sooner.
-    let bus = Testbed::quiet(4).run_kernel(KernelKind::Fft2d, 25);
+    let bus = Testbed::quiet(4).run_kernel(KernelKind::Fft2d, 25).unwrap();
     let sw = Testbed::quiet(4)
         .with_switched_fabric()
-        .run_kernel(KernelKind::Fft2d, 25);
+        .run_kernel(KernelKind::Fft2d, 25)
+        .unwrap();
     assert!(
         sw.finished_at < bus.finished_at,
         "switch {} must beat bus {}",
@@ -42,7 +43,8 @@ fn switched_fabric_preserves_results_and_periodicity() {
     // survive the fabric swap.
     let sw = Testbed::quiet(4)
         .with_switched_fabric()
-        .run_kernel(KernelKind::Hist, 10);
+        .run_kernel(KernelKind::Hist, 10)
+        .unwrap();
     let series = fxnet::trace::binned_bandwidth(&sw.trace, SimTime::from_millis(10));
     let quiet = series.iter().filter(|&&v| v < 1000.0).count();
     assert!(
@@ -55,7 +57,7 @@ fn switched_fabric_preserves_results_and_periodicity() {
 
 #[test]
 fn shared_bus_collides_where_switch_cannot() {
-    let bus = Testbed::quiet(4).run_kernel(KernelKind::Fft2d, 50);
+    let bus = Testbed::quiet(4).run_kernel(KernelKind::Fft2d, 50).unwrap();
     assert!(
         bus.ether.collisions > 0,
         "the all-to-all must provoke collisions on a shared medium"
@@ -224,11 +226,13 @@ fn deschedule_merges_adjacent_bursts() {
     // the number of distinct bursts (some merge) while stretching time.
     let clean = Testbed::paper()
         .with_seed(4)
-        .run_kernel(KernelKind::Fft2d, 20);
+        .run_kernel(KernelKind::Fft2d, 20)
+        .unwrap();
     let merged = Testbed::paper()
         .with_seed(4)
         .with_deschedule(SimTime::from_millis(300), SimTime::from_millis(250))
-        .run_kernel(KernelKind::Fft2d, 20);
+        .run_kernel(KernelKind::Fft2d, 20)
+        .unwrap();
     let gap = SimTime::from_millis(120);
     let n_clean = BurstProfile::of(&clean.trace, gap).unwrap().count;
     let n_merged = BurstProfile::of(&merged.trace, gap).unwrap().count;

@@ -13,7 +13,10 @@ fn run() -> &'static RunResult<u64> {
             hours: 4,
             ..AirshedParams::paper()
         };
-        Testbed::paper().with_seed(1998).run_airshed(params)
+        Testbed::paper()
+            .with_seed(1998)
+            .run_airshed(params)
+            .unwrap()
     })
 }
 

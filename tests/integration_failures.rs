@@ -15,11 +15,13 @@ fn deschedule_injection_stalls_the_synchronous_schedule() {
     // takes longer and the worst interarrival gap grows.
     let clean = Testbed::paper()
         .with_seed(11)
-        .run_kernel(KernelKind::Fft2d, 20);
+        .run_kernel(KernelKind::Fft2d, 20)
+        .unwrap();
     let slowed = Testbed::paper()
         .with_seed(11)
         .with_deschedule(SimTime::from_millis(400), SimTime::from_millis(150))
-        .run_kernel(KernelKind::Fft2d, 20);
+        .run_kernel(KernelKind::Fft2d, 20)
+        .unwrap();
     assert!(
         slowed.finished_at > clean.finished_at,
         "descheduling must stretch the run ({} vs {})",
@@ -112,7 +114,8 @@ fn burst_structure_survives_mild_loss() {
     let run = Testbed::paper()
         .with_seed(13)
         .with_loss(0.01)
-        .run_kernel(KernelKind::Hist, 10);
+        .run_kernel(KernelKind::Hist, 10)
+        .unwrap();
     let series = binned_bandwidth(&run.trace, SimTime::from_millis(10));
     let quiet = series.iter().filter(|&&v| v < 1000.0).count();
     assert!(quiet * 10 > series.len(), "quiet gaps must persist");

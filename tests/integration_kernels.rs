@@ -23,7 +23,12 @@ fn run(kernel: KernelKind) -> &'static RunResult<u64> {
         KernelKind::Seq => (&SEQ, 5),   // 1 iteration
         KernelKind::Hist => (&HIST, 5), // 20 iterations
     };
-    cell.get_or_init(|| Testbed::paper().with_seed(1998).run_kernel(kernel, div))
+    cell.get_or_init(|| {
+        Testbed::paper()
+            .with_seed(1998)
+            .run_kernel(kernel, div)
+            .unwrap()
+    })
 }
 
 const BIN: SimTime = SimTime(10_000_000);
@@ -287,10 +292,12 @@ fn trace_survives_a_save_load_round_trip() {
 fn runs_are_deterministic() {
     let a = Testbed::paper()
         .with_seed(77)
-        .run_kernel(KernelKind::Hist, 25);
+        .run_kernel(KernelKind::Hist, 25)
+        .unwrap();
     let b = Testbed::paper()
         .with_seed(77)
-        .run_kernel(KernelKind::Hist, 25);
+        .run_kernel(KernelKind::Hist, 25)
+        .unwrap();
     assert_eq!(a.trace, b.trace);
     assert_eq!(a.results, b.results);
     assert_eq!(a.finished_at, b.finished_at);

@@ -23,10 +23,12 @@ fn daemon_route_gives_identical_results() {
 fn daemon_route_is_slower_and_udp_only() {
     let direct = Testbed::quiet(4)
         .with_route(Route::Direct)
-        .run_kernel(KernelKind::Hist, 25);
+        .run_kernel(KernelKind::Hist, 25)
+        .unwrap();
     let daemon = Testbed::quiet(4)
         .with_route(Route::Daemon)
-        .run_kernel(KernelKind::Hist, 25);
+        .run_kernel(KernelKind::Hist, 25)
+        .unwrap();
     assert!(
         daemon.finished_at > direct.finished_at,
         "daemon route must be slower ({} vs {})",
@@ -43,10 +45,12 @@ fn daemon_route_changes_packet_mix_not_volume_class() {
     // ack datagrams, the direct route adds TCP ACKs.
     let direct = Testbed::quiet(4)
         .with_route(Route::Direct)
-        .run_kernel(KernelKind::Sor, 25);
+        .run_kernel(KernelKind::Sor, 25)
+        .unwrap();
     let daemon = Testbed::quiet(4)
         .with_route(Route::Daemon)
-        .run_kernel(KernelKind::Sor, 25);
+        .run_kernel(KernelKind::Sor, 25)
+        .unwrap();
     let payload =
         |tr: &[fxnet::FrameRecord]| -> u64 { tr.iter().map(|r| u64::from(r.wire_len)).sum() };
     let (d, m) = (payload(&direct.trace), payload(&daemon.trace));
@@ -63,7 +67,10 @@ fn idle_lan_machines_contribute_daemon_chatter() {
     // measured traffic mix.
     // 25 SOR steps ≈ 60+ s of simulated time: beyond two 30 s
     // heartbeat rounds.
-    let run = Testbed::paper().with_seed(5).run_kernel(KernelKind::Sor, 4);
+    let run = Testbed::paper()
+        .with_seed(5)
+        .run_kernel(KernelKind::Sor, 4)
+        .unwrap();
     let udp_sources: std::collections::HashSet<u32> = run
         .trace
         .iter()
@@ -83,7 +90,8 @@ fn tracer_host_never_transmits() {
     // totally silent.
     let run = Testbed::paper()
         .without_heartbeats()
-        .run_kernel(KernelKind::Hist, 50);
+        .run_kernel(KernelKind::Hist, 50)
+        .unwrap();
     assert!(
         run.trace.iter().all(|r| r.src.0 != 8),
         "the tracer workstation must not source traffic"

@@ -19,6 +19,7 @@ fn hist_run() -> &'static RunResult<u64> {
         Testbed::paper()
             .with_seed(3)
             .run_kernel(KernelKind::Hist, 4)
+            .unwrap()
     })
 }
 

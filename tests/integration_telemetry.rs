@@ -26,6 +26,7 @@ fn run(kernel: KernelKind) -> &'static RunResult<u64> {
             .with_seed(1998)
             .with_telemetry(true)
             .run_kernel(kernel, div)
+            .unwrap()
     })
 }
 
@@ -34,11 +35,13 @@ fn same_seed_runs_produce_identical_telemetry_json() {
     let a = Testbed::paper()
         .with_seed(1998)
         .with_telemetry(true)
-        .run_kernel(KernelKind::Hist, 20);
+        .run_kernel(KernelKind::Hist, 20)
+        .unwrap();
     let b = Testbed::paper()
         .with_seed(1998)
         .with_telemetry(true)
-        .run_kernel(KernelKind::Hist, 20);
+        .run_kernel(KernelKind::Hist, 20)
+        .unwrap();
     let ja = serde::json::to_string(&a.telemetry.expect("telemetry on").to_value());
     let jb = serde::json::to_string(&b.telemetry.expect("telemetry on").to_value());
     assert_eq!(ja, jb, "telemetry snapshot must be a function of the seed");
@@ -48,11 +51,13 @@ fn same_seed_runs_produce_identical_telemetry_json() {
 fn telemetry_does_not_perturb_the_trace() {
     let plain = Testbed::paper()
         .with_seed(7)
-        .run_kernel(KernelKind::Hist, 20);
+        .run_kernel(KernelKind::Hist, 20)
+        .unwrap();
     let tele = Testbed::paper()
         .with_seed(7)
         .with_telemetry(true)
-        .run_kernel(KernelKind::Hist, 20);
+        .run_kernel(KernelKind::Hist, 20)
+        .unwrap();
     assert!(plain.telemetry.is_none());
     assert_eq!(
         plain.trace, tele.trace,

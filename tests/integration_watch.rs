@@ -27,7 +27,7 @@ fn six_programs() -> Vec<(String, Vec<FrameRecord>)> {
         (KernelKind::Seq, 5),
         (KernelKind::Hist, 20),
     ] {
-        let run = Testbed::paper().with_seed(7).run_kernel(k, div);
+        let run = Testbed::paper().with_seed(7).run_kernel(k, div).unwrap();
         traces.push((k.name().to_string(), run.trace));
     }
     let run = Testbed::quiet(4).with_seed(7).run(move |ctx| {
