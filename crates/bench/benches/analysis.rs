@@ -1,6 +1,8 @@
 //! Criterion benches for the analysis pipeline (the paper's offline
 //! tooling): statistics, windowed bandwidth, periodograms, model fitting
-//! and regeneration, and the QoS negotiation.
+//! and regeneration, the QoS negotiation, and the columnar engine —
+//! store build, fused report vs the multi-pass legacy report, indexed
+//! connection views vs filtered copies, and binary vs text trace IO.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fxnet::fx::Pattern;
@@ -8,7 +10,10 @@ use fxnet::qos::{negotiate, AppDescriptor, QosNetwork};
 use fxnet::sim::{Frame, FrameKind, FrameRecord, HostId, SimRng, SimTime};
 use fxnet::spectral::generate::SynthConfig;
 use fxnet::spectral::{synthesize_trace, FourierModel};
-use fxnet::trace::{binned_bandwidth, sliding_window_bandwidth, Periodogram, Stats};
+use fxnet::trace::{
+    binned_bandwidth, connection, host_pairs, io, sliding_window_bandwidth, Periodogram,
+    ReportOptions, Stats, TraceReport, TraceStore,
+};
 use std::hint::black_box;
 
 /// A deterministic synthetic trace shaped like bursty kernel traffic.
@@ -76,6 +81,82 @@ fn bench_model_fit_and_generate(c: &mut Criterion) {
     });
 }
 
+fn bench_store_build(c: &mut Criterion) {
+    let tr = synthetic_trace(100_000);
+    c.bench_function("columnar/store_build_100k_frames", |b| {
+        b.iter(|| black_box(TraceStore::from_records(&tr)))
+    });
+}
+
+fn bench_report_fused_vs_legacy(c: &mut Criterion) {
+    let tr = synthetic_trace(100_000);
+    let store = TraceStore::from_records(&tr);
+    let opts = ReportOptions::default();
+    // Spectrum `None`: the periodogram is computed identically by both
+    // paths and would swamp the comparison; this isolates the one fused
+    // traversal against the legacy pass-per-quantity structure.
+    c.bench_function("columnar/report_legacy_multipass", |b| {
+        b.iter(|| {
+            black_box(TraceReport::analyze_with_spectrum(
+                "bench", &tr, &opts, None,
+            ))
+        })
+    });
+    c.bench_function("columnar/report_fused_view", |b| {
+        b.iter(|| {
+            black_box(TraceReport::analyze_view_with_spectrum(
+                "bench",
+                store.view(),
+                &opts,
+                None,
+            ))
+        })
+    });
+}
+
+fn bench_connection_index_vs_copy(c: &mut Criterion) {
+    let tr = synthetic_trace(100_000);
+    let store = TraceStore::from_records(&tr);
+    let pairs = host_pairs(&tr);
+    c.bench_function("columnar/connections_legacy_copy", |b| {
+        b.iter(|| {
+            for &((s, d), _) in &pairs {
+                let conn = connection(&tr, s, d);
+                black_box(Stats::packet_sizes(&conn));
+            }
+        })
+    });
+    c.bench_function("columnar/connections_indexed_view", |b| {
+        b.iter(|| {
+            for &((s, d), _) in &pairs {
+                black_box(store.connection(s, d).packet_sizes());
+            }
+        })
+    });
+}
+
+fn bench_trace_io(c: &mut Criterion) {
+    let tr = synthetic_trace(100_000);
+    let store = TraceStore::from_records(&tr);
+    let mut binary = Vec::new();
+    io::write_store_binary(&mut binary, &store).expect("encode binary");
+    let mut text = Vec::new();
+    io::write_trace(&mut text, &tr).expect("encode text");
+    c.bench_function("io/write_binary_100k_frames", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            io::write_store_binary(&mut out, &store).expect("encode binary");
+            black_box(out)
+        })
+    });
+    c.bench_function("io/read_binary_100k_frames", |b| {
+        b.iter(|| black_box(io::read_store_binary(&mut binary.as_slice()).expect("decode")))
+    });
+    c.bench_function("io/read_text_100k_frames", |b| {
+        b.iter(|| black_box(io::read_trace(&mut text.as_slice()).expect("parse")))
+    });
+}
+
 fn bench_qos(c: &mut Criterion) {
     c.bench_function("qos/negotiate_1_to_64", |b| {
         let app = AppDescriptor::scalable(Pattern::AllToAll, 24.0, |p| {
@@ -92,6 +173,10 @@ criterion_group!(
     bench_window,
     bench_periodogram,
     bench_model_fit_and_generate,
+    bench_store_build,
+    bench_report_fused_vs_legacy,
+    bench_connection_index_vs_copy,
+    bench_trace_io,
     bench_qos
 );
 criterion_main!(benches);

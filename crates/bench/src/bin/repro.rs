@@ -27,8 +27,16 @@
 //! and `mix-admit`, the live-observability experiment `watch`
 //! (streaming contract compliance; writes Prometheus-text metrics and a
 //! JSONL event log, directed by `--metrics-out DIR`, default `--out`),
-//! and `bench` (event-queue engines + parallel suite speedup; writes
-//! `out/bench_repro.json`).
+//! and `bench` (event-queue engines, parallel suite speedup, the
+//! columnar-vs-AoS analysis race, and the binary-vs-text trace-format
+//! race; writes `out/bench_repro.json` plus the four `analysis_*.md`
+//! transcripts it asserts byte-identical).
+//!
+//! Prewarmed traces are cached on disk under `out/cache` keyed by
+//! program, scale, and seed — `--trace-format {binary,text}` picks the
+//! artifact encoding (default binary `.fxb`). A later run at the same
+//! scale serves store-only experiments from the cache instead of
+//! resimulating; a format-version bump invalidates stale artifacts.
 
 use fxnet::fx::Pattern;
 use fxnet::qos::{negotiate, AppDescriptor, QosNetwork};
@@ -40,10 +48,13 @@ use fxnet::spectral::{
 use fxnet::telemetry::write_json_artifact;
 use fxnet::trace::PhaseBreakdown;
 use fxnet::trace::{
-    average_bandwidth, binned_bandwidth, sliding_window_bandwidth, Periodogram, Stats,
+    binned_bandwidth, load_store, save_store, Periodogram, TraceFormat, TraceStore,
 };
 use fxnet::{KernelKind, SimTime};
-use fxnet_bench::{bandwidth_row, queue_benchmark, stats_row, Experiments};
+use fxnet_bench::{
+    analysis_suite_aos, analysis_suite_columnar, bandwidth_row_bw, queue_benchmark, stats_row,
+    Experiments,
+};
 use fxnet_harness::{timed, Pool};
 use serde::Value;
 use std::io::Write;
@@ -72,13 +83,31 @@ struct Experiment {
     in_all: bool,
     /// Member of `all-extras`.
     extra: bool,
-    /// Kernels the runner reads from the shared cache (prewarmed
-    /// through the pool before any experiment prints).
+    /// Kernels whose full [`fxnet::RunResult`] the runner reads (wall
+    /// clock, Ethernet counters, telemetry) — always simulated.
     needs_kernels: &'static [KernelKind],
+    /// Kernels the runner only analyzes through columnar stores — a
+    /// valid trace-cache artifact satisfies these without a simulation.
+    needs_stores: &'static [KernelKind],
     /// Whether the runner reads the shared AIRSHED run.
     needs_airshed: bool,
+    /// Whether the runner reads the AIRSHED columnar store.
+    needs_airshed_store: bool,
     run: fn(&mut Ctx),
 }
+
+/// Registry shorthand: no cached programs needed.
+const NONE: Experiment = Experiment {
+    id: "",
+    desc: "",
+    in_all: false,
+    extra: false,
+    needs_kernels: &[],
+    needs_stores: &[],
+    needs_airshed: false,
+    needs_airshed_store: false,
+    run: fig1,
+};
 
 /// The experiment registry, in execution order.
 const REGISTRY: &[Experiment] = &[
@@ -86,208 +115,175 @@ const REGISTRY: &[Experiment] = &[
         id: "fig1",
         desc: "Fx communication patterns (P = 8)",
         in_all: true,
-        extra: false,
-        needs_kernels: &[],
-        needs_airshed: false,
         run: fig1,
+        ..NONE
     },
     Experiment {
         id: "fig3",
         desc: "packet size statistics for Fx kernels",
         in_all: true,
-        extra: false,
-        needs_kernels: &KernelKind::ALL,
-        needs_airshed: false,
+        needs_stores: &KernelKind::ALL,
         run: fig3,
+        ..NONE
     },
     Experiment {
         id: "fig4",
         desc: "packet interarrival statistics for Fx kernels",
         in_all: true,
-        extra: false,
-        needs_kernels: &KernelKind::ALL,
-        needs_airshed: false,
+        needs_stores: &KernelKind::ALL,
         run: fig4,
+        ..NONE
     },
     Experiment {
         id: "fig5",
         desc: "average bandwidth for Fx kernels",
         in_all: true,
-        extra: false,
-        needs_kernels: &KernelKind::ALL,
-        needs_airshed: false,
+        needs_stores: &KernelKind::ALL,
         run: fig5,
+        ..NONE
     },
     Experiment {
         id: "fig6",
         desc: "instantaneous bandwidth of Fx kernels (series files)",
         in_all: true,
-        extra: false,
-        needs_kernels: &KernelKind::ALL,
-        needs_airshed: false,
+        needs_stores: &KernelKind::ALL,
         run: fig6,
+        ..NONE
     },
     Experiment {
         id: "fig7",
         desc: "power spectra of kernel bandwidth (spectrum files)",
         in_all: true,
-        extra: false,
-        needs_kernels: &KernelKind::ALL,
-        needs_airshed: false,
+        needs_stores: &KernelKind::ALL,
         run: fig7,
+        ..NONE
     },
     Experiment {
         id: "fig8",
         desc: "packet size statistics for AIRSHED",
         in_all: true,
-        extra: false,
-        needs_kernels: &[],
-        needs_airshed: true,
+        needs_airshed_store: true,
         run: fig8,
+        ..NONE
     },
     Experiment {
         id: "fig9",
         desc: "packet interarrival statistics for AIRSHED",
         in_all: true,
-        extra: false,
-        needs_kernels: &[],
-        needs_airshed: true,
+        needs_airshed_store: true,
         run: fig9,
+        ..NONE
     },
     Experiment {
         id: "airshed-avg",
         desc: "AIRSHED average bandwidth (§6.2)",
         in_all: true,
-        extra: false,
-        needs_kernels: &[],
-        needs_airshed: true,
+        needs_airshed_store: true,
         run: airshed_avg,
+        ..NONE
     },
     Experiment {
         id: "fig10",
         desc: "instantaneous bandwidth of AIRSHED (series files)",
         in_all: true,
-        extra: false,
-        needs_kernels: &[],
         needs_airshed: true,
+        needs_airshed_store: true,
         run: fig10,
+        ..NONE
     },
     Experiment {
         id: "fig11",
         desc: "power spectrum of AIRSHED bandwidth",
         in_all: true,
-        extra: false,
-        needs_kernels: &[],
-        needs_airshed: true,
+        needs_airshed_store: true,
         run: fig11,
+        ..NONE
     },
     Experiment {
         id: "model",
         desc: "truncated Fourier-series models of kernel bandwidth (§7.2)",
         in_all: true,
-        extra: false,
-        needs_kernels: &[KernelKind::Fft2d, KernelKind::Hist, KernelKind::Seq],
-        needs_airshed: false,
+        needs_stores: &[KernelKind::Fft2d, KernelKind::Hist, KernelKind::Seq],
         run: model,
+        ..NONE
     },
     Experiment {
         id: "qos",
         desc: "QoS negotiation: t_bi vs P (§7.3)",
         in_all: true,
-        extra: false,
-        needs_kernels: &[],
-        needs_airshed: false,
         run: qos,
+        ..NONE
     },
     Experiment {
         id: "baseline",
         desc: "parallel-program vs media traffic (§1/§8)",
         in_all: true,
-        extra: false,
-        needs_kernels: &[KernelKind::Fft2d, KernelKind::Hist],
-        needs_airshed: false,
+        needs_stores: &[KernelKind::Fft2d, KernelKind::Hist],
         run: baseline,
+        ..NONE
     },
     Experiment {
         id: "phases",
         desc: "per-phase traffic attribution (span × trace join; needs telemetry)",
-        in_all: false,
         extra: true,
         needs_kernels: &KernelKind::ALL,
         needs_airshed: true,
         run: phases,
+        ..NONE
     },
     Experiment {
         id: "summary",
         desc: "one-page markdown summary of every measured program",
-        in_all: false,
         extra: true,
-        needs_kernels: &KernelKind::ALL,
-        needs_airshed: true,
+        needs_stores: &KernelKind::ALL,
+        needs_airshed_store: true,
         run: summary,
+        ..NONE
     },
     Experiment {
         id: "ablate-switch",
         desc: "ablation: shared CSMA/CD bus vs store-and-forward switch",
-        in_all: false,
         extra: true,
-        needs_kernels: &[],
-        needs_airshed: false,
         run: ablate_switch,
+        ..NONE
     },
     Experiment {
         id: "ablate-route",
         desc: "ablation: PVM direct TCP route vs daemon UDP relay",
-        in_all: false,
         extra: true,
-        needs_kernels: &[],
-        needs_airshed: false,
         run: ablate_route,
+        ..NONE
     },
     Experiment {
         id: "ablate-p",
         desc: "ablation: processor-count sweep vs the §7.3 model",
-        in_all: false,
         extra: true,
-        needs_kernels: &[],
-        needs_airshed: false,
         run: ablate_p,
+        ..NONE
     },
     Experiment {
         id: "mix",
         desc: "multi-tenant: SOR + 2DFFT + HIST sharing one wire",
-        in_all: false,
-        extra: false,
-        needs_kernels: &[],
-        needs_airshed: false,
         run: mix_kernels,
+        ..NONE
     },
     Experiment {
         id: "mix-admit",
         desc: "multi-tenant: QoS admission under rising offered load",
-        in_all: false,
-        extra: false,
-        needs_kernels: &[],
-        needs_airshed: false,
         run: mix_admit,
+        ..NONE
     },
     Experiment {
         id: "watch",
         desc: "live observability: streaming contract compliance",
-        in_all: false,
-        extra: false,
-        needs_kernels: &[],
-        needs_airshed: false,
         run: watch_live,
+        ..NONE
     },
     Experiment {
         id: "bench",
-        desc: "perf probes: event-queue engines + parallel suite speedup",
-        in_all: false,
-        extra: false,
-        needs_kernels: &[],
-        needs_airshed: false,
+        desc: "perf probes: queues, suite speedup, columnar analysis, trace IO",
         run: bench_repro,
+        ..NONE
     },
 ];
 
@@ -314,6 +310,7 @@ fn main() {
     let mut seed = 1998u64;
     let mut telemetry = false;
     let mut jobs = 1usize;
+    let mut trace_format = TraceFormat::Binary;
     let mut exps: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -324,6 +321,12 @@ fn main() {
             "--metrics-out" => metrics_out = args.next(),
             "--seed" => seed = args.next().and_then(|s| s.parse().ok()).unwrap_or(1998),
             "--jobs" => jobs = args.next().and_then(|s| s.parse().ok()).unwrap_or(1),
+            "--trace-format" => {
+                trace_format = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(TraceFormat::Binary);
+            }
             "--telemetry" => telemetry = true,
             "--list" => {
                 list_experiments();
@@ -331,11 +334,12 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--div N] [--hours H] [--out DIR] [--metrics-out DIR] [--seed N] [--jobs N] [--telemetry] [--list] <exp>...\n\
+                    "usage: repro [--div N] [--hours H] [--out DIR] [--metrics-out DIR] [--seed N] [--jobs N] [--trace-format F] [--telemetry] [--list] <exp>...\n\
                      `repro --list` prints every experiment id with its description\n\
                      sets: all (default) = every figure/table of the paper; all-extras = phases ablate-switch ablate-route ablate-p summary\n\
                      --seed N sets the simulation seed (default 1998); same seed, byte-identical output\n\
                      --jobs N fans independent runs across N workers (0 = all CPUs); output is byte-identical to --jobs 1\n\
+                     --trace-format F caches prewarmed traces under out/cache as `binary` (.fxb, default) or `text` (.trace)\n\
                      --metrics-out DIR directs the watch artifacts (default: the --out dir)\n\
                      --telemetry collects spans/counters and writes out/telemetry_<exp>.json"
                 );
@@ -377,7 +381,8 @@ fn main() {
     let mut ctx = Ctx {
         exps: Experiments::new(div, hours, &out)
             .with_seed(seed)
-            .with_telemetry(telemetry),
+            .with_telemetry(telemetry)
+            .with_trace_cache(trace_format),
         pool: Pool::new(jobs),
         div,
         hours,
@@ -393,17 +398,33 @@ fn main() {
     // Prewarm the union of what the selected experiments read from the
     // shared cache, fanned across the pool. The cache is keyed by
     // program, so every analysis afterwards prints the same bytes at
-    // any --jobs; only the [run] progress lines on stderr interleave.
-    let mut kernels: Vec<KernelKind> = Vec::new();
+    // any --jobs; only the [run]/[cache] progress lines on stderr
+    // interleave. Experiments that only read the columnar store can be
+    // satisfied by the on-disk trace cache; ones that read the full
+    // RunResult (finished_at, telemetry) always simulate.
+    let mut run_kernels: Vec<KernelKind> = Vec::new();
+    let mut store_kernels: Vec<KernelKind> = Vec::new();
     for e in &selected {
         for k in e.needs_kernels {
-            if !kernels.contains(k) {
-                kernels.push(*k);
+            if !run_kernels.contains(k) {
+                run_kernels.push(*k);
+            }
+        }
+        for k in e.needs_stores {
+            if !store_kernels.contains(k) {
+                store_kernels.push(*k);
             }
         }
     }
-    let airshed = selected.iter().any(|e| e.needs_airshed);
-    ctx.exps.prewarm(&ctx.pool, &kernels, airshed);
+    let airshed_run = selected.iter().any(|e| e.needs_airshed);
+    let airshed_store = selected.iter().any(|e| e.needs_airshed_store);
+    ctx.exps.prewarm_suite(
+        &ctx.pool,
+        &run_kernels,
+        &store_kernels,
+        airshed_run,
+        airshed_store,
+    );
 
     for e in &selected {
         (e.run)(&mut ctx);
@@ -465,26 +486,33 @@ fn phases(c: &mut Ctx) {
 fn summary(c: &mut Ctx) {
     let ctx = &mut c.exps;
     header("Summary: all measured programs (markdown)");
-    use fxnet::trace::{markdown_table, ReportOptions};
+    use fxnet::trace::{markdown_table_views, ReportOptions};
     let opts = ReportOptions::default();
-    let mut traces: Vec<(String, Vec<fxnet::FrameRecord>)> = Vec::new();
+    // Materialize every store (simulated or served from the trace
+    // cache), then borrow them all at once for the one-table render —
+    // no cloned traces, just views.
+    let mut names: Vec<&'static str> = Vec::new();
     for k in KernelKind::ALL {
-        traces.push((k.name().to_string(), ctx.kernel(k).trace.clone()));
+        ctx.kernel_store(k);
+        names.push(k.name());
     }
-    traces.push(("AIRSHED".to_string(), ctx.airshed().trace.clone()));
-    let rows: Vec<(&str, &[fxnet::FrameRecord])> = traces
+    ctx.airshed_store();
+    names.push("AIRSHED");
+    let rows: Vec<(&str, fxnet::trace::TraceView)> = names
         .iter()
-        .map(|(n, t)| (n.as_str(), t.as_slice()))
+        .map(|n| (*n, ctx.store_of(n).expect("materialized above").view()))
         .collect();
-    println!("{}", markdown_table(rows, &opts));
+    println!("{}", markdown_table_views(rows, &opts));
 }
 
 // --------------------------------------------------------------------
 // DESIGN.md §8 ablations.
 
 fn kernel_row(label: &str, run: &fxnet::RunResult<u64>) -> String {
-    let bw = average_bandwidth(&run.trace).unwrap_or(0.0) / 1000.0;
-    let series = binned_bandwidth(&run.trace, BIN);
+    let store = TraceStore::from_records(&run.trace);
+    let v = store.view();
+    let bw = v.average_bandwidth().unwrap_or(0.0) / 1000.0;
+    let series = v.binned_bandwidth(BIN);
     let spec = Periodogram::compute(&series, BIN);
     format!(
         "{label:<22} {:>8.1}s {:>9.1} KB/s   {:>6.2} Hz   {:>6} collisions",
@@ -680,7 +708,9 @@ fn mix_kernels(c: &mut Ctx) {
 
     // The combined spectrum of the shared wire: three periodic programs
     // superpose; their fundamentals coexist in one periodogram.
-    let series = binned_bandwidth(&out.trace, BIN);
+    let series = TraceStore::from_records(&out.trace)
+        .view()
+        .binned_bandwidth(BIN);
     let spec = Periodogram::compute(&series, BIN);
     println!("\n-- combined spectrum of the shared wire --");
     println!(
@@ -885,14 +915,14 @@ fn fig3(c: &mut Ctx) {
     header("Figure 3: packet size statistics for Fx kernels (bytes)");
     println!("-- aggregate --     min       max       avg        sd");
     for k in KernelKind::ALL {
-        let s = Stats::packet_sizes(&ctx.kernel(k).trace);
+        let s = ctx.kernel_store(k).view().packet_sizes();
         println!("{}", stats_row(k.name(), s));
     }
     println!("-- connection --    min       max       avg        sd");
     for k in KernelKind::ALL {
-        let s = ctx
-            .representative_connection(k)
-            .and_then(|c| Stats::packet_sizes(&c));
+        // A zero-copy connection view: an index lookup, not a filter.
+        let s = Experiments::representative_pair(k)
+            .and_then(|(a, b)| ctx.kernel_store(k).connection(a, b).packet_sizes());
         println!("{}", stats_row(k.name(), s));
     }
     println!("(paper aggregate: SOR 58/1518/473/568, 2DFFT 58/1518/969/678, T2DFFT 58/1518/912/663, SEQ 58/90/75/14, HIST 58/1518/499/575)");
@@ -903,14 +933,13 @@ fn fig4(c: &mut Ctx) {
     header("Figure 4: packet interarrival time statistics for Fx kernels (ms)");
     println!("-- aggregate --     min       max       avg        sd");
     for k in KernelKind::ALL {
-        let s = Stats::interarrivals_ms(&ctx.kernel(k).trace);
+        let s = ctx.kernel_store(k).view().interarrivals_ms();
         println!("{}", stats_row(k.name(), s));
     }
     println!("-- connection --    min       max       avg        sd");
     for k in KernelKind::ALL {
-        let s = ctx
-            .representative_connection(k)
-            .and_then(|c| Stats::interarrivals_ms(&c));
+        let s = Experiments::representative_pair(k)
+            .and_then(|(a, b)| ctx.kernel_store(k).connection(a, b).interarrivals_ms());
         println!("{}", stats_row(k.name(), s));
     }
     println!("(paper aggregate avg: SOR 82.1, 2DFFT 1.3, T2DFFT 1.5, SEQ 1.3, HIST 16.5)");
@@ -921,13 +950,16 @@ fn fig5(c: &mut Ctx) {
     header("Figure 5: average bandwidth for Fx kernels (KB/s)");
     println!("-- aggregate --      KB/s");
     for k in KernelKind::ALL {
-        let row = bandwidth_row(k.name(), &ctx.kernel(k).trace);
-        println!("{row}");
+        let bw = ctx.kernel_store(k).view().average_bandwidth();
+        println!("{}", bandwidth_row_bw(k.name(), bw));
     }
     println!("-- connection --     KB/s");
     for k in KernelKind::ALL {
-        match ctx.representative_connection(k) {
-            Some(c) => println!("{}", bandwidth_row(k.name(), &c)),
+        match Experiments::representative_pair(k) {
+            Some((a, b)) => {
+                let bw = ctx.kernel_store(k).connection(a, b).average_bandwidth();
+                println!("{}", bandwidth_row_bw(k.name(), bw));
+            }
             None => println!("{:<10} {:>10}", k.name(), "-"),
         }
     }
@@ -963,7 +995,7 @@ fn fig6(c: &mut Ctx) {
     let ctx = &mut c.exps;
     header("Figure 6: instantaneous bandwidth of Fx kernels (10 ms window)");
     for k in KernelKind::ALL {
-        let win = sliding_window_bandwidth(&ctx.kernel(k).trace, BIN);
+        let win = ctx.kernel_store(k).view().sliding_window_bandwidth(BIN);
         let path = ctx.out_path(&format!("{}.all.winbw", k.name()));
         dump_series(&path, &win, 10.0);
         println!(
@@ -971,8 +1003,11 @@ fn fig6(c: &mut Ctx) {
             path.display(),
             win.len().min(10_000)
         );
-        if let Some(conn) = ctx.representative_connection(k) {
-            let win = sliding_window_bandwidth(&conn, BIN);
+        if let Some((a, b)) = Experiments::representative_pair(k) {
+            let win = ctx
+                .kernel_store(k)
+                .connection(a, b)
+                .sliding_window_bandwidth(BIN);
             let path = ctx.out_path(&format!("{}.conn.winbw", k.name()));
             dump_series(&path, &win, 10.0);
             println!("wrote {}", path.display());
@@ -991,7 +1026,7 @@ fn fig7(c: &mut Ctx) {
         ("HIST", "5 Hz fundamental, linearly declining harmonics"),
     ];
     for (k, (_, note)) in KernelKind::ALL.into_iter().zip(paper) {
-        let series = binned_bandwidth(&ctx.kernel(k).trace, BIN);
+        let series = ctx.kernel_store(k).view().binned_bandwidth(BIN);
         let spec = Periodogram::compute(&series, BIN);
         let path = ctx.out_path(&format!("{}.all.spectrum", k.name()));
         dump_spectrum(&path, &spec, 50.0);
@@ -1005,8 +1040,8 @@ fn fig7(c: &mut Ctx) {
         for s in spec.top_spikes(4, 0.25) {
             println!("    spike {:>6.2} Hz  power {:.2e}", s.freq, s.power);
         }
-        if let Some(conn) = ctx.representative_connection(k) {
-            let cs = binned_bandwidth(&conn, BIN);
+        if let Some((a, b)) = Experiments::representative_pair(k) {
+            let cs = ctx.kernel_store(k).connection(a, b).binned_bandwidth(BIN);
             let cspec = Periodogram::compute(&cs, BIN);
             let path = ctx.out_path(&format!("{}.conn.spectrum", k.name()));
             dump_spectrum(&path, &cspec, 50.0);
@@ -1025,36 +1060,36 @@ fn fig7(c: &mut Ctx) {
 fn fig8(c: &mut Ctx) {
     let ctx = &mut c.exps;
     header("Figure 8: packet size statistics for AIRSHED (bytes)");
-    println!(
-        "{}",
-        stats_row("aggregate", Stats::packet_sizes(&ctx.airshed().trace))
-    );
-    let conn = fxnet::trace::connection(&ctx.airshed().trace, fxnet::HostId(0), fxnet::HostId(1));
-    println!("{}", stats_row("connection", Stats::packet_sizes(&conn)));
+    let store = ctx.airshed_store();
+    println!("{}", stats_row("aggregate", store.view().packet_sizes()));
+    let conn = store.connection(fxnet::HostId(0), fxnet::HostId(1));
+    println!("{}", stats_row("connection", conn.packet_sizes()));
     println!("(paper: aggregate 58/1518/899/693; connection 58/1518/889/688)");
 }
 
 fn fig9(c: &mut Ctx) {
     let ctx = &mut c.exps;
     header("Figure 9: packet interarrival statistics for AIRSHED (ms)");
+    let store = ctx.airshed_store();
     println!(
         "{}",
-        stats_row("aggregate", Stats::interarrivals_ms(&ctx.airshed().trace))
+        stats_row("aggregate", store.view().interarrivals_ms())
     );
-    let conn = fxnet::trace::connection(&ctx.airshed().trace, fxnet::HostId(0), fxnet::HostId(1));
-    println!(
-        "{}",
-        stats_row("connection", Stats::interarrivals_ms(&conn))
-    );
+    let conn = store.connection(fxnet::HostId(0), fxnet::HostId(1));
+    println!("{}", stats_row("connection", conn.interarrivals_ms()));
     println!("(paper: aggregate 0/23448.6/26.8/513.3; connection 0/37018.5/317.4/2353.6)");
 }
 
 fn airshed_avg(c: &mut Ctx) {
     let ctx = &mut c.exps;
     header("§6.2: AIRSHED average bandwidth");
-    let agg = average_bandwidth(&ctx.airshed().trace).unwrap_or(0.0) / 1000.0;
-    let conn = fxnet::trace::connection(&ctx.airshed().trace, fxnet::HostId(0), fxnet::HostId(1));
-    let cbw = average_bandwidth(&conn).unwrap_or(0.0) / 1000.0;
+    let store = ctx.airshed_store();
+    let agg = store.view().average_bandwidth().unwrap_or(0.0) / 1000.0;
+    let cbw = store
+        .connection(fxnet::HostId(0), fxnet::HostId(1))
+        .average_bandwidth()
+        .unwrap_or(0.0)
+        / 1000.0;
     println!("aggregate  {agg:>8.1} KB/s   (paper: 32.7)");
     println!("connection {cbw:>8.1} KB/s   (paper:  2.7)");
 }
@@ -1063,14 +1098,16 @@ fn fig10(c: &mut Ctx) {
     let ctx = &mut c.exps;
     header("Figure 10: instantaneous bandwidth of AIRSHED (10 ms window)");
     let total = ctx.airshed().finished_at.as_secs_f64();
-    let win = sliding_window_bandwidth(&ctx.airshed().trace, BIN);
+    let win = ctx.airshed_store().view().sliding_window_bandwidth(BIN);
     let p500 = ctx.out_path("AIRSHED.all.winbw.500s");
     dump_series(&p500, &win, 500.0f64.min(total));
     let p60 = ctx.out_path("AIRSHED.all.winbw.60s");
     dump_series(&p60, &win, 60.0f64.min(total));
     println!("wrote {} and {}", p500.display(), p60.display());
-    let conn = fxnet::trace::connection(&ctx.airshed().trace, fxnet::HostId(0), fxnet::HostId(1));
-    let cw = sliding_window_bandwidth(&conn, BIN);
+    let cw = ctx
+        .airshed_store()
+        .connection(fxnet::HostId(0), fxnet::HostId(1))
+        .sliding_window_bandwidth(BIN);
     let pc = ctx.out_path("AIRSHED.conn.winbw.500s");
     dump_series(&pc, &cw, 500.0f64.min(total));
     println!("wrote {}", pc.display());
@@ -1079,7 +1116,7 @@ fn fig10(c: &mut Ctx) {
 fn fig11(c: &mut Ctx) {
     let ctx = &mut c.exps;
     header("Figure 11: power spectrum of AIRSHED bandwidth");
-    let series = binned_bandwidth(&ctx.airshed().trace, BIN);
+    let series = ctx.airshed_store().view().binned_bandwidth(BIN);
     let spec = Periodogram::compute(&series, BIN);
     for (suffix, max_hz) in [("0.1hz", 0.1), ("1hz", 1.0), ("20hz", 20.0)] {
         let path = ctx.out_path(&format!("AIRSHED.spectrum.{suffix}"));
@@ -1115,7 +1152,7 @@ fn model(c: &mut Ctx) {
     let ctx = &mut c.exps;
     header("§7.2: truncated Fourier-series models of kernel bandwidth");
     for k in [KernelKind::Fft2d, KernelKind::Hist, KernelKind::Seq] {
-        let series = binned_bandwidth(&ctx.kernel(k).trace, BIN);
+        let series = ctx.kernel_store(k).view().binned_bandwidth(BIN);
         let spec = Periodogram::compute(&series, BIN);
         println!(
             "\n{}:  spikes  captured-power  reconstruction-RMS",
@@ -1192,10 +1229,11 @@ fn baseline(c: &mut Ctx) {
     header("§1/§8: parallel-program vs media traffic");
     let mut rows: Vec<(String, f64, f64, Option<f64>)> = Vec::new();
     for k in [KernelKind::Fft2d, KernelKind::Hist] {
-        let series = binned_bandwidth(&ctx.kernel(k).trace, BIN);
+        let v = ctx.kernel_store(k).view();
+        let series = v.binned_bandwidth(BIN);
         let spec = Periodogram::compute(&series, BIN);
         let conc = FourierModel::from_periodogram(&spec, 8, 0.1).captured_power_fraction(&spec);
-        let coarse = binned_bandwidth(&ctx.kernel(k).trace, SimTime::from_millis(50));
+        let coarse = v.binned_bandwidth(SimTime::from_millis(50));
         rows.push((
             k.name().to_string(),
             spec.flatness(),
@@ -1231,7 +1269,7 @@ fn baseline(c: &mut Ctx) {
 // Perf probes: the event-queue engines and the parallel suite.
 
 fn bench_repro(c: &mut Ctx) {
-    header("bench: event-queue engines + parallel suite speedup");
+    header("bench: queues, suite speedup, columnar analysis, trace IO");
     let jobs = c.pool.jobs();
     let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
 
@@ -1303,6 +1341,149 @@ fn bench_repro(c: &mut Ctx) {
         );
     }
 
+    // Analysis leg: the full analysis suite (stats, interarrivals,
+    // binned bandwidth, bursts, spectrum, per-connection tables, the
+    // report row) over the six prewarmed programs — the columnar engine
+    // against the AoS baseline, best wall clock of three passes each.
+    // Each path analyzes its resident representation: the AoS baseline
+    // its record vec, the columnar engine its store (the one-time
+    // record→store conversion is timed separately below; trace-cache
+    // artifacts deserialize straight into stores without it).
+    let mut programs: Vec<(String, Vec<fxnet::FrameRecord>)> = Vec::new();
+    for k in KernelKind::ALL {
+        programs.push((k.name().to_string(), serial.kernel(k).trace.clone()));
+    }
+    programs.push(("AIRSHED".to_string(), serial.airshed().trace.clone()));
+    let frames_total: u64 = programs.iter().map(|(_, t)| t.len() as u64).sum();
+    println!(
+        "analysis: {} programs / {frames_total} frames, AoS vs columnar (best of 3) ...",
+        programs.len()
+    );
+    fn best_of3<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+        let (first, d) = timed(&mut f);
+        let mut out = first;
+        let mut best = d.as_secs_f64();
+        for _ in 0..2 {
+            let (again, d) = timed(&mut f);
+            if d.as_secs_f64() < best {
+                best = d.as_secs_f64();
+                out = again;
+            }
+        }
+        (out, best)
+    }
+    let idx: Vec<usize> = (0..programs.len()).collect();
+    let (stores, t_build) = timed(|| {
+        programs
+            .iter()
+            .map(|(_, t)| TraceStore::from_records(t))
+            .collect::<Vec<TraceStore>>()
+    });
+    let t_build = t_build.as_secs_f64();
+    let (aos_outputs, t_aos) = best_of3(|| {
+        c.pool.map(idx.clone(), |i| {
+            let (name, trace) = &programs[i];
+            analysis_suite_aos(name, trace)
+        })
+    });
+    let (col_outputs, t_col) = best_of3(|| {
+        c.pool.map(idx.clone(), |i| {
+            let (name, _) = &programs[i];
+            analysis_suite_columnar(name, &stores[i])
+        })
+    });
+    let aos_md = aos_outputs.join("\n");
+    let col_md = col_outputs.join("\n");
+    assert_eq!(
+        aos_md, col_md,
+        "the columnar suite must be byte-identical to the AoS baseline"
+    );
+    let col_speedup = t_aos / t_col;
+    println!(
+        "analysis: AoS {t_aos:.3}s, columnar {t_col:.3}s  ({col_speedup:.2}x, store build {t_build:.3}s), outputs byte-identical"
+    );
+    assert!(
+        col_speedup >= 2.0,
+        "the columnar suite must clear 2x the AoS baseline (got {col_speedup:.2}x)"
+    );
+    let aos_path = c.exps.out_path("analysis_aos.md");
+    std::fs::write(&aos_path, &aos_md).expect("write analysis artifact");
+    let col_path = c.exps.out_path("analysis_columnar.md");
+    std::fs::write(&col_path, &col_md).expect("write analysis artifact");
+    println!("wrote {} and {}", aos_path.display(), col_path.display());
+
+    // IO leg: the same six traces on disk in both formats — file size,
+    // serial reload wall clock (best of 3), lossless round trips, and
+    // the suite rerun on each reload must reproduce the same bytes.
+    let mut text_bytes = 0u64;
+    let mut bin_bytes = 0u64;
+    let mut text_paths: Vec<std::path::PathBuf> = Vec::new();
+    let mut bin_paths: Vec<std::path::PathBuf> = Vec::new();
+    for ((name, _), store) in programs.iter().zip(&stores) {
+        let tp = c.exps.out_path(&format!("analysis.{name}.trace"));
+        save_store(&tp, store).expect("write text trace");
+        text_bytes += std::fs::metadata(&tp).expect("stat text trace").len();
+        text_paths.push(tp);
+        let bp = c.exps.out_path(&format!("analysis.{name}.fxb"));
+        save_store(&bp, store).expect("write binary trace");
+        bin_bytes += std::fs::metadata(&bp).expect("stat binary trace").len();
+        bin_paths.push(bp);
+    }
+    let (text_stores, t_text) = best_of3(|| {
+        text_paths
+            .iter()
+            .map(|p| load_store(p).expect("reload text trace"))
+            .collect::<Vec<_>>()
+    });
+    let (bin_stores, t_bin) = best_of3(|| {
+        bin_paths
+            .iter()
+            .map(|p| load_store(p).expect("reload binary trace"))
+            .collect::<Vec<_>>()
+    });
+    for ((orig, text), bin) in stores.iter().zip(&text_stores).zip(&bin_stores) {
+        assert_eq!(orig, text, "text round trip must be lossless");
+        assert_eq!(orig, bin, "binary round trip must be lossless");
+    }
+    let suite_of = |reloaded: &[TraceStore]| {
+        programs
+            .iter()
+            .zip(reloaded)
+            .map(|((n, _), s)| analysis_suite_columnar(n, s))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let text_reload_md = suite_of(&text_stores);
+    let bin_reload_md = suite_of(&bin_stores);
+    assert_eq!(
+        text_reload_md, col_md,
+        "text reload must reanalyze identically"
+    );
+    assert_eq!(
+        bin_reload_md, col_md,
+        "binary reload must reanalyze identically"
+    );
+    let tr_path = c.exps.out_path("analysis_text_reload.md");
+    std::fs::write(&tr_path, &text_reload_md).expect("write analysis artifact");
+    let br_path = c.exps.out_path("analysis_binary_reload.md");
+    std::fs::write(&br_path, &bin_reload_md).expect("write analysis artifact");
+    println!("wrote {} and {}", tr_path.display(), br_path.display());
+    let size_ratio = text_bytes as f64 / bin_bytes as f64;
+    let io_speedup = t_text / t_bin;
+    println!(
+        "io: text {} KB vs binary {} KB ({size_ratio:.2}x smaller); reload text {t_text:.3}s vs binary {t_bin:.3}s ({io_speedup:.2}x faster)",
+        text_bytes / 1000,
+        bin_bytes / 1000
+    );
+    assert!(
+        size_ratio >= 2.0,
+        "the binary format must halve the text format on disk (got {size_ratio:.2}x)"
+    );
+    assert!(
+        io_speedup >= 3.0,
+        "binary load must clear 3x the text parser (got {io_speedup:.2}x)"
+    );
+
     let report = Value::Object(vec![
         ("jobs".to_string(), Value::U64(jobs as u64)),
         (
@@ -1331,6 +1512,37 @@ fn bench_repro(c: &mut Ctx) {
                 ("speedup".to_string(), Value::F64(speedup)),
                 ("speedup_floor".to_string(), Value::F64(1.8)),
                 ("speedup_enforced".to_string(), Value::Bool(enforce)),
+            ]),
+        ),
+        (
+            "analysis".to_string(),
+            Value::Object(vec![
+                ("programs".to_string(), Value::U64(programs.len() as u64)),
+                ("frames_total".to_string(), Value::U64(frames_total)),
+                ("aos_wall_s".to_string(), Value::F64(t_aos)),
+                ("columnar_wall_s".to_string(), Value::F64(t_col)),
+                ("store_build_wall_s".to_string(), Value::F64(t_build)),
+                ("speedup".to_string(), Value::F64(col_speedup)),
+                ("speedup_floor".to_string(), Value::F64(2.0)),
+                ("outputs_identical".to_string(), Value::Bool(true)),
+                (
+                    "io".to_string(),
+                    Value::Object(vec![
+                        ("text_bytes".to_string(), Value::U64(text_bytes)),
+                        ("binary_bytes".to_string(), Value::U64(bin_bytes)),
+                        ("size_ratio".to_string(), Value::F64(size_ratio)),
+                        ("size_ratio_floor".to_string(), Value::F64(2.0)),
+                        ("text_load_s".to_string(), Value::F64(t_text)),
+                        ("binary_load_s".to_string(), Value::F64(t_bin)),
+                        ("load_speedup".to_string(), Value::F64(io_speedup)),
+                        ("load_speedup_floor".to_string(), Value::F64(3.0)),
+                        ("reload_outputs_identical".to_string(), Value::Bool(true)),
+                    ]),
+                ),
+                (
+                    "trace_version".to_string(),
+                    Value::U64(u64::from(fxnet::trace::io::TRACE_VERSION)),
+                ),
             ]),
         ),
         (

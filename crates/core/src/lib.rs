@@ -11,15 +11,20 @@
 //!
 //! ```
 //! use fxnet::{Testbed, KernelKind};
-//! use fxnet::trace::{Stats, average_bandwidth};
+//! use fxnet::trace::TraceStore;
 //!
 //! // The paper's environment: P=4 tasks on a 9-workstation shared LAN,
 //! // scaled down 50× on the outer iteration count for a fast run.
 //! let tb = Testbed::paper().with_seed(7);
 //! let run = tb.run_kernel(KernelKind::Hist, 50).expect("valid config");
-//! let sizes = Stats::packet_sizes(&run.trace).unwrap();
+//! // Columnar analysis: one store, zero-copy views, fused kernels.
+//! let store = TraceStore::from_records(&run.trace);
+//! let sizes = store.view().packet_sizes().unwrap();
 //! assert_eq!(sizes.min, 58.0);               // pure TCP ACKs
-//! assert!(average_bandwidth(&run.trace).unwrap() < 1_250_000.0);
+//! assert!(store.view().average_bandwidth().unwrap() < 1_250_000.0);
+//! // Per-connection stats are an index lookup, not a filtered copy.
+//! let ((src, dst), _) = store.host_pairs()[0];
+//! assert!(!store.connection(src, dst).is_empty());
 //! ```
 //!
 //! ## Layer map

@@ -233,6 +233,24 @@ mod tests {
     }
 
     #[test]
+    fn columnar_store_of_a_kernel_run_matches_the_record_trace() {
+        // The columnar engine is the analysis path the harness uses on
+        // real testbed output: a store built from a run must reproduce
+        // the record trace and agree with the legacy kernels on it.
+        let run = Testbed::quiet(4).run_kernel(KernelKind::Sor, 100).unwrap();
+        let store = fxnet_trace::TraceStore::from_records(&run.trace);
+        assert_eq!(store.to_records(), run.trace);
+        assert_eq!(
+            store.view().packet_sizes(),
+            fxnet_trace::Stats::packet_sizes(&run.trace)
+        );
+        assert_eq!(store.host_pairs(), fxnet_trace::host_pairs(&run.trace));
+        for &((s, d), n) in &store.host_pairs() {
+            assert_eq!(store.connection(s, d).len(), n);
+        }
+    }
+
+    #[test]
     fn invalid_testbed_surfaces_a_typed_error() {
         let mut tb = Testbed::quiet(4);
         tb.config_mut().hosts = 2; // fewer hosts than ranks

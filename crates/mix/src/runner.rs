@@ -10,8 +10,8 @@ use fxnet_qos::{Negotiation, QosNetwork};
 use fxnet_sim::{FrameRecord, FrameTap, HostId, SimTime};
 use fxnet_telemetry::RunTelemetry;
 use fxnet_trace::{
-    average_bandwidth, binned_bandwidth, burst_collisions, demux, detect_bursts, slowdown, Burst,
-    Periodogram, SpectralInterference, Stats,
+    burst_collisions, demux_store, slowdown, Burst, Periodogram, SpectralInterference, Stats,
+    TraceStore,
 };
 use fxnet_watch::{StreamWatch, TenantContract, WatchConfig, WatchReport};
 use std::sync::{Arc, Mutex};
@@ -325,11 +325,14 @@ impl Mix {
                 .expect("watch tap")
                 .finalize()
         });
-        let demuxed = demux(&multi.trace, &multi.map);
+        // One columnar store of the shared capture; tenants are zero-copy
+        // row-index views over it rather than per-tenant frame copies.
+        let store = TraceStore::from_records(&multi.trace);
+        let demuxed = demux_store(&store, &multi.map);
         demuxed.check_conservation();
 
         // Solo baselines: each admitted tenant alone on its own hosts.
-        let solos: Vec<Option<(f64, Vec<FrameRecord>)>> = admitted
+        let solos: Vec<Option<(f64, TraceStore)>> = admitted
             .iter()
             .map(|&(i, _)| {
                 if !solo_baselines {
@@ -343,25 +346,27 @@ impl Mix {
                 let prog = t.program.rank_program();
                 let r = run_single(solo_cfg, move |ctx| prog(ctx), RunOptions::default())
                     .unwrap_or_else(|e| panic!("{e}"));
-                Some((r.finished_at.as_secs_f64(), r.trace))
+                Some((
+                    r.finished_at.as_secs_f64(),
+                    TraceStore::from_records(&r.trace),
+                ))
             })
             .collect();
 
-        // Per-tenant bursts for the collision analysis.
-        let bursts: Vec<Vec<Burst>> = demuxed
-            .per_tenant
-            .iter()
-            .map(|f| detect_bursts(f, burst_gap))
+        // Per-tenant bursts for the collision analysis, fused over the
+        // tenant views.
+        let bursts: Vec<Vec<Burst>> = (0..demuxed.tenants())
+            .map(|i| demuxed.tenant(i).detect_bursts(burst_gap))
             .collect();
 
         let mut outcomes = Vec::new();
         for (gi, &(i, negotiation)) in admitted.iter().enumerate() {
             let t = &tenants[i];
             let g = &multi.groups[gi];
-            let frames = demuxed.per_tenant[gi].clone();
+            let tenant_view = demuxed.tenant(gi);
             let mixed_secs = (g.finished_at.saturating_sub(g.start)).as_secs_f64();
-            let (solo_secs, solo_trace) = match &solos[gi] {
-                Some((s, tr)) => (Some(*s), Some(tr)),
+            let (solo_secs, solo_store) = match &solos[gi] {
+                Some((s, st)) => (Some(*s), Some(st)),
                 None => (None, None),
             };
 
@@ -374,9 +379,9 @@ impl Mix {
                 .collect();
             others.sort_by_key(|b| b.start);
 
-            let spectral = solo_trace.and_then(|tr| {
-                let solo_series = binned_bandwidth(tr, spectrum_bin);
-                let mixed_series = binned_bandwidth(&frames, spectrum_bin);
+            let spectral = solo_store.and_then(|st| {
+                let solo_series = st.view().binned_bandwidth(spectrum_bin);
+                let mixed_series = tenant_view.binned_bandwidth(spectrum_bin);
                 if solo_series.len() < 2 || mixed_series.len() < 2 {
                     return None;
                 }
@@ -394,15 +399,15 @@ impl Mix {
                 solo_secs,
                 measured_slowdown: solo_secs.map(|s| slowdown(mixed_secs, s)),
                 predicted_slowdown: predicted[gi],
-                sizes: Stats::packet_sizes(&frames),
-                avg_bw: average_bandwidth(&frames),
-                solo_sizes: solo_trace.and_then(|tr| Stats::packet_sizes(tr)),
-                solo_avg_bw: solo_trace.and_then(|tr| average_bandwidth(tr)),
+                sizes: tenant_view.packet_sizes(),
+                avg_bw: tenant_view.average_bandwidth(),
+                solo_sizes: solo_store.and_then(|st| st.view().packet_sizes()),
+                solo_avg_bw: solo_store.and_then(|st| st.view().average_bandwidth()),
                 burst_collisions: burst_collisions(&bursts[gi], &others),
                 burst_count: bursts[gi].len(),
                 spectral,
                 results: g.results.clone(),
-                frames,
+                frames: tenant_view.to_records(),
             });
         }
 
@@ -413,12 +418,13 @@ impl Mix {
         }
         debug_assert!((ac.residual() - capacity).abs() < 1e-6);
 
+        let background = demuxed.background_view().to_records();
         MixOutcome {
             tenants: outcomes,
             rejected,
             map: multi.map,
             trace: multi.trace,
-            background: demuxed.background,
+            background,
             finished_at: multi.finished_at,
             telemetry: multi.telemetry,
             watch: watch_report,

@@ -3,16 +3,40 @@
 
 use fxnet_sim::{FrameRecord, SimTime};
 
-/// Average bandwidth in bytes/second over the lifetime of the trace
-/// (Figure 5's quantity). `None` for traces spanning zero time.
-pub fn average_bandwidth(trace: &[FrameRecord]) -> Option<f64> {
-    let (first, last) = (trace.first()?, trace.last()?);
-    let span = (last.time - first.time).as_secs_f64();
+/// One fused pass over `(time_ns, wire_len)` samples: min time, max
+/// time, and byte total folded together. Shared by the legacy slice
+/// kernel and the columnar [`crate::TraceView`] so both produce
+/// bitwise-identical results.
+pub(crate) fn average_from(samples: impl Iterator<Item = (u64, u32)>) -> Option<f64> {
+    let mut t_min = u64::MAX;
+    let mut t_max = 0u64;
+    let mut bytes = 0u64;
+    let mut n = 0usize;
+    for (t, len) in samples {
+        n += 1;
+        t_min = t_min.min(t);
+        t_max = t_max.max(t);
+        bytes += u64::from(len);
+    }
+    if n == 0 {
+        return None;
+    }
+    let span = (SimTime::from_nanos(t_max) - SimTime::from_nanos(t_min)).as_secs_f64();
     if span <= 0.0 {
         return None;
     }
-    let bytes: u64 = trace.iter().map(|r| u64::from(r.wire_len)).sum();
     Some(bytes as f64 / span)
+}
+
+/// Average bandwidth in bytes/second over the lifetime of the trace
+/// (Figure 5's quantity). `None` for traces spanning zero time.
+///
+/// The span comes from the *observed* min/max times — not the first and
+/// last records — folded into the same pass as the byte sum, so unsorted
+/// traces yield the true lifetime rather than a wrong (or negative)
+/// span.
+pub fn average_bandwidth(trace: &[FrameRecord]) -> Option<f64> {
+    average_from(trace.iter().map(|r| (r.time.as_nanos(), r.wire_len)))
 }
 
 /// Instantaneous average bandwidth over a `window` sliding one packet at
@@ -33,29 +57,70 @@ pub fn sliding_window_bandwidth(trace: &[FrameRecord], window: SimTime) -> Vec<(
         .collect()
 }
 
+/// One-pass static binning over `(time_ns, wire_len)` samples, shared by
+/// the legacy slice kernel and the columnar [`crate::TraceView`].
+///
+/// The bin grid is anchored at the minimum observed time. For
+/// time-ordered input (the capture invariant — every simulator trace) the
+/// first sample *is* the minimum, so the whole computation — min, max,
+/// and bin fill — happens in a single pass, growing the bin vector as
+/// later samples land. Out-of-order input is detected on the fly (a
+/// sample earlier than the provisional anchor) and triggers one
+/// corrective fill pass against the true minimum; `make` must therefore
+/// yield the same samples each time it is called.
+pub(crate) fn binned_from<I>(mut make: impl FnMut() -> I, bin: SimTime) -> Vec<f64>
+where
+    I: Iterator<Item = (u64, u32)>,
+{
+    let bin_ns = bin.as_nanos();
+    assert!(bin_ns > 0);
+    let mut it = make();
+    let Some((anchor, first_len)) = it.next() else {
+        return Vec::new();
+    };
+    let mut t_min = anchor;
+    let mut t_max = anchor;
+    let mut bytes: Vec<u64> = vec![u64::from(first_len)];
+    let mut anchored = true;
+    for (t, len) in it {
+        t_min = t_min.min(t);
+        t_max = t_max.max(t);
+        if t < anchor {
+            anchored = false;
+        }
+        if anchored {
+            let idx = ((t - anchor) / bin_ns) as usize;
+            if idx >= bytes.len() {
+                bytes.resize(idx + 1, 0);
+            }
+            bytes[idx] += u64::from(len);
+        }
+    }
+    let nbins = ((t_max - t_min) / bin_ns + 1) as usize;
+    if anchored {
+        bytes.resize(nbins, 0);
+    } else {
+        // Rare out-of-order path: the provisional anchor was not the
+        // minimum, so the grid phase was wrong — refill once.
+        bytes = vec![0u64; nbins];
+        for (t, len) in make() {
+            bytes[((t - t_min) / bin_ns) as usize] += u64::from(len);
+        }
+    }
+    let bin_s = bin.as_secs_f64();
+    bytes.into_iter().map(|b| b as f64 / bin_s).collect()
+}
+
 /// Bandwidth binned on static `bin`-long intervals starting at the first
 /// packet (bytes/second per bin). "Because a power spectrum computation
 /// requires evenly spaced input data, the input bandwidth was computed
 /// along static 10 ms intervals by including all packets that arrived
 /// during the interval" (§6.1).
 pub fn binned_bandwidth(trace: &[FrameRecord], bin: SimTime) -> Vec<f64> {
-    if trace.is_empty() {
-        return Vec::new();
-    }
-    // Robust to unsorted input: bin against the observed min/max times.
-    let t0 = trace.iter().map(|r| r.time).min().expect("nonempty");
-    let t_end = trace.iter().map(|r| r.time).max().expect("nonempty");
-    let bin_ns = bin.as_nanos();
-    assert!(bin_ns > 0);
-    let span = (t_end - t0).as_nanos();
-    let nbins = (span / bin_ns + 1) as usize;
-    let mut bytes = vec![0u64; nbins];
-    for r in trace {
-        let idx = ((r.time - t0).as_nanos() / bin_ns) as usize;
-        bytes[idx] += u64::from(r.wire_len);
-    }
-    let bin_s = bin.as_secs_f64();
-    bytes.into_iter().map(|b| b as f64 / bin_s).collect()
+    binned_from(
+        || trace.iter().map(|r| (r.time.as_nanos(), r.wire_len)),
+        bin,
+    )
 }
 
 #[cfg(test)]
@@ -124,6 +189,34 @@ mod tests {
         assert!(binned_bandwidth(&[], SimTime::from_millis(10)).is_empty());
     }
 
+    #[test]
+    fn average_handles_unsorted_traces() {
+        // Same three frames as `average_over_span`, delivered out of
+        // order: the span must still be the true 2-second lifetime.
+        let tr = vec![
+            rec(SimTime::from_secs(2), 1000),
+            rec(SimTime::ZERO, 1000),
+            rec(SimTime::from_secs(1), 1000),
+        ];
+        assert_eq!(average_bandwidth(&tr), Some(1500.0));
+    }
+
+    #[test]
+    fn binned_handles_unsorted_traces() {
+        let bin = SimTime::from_millis(10);
+        let sorted = vec![
+            rec(SimTime::from_millis(0), 100),
+            rec(SimTime::from_millis(3), 100),
+            rec(SimTime::from_millis(25), 100),
+        ];
+        let mut shuffled = sorted.clone();
+        shuffled.swap(0, 2);
+        assert_eq!(
+            binned_bandwidth(&shuffled, bin),
+            binned_bandwidth(&sorted, bin)
+        );
+    }
+
     proptest! {
         #[test]
         fn binned_conserves_total_bytes(
@@ -142,6 +235,23 @@ mod tests {
             let total_from_bins: f64 = b.iter().sum::<f64>() * bin.as_secs_f64();
             let total: u64 = tr.iter().map(|r| u64::from(r.wire_len)).sum();
             prop_assert!((total_from_bins - total as f64).abs() < 1e-6 * total as f64 + 1e-6);
+        }
+
+        #[test]
+        fn binned_and_average_are_order_independent(
+            times in prop::collection::vec(0u64..1_000_000u64, 1..200),
+            sizes in prop::collection::vec(58u32..1518, 1..200),
+        ) {
+            let tr: Vec<FrameRecord> = times
+                .iter()
+                .zip(sizes.iter().cycle())
+                .map(|(&t, &s)| rec(SimTime::from_micros(t), s))
+                .collect();
+            let mut sorted = tr.clone();
+            sorted.sort_by_key(|r| r.time);
+            let bin = SimTime::from_millis(10);
+            prop_assert_eq!(binned_bandwidth(&tr, bin), binned_bandwidth(&sorted, bin));
+            prop_assert_eq!(average_bandwidth(&tr), average_bandwidth(&sorted));
         }
 
         #[test]

@@ -30,26 +30,34 @@ impl Burst {
     }
 }
 
-/// Segment `trace` into bursts: consecutive packets closer than `gap`
-/// belong to the same burst.
-pub fn detect_bursts(trace: &[FrameRecord], gap: SimTime) -> Vec<Burst> {
+/// One-pass burst segmentation over `(time_ns, wire_len)` samples —
+/// the shared core behind the legacy slice kernel and the columnar
+/// [`crate::TraceView`].
+pub(crate) fn bursts_from(samples: impl Iterator<Item = (u64, u32)>, gap: SimTime) -> Vec<Burst> {
     let mut out: Vec<Burst> = Vec::new();
-    for r in trace {
+    for (t, len) in samples {
+        let time = SimTime::from_nanos(t);
         match out.last_mut() {
-            Some(b) if r.time.saturating_sub(b.end) <= gap => {
-                b.end = r.time;
-                b.bytes += u64::from(r.wire_len);
+            Some(b) if time.saturating_sub(b.end) <= gap => {
+                b.end = time;
+                b.bytes += u64::from(len);
                 b.packets += 1;
             }
             _ => out.push(Burst {
-                start: r.time,
-                end: r.time,
-                bytes: u64::from(r.wire_len),
+                start: time,
+                end: time,
+                bytes: u64::from(len),
                 packets: 1,
             }),
         }
     }
     out
+}
+
+/// Segment `trace` into bursts: consecutive packets closer than `gap`
+/// belong to the same burst.
+pub fn detect_bursts(trace: &[FrameRecord], gap: SimTime) -> Vec<Burst> {
+    bursts_from(trace.iter().map(|r| (r.time.as_nanos(), r.wire_len)), gap)
 }
 
 /// Burst-level summary of a trace.
@@ -68,7 +76,12 @@ impl BurstProfile {
     /// Profile the bursts of `trace` using `gap` as the separator.
     /// `None` if the trace is empty.
     pub fn of(trace: &[FrameRecord], gap: SimTime) -> Option<BurstProfile> {
-        let bursts = detect_bursts(trace, gap);
+        BurstProfile::of_bursts(detect_bursts(trace, gap))
+    }
+
+    /// Profile an already-detected burst list (the columnar path detects
+    /// bursts from a view, then summarizes them here).
+    pub fn of_bursts(bursts: Vec<Burst>) -> Option<BurstProfile> {
         let sizes = Stats::of(bursts.iter().map(|b| b.bytes as f64))?;
         let intervals = if bursts.len() >= 2 {
             Stats::of(

@@ -16,6 +16,7 @@
 //! `Σ per-tenant + background = total` — holds by construction and is
 //! re-checked by [`DemuxedTrace::check_conservation`].
 
+use crate::store::{TraceStore, TraceView};
 use fxnet_pvm::TenantMap;
 use fxnet_sim::FrameRecord;
 
@@ -48,6 +49,74 @@ impl DemuxedTrace {
             "demux lost or double-attributed frames"
         );
         self.total
+    }
+}
+
+/// A columnar trace split by tenant: row-index buckets over one shared
+/// [`TraceStore`] instead of per-tenant frame copies. Each bucket keeps
+/// capture order, and [`DemuxedStore::tenant`] hands back a zero-copy
+/// [`TraceView`] ready for the fused analysis kernels.
+#[derive(Debug)]
+pub struct DemuxedStore<'a> {
+    store: &'a TraceStore,
+    /// Per-tenant row numbers, indexed like the map's slices.
+    pub per_tenant: Vec<Vec<u32>>,
+    /// Rows attributable to no single tenant.
+    pub background: Vec<u32>,
+    /// Total frames in the store.
+    pub total: usize,
+}
+
+impl DemuxedStore<'_> {
+    /// Zero-copy view of tenant `i`'s rows.
+    pub fn tenant(&self, i: usize) -> TraceView<'_> {
+        self.store.select(&self.per_tenant[i])
+    }
+
+    /// Zero-copy view of the background rows.
+    pub fn background_view(&self) -> TraceView<'_> {
+        self.store.select(&self.background)
+    }
+
+    /// Number of tenant buckets.
+    pub fn tenants(&self) -> usize {
+        self.per_tenant.len()
+    }
+
+    /// Verify that no row was lost or double-attributed; returns the
+    /// total so callers can print it.
+    pub fn check_conservation(&self) -> usize {
+        let attributed: usize =
+            self.per_tenant.iter().map(Vec::len).sum::<usize>() + self.background.len();
+        assert_eq!(
+            attributed, self.total,
+            "demux lost or double-attributed frames"
+        );
+        self.total
+    }
+}
+
+/// Split a columnar `store` by tenant ownership in one pass over the
+/// host-id columns. Same attribution rule as [`demux`], but the buckets
+/// are row indices — no frame is copied.
+pub fn demux_store<'a>(store: &'a TraceStore, map: &TenantMap) -> DemuxedStore<'a> {
+    let mut per_tenant: Vec<Vec<u32>> = vec![Vec::new(); map.len()];
+    let mut background = Vec::new();
+    for i in 0..store.len() {
+        let (src, dst) = (
+            fxnet_sim::HostId(store.src[i]),
+            fxnet_sim::HostId(store.dst[i]),
+        );
+        match (map.owner_of_host(src), map.owner_of_host(dst)) {
+            (Some(a), Some(b)) if a == b => per_tenant[a].push(i as u32),
+            _ => background.push(i as u32),
+        }
+    }
+    DemuxedStore {
+        store,
+        per_tenant,
+        background,
+        total: store.len(),
     }
 }
 
@@ -167,6 +236,33 @@ mod tests {
         assert_eq!(d.tenant(0).len(), 1);
         assert_eq!(d.tenant(1).len(), 1);
         assert_eq!(d.background.len(), 2);
+        d.check_conservation();
+    }
+
+    #[test]
+    fn demux_store_matches_record_demux() {
+        let tr = interleaved_trace();
+        let map = two_tenants();
+        let store = TraceStore::from_records(&tr);
+        let legacy = demux(&tr, &map);
+        let cols = demux_store(&store, &map);
+        assert_eq!(cols.check_conservation(), legacy.check_conservation());
+        assert_eq!(cols.tenants(), 2);
+        for i in 0..2 {
+            assert_eq!(cols.tenant(i).to_records(), legacy.tenant(i), "tenant {i}");
+        }
+        assert_eq!(cols.background_view().to_records(), legacy.background);
+    }
+
+    #[test]
+    fn demux_store_cross_boundary_rows_are_background() {
+        let map = two_tenants();
+        let tr = vec![rec(0, 1, 0), rec(2, 0, 1), rec(4, 0, 2), rec(2, 3, 3)];
+        let store = TraceStore::from_records(&tr);
+        let d = demux_store(&store, &map);
+        assert_eq!(d.tenant(0).len(), 1);
+        assert_eq!(d.tenant(1).len(), 1);
+        assert_eq!(d.background_view().len(), 2);
         d.check_conservation();
     }
 

@@ -1,12 +1,77 @@
-//! Trace persistence: a line-oriented text format equivalent to the
-//! paper's tcpdump output, so traces can be saved, diffed, and re-analyzed
-//! without re-running the simulation.
+//! Trace persistence in two formats, selected by file extension:
 //!
-//! One frame per line: `time_ns wire_len proto kind src dst`, e.g.
-//! `1234567 1518 tcp data 0 1`.
+//! * **Text** — one frame per line, `time_ns wire_len proto kind src
+//!   dst` (e.g. `1234567 1518 tcp data 0 1`): equivalent to the paper's
+//!   tcpdump output, diffable, greppable.
+//! * **Binary** (`.fxb` / `.bin`) — a compact columnar container for the
+//!   cache-scale traces the mixes produce. Layout:
+//!
+//!   ```text
+//!   magic "FXTC" | version u16 LE | flags u16 LE (0) | count u64 LE
+//!   then one block per column, in fixed order:
+//!       id u8 | payload length u64 LE | payload
+//!   id 1  time   zigzag LEB128 varints of consecutive wrapping deltas
+//!   id 2  size   LEB128 varints of wire_len
+//!   id 3  tag    raw bytes, proto/kind packed as in the TraceStore
+//!   id 4  src    LEB128 varints of host ids
+//!   id 5  dst    LEB128 varints of host ids
+//!   ```
+//!
+//!   Time deltas are the *wrapping* `u64` difference of consecutive
+//!   timestamps, zigzag-mapped so small forward **and** backward steps
+//!   both encode short — a bijection on `u64`, so even unsorted traces
+//!   round-trip losslessly. The version field is the cache-invalidation
+//!   handle: a reader seeing a newer version returns
+//!   [`TraceIoError::Version`] and the caller regenerates the artifact.
 
+use crate::store::{unpack_tag, TraceStore};
 use fxnet_sim::{FrameKind, FrameRecord, HostId, Proto, SimTime};
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
+use std::path::Path;
+
+/// Magic bytes opening a binary trace file.
+pub const TRACE_MAGIC: [u8; 4] = *b"FXTC";
+/// Current binary trace format version.
+pub const TRACE_VERSION: u16 = 1;
+
+/// On-disk trace encoding, selected by file extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Line-oriented `time_ns wire_len proto kind src dst`.
+    Text,
+    /// Columnar container with varint-delta times (`.fxb`).
+    Binary,
+}
+
+impl TraceFormat {
+    /// Format implied by `path`'s extension: `.fxb` and `.bin` are
+    /// binary, everything else is text.
+    pub fn for_path(path: impl AsRef<Path>) -> TraceFormat {
+        match path.as_ref().extension().and_then(|e| e.to_str()) {
+            Some("fxb") | Some("bin") => TraceFormat::Binary,
+            _ => TraceFormat::Text,
+        }
+    }
+
+    /// Canonical file extension for this format.
+    pub fn extension(self) -> &'static str {
+        match self {
+            TraceFormat::Text => "trace",
+            TraceFormat::Binary => "fxb",
+        }
+    }
+}
+
+impl std::str::FromStr for TraceFormat {
+    type Err = String;
+    fn from_str(s: &str) -> Result<TraceFormat, String> {
+        match s {
+            "text" => Ok(TraceFormat::Text),
+            "binary" => Ok(TraceFormat::Binary),
+            other => Err(format!("unknown trace format {other:?} (text|binary)")),
+        }
+    }
+}
 
 /// Error from parsing a saved trace.
 #[derive(Debug)]
@@ -14,6 +79,16 @@ pub enum TraceIoError {
     Io(std::io::Error),
     /// Malformed line, with its (1-based) line number.
     Parse(usize, String),
+    /// The file is not a binary trace (bad magic).
+    Magic,
+    /// Binary header carries an unsupported version — the signal cached
+    /// artifacts use to invalidate themselves across format revisions.
+    Version {
+        found: u16,
+        supported: u16,
+    },
+    /// Structurally invalid binary payload.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -23,6 +98,12 @@ impl std::fmt::Display for TraceIoError {
             TraceIoError::Parse(line, text) => {
                 write!(f, "trace parse error at line {line}: {text}")
             }
+            TraceIoError::Magic => write!(f, "not a binary trace (bad magic)"),
+            TraceIoError::Version { found, supported } => write!(
+                f,
+                "binary trace version {found} unsupported (this build reads <= {supported})"
+            ),
+            TraceIoError::Corrupt(what) => write!(f, "corrupt binary trace: {what}"),
         }
     }
 }
@@ -129,16 +210,265 @@ pub fn read_trace(r: &mut impl BufRead) -> Result<Vec<FrameRecord>, TraceIoError
     Ok(out)
 }
 
-/// Save a trace to a file path.
-pub fn save_trace(path: impl AsRef<std::path::Path>, trace: &[FrameRecord]) -> std::io::Result<()> {
-    let mut f = std::fs::File::create(path)?;
-    write_trace(&mut f, trace)
+// ---- binary format -------------------------------------------------------
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            break;
+        }
+        buf.push(byte | 0x80);
+    }
 }
 
-/// Load a trace from a file path.
-pub fn load_trace(path: impl AsRef<std::path::Path>) -> Result<Vec<FrameRecord>, TraceIoError> {
-    let f = std::fs::File::open(path).map_err(TraceIoError::Io)?;
-    read_trace(&mut std::io::BufReader::new(f))
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, TraceIoError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf
+            .get(*pos)
+            .ok_or_else(|| TraceIoError::Corrupt("truncated varint".into()))?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(TraceIoError::Corrupt("varint overflows u64".into()));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_block(out: &mut Vec<u8>, id: u8, payload: &[u8]) {
+    out.push(id);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Serialize a store into the binary container (see the module docs for
+/// the layout).
+pub fn write_store_binary(w: &mut impl Write, store: &TraceStore) -> std::io::Result<()> {
+    let n = store.len();
+    let mut out = Vec::with_capacity(16 + n * 4);
+    out.extend_from_slice(&TRACE_MAGIC);
+    out.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+
+    let mut payload = Vec::with_capacity(n * 2);
+    let mut prev = 0u64;
+    for &t in &store.time_ns {
+        put_varint(&mut payload, zigzag(t.wrapping_sub(prev) as i64));
+        prev = t;
+    }
+    put_block(&mut out, 1, &payload);
+
+    payload.clear();
+    for &len in &store.wire_len {
+        put_varint(&mut payload, u64::from(len));
+    }
+    put_block(&mut out, 2, &payload);
+
+    put_block(&mut out, 3, &store.tag);
+
+    payload.clear();
+    for &s in &store.src {
+        put_varint(&mut payload, u64::from(s));
+    }
+    put_block(&mut out, 4, &payload);
+
+    payload.clear();
+    for &d in &store.dst {
+        put_varint(&mut payload, u64::from(d));
+    }
+    put_block(&mut out, 5, &payload);
+
+    w.write_all(&out)
+}
+
+fn get_block<'a>(buf: &'a [u8], pos: &mut usize, want_id: u8) -> Result<&'a [u8], TraceIoError> {
+    let &id = buf
+        .get(*pos)
+        .ok_or_else(|| TraceIoError::Corrupt("missing column block".into()))?;
+    if id != want_id {
+        return Err(TraceIoError::Corrupt(format!(
+            "expected column block {want_id}, found {id}"
+        )));
+    }
+    *pos += 1;
+    let len_bytes = buf
+        .get(*pos..*pos + 8)
+        .ok_or_else(|| TraceIoError::Corrupt("truncated block header".into()))?;
+    *pos += 8;
+    let len = u64::from_le_bytes(len_bytes.try_into().expect("8 bytes")) as usize;
+    let payload = buf
+        .get(*pos..*pos + len)
+        .ok_or_else(|| TraceIoError::Corrupt("truncated block payload".into()))?;
+    *pos += len;
+    Ok(payload)
+}
+
+fn varint_column<T>(
+    payload: &[u8],
+    count: usize,
+    name: &str,
+    convert: impl Fn(u64) -> Option<T>,
+) -> Result<Vec<T>, TraceIoError> {
+    let mut pos = 0usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let v = get_varint(payload, &mut pos)?;
+        out.push(convert(v).ok_or_else(|| TraceIoError::Corrupt(format!("{name} out of range")))?);
+    }
+    if pos != payload.len() {
+        return Err(TraceIoError::Corrupt(format!(
+            "{name} block has trailing bytes"
+        )));
+    }
+    Ok(out)
+}
+
+/// Deserialize a binary trace container into a store.
+pub fn read_store_binary(r: &mut impl Read) -> Result<TraceStore, TraceIoError> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    if buf.len() < 16 {
+        return Err(TraceIoError::Corrupt("header too short".into()));
+    }
+    if buf[0..4] != TRACE_MAGIC {
+        return Err(TraceIoError::Magic);
+    }
+    let version = u16::from_le_bytes(buf[4..6].try_into().expect("2 bytes"));
+    if version > TRACE_VERSION {
+        return Err(TraceIoError::Version {
+            found: version,
+            supported: TRACE_VERSION,
+        });
+    }
+    let count = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")) as usize;
+    if count > buf.len() {
+        // Every frame costs at least one byte per column, so a count
+        // beyond the file size is corruption, not a big trace.
+        return Err(TraceIoError::Corrupt(
+            "frame count exceeds file size".into(),
+        ));
+    }
+    let mut pos = 16usize;
+
+    let time_block = get_block(&buf, &mut pos, 1)?;
+    let mut tpos = 0usize;
+    let mut time_ns = Vec::with_capacity(count);
+    let mut prev = 0u64;
+    for _ in 0..count {
+        let delta = unzigzag(get_varint(time_block, &mut tpos)?);
+        prev = prev.wrapping_add(delta as u64);
+        time_ns.push(prev);
+    }
+    if tpos != time_block.len() {
+        return Err(TraceIoError::Corrupt(
+            "time block has trailing bytes".into(),
+        ));
+    }
+
+    let wire_len = varint_column(get_block(&buf, &mut pos, 2)?, count, "wire_len", |v| {
+        u32::try_from(v).ok()
+    })?;
+
+    let tag_block = get_block(&buf, &mut pos, 3)?;
+    if tag_block.len() != count {
+        return Err(TraceIoError::Corrupt("tag block length mismatch".into()));
+    }
+    if let Some(&bad) = tag_block.iter().find(|&&t| unpack_tag(t).is_none()) {
+        return Err(TraceIoError::Corrupt(format!("invalid tag byte {bad:#x}")));
+    }
+
+    let src = varint_column(get_block(&buf, &mut pos, 4)?, count, "src", |v| {
+        u32::try_from(v).ok()
+    })?;
+    let dst = varint_column(get_block(&buf, &mut pos, 5)?, count, "dst", |v| {
+        u32::try_from(v).ok()
+    })?;
+    if pos != buf.len() {
+        return Err(TraceIoError::Corrupt("trailing bytes after columns".into()));
+    }
+    Ok(TraceStore::from_columns(
+        time_ns,
+        wire_len,
+        tag_block.to_vec(),
+        src,
+        dst,
+    ))
+}
+
+// ---- path-level API ------------------------------------------------------
+
+/// Save a store to `path` in the format implied by its extension.
+pub fn save_store(path: impl AsRef<Path>, store: &TraceStore) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path.as_ref())?;
+    match TraceFormat::for_path(path.as_ref()) {
+        TraceFormat::Binary => write_store_binary(&mut f, store),
+        TraceFormat::Text => {
+            let mut buf = std::io::BufWriter::new(f);
+            for r in store.iter() {
+                writeln!(
+                    buf,
+                    "{} {} {} {} {} {}",
+                    r.time.as_nanos(),
+                    r.wire_len,
+                    proto_str(r.proto),
+                    kind_str(r.kind),
+                    r.src.0,
+                    r.dst.0
+                )?;
+            }
+            buf.flush()
+        }
+    }
+}
+
+/// Load a store from `path` in the format implied by its extension.
+pub fn load_store(path: impl AsRef<Path>) -> Result<TraceStore, TraceIoError> {
+    let f = std::fs::File::open(path.as_ref()).map_err(TraceIoError::Io)?;
+    match TraceFormat::for_path(path.as_ref()) {
+        TraceFormat::Binary => read_store_binary(&mut std::io::BufReader::new(f)),
+        TraceFormat::Text => Ok(TraceStore::from_records(&read_trace(
+            &mut std::io::BufReader::new(f),
+        )?)),
+    }
+}
+
+/// Save a trace to a file path, text or binary by extension.
+pub fn save_trace(path: impl AsRef<Path>, trace: &[FrameRecord]) -> std::io::Result<()> {
+    match TraceFormat::for_path(path.as_ref()) {
+        TraceFormat::Binary => save_store(path, &TraceStore::from_records(trace)),
+        TraceFormat::Text => {
+            let mut f = std::fs::File::create(path)?;
+            write_trace(&mut f, trace)
+        }
+    }
+}
+
+/// Load a trace from a file path, text or binary by extension.
+pub fn load_trace(path: impl AsRef<Path>) -> Result<Vec<FrameRecord>, TraceIoError> {
+    match TraceFormat::for_path(path.as_ref()) {
+        TraceFormat::Binary => Ok(load_store(path)?.to_records()),
+        TraceFormat::Text => {
+            let f = std::fs::File::open(path).map_err(TraceIoError::Io)?;
+            read_trace(&mut std::io::BufReader::new(f))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -204,7 +534,146 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
+    #[test]
+    fn binary_round_trip() {
+        let tr = sample();
+        let store = TraceStore::from_records(&tr);
+        let mut buf = Vec::new();
+        write_store_binary(&mut buf, &store).unwrap();
+        assert_eq!(&buf[0..4], &TRACE_MAGIC);
+        let back = read_store_binary(&mut &buf[..]).unwrap();
+        assert_eq!(back, store);
+        assert_eq!(back.to_records(), tr);
+    }
+
+    #[test]
+    fn format_selected_by_extension() {
+        assert_eq!(
+            TraceFormat::for_path("out/cache/SOR.fxb"),
+            TraceFormat::Binary
+        );
+        assert_eq!(
+            TraceFormat::for_path("out/cache/SOR.bin"),
+            TraceFormat::Binary
+        );
+        assert_eq!(
+            TraceFormat::for_path("out/cache/SOR.trace"),
+            TraceFormat::Text
+        );
+        assert_eq!(TraceFormat::for_path("SOR"), TraceFormat::Text);
+        assert_eq!(TraceFormat::Binary.extension(), "fxb");
+        assert_eq!("binary".parse::<TraceFormat>(), Ok(TraceFormat::Binary));
+        assert_eq!("text".parse::<TraceFormat>(), Ok(TraceFormat::Text));
+        assert!("pcap".parse::<TraceFormat>().is_err());
+    }
+
+    #[test]
+    fn binary_file_round_trip_via_extension() {
+        let dir = std::env::temp_dir();
+        let tr = sample();
+        for name in ["fxnet-trace-io-test.fxb", "fxnet-trace-io-test.trace"] {
+            let path = dir.join(name);
+            save_trace(&path, &tr).unwrap();
+            assert_eq!(load_trace(&path).unwrap(), tr, "{name}");
+            assert_eq!(load_store(&path).unwrap().to_records(), tr, "{name}");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn newer_version_is_rejected_for_cache_invalidation() {
+        let store = TraceStore::from_records(&sample());
+        let mut buf = Vec::new();
+        write_store_binary(&mut buf, &store).unwrap();
+        buf[4..6].copy_from_slice(&(TRACE_VERSION + 1).to_le_bytes());
+        match read_store_binary(&mut &buf[..]) {
+            Err(TraceIoError::Version { found, supported }) => {
+                assert_eq!(found, TRACE_VERSION + 1);
+                assert_eq!(supported, TRACE_VERSION);
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_binary_is_rejected() {
+        let store = TraceStore::from_records(&sample());
+        let mut buf = Vec::new();
+        write_store_binary(&mut buf, &store).unwrap();
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            read_store_binary(&mut &bad[..]),
+            Err(TraceIoError::Magic)
+        ));
+        // Truncation anywhere in the payload.
+        for cut in [8usize, 17, buf.len() - 1] {
+            assert!(
+                read_store_binary(&mut &buf[..cut]).is_err(),
+                "truncated at {cut}"
+            );
+        }
+        // Trailing garbage.
+        let mut long = buf.clone();
+        long.push(0);
+        assert!(read_store_binary(&mut &long[..]).is_err());
+    }
+
+    #[test]
+    fn varint_and_zigzag_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
     proptest! {
+        #[test]
+        fn binary_and_text_round_trips_agree(
+            times in prop::collection::vec(0u64..u64::MAX / 2, 1..50),
+            sizes in prop::collection::vec(58u32..1519, 1..50),
+            hosts in prop::collection::vec((0u32..16, 0u32..16), 1..50),
+        ) {
+            let tr: Vec<FrameRecord> = times
+                .iter()
+                .zip(sizes.iter().cycle())
+                .zip(hosts.iter().cycle())
+                .map(|((&t, &sz), &(a, b))| FrameRecord {
+                    time: SimTime::from_nanos(t),
+                    wire_len: sz,
+                    proto: if t % 2 == 0 { Proto::Tcp } else { Proto::Udp },
+                    kind: match t % 4 {
+                        0 => FrameKind::Data,
+                        1 => FrameKind::Ack,
+                        2 => FrameKind::Syn,
+                        _ => FrameKind::Datagram,
+                    },
+                    src: HostId(a),
+                    dst: HostId(b),
+                })
+                .collect();
+            let store = TraceStore::from_records(&tr);
+            // Binary: store -> bytes -> store, lossless.
+            let mut bin = Vec::new();
+            write_store_binary(&mut bin, &store).unwrap();
+            let from_bin = read_store_binary(&mut &bin[..]).unwrap();
+            prop_assert_eq!(&from_bin, &store);
+            // Text: records -> lines -> records, and through the store.
+            let mut txt = Vec::new();
+            write_trace(&mut txt, &tr).unwrap();
+            let from_txt = read_trace(&mut &txt[..]).unwrap();
+            prop_assert_eq!(&from_txt, &tr);
+            // Both paths land on the same frames.
+            prop_assert_eq!(from_bin.to_records(), from_txt);
+        }
+
         #[test]
         fn arbitrary_records_round_trip(
             times in prop::collection::vec(0u64..u64::MAX / 2, 1..50),

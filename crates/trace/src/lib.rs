@@ -20,6 +20,16 @@
 //!   models.
 //! * **Size populations** — exact packet-size histograms, used to verify
 //!   the trimodal distributions the paper describes for SOR/2DFFT/HIST.
+//!
+//! Analyses run over either representation: the legacy array-of-structs
+//! `Vec<FrameRecord>` slice kernels, or the columnar [`TraceStore`] —
+//! structure-of-arrays columns with a one-pass connection index, whose
+//! [`TraceView`]s make `connection()`, `demux()`, and per-connection
+//! statistics zero-copy and whose kernels are single fused passes. The
+//! two paths share their arithmetic cores and produce bitwise-identical
+//! results; the columnar one is what the bench harness runs at scale.
+//! Traces persist as diffable text or as the compact binary columnar
+//! container in [`io`], selected by file extension.
 
 //! ```
 //! use fxnet_sim::{Frame, FrameKind, FrameRecord, HostId, SimTime};
@@ -55,17 +65,19 @@ pub mod report;
 pub mod select;
 pub mod spectrum;
 pub mod stats;
+pub mod store;
 pub mod stream;
 
 pub use bandwidth::{average_bandwidth, binned_bandwidth, sliding_window_bandwidth};
 pub use bursts::{detect_bursts, Burst, BurstProfile};
 pub use coherence::{correlation, mean_connection_correlation};
-pub use demux::{demux, DemuxedTrace};
+pub use demux::{demux, demux_store, DemuxedStore, DemuxedTrace};
 pub use interference::{burst_collisions, slowdown, spectral_concentration, SpectralInterference};
-pub use io::{load_trace, save_trace};
+pub use io::{load_store, load_trace, save_store, save_trace, TraceFormat, TraceIoError};
 pub use phases::{PhaseBreakdown, PhaseRow};
-pub use report::{markdown_table, ReportOptions, TraceReport};
+pub use report::{markdown_table, markdown_table_views, ReportOptions, TraceReport};
 pub use select::{connection, dominant_modes, host_pairs, size_population};
 pub use spectrum::{autocorrelation, Periodogram, Spike};
 pub use stats::Stats;
+pub use store::{TraceStore, TraceView};
 pub use stream::{SlidingBandwidth, StreamBinner};

@@ -13,33 +13,65 @@ pub struct Stats {
     pub count: usize,
 }
 
+/// Welford's online min/max/mean/variance accumulator.
+///
+/// This is the *single* arithmetic core behind every `Stats` in the
+/// crate: the legacy slice kernels and the fused columnar kernels both
+/// push their samples through it in the same order, so the two paths
+/// produce bitwise-identical `f64` results — which is what lets the
+/// bench harness assert byte-identical reports between them.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Welford {
+    n: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    pub(crate) fn new() -> Welford {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub(crate) fn push(&mut self, v: f64) {
+        self.n += 1;
+        let d = v - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub(crate) fn finish(self) -> Option<Stats> {
+        if self.n == 0 {
+            return None;
+        }
+        Some(Stats {
+            min: self.min,
+            max: self.max,
+            avg: self.mean,
+            sd: (self.m2 / self.n as f64).max(0.0).sqrt(),
+            count: self.n,
+        })
+    }
+}
+
 impl Stats {
     /// Compute over an iterator of samples. Returns `None` when empty.
     pub fn of(values: impl IntoIterator<Item = f64>) -> Option<Stats> {
         // Welford's online algorithm: numerically stable in one pass.
-        let mut n = 0usize;
-        let mut mean = 0.0;
-        let mut m2 = 0.0;
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
+        let mut w = Welford::new();
         for v in values {
-            n += 1;
-            let d = v - mean;
-            mean += d / n as f64;
-            m2 += d * (v - mean);
-            min = min.min(v);
-            max = max.max(v);
+            w.push(v);
         }
-        if n == 0 {
-            return None;
-        }
-        Some(Stats {
-            min,
-            max,
-            avg: mean,
-            sd: (m2 / n as f64).max(0.0).sqrt(),
-            count: n,
-        })
+        w.finish()
     }
 
     /// Packet-size statistics in bytes (Figures 3 and 8).

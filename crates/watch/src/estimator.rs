@@ -230,6 +230,10 @@ mod tests {
         }
         let gap = ms(2);
         let batch = fxnet_trace::detect_bursts(&trace, gap);
+        // The columnar view runs the same merge rule over the time and
+        // size columns — all three detectors must agree exactly.
+        let store = fxnet_trace::TraceStore::from_records(&trace);
+        assert_eq!(store.view().detect_bursts(gap), batch);
         let mut e = BurstEstimator::new(gap);
         let mut stream: Vec<ClosedBurst> = trace
             .iter()
