@@ -83,28 +83,42 @@ impl KernelKind {
     /// Propagates any [`fxnet_fx::FxnetError`] from the engine (invalid
     /// config, deadlock, runaway clock).
     pub fn run_paper(&self, cfg: SpmdConfig, iter_div: usize) -> FxnetResult<RunResult<u64>> {
+        self.run_paper_opts(cfg, iter_div, RunOptions::default())
+    }
+
+    /// Like [`KernelKind::run_paper`], with explicit [`RunOptions`]
+    /// (frame tap, telemetry, causal capture, deschedule injection).
+    ///
+    /// # Errors
+    /// Propagates any [`fxnet_fx::FxnetError`] from the engine (invalid
+    /// config, deadlock, runaway clock).
+    pub fn run_paper_opts(
+        &self,
+        cfg: SpmdConfig,
+        iter_div: usize,
+        opts: RunOptions,
+    ) -> FxnetResult<RunResult<u64>> {
         let d = iter_div.max(1);
-        let opts = RunOptions::default;
         match self {
             KernelKind::Sor => {
                 let mut p = sor::SorParams::paper();
                 p.steps = (p.steps / d).max(1);
-                run_single(cfg, move |ctx| sor::sor_rank(ctx, &p), opts())
+                run_single(cfg, move |ctx| sor::sor_rank(ctx, &p), opts)
             }
             KernelKind::Fft2d => {
                 let mut p = fft2d::FftParams::paper();
                 p.iters = (p.iters / d).max(1);
-                run_single(cfg, move |ctx| fft2d::fft2d_rank(ctx, &p), opts())
+                run_single(cfg, move |ctx| fft2d::fft2d_rank(ctx, &p), opts)
             }
             KernelKind::T2dfft => {
                 let mut p = t2dfft::T2dfftParams::paper();
                 p.iters = (p.iters / d).max(1);
-                run_single(cfg, move |ctx| t2dfft::t2dfft_rank(ctx, &p), opts())
+                run_single(cfg, move |ctx| t2dfft::t2dfft_rank(ctx, &p), opts)
             }
             KernelKind::Seq => {
                 let mut p = seq::SeqParams::paper();
                 p.iters = (p.iters / d).max(1);
-                run_single(cfg, move |ctx| seq::seq_rank(ctx, &p), opts())
+                run_single(cfg, move |ctx| seq::seq_rank(ctx, &p), opts)
             }
             KernelKind::Hist => {
                 let mut p = hist::HistParams::paper();
@@ -116,7 +130,7 @@ impl KernelKind {
                         let as_f64: Vec<f64> = h.iter().map(|&v| f64::from(v)).collect();
                         checksum(&as_f64)
                     },
-                    opts(),
+                    opts,
                 )
             }
         }

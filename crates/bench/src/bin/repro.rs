@@ -70,6 +70,9 @@ struct Ctx {
     hours: usize,
     seed: u64,
     metrics_out: Option<String>,
+    /// Injected run date (`--date`) recorded in the bench history; kept
+    /// out of every other artifact so output stays seed-deterministic.
+    date: Option<String>,
 }
 
 /// One experiment: a stable id, what it is, which selection sets it
@@ -280,6 +283,12 @@ const REGISTRY: &[Experiment] = &[
         ..NONE
     },
     Experiment {
+        id: "blame",
+        desc: "causal provenance: violation blame and collective critical paths",
+        run: blame_attrib,
+        ..NONE
+    },
+    Experiment {
         id: "bench",
         desc: "perf probes: queues, suite speedup, columnar analysis, trace IO",
         run: bench_repro,
@@ -307,6 +316,7 @@ fn main() {
     let mut hours = 100usize;
     let mut out = "out".to_string();
     let mut metrics_out: Option<String> = None;
+    let mut date: Option<String> = None;
     let mut seed = 1998u64;
     let mut telemetry = false;
     let mut jobs = 1usize;
@@ -319,6 +329,7 @@ fn main() {
             "--hours" => hours = args.next().and_then(|s| s.parse().ok()).unwrap_or(100),
             "--out" => out = args.next().unwrap_or_else(|| "out".into()),
             "--metrics-out" => metrics_out = args.next(),
+            "--date" => date = args.next(),
             "--seed" => seed = args.next().and_then(|s| s.parse().ok()).unwrap_or(1998),
             "--jobs" => jobs = args.next().and_then(|s| s.parse().ok()).unwrap_or(1),
             "--trace-format" => {
@@ -340,7 +351,8 @@ fn main() {
                      --seed N sets the simulation seed (default 1998); same seed, byte-identical output\n\
                      --jobs N fans independent runs across N workers (0 = all CPUs); output is byte-identical to --jobs 1\n\
                      --trace-format F caches prewarmed traces under out/cache as `binary` (.fxb, default) or `text` (.trace)\n\
-                     --metrics-out DIR directs the watch artifacts (default: the --out dir)\n\
+                     --metrics-out DIR directs the watch/blame artifacts (default: the --out dir)\n\
+                     --date S stamps the bench history ledger (out/bench_history.jsonl) with S\n\
                      --telemetry collects spans/counters and writes out/telemetry_<exp>.json"
                 );
                 return;
@@ -388,6 +400,7 @@ fn main() {
         hours,
         seed,
         metrics_out,
+        date,
     };
     if div != 1 {
         println!(
@@ -878,6 +891,174 @@ fn watch_live(c: &mut Ctx) {
         "the honest tenant must stay clean"
     );
     println!("caught: 2DFFT latched 1 ContractViolation; SOR stayed clean");
+}
+
+// --------------------------------------------------------------------
+// Causal provenance: blame the violation, extract the critical paths.
+
+fn blame_attrib(c: &mut Ctx) {
+    header("Causal provenance: who caused the violation, where the time went");
+    use fxnet::causal::{
+        blame_value, blame_violation, chrome_trace, collective_paths, dag_value, CauseDag,
+    };
+    use fxnet::mix::MixTenant;
+    use fxnet::watch::WatchConfig;
+    use fxnet::Testbed;
+    let metrics_out = c.metrics_out.as_deref();
+    let ctx = &c.exps;
+    let div = ctx.div;
+    // Same scenario as `watch` — SOR honest, 2DFFT claiming 1/8 of its
+    // true burst sizes — but with every frame carrying a compact cause
+    // tag through pvm, TCP segmentation/retransmission, and the MAC.
+    // The tag rides a side-table, so the trace stays byte-identical.
+    println!("(the `watch` scenario, with every frame tagged by its causing op)");
+    let out = Testbed::paper()
+        .with_seed(ctx.seed())
+        .with_bandwidth_bps(100_000_000)
+        .mix()
+        .network(QosNetwork::new(12_500_000.0))
+        .solo_baselines(false)
+        .causal(true)
+        .tenant(MixTenant::kernel(
+            "SOR",
+            KernelKind::Sor,
+            div,
+            4,
+            SimTime::ZERO,
+        ))
+        .tenant(
+            MixTenant::kernel(
+                "2DFFT",
+                KernelKind::Fft2d,
+                div,
+                4,
+                SimTime::from_millis(250),
+            )
+            .with_claim_scale(0.125),
+        )
+        .watch(WatchConfig::default())
+        .run();
+    let report = out.watch.as_ref().expect("watch was enabled");
+    let run = out.causal.as_ref().expect("causal capture was enabled");
+
+    let dag = CauseDag::build(run);
+    let conservation = dag
+        .check_conservation()
+        .unwrap_or_else(|e| panic!("byte conservation must hold: {e}"));
+    assert_eq!(
+        conservation.untagged_frames, 0,
+        "every delivered frame must carry a cause"
+    );
+    println!(
+        "cause DAG: {} ops -> {} frames ({} retransmitted, {} protocol); {} data bytes conserved",
+        conservation.ops,
+        run.events.len(),
+        conservation.retransmitted_frames,
+        conservation.protocol_frames,
+        conservation.data_bytes,
+    );
+
+    let event = report
+        .events
+        .iter()
+        .find(|e| e.tenant == "2DFFT")
+        .expect("the over-driver latches a violation");
+    let blame = blame_violation(event, run, &out.map);
+    assert!(
+        blame.matched,
+        "the flight recorder must be located in the causal stream"
+    );
+    let top = blame.top().expect("violation has causing chains");
+    assert_eq!(
+        top.tenant, "2DFFT",
+        "blame must land on the over-driving tenant"
+    );
+    println!(
+        "violation `{}` at {:.3} ms, {}-frame window:",
+        blame.check,
+        blame.time.as_nanos() as f64 / 1e6,
+        blame.window,
+    );
+    for chain in &blame.chains {
+        println!(
+            "  {} rank {}: {} ops -> {} frames, {} wire bytes",
+            chain.tenant, chain.rank, chain.ops, chain.frames, chain.bytes
+        );
+    }
+    println!(
+        "blamed: {} (rank {}) with {} wire bytes",
+        top.tenant, top.rank, top.bytes
+    );
+
+    let spans = &out
+        .telemetry
+        .as_ref()
+        .expect("causal capture forces telemetry")
+        .spans;
+    let paths = collective_paths(run, spans, &out.map);
+    assert!(!paths.is_empty(), "the kernels run collective spans");
+    for p in &paths {
+        assert_eq!(
+            p.segments.total_ns(),
+            p.elapsed_ns,
+            "{}/{}#{}: segments must sum exactly to elapsed",
+            p.tenant,
+            p.name,
+            p.instance
+        );
+    }
+    let sor = paths
+        .iter()
+        .filter(|p| p.tenant == "SOR")
+        .max_by_key(|p| p.elapsed_ns)
+        .expect("SOR runs boundary exchanges");
+    let sor_link = sor
+        .blocking_link
+        .as_ref()
+        .expect("SOR's critical path names the contended link");
+    println!(
+        "SOR critical path: {}#{} straggler rank {}, contended link {}",
+        sor.name, sor.instance, sor.straggler_rank, sor_link
+    );
+    let heavy = paths
+        .iter()
+        .max_by_key(|p| p.elapsed_ns)
+        .expect("paths is non-empty");
+    println!(
+        "{} collective critical paths; heaviest: {}/{}#{} straggler rank {} ({:.3} ms{})",
+        paths.len(),
+        heavy.tenant,
+        heavy.name,
+        heavy.instance,
+        heavy.straggler_rank,
+        heavy.elapsed_ns as f64 / 1e6,
+        heavy
+            .blocking_link
+            .as_ref()
+            .map_or_else(String::new, |l| format!(", blocked on {l}")),
+    );
+
+    let dir = metrics_out
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| ctx.out_dir.clone());
+    std::fs::create_dir_all(&dir).expect("create artifacts dir");
+    let blame_path = dir.join("blame.json");
+    let combined = Value::Object(vec![
+        ("blame".to_string(), blame_value(&blame)),
+        (
+            "critical_paths".to_string(),
+            fxnet::causal::paths_value(&paths),
+        ),
+        ("dag".to_string(), dag_value(&dag, &out.map)),
+    ]);
+    write_json_artifact(&blame_path, &combined).expect("write blame report");
+    let trace_path = dir.join("blame_trace.json");
+    write_json_artifact(&trace_path, &chrome_trace(&paths, &out.map)).expect("write chrome trace");
+    println!(
+        "wrote {} and {} (load the trace at ui.perfetto.dev)",
+        blame_path.display(),
+        trace_path.display()
+    );
 }
 
 // --------------------------------------------------------------------
@@ -1566,4 +1747,44 @@ fn bench_repro(c: &mut Ctx) {
     let path = c.exps.out_path("bench_repro.json");
     write_json_artifact(&path, &report).expect("write bench report");
     println!("wrote {}", path.display());
+
+    // Append this run to the bench history ledger — one JSON line per
+    // run, never overwritten, so regressions show up as a time series.
+    let line = Value::Object(vec![
+        (
+            "date".to_string(),
+            Value::Str(c.date.clone().unwrap_or_else(|| "unknown".to_string())),
+        ),
+        ("git_rev".to_string(), Value::Str(git_rev())),
+        ("jobs".to_string(), Value::U64(jobs as u64)),
+        ("div".to_string(), Value::U64(div as u64)),
+        (
+            "calendar_events_per_sec".to_string(),
+            Value::F64(qb.calendar_events_per_sec),
+        ),
+        ("suite_speedup".to_string(), Value::F64(speedup)),
+        ("analysis_speedup".to_string(), Value::F64(col_speedup)),
+        ("io_load_speedup".to_string(), Value::F64(io_speedup)),
+    ]);
+    let history = c.exps.out_path("bench_history.jsonl");
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history)
+        .expect("open bench history");
+    writeln!(file, "{}", serde::json::to_string(&line)).expect("append bench history");
+    println!("appended run summary to {}", history.display());
+}
+
+/// Current git revision, for the bench history ledger; "unknown" when
+/// the binary runs outside a work tree.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }

@@ -1,0 +1,332 @@
+//! Deterministic JSON and Chrome trace-event exports.
+//!
+//! All values are built from the insertion-ordered [`serde::Value`]
+//! object, so serializing the same run twice yields byte-identical
+//! text. The Chrome trace-event output loads directly in Perfetto
+//! (`ui.perfetto.dev`) or `chrome://tracing`.
+
+use crate::blame::ViolationBlame;
+use crate::critical::CollectivePath;
+use crate::dag::{CauseDag, Provenance};
+use fxnet_pvm::TenantMap;
+use fxnet_sim::{FrameKind, Proto};
+use serde::Value;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn kind_label(kind: FrameKind) -> &'static str {
+    match kind {
+        FrameKind::Data => "data",
+        FrameKind::Ack => "ack",
+        FrameKind::Syn => "syn",
+        FrameKind::Datagram => "datagram",
+    }
+}
+
+fn tenant_name(map: &TenantMap, tenant: u32) -> String {
+    map.slices()
+        .get(tenant as usize)
+        .map_or_else(|| format!("tenant-{tenant}"), |s| s.name.clone())
+}
+
+/// The cause DAG as a deterministic JSON value: the op table, one entry
+/// per delivered frame with its resolved provenance, the retransmit
+/// edges, and the conservation summary.
+pub fn dag_value(dag: &CauseDag, map: &TenantMap) -> Value {
+    let ops: Vec<Value> = dag
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(i, op)| {
+            let a = op.cause.as_app().expect("ops carry app causes");
+            obj(vec![
+                ("op", Value::U64(i as u64)),
+                ("tenant", Value::Str(tenant_name(map, a.tenant))),
+                ("rank", Value::U64(u64::from(a.rank))),
+                ("phase", Value::U64(u64::from(a.phase))),
+                ("seq", Value::U64(u64::from(a.op))),
+                ("dst", Value::U64(u64::from(op.dst))),
+                ("time_ns", Value::U64(op.time.as_nanos())),
+                ("payload_bytes", Value::U64(op.payload_bytes)),
+                ("wire_bytes", Value::U64(op.wire_bytes)),
+                (
+                    "frames",
+                    Value::Array(dag.emits[i].iter().map(|&f| Value::U64(f as u64)).collect()),
+                ),
+            ])
+        })
+        .collect();
+    let frames: Vec<Value> = dag
+        .events
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let cause = match dag.provenance(i) {
+                Provenance::Op { op, retransmitted } => obj(vec![
+                    ("kind", Value::Str("op".to_string())),
+                    ("op", Value::U64(op as u64)),
+                    ("retransmitted", Value::Bool(retransmitted)),
+                ]),
+                Provenance::Protocol(k) => obj(vec![
+                    ("kind", Value::Str("protocol".to_string())),
+                    ("artifact", Value::Str(k.label().to_string())),
+                ]),
+                Provenance::Unknown => obj(vec![("kind", Value::Str("none".to_string()))]),
+            };
+            obj(vec![
+                ("frame", Value::U64(i as u64)),
+                ("time_ns", Value::U64(e.record.time.as_nanos())),
+                ("src", Value::U64(u64::from(e.record.src.0))),
+                ("dst", Value::U64(u64::from(e.record.dst.0))),
+                (
+                    "proto",
+                    Value::Str(
+                        match e.record.proto {
+                            Proto::Tcp => "tcp",
+                            Proto::Udp => "udp",
+                        }
+                        .to_string(),
+                    ),
+                ),
+                (
+                    "frame_kind",
+                    Value::Str(kind_label(e.record.kind).to_string()),
+                ),
+                ("wire_len", Value::U64(u64::from(e.record.wire_len))),
+                ("cause", cause),
+                ("queue_ns", Value::U64(e.meta.queue_ns)),
+                ("backoff_ns", Value::U64(e.meta.backoff_ns)),
+                ("tx_ns", Value::U64(e.meta.tx_ns)),
+                ("collisions", Value::U64(u64::from(e.meta.attempts))),
+            ])
+        })
+        .collect();
+    let edges: Vec<Value> = dag
+        .retransmit_edges
+        .iter()
+        .map(|&(a, b)| Value::Array(vec![Value::U64(a as u64), Value::U64(b as u64)]))
+        .collect();
+    let conservation = match dag.check_conservation() {
+        Ok(rep) => obj(vec![
+            ("holds", Value::Bool(true)),
+            ("ops", Value::U64(rep.ops as u64)),
+            ("data_bytes", Value::U64(rep.data_bytes)),
+            ("app_frames", Value::U64(rep.app_frames as u64)),
+            (
+                "retransmitted_frames",
+                Value::U64(rep.retransmitted_frames as u64),
+            ),
+            ("protocol_frames", Value::U64(rep.protocol_frames as u64)),
+            ("untagged_frames", Value::U64(rep.untagged_frames as u64)),
+        ]),
+        Err(e) => obj(vec![
+            ("holds", Value::Bool(false)),
+            ("violation", Value::Str(e.to_string())),
+        ]),
+    };
+    obj(vec![
+        ("ops", Value::Array(ops)),
+        ("frames", Value::Array(frames)),
+        ("retransmit_edges", Value::Array(edges)),
+        ("conservation", conservation),
+    ])
+}
+
+/// Collective critical paths as a deterministic JSON array.
+pub fn paths_value(paths: &[CollectivePath]) -> Value {
+    Value::Array(
+        paths
+            .iter()
+            .map(|p| {
+                obj(vec![
+                    ("tenant", Value::Str(p.tenant.clone())),
+                    ("collective", Value::Str(p.name.clone())),
+                    ("instance", Value::U64(u64::from(p.instance))),
+                    ("straggler_rank", Value::U64(u64::from(p.straggler_rank))),
+                    ("begin_ns", Value::U64(p.begin.as_nanos())),
+                    ("end_ns", Value::U64(p.end.as_nanos())),
+                    ("elapsed_ns", Value::U64(p.elapsed_ns)),
+                    ("frames", Value::U64(u64::from(p.frames))),
+                    (
+                        "segments",
+                        obj(vec![
+                            ("compute_ns", Value::U64(p.segments.compute_ns)),
+                            ("serialization_ns", Value::U64(p.segments.serialization_ns)),
+                            ("wire_ns", Value::U64(p.segments.wire_ns)),
+                            ("queue_ns", Value::U64(p.segments.queue_ns)),
+                            ("backoff_ns", Value::U64(p.segments.backoff_ns)),
+                            ("retransmit_ns", Value::U64(p.segments.retransmit_ns)),
+                        ]),
+                    ),
+                    (
+                        "blocking_link",
+                        p.blocking_link
+                            .as_ref()
+                            .map_or(Value::Null, |l| Value::Str(l.clone())),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// A violation blame as a deterministic JSON value.
+pub fn blame_value(b: &ViolationBlame) -> Value {
+    obj(vec![
+        ("accused_tenant", Value::Str(b.tenant.clone())),
+        ("check", Value::Str(b.check.clone())),
+        ("time_ns", Value::U64(b.time.as_nanos())),
+        ("window_frames", Value::U64(b.window as u64)),
+        ("matched", Value::Bool(b.matched)),
+        ("protocol_frames", Value::U64(u64::from(b.protocol_frames))),
+        (
+            "chains",
+            Value::Array(
+                b.chains
+                    .iter()
+                    .map(|c| {
+                        obj(vec![
+                            ("tenant", Value::Str(c.tenant.clone())),
+                            ("rank", Value::U64(u64::from(c.rank))),
+                            ("ops", Value::U64(u64::from(c.ops))),
+                            ("frames", Value::U64(u64::from(c.frames))),
+                            ("bytes", Value::U64(c.bytes)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The critical paths as Chrome trace-event JSON (Perfetto-loadable):
+/// one complete (`ph:"X"`) slice per collective instance on track
+/// `pid = tenant index, tid = straggler rank`, with its six segments
+/// laid out as child slices, plus process-name metadata per tenant.
+pub fn chrome_trace(paths: &[CollectivePath], map: &TenantMap) -> Value {
+    let micros = |ns: u64| Value::F64(ns as f64 / 1000.0);
+    let mut events: Vec<Value> = Vec::new();
+    for (i, slice) in map.slices().iter().enumerate() {
+        events.push(obj(vec![
+            ("name", Value::Str("process_name".to_string())),
+            ("ph", Value::Str("M".to_string())),
+            ("pid", Value::U64(i as u64)),
+            ("args", obj(vec![("name", Value::Str(slice.name.clone()))])),
+        ]));
+    }
+    for p in paths {
+        let pid = map
+            .slices()
+            .iter()
+            .position(|s| s.name == p.tenant)
+            .unwrap_or(map.slices().len()) as u64;
+        let tid = u64::from(p.straggler_rank);
+        let slice = |name: String, ts_ns: u64, dur_ns: u64| {
+            obj(vec![
+                ("name", Value::Str(name)),
+                ("ph", Value::Str("X".to_string())),
+                ("ts", micros(ts_ns)),
+                ("dur", micros(dur_ns)),
+                ("pid", Value::U64(pid)),
+                ("tid", Value::U64(tid)),
+            ])
+        };
+        events.push(slice(
+            format!("{}#{}", p.name, p.instance),
+            p.begin.as_nanos(),
+            p.elapsed_ns,
+        ));
+        let s = &p.segments;
+        let mut cursor = p.begin.as_nanos();
+        for (label, dur) in [
+            ("compute", s.compute_ns),
+            ("serialization", s.serialization_ns),
+            ("queue", s.queue_ns),
+            ("backoff", s.backoff_ns),
+            ("wire", s.wire_ns),
+            ("retransmit", s.retransmit_ns),
+        ] {
+            if dur > 0 {
+                events.push(slice(label.to_string(), cursor, dur));
+            }
+            cursor += dur;
+        }
+    }
+    Value::Array(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::critical::SegmentBreakdown;
+    use fxnet_fx::CausalRun;
+    use fxnet_sim::SimTime;
+
+    fn path() -> CollectivePath {
+        CollectivePath {
+            tenant: "SOR".to_string(),
+            name: "boundary_exchange".to_string(),
+            instance: 0,
+            straggler_rank: 2,
+            begin: SimTime::from_micros(100),
+            end: SimTime::from_micros(160),
+            elapsed_ns: 60_000,
+            frames: 3,
+            segments: SegmentBreakdown {
+                compute_ns: 10_000,
+                serialization_ns: 5_000,
+                wire_ns: 20_000,
+                queue_ns: 25_000,
+                backoff_ns: 0,
+                retransmit_ns: 0,
+            },
+            blocking_link: Some("h2->h3".to_string()),
+        }
+    }
+
+    #[test]
+    fn exports_are_deterministic_text() {
+        let map = TenantMap::pack([("SOR".to_string(), 4)]);
+        let dag = CauseDag::build(&CausalRun::default());
+        let a = serde::json::to_string(&dag_value(&dag, &map));
+        let b = serde::json::to_string(&dag_value(&dag, &map));
+        assert_eq!(a, b);
+        let p = [path()];
+        assert_eq!(
+            serde::json::to_string(&paths_value(&p)),
+            serde::json::to_string(&paths_value(&p))
+        );
+    }
+
+    #[test]
+    fn chrome_trace_slices_tile_the_window() {
+        let map = TenantMap::pack([("SOR".to_string(), 4)]);
+        let trace = chrome_trace(&[path()], &map);
+        let Value::Array(events) = &trace else {
+            panic!("trace must be an array")
+        };
+        // Metadata + parent + 4 non-empty segments.
+        assert_eq!(events.len(), 6);
+        let parent = &events[1];
+        assert_eq!(parent.get("ph").unwrap(), &Value::Str("X".to_string()));
+        assert_eq!(parent.get("ts").unwrap(), &Value::F64(100.0));
+        assert_eq!(parent.get("dur").unwrap(), &Value::F64(60.0));
+        // Child slices tile [100, 160] µs without gaps.
+        let mut cursor = 100.0;
+        for e in &events[2..] {
+            assert_eq!(e.get("ts").unwrap(), &Value::F64(cursor));
+            let Some(&Value::F64(d)) = e.get("dur") else {
+                panic!("dur")
+            };
+            cursor += d;
+        }
+        assert_eq!(cursor, 160.0);
+    }
+}

@@ -43,9 +43,11 @@
 //! | QoS negotiation | `fxnet-qos` | [`qos`] |
 //! | multi-tenant mixing, admission, interference | `fxnet-mix` | [`mix`] |
 //! | streaming trace watch, contract compliance | `fxnet-watch` | [`watch`] |
+//! | causal provenance, critical paths, blame | `fxnet-causal` | [`causal`] |
 //! | deterministic parallel experiment runner | `fxnet-harness` | [`harness`] |
 
 pub use fxnet_apps as apps;
+pub use fxnet_causal as causal;
 pub use fxnet_fx as fx;
 pub use fxnet_harness as harness;
 pub use fxnet_mix as mix;
@@ -62,11 +64,9 @@ pub use fxnet_watch as watch;
 mod testbed;
 
 pub use fxnet_apps::KernelKind;
-#[allow(deprecated)]
-pub use fxnet_fx::run_spmd;
 pub use fxnet_fx::{
-    run, run_single, DescheduleConfig, FxnetError, FxnetResult, GroupSpec, MultiRunResult, RankCtx,
-    RunOptions, RunResult, SpmdConfig,
+    run, run_single, AppOp, CausalRun, DescheduleConfig, FxnetError, FxnetResult, GroupSpec,
+    MultiRunResult, RankCtx, RunOptions, RunResult, SpmdConfig,
 };
 pub use fxnet_sim::{FrameRecord, HostId, SimTime};
 pub use testbed::Testbed;

@@ -19,7 +19,9 @@
 use crate::cost::CostModel;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use fxnet_pvm::{Message, MsgDelivery, OutMessage, PvmConfig, PvmSystem, TaskId, TenantMap};
-use fxnet_sim::{EtherStats, FrameRecord, FxnetError, FxnetResult, SimRng, SimTime};
+use fxnet_sim::{
+    CausalEvent, CauseId, EtherStats, FrameRecord, FxnetError, FxnetResult, SimRng, SimTime,
+};
 use fxnet_telemetry::{EventClass, RunTelemetry, SimProfile, SpanKind, SpanRecord};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -91,6 +93,37 @@ pub struct RunResult<T> {
     pub finished_at: SimTime,
     /// Telemetry captured for the run, when [`SpmdConfig::telemetry`] is on.
     pub telemetry: Option<RunTelemetry>,
+    /// Causal capture, when [`RunOptions::causal`] was set.
+    pub causal: Option<CausalRun>,
+}
+
+/// One application-level send operation recorded during a causal run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AppOp {
+    /// The op's causal id; decodes to (tenant, global rank, phase-span
+    /// sequence, op sequence).
+    pub cause: CauseId,
+    /// Destination global task id.
+    pub dst: u32,
+    /// Simulated time the op committed its first byte to the transport.
+    pub time: SimTime,
+    /// Application payload bytes packed in the message.
+    pub payload_bytes: u64,
+    /// Transport bytes committed on behalf of the op (payload plus
+    /// fragment headers — and daemon-route gram headers, where the
+    /// message is re-fragmented). Causal conservation checks each op's
+    /// delivered data bytes against exactly this number.
+    pub wire_bytes: u64,
+}
+
+/// The causal capture of one run: every application op plus the tagged
+/// delivery stream (one [`CausalEvent`] per trace row, in trace order).
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct CausalRun {
+    /// Application send ops, in sequencing order.
+    pub ops: Vec<AppOp>,
+    /// Tagged frame deliveries, in delivery (= trace) order.
+    pub events: Vec<CausalEvent>,
 }
 
 enum Request {
@@ -119,7 +152,7 @@ enum Reply {
 ///
 /// Ranks are always *group-local*: a program sees ids `0..nprocs()`
 /// regardless of where its group's task-id block sits in a multi-program
-/// run ([`run_multi`]). The context translates to global task ids at the
+/// run ([`run`]). The context translates to global task ids at the
 /// request boundary, so cross-group sends are impossible by construction.
 pub struct RankCtx {
     rank: u32,
@@ -290,6 +323,12 @@ pub struct RunOptions {
     pub telemetry: Option<bool>,
     /// Override [`SpmdConfig::deschedule`] for this run only.
     pub deschedule: Option<DescheduleConfig>,
+    /// Capture causal provenance: tag every frame with the application
+    /// op (or protocol artifact) that caused it and record every send op.
+    /// Forces telemetry on (phase spans carry the phase sequence the
+    /// cause ids reference). Tagging rides the token side-table, so the
+    /// trace stays byte-identical with capture on or off.
+    pub causal: bool,
 }
 
 impl RunOptions {
@@ -334,7 +373,7 @@ impl<T> GroupSpec<T> {
     }
 
     /// The single-program shape: one group named "main" starting at time
-    /// zero — what `run_spmd` used to build internally.
+    /// zero — the shape [`run_single`] builds internally.
     pub fn single(p: u32, f: impl Fn(&mut RankCtx) -> T + Send + Sync + 'static) -> GroupSpec<T> {
         GroupSpec::new("main", p, SimTime::ZERO, f)
     }
@@ -373,6 +412,8 @@ pub struct MultiRunResult<T> {
     pub finished_at: SimTime,
     /// Telemetry captured for the run, when [`SpmdConfig::telemetry`] is on.
     pub telemetry: Option<RunTelemetry>,
+    /// Causal capture, when [`RunOptions::causal`] was set.
+    pub causal: Option<CausalRun>,
 }
 
 impl<T> MultiRunResult<T> {
@@ -395,67 +436,8 @@ impl<T> MultiRunResult<T> {
             ether: self.ether,
             finished_at: self.finished_at,
             telemetry: self.telemetry,
+            causal: self.causal,
         }
-    }
-}
-
-/// Run `f` as an SPMD program on a freshly built virtual machine and LAN.
-///
-/// `f` is invoked once per rank on its own thread; use the [`RankCtx`] to
-/// structure the program as compute and communication phases. Returns the
-/// per-rank results and the promiscuous packet trace of the entire run.
-#[deprecated(
-    note = "use `run(cfg, vec![GroupSpec::single(p, f)], RunOptions::default())`; \
-                     this wrapper panics where `run` returns an error"
-)]
-pub fn run_spmd<T, F>(cfg: SpmdConfig, f: F) -> RunResult<T>
-where
-    T: Send + 'static,
-    F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
-{
-    assert!(cfg.p >= 1 && cfg.hosts >= cfg.p);
-    let group = GroupSpec::single(cfg.p, f);
-    match run(cfg, vec![group], RunOptions::default()) {
-        Ok(multi) => multi.into_single(),
-        Err(e) => panic!("{e}"),
-    }
-}
-
-/// Run several SPMD programs concurrently on one shared virtual machine
-/// and LAN.
-#[deprecated(note = "use `run(cfg, groups, RunOptions::default())`; \
-                     this wrapper panics where `run` returns an error")]
-pub fn run_multi<T>(cfg: SpmdConfig, groups: Vec<GroupSpec<T>>) -> MultiRunResult<T>
-where
-    T: Send + 'static,
-{
-    match run(cfg, groups, RunOptions::default()) {
-        Ok(multi) => multi,
-        Err(e) => panic!("{e}"),
-    }
-}
-
-/// [`run_multi`] with an optional live frame tap.
-#[deprecated(note = "use `run(cfg, groups, RunOptions::tapped(tap))`; \
-                     this wrapper panics where `run` returns an error")]
-pub fn run_multi_tapped<T>(
-    cfg: SpmdConfig,
-    groups: Vec<GroupSpec<T>>,
-    tap: Option<fxnet_sim::FrameTap>,
-) -> MultiRunResult<T>
-where
-    T: Send + 'static,
-{
-    match run(
-        cfg,
-        groups,
-        RunOptions {
-            tap,
-            ..RunOptions::default()
-        },
-    ) {
-        Ok(multi) => multi,
-        Err(e) => panic!("{e}"),
     }
 }
 
@@ -475,32 +457,6 @@ fn abandon<T>(
     drop(handles);
 }
 
-/// The unified engine entry point: run one or more SPMD programs on a
-/// shared virtual machine and LAN.
-///
-/// This subsumes the deprecated `run_spmd` / `run_multi` /
-/// `run_multi_tapped` trio: a single program is a one-element group list
-/// (see [`GroupSpec::single`] and [`MultiRunResult::into_single`]), and
-/// the tap, telemetry, and deschedule hooks travel in [`RunOptions`].
-///
-/// Each [`GroupSpec`] receives a contiguous block of global task ids (and
-/// therefore hosts), packed in spec order from task 0; `cfg.p` is ignored
-/// and `cfg.hosts` is raised to the total rank count if smaller, so idle
-/// hosts beyond the packed blocks keep contributing daemon chatter.
-/// Groups are fully isolated at the message layer (local rank spaces,
-/// per-group barriers) but share the wire, the MAC, and the tracer.
-/// Determinism is preserved: same config and groups → byte-identical
-/// trace, on any host thread — per-run state is fully owned, so
-/// independent `run` calls may execute concurrently (the basis of
-/// `fxnet-harness`).
-///
-/// # Errors
-/// [`FxnetError::InvalidConfig`] for an empty group list or a zero-rank
-/// group; [`FxnetError::Deadlock`] when no rank can run and the network
-/// is idle; [`FxnetError::SimTimeExceeded`] when a rank's clock passes
-/// `cfg.max_sim_time`. A panic *inside a rank's program* is still
-/// propagated as a panic (it is a bug in the caller's code, not a
-/// simulation outcome).
 /// Sugar for the single-program case of [`run`]: one group named "main"
 /// with `cfg.p` ranks starting at time zero, collapsed to the flat
 /// [`RunResult`] shape. Unlike the multi-group path, `cfg.p` is honoured
@@ -521,6 +477,31 @@ where
     Ok(run(cfg, vec![GroupSpec::single(p, f)], opts)?.into_single())
 }
 
+/// The unified engine entry point: run one or more SPMD programs on a
+/// shared virtual machine and LAN.
+///
+/// A single program is a one-element group list (see
+/// [`GroupSpec::single`] and [`MultiRunResult::into_single`]), and the
+/// tap, telemetry, deschedule, and causal hooks travel in [`RunOptions`].
+///
+/// Each [`GroupSpec`] receives a contiguous block of global task ids (and
+/// therefore hosts), packed in spec order from task 0; `cfg.p` is ignored
+/// and `cfg.hosts` is raised to the total rank count if smaller, so idle
+/// hosts beyond the packed blocks keep contributing daemon chatter.
+/// Groups are fully isolated at the message layer (local rank spaces,
+/// per-group barriers) but share the wire, the MAC, and the tracer.
+/// Determinism is preserved: same config and groups → byte-identical
+/// trace, on any host thread — per-run state is fully owned, so
+/// independent `run` calls may execute concurrently (the basis of
+/// `fxnet-harness`).
+///
+/// # Errors
+/// [`FxnetError::InvalidConfig`] for an empty group list or a zero-rank
+/// group; [`FxnetError::Deadlock`] when no rank can run and the network
+/// is idle; [`FxnetError::SimTimeExceeded`] when a rank's clock passes
+/// `cfg.max_sim_time`. A panic *inside a rank's program* is still
+/// propagated as a panic (it is a bug in the caller's code, not a
+/// simulation outcome).
 pub fn run<T>(
     mut cfg: SpmdConfig,
     groups: Vec<GroupSpec<T>>,
@@ -531,6 +512,13 @@ where
 {
     if let Some(t) = opts.telemetry {
         cfg.telemetry = t;
+    }
+    let causal = opts.causal;
+    if causal {
+        // Cause ids reference phase-span sequence numbers, which only
+        // flow when telemetry is on. Telemetry is itself non-perturbing,
+        // so the trace stays byte-identical.
+        cfg.telemetry = true;
     }
     if opts.deschedule.is_some() {
         cfg.deschedule = opts.deschedule;
@@ -551,6 +539,7 @@ where
     let mut pvm = PvmSystem::new(cfg.pvm.clone(), total, hosts);
     pvm.set_promiscuous(true);
     pvm.set_tap(tap);
+    pvm.set_causal(causal);
 
     let p = total as usize;
     // Global rank → group index.
@@ -606,6 +595,11 @@ where
         .collect();
     let mut deliveries: Vec<MsgDelivery> = Vec::new();
     let mut done_at = vec![SimTime::ZERO; p];
+
+    // Causal state; all of it stays empty when capture is off.
+    let mut ops: Vec<AppOp> = Vec::new();
+    let mut op_seq = vec![0u32; p];
+    let mut phase_seq = vec![0u32; p];
 
     // Telemetry state; all of it stays empty when cfg.telemetry is off.
     let run_start = Instant::now();
@@ -744,7 +738,27 @@ where
                     class = EventClass::Send;
                     let overhead = cfg.cost.send_overhead(&msg);
                     let t_wire = clocks[r] + overhead;
-                    pvm.send(t_wire, TaskId(r as u32), TaskId(dst), msg);
+                    if causal {
+                        let phase = if open_spans[r].is_empty() {
+                            0
+                        } else {
+                            phase_seq[r]
+                        };
+                        let cause = CauseId::app(group_of[r] as u32, r as u32, phase, op_seq[r]);
+                        op_seq[r] += 1;
+                        let payload_bytes = msg.payload_len() as u64;
+                        let wire_bytes =
+                            pvm.send_caused(t_wire, TaskId(r as u32), TaskId(dst), msg, cause);
+                        ops.push(AppOp {
+                            cause,
+                            dst,
+                            time: t_wire,
+                            payload_bytes,
+                            wire_bytes,
+                        });
+                    } else {
+                        pvm.send(t_wire, TaskId(r as u32), TaskId(dst), msg);
+                    }
                     clocks[r] = t_wire;
                     // A blocking socket write: the rank stalls while its
                     // host's TCP backlog exceeds the socket buffer.
@@ -819,6 +833,7 @@ where
                 }
                 Request::SpanBegin(name) => {
                     class = EventClass::Span;
+                    phase_seq[r] += 1;
                     open_spans[r].push((name, clocks[r]));
                     states[r] = RankState::Waiting;
                     reply_txs[r].send(Reply::Proceed).expect("rank alive");
@@ -1041,6 +1056,14 @@ where
         ether: pvm.ether_stats(),
         finished_at,
         telemetry,
+        causal: if causal {
+            Some(CausalRun {
+                ops,
+                events: pvm.take_causal().unwrap_or_default(),
+            })
+        } else {
+            None
+        },
     })
 }
 
@@ -1197,18 +1220,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "SPMD deadlock")]
-    #[allow(deprecated)]
-    fn deprecated_wrapper_still_panics_on_deadlock() {
-        // Callers that matched on the old panic message keep working.
-        let _ = run_spmd(quiet_cfg(2), |ctx| {
-            if ctx.rank() == 0 {
-                let _ = ctx.recv(1); // nobody ever sends
-            }
-        });
-    }
-
-    #[test]
     fn deschedule_injection_slows_the_run() {
         let base = run_one(quiet_cfg(2), |ctx| {
             ctx.compute_time(SimTime::from_secs(10));
@@ -1259,19 +1270,6 @@ mod tests {
             "{err:?}"
         );
         assert!(err.to_string().contains("max_sim_time"));
-    }
-
-    #[test]
-    #[should_panic(expected = "max_sim_time")]
-    #[allow(deprecated)]
-    fn deprecated_wrapper_still_panics_on_runaway() {
-        let mut cfg = quiet_cfg(1);
-        cfg.max_sim_time = SimTime::from_secs(1);
-        let _ = run_spmd(cfg, |ctx| {
-            for _ in 0..10 {
-                ctx.compute_time(SimTime::from_secs(1));
-            }
-        });
     }
 
     #[test]
@@ -1564,9 +1562,9 @@ mod tests {
     }
 
     #[test]
-    fn single_group_multi_matches_run_spmd_trace() {
-        // run_spmd is the single-group special case; the refactor must not
-        // have changed its traffic.
+    fn single_group_multi_matches_single_run_trace() {
+        // run_single is the single-group special case; the two entry
+        // points must produce identical traffic.
         let prog = |ctx: &mut RankCtx| {
             if ctx.rank() == 0 {
                 ctx.send(1, f64_msg(0, &vec![2.0; 400]));

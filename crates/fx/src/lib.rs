@@ -25,7 +25,7 @@
 //!   the same seed produce byte-identical packet traces, and per-run
 //!   state is fully owned, so independent runs may execute concurrently.
 //!   One or many programs (tenants) per run; [`RunOptions`] carries the
-//!   frame tap, telemetry, and deschedule hooks.
+//!   frame tap, telemetry, deschedule, and causal-capture hooks.
 //! * Optional *deschedule injection* — reproducing the paper's
 //!   observation that an OS descheduling a processor stalls the whole
 //!   synchronous communication schedule and merges bursts.
@@ -65,10 +65,8 @@ pub use collectives::{
 pub use cost::CostModel;
 pub use dist::BlockDist;
 pub use engine::{
-    run, run_single, DescheduleConfig, GroupRunResult, GroupSpec, MultiRunResult, RankCtx,
-    RunOptions, RunResult, SpmdConfig,
+    run, run_single, AppOp, CausalRun, DescheduleConfig, GroupRunResult, GroupSpec, MultiRunResult,
+    RankCtx, RunOptions, RunResult, SpmdConfig,
 };
-#[allow(deprecated)]
-pub use engine::{run_multi, run_multi_tapped, run_spmd};
 pub use fxnet_sim::{FxnetError, FxnetResult};
 pub use pattern::Pattern;

@@ -4,7 +4,7 @@
 
 use crate::admission::{AdmissionController, Rejection};
 use crate::tenant::MixTenant;
-use fxnet_fx::{run, run_single, GroupSpec, RunOptions, SpmdConfig};
+use fxnet_fx::{run, run_single, CausalRun, GroupSpec, RunOptions, SpmdConfig};
 use fxnet_pvm::TenantMap;
 use fxnet_qos::{Negotiation, QosNetwork};
 use fxnet_sim::{FrameRecord, FrameTap, HostId, SimTime};
@@ -73,6 +73,9 @@ pub struct MixOutcome {
     pub telemetry: Option<RunTelemetry>,
     /// Streaming-watcher report, when a watcher was attached.
     pub watch: Option<WatchReport>,
+    /// Causal capture of the mixed run (application ops and per-frame
+    /// cause chains), when enabled.
+    pub causal: Option<CausalRun>,
 }
 
 impl MixOutcome {
@@ -163,6 +166,7 @@ pub struct Mix {
     burst_gap: SimTime,
     spectrum_bin: SimTime,
     watch: Option<WatchConfig>,
+    causal: bool,
 }
 
 impl Mix {
@@ -177,6 +181,7 @@ impl Mix {
             burst_gap: SimTime::from_millis(10),
             spectrum_bin: SimTime::from_millis(10),
             watch: None,
+            causal: false,
         }
     }
 
@@ -215,6 +220,14 @@ impl Mix {
         self
     }
 
+    /// Capture causal provenance (`fxnet-causal`) during the mixed run:
+    /// every frame is tagged with the application operation that caused
+    /// it, via the token side-table, so the trace stays byte-identical.
+    pub fn causal(mut self, on: bool) -> Mix {
+        self.causal = on;
+        self
+    }
+
     /// Admit, co-execute, demux, and analyze.
     pub fn run(self) -> MixOutcome {
         let Mix {
@@ -225,6 +238,7 @@ impl Mix {
             burst_gap,
             spectrum_bin,
             watch,
+            causal,
         } = self;
 
         // Admission, in arrival order: the residual shrinks as each
@@ -313,6 +327,7 @@ impl Mix {
             groups,
             RunOptions {
                 tap,
+                causal,
                 ..RunOptions::default()
             },
         )
@@ -428,6 +443,7 @@ impl Mix {
             finished_at: multi.finished_at,
             telemetry: multi.telemetry,
             watch: watch_report,
+            causal: multi.causal,
         }
     }
 }

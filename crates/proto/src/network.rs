@@ -4,8 +4,9 @@
 use crate::tcp::{ConnId, ConnState, Dir, TcpConn, WriteChunk};
 use bytes::Bytes;
 use fxnet_sim::{
-    ethernet::Delivery, EtherBus, EtherConfig, EtherStats, EventQueue, Frame, FrameKind,
-    FrameRecord, FrameTap, HostId, NicId, SimRng, SimTime, SwitchConfig, SwitchFabric,
+    ethernet::Delivery, CausalEvent, CauseId, EtherBus, EtherConfig, EtherStats, EventQueue, Frame,
+    FrameKind, FrameMeta, FrameRecord, FrameTap, HostId, NicId, ProtoCause, SimRng, SimTime,
+    SwitchConfig, SwitchFabric,
 };
 /// Maximum TCP payload per segment (1500 B MTU − 40 B headers).
 pub const MSS: u32 = 1460;
@@ -85,6 +86,11 @@ enum TokenInfo {
         dir: Dir,
         seq: u64,
         bytes: Bytes,
+        /// Cause of the application write this segment was cut from. A
+        /// retransmission keeps the original cause.
+        cause: CauseId,
+        /// Whether this frame is a go-back-N retransmission.
+        retx: bool,
     },
     Ack {
         conn: ConnId,
@@ -100,6 +106,8 @@ enum TokenInfo {
         src: HostId,
         dst: HostId,
         bytes: Bytes,
+        /// Cause of the datagram (app op, heartbeat, or daemon ACK).
+        cause: CauseId,
     },
 }
 
@@ -280,6 +288,9 @@ pub struct Network {
     errors_seen: usize,
     scratch: Vec<Delivery>,
     tcp_stats: TcpStats,
+    /// Tagged delivery log, `Some` while causal capture is enabled. One
+    /// event per delivered frame, in exactly delivery (= trace) order.
+    causal: Option<Vec<CausalEvent>>,
 }
 
 impl Network {
@@ -304,7 +315,24 @@ impl Network {
             errors_seen: 0,
             scratch: Vec::new(),
             tcp_stats: TcpStats::default(),
+            causal: None,
         }
+    }
+
+    /// Enable or disable causal capture. Tagging rides the token
+    /// side-table only, so the schedule, the RNG, and the promiscuous
+    /// trace are byte-identical either way.
+    pub fn set_causal(&mut self, on: bool) {
+        self.causal = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Take ownership of the causal event log (if capture was enabled).
+    pub fn take_causal(&mut self) -> Option<Vec<CausalEvent>> {
+        let taken = self.causal.take();
+        if taken.is_some() {
+            self.causal = Some(Vec::new());
+        }
+        taken
     }
 
     /// Number of hosts on the LAN.
@@ -416,6 +444,19 @@ impl Network {
     /// Each call is one socket write: it is segmented independently
     /// (`TCP_NODELAY`), never coalesced with neighbouring writes.
     pub fn tcp_write(&mut self, conn: ConnId, from: HostId, data: Bytes, now: SimTime) {
+        self.tcp_write_caused(conn, from, data, now, CauseId::NONE);
+    }
+
+    /// [`Network::tcp_write`] with a causal tag: every segment cut from
+    /// this write (including retransmissions) carries `cause`.
+    pub fn tcp_write_caused(
+        &mut self,
+        conn: ConnId,
+        from: HostId,
+        data: Bytes,
+        now: SimTime,
+        cause: CauseId,
+    ) {
         if data.is_empty() {
             return;
         }
@@ -423,13 +464,29 @@ impl Network {
         self.conns[conn.0 as usize]
             .half_mut(dir)
             .sndq
-            .push_back(WriteChunk { data, sent: 0 });
+            .push_back(WriteChunk {
+                data,
+                sent: 0,
+                cause,
+            });
         self.try_emit(conn, dir, now);
     }
 
     /// Send a UDP datagram. Payload must fit one MTU; the PVM daemon layer
     /// fragments above this.
     pub fn udp_send(&mut self, src: HostId, dst: HostId, data: Bytes, now: SimTime) {
+        self.udp_send_caused(src, dst, data, now, CauseId::NONE);
+    }
+
+    /// [`Network::udp_send`] with a causal tag.
+    pub fn udp_send_caused(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        data: Bytes,
+        now: SimTime,
+        cause: CauseId,
+    ) {
         assert!(data.len() <= MAX_UDP, "datagram exceeds MTU");
         assert_ne!(src, dst);
         let len = data.len() as u32;
@@ -437,6 +494,7 @@ impl Network {
             src,
             dst,
             bytes: data,
+            cause,
         });
         self.bus
             .enqueue(Self::nic(src), Frame::udp(src, dst, len, tok), now);
@@ -460,6 +518,7 @@ impl Network {
             };
             let n = mss.min(chunk.data.len() - chunk.sent);
             let payload = chunk.data.slice(chunk.sent..chunk.sent + n);
+            let cause = chunk.cause;
             chunk.sent += n;
             let done = chunk.sent == chunk.data.len();
             if done {
@@ -469,7 +528,7 @@ impl Network {
                 let h = self.conns[conn.0 as usize].half_mut(dir);
                 let seq = h.snd_next;
                 h.snd_next += n as u64;
-                h.unacked.push_back((seq, payload.clone()));
+                h.unacked.push_back((seq, payload.clone(), cause));
                 seq
             };
             let tok = self.token(TokenInfo::Data {
@@ -477,6 +536,8 @@ impl Network {
                 dir,
                 seq,
                 bytes: payload,
+                cause,
+                retx: false,
             });
             self.tcp_stats.data_segments += 1;
             self.bus.enqueue(
@@ -549,7 +610,7 @@ impl Network {
             let t = self.bus.advance(&mut deliveries);
             self.reap_bus_errors();
             for d in &deliveries {
-                self.handle_frame(d.time, d.frame, out);
+                self.handle_frame(d.time, d.frame, d.meta, out);
             }
             self.scratch = deliveries;
             t
@@ -623,18 +684,22 @@ impl Network {
                     h.rto_armed = false;
                     return;
                 }
-                // Go-back-N: retransmit everything outstanding.
+                // Go-back-N: retransmit everything outstanding. Each
+                // resent segment keeps its original cause, flagged as a
+                // retransmission (the causal `Retransmit` edge).
                 h.retransmits += 1;
-                let resend: Vec<(u64, Bytes)> = h.unacked.iter().cloned().collect();
+                let resend: Vec<(u64, Bytes, CauseId)> = h.unacked.iter().cloned().collect();
                 h.rto_epoch += 1;
                 let epoch = h.rto_epoch;
-                for (seq, bytes) in resend {
+                for (seq, bytes, cause) in resend {
                     let n = bytes.len() as u32;
                     let tok = self.token(TokenInfo::Data {
                         conn,
                         dir,
                         seq,
                         bytes,
+                        cause,
+                        retx: true,
                     });
                     self.bus.enqueue(
                         Self::nic(src),
@@ -647,13 +712,84 @@ impl Network {
         }
     }
 
-    fn handle_frame(&mut self, now: SimTime, frame: Frame, out: &mut Vec<AppEvent>) {
+    fn dir_code(dir: Dir) -> u8 {
+        match dir {
+            Dir::AtoB => 0,
+            Dir::BtoA => 1,
+        }
+    }
+
+    /// Append one causal event for a delivered frame. Only called when
+    /// capture is on; pure logging, so timing is untouched.
+    fn log_causal(&mut self, now: SimTime, frame: &Frame, info: &TokenInfo, meta: FrameMeta) {
+        let Some(log) = &mut self.causal else { return };
+        let record = FrameRecord::capture(now, frame);
+        let ev = match *info {
+            TokenInfo::Data {
+                conn,
+                dir,
+                seq,
+                cause,
+                retx,
+                ..
+            } => CausalEvent {
+                record,
+                cause,
+                retx,
+                conn: conn.0,
+                dir: Self::dir_code(dir),
+                seq,
+                meta,
+            },
+            TokenInfo::Ack {
+                conn, dir, upto, ..
+            } => CausalEvent {
+                record,
+                cause: CauseId::protocol(ProtoCause::Ack),
+                retx: false,
+                conn: conn.0,
+                dir: Self::dir_code(dir),
+                seq: upto,
+                meta,
+            },
+            TokenInfo::Syn { conn, stage } => CausalEvent {
+                record,
+                cause: CauseId::protocol(ProtoCause::Syn),
+                retx: false,
+                conn: conn.0,
+                dir: 0,
+                seq: u64::from(stage),
+                meta,
+            },
+            TokenInfo::Udp { cause, .. } => CausalEvent {
+                record,
+                cause,
+                retx: false,
+                conn: 0,
+                dir: 0,
+                seq: 0,
+                meta,
+            },
+        };
+        log.push(ev);
+    }
+
+    fn handle_frame(
+        &mut self,
+        now: SimTime,
+        frame: Frame,
+        meta: FrameMeta,
+        out: &mut Vec<AppEvent>,
+    ) {
         let info = match self.tokens.remove(frame.token) {
             Some(i) => i,
             None => return, // reaped or stale
         };
+        self.log_causal(now, &frame, &info, meta);
         match info {
-            TokenInfo::Udp { src, dst, bytes } => {
+            TokenInfo::Udp {
+                src, dst, bytes, ..
+            } => {
                 out.push(AppEvent::Udp {
                     time: now,
                     src,
@@ -668,6 +804,7 @@ impl Network {
                 dir,
                 seq,
                 bytes,
+                ..
             } => self.handle_data(now, conn, dir, seq, bytes, out),
         }
     }
@@ -722,7 +859,7 @@ impl Network {
                 false
             } else {
                 h.snd_acked = upto;
-                while let Some(&(seq, ref b)) = h.unacked.front() {
+                while let Some(&(seq, ref b, _)) = h.unacked.front() {
                     if seq + b.len() as u64 <= upto {
                         h.unacked.pop_front();
                     } else {

@@ -1,7 +1,7 @@
 //! TCP connection state.
 
 use bytes::Bytes;
-use fxnet_sim::{HostId, SimTime};
+use fxnet_sim::{CauseId, HostId, SimTime};
 use std::collections::VecDeque;
 
 /// Identifier of an established (or establishing) TCP connection.
@@ -44,6 +44,8 @@ pub(crate) struct WriteChunk {
     pub data: Bytes,
     /// Bytes of this chunk already emitted as segments.
     pub sent: usize,
+    /// Cause of the write; inherited by every segment cut from it.
+    pub cause: CauseId,
 }
 
 /// Send/receive state for one direction of a connection.
@@ -56,8 +58,9 @@ pub(crate) struct Half {
     /// Highest cumulative ACK received.
     pub snd_acked: u64,
     /// Segments emitted but not yet cumulatively acknowledged, kept for
-    /// go-back-N retransmission: `(seq, payload)`.
-    pub unacked: VecDeque<(u64, Bytes)>,
+    /// go-back-N retransmission: `(seq, payload, cause)`. A retransmitted
+    /// segment keeps the *original* cause.
+    pub unacked: VecDeque<(u64, Bytes, CauseId)>,
     /// Receiver: next expected sequence number.
     pub rcv_next: u64,
     /// Receiver: full segments received since the last ACK was sent.
@@ -188,6 +191,7 @@ mod tests {
         h.sndq.push_back(WriteChunk {
             data: Bytes::from_static(b"xyz"),
             sent: 0,
+            cause: CauseId::NONE,
         });
         assert!(h.has_pending());
         h.sndq.front_mut().unwrap().sent = 3;

@@ -3,7 +3,7 @@
 use crate::message::{Message, OutMessage, StreamParser, FRAG_HEADER, MAGIC};
 use bytes::{BufMut, Bytes, BytesMut};
 use fxnet_proto::{AppEvent, ConnId, Dir, NetConfig, Network};
-use fxnet_sim::{EtherStats, FrameRecord, HostId, SimTime};
+use fxnet_sim::{CausalEvent, CauseId, EtherStats, FrameRecord, HostId, ProtoCause, SimTime};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Identifier of a PVM task (one per compute host in our runs; task `t`
@@ -103,8 +103,9 @@ pub struct PvmSystem {
     conn_ends: HashMap<ConnId, (HostId, HostId)>,
     parsers: HashMap<(u32, u8), StreamParser>,
     msg_seq: u32,
-    /// Daemon route: pending datagrams per (src_host, dst_host).
-    daemon_out: HashMap<(u32, u32), VecDeque<Bytes>>,
+    /// Daemon route: pending datagrams (with their causes) per
+    /// (src_host, dst_host).
+    daemon_out: HashMap<(u32, u32), VecDeque<(Bytes, CauseId)>>,
     /// Daemon route: pairs with a datagram in flight (stop-and-wait).
     daemon_wait: HashSet<(u32, u32)>,
     daemon_parsers: HashMap<(u32, u32), StreamParser>,
@@ -171,6 +172,16 @@ impl PvmSystem {
         self.net.take_trace()
     }
 
+    /// Enable or disable causal capture (see [`Network::set_causal`]).
+    pub fn set_causal(&mut self, on: bool) {
+        self.net.set_causal(on);
+    }
+
+    /// Take ownership of the causal event log, if capture was enabled.
+    pub fn take_causal(&mut self) -> Option<Vec<CausalEvent>> {
+        self.net.take_causal()
+    }
+
     /// MAC layer statistics.
     pub fn ether_stats(&self) -> EtherStats {
         self.net.ether_stats()
@@ -217,11 +228,28 @@ impl PvmSystem {
     /// Send `msg` from `src` to `dst`, with fragment writes beginning at
     /// simulated time `now`.
     pub fn send(&mut self, now: SimTime, src: TaskId, dst: TaskId, msg: OutMessage) {
+        self.send_caused(now, src, dst, msg, CauseId::NONE);
+    }
+
+    /// [`PvmSystem::send`] with a causal tag: every transport byte of the
+    /// message carries `cause` down to the MAC. Returns the number of
+    /// transport-payload bytes committed (message payload plus fragment
+    /// headers — and, on the daemon route, the re-fragmented gram
+    /// headers), which is what causal conservation checks against.
+    pub fn send_caused(
+        &mut self,
+        now: SimTime,
+        src: TaskId,
+        dst: TaskId,
+        msg: OutMessage,
+        cause: CauseId,
+    ) -> u64 {
         assert_ne!(src, dst, "self-sends are host-local IPC, never on the wire");
         self.msg_seq += 1;
         let seq = self.msg_seq;
         self.stats.messages_sent += 1;
         self.stats.pack_bytes += msg.payload_len() as u64;
+        let mut transport_bytes = 0u64;
         match self.cfg.route {
             Route::Direct => {
                 let (ha, hb) = (self.host_of(src), self.host_of(dst));
@@ -231,7 +259,8 @@ impl PvmSystem {
                 for i in 0..msg.frags.len() {
                     let wire = msg.encode_frag(i, src.0, seq);
                     let t = now + SimTime(stagger.as_nanos() * i as u64);
-                    self.net.tcp_write(conn, ha, wire, t);
+                    transport_bytes += wire.len() as u64;
+                    self.net.tcp_write_caused(conn, ha, wire, t, cause);
                 }
             }
             Route::Daemon => {
@@ -261,7 +290,9 @@ impl PvmSystem {
                     b.put_i32_le(msg.tag);
                     b.put_u32_le(src.0);
                     b.extend_from_slice(c);
-                    grams.push_back(b.freeze());
+                    let gram = b.freeze();
+                    transport_bytes += gram.len() as u64;
+                    grams.push_back((gram, cause));
                 }
                 let key = (src.0, dst.0);
                 self.daemon_out.entry(key).or_default().extend(grams);
@@ -269,6 +300,7 @@ impl PvmSystem {
                 self.pump_daemon_pair(key, now + self.cfg.ipc_latency);
             }
         }
+        transport_bytes
     }
 
     /// If the pair has no datagram in flight, launch the next one.
@@ -280,10 +312,11 @@ impl PvmSystem {
             Some(q) => q,
             None => return,
         };
-        if let Some(gram) = q.pop_front() {
+        if let Some((gram, cause)) = q.pop_front() {
             self.daemon_wait.insert(key);
             self.stats.daemon_datagrams += 1;
-            self.net.udp_send(HostId(key.0), HostId(key.1), gram, now);
+            self.net
+                .udp_send_caused(HostId(key.0), HostId(key.1), gram, now, cause);
         }
     }
 
@@ -340,7 +373,13 @@ impl PvmSystem {
             b.put_u32_le(h);
             b.resize(payload_len, 0);
             self.stats.heartbeats += 1;
-            self.net.udp_send(HostId(h), HostId(0), b.freeze(), t);
+            self.net.udp_send_caused(
+                HostId(h),
+                HostId(0),
+                b.freeze(),
+                t,
+                CauseId::protocol(ProtoCause::Heartbeat),
+            );
         }
     }
 
@@ -398,8 +437,13 @@ impl PvmSystem {
                 ack.put_u32_le(MAGIC_ACK);
                 ack.put_u32_le(u32::from_le_bytes(data[4..8].try_into().unwrap()));
                 ack.put_u32_le(0);
-                self.net
-                    .udp_send(*dst, *src, ack.freeze(), *time + self.cfg.daemon_proc);
+                self.net.udp_send_caused(
+                    *dst,
+                    *src,
+                    ack.freeze(),
+                    *time + self.cfg.daemon_proc,
+                    CauseId::protocol(ProtoCause::DaemonAck),
+                );
                 let msgs = self
                     .daemon_parsers
                     .entry((src.0, dst.0))

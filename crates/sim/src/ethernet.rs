@@ -16,6 +16,7 @@
 //! collecting any delivered frame. A promiscuous tap (the paper's tcpdump
 //! workstation) can be enabled to record every delivered frame.
 
+use crate::cause::FrameMeta;
 use crate::frame::{Frame, FrameRecord, FrameTap};
 use crate::rng::SimRng;
 use crate::time::SimTime;
@@ -107,6 +108,9 @@ struct Nic {
     attempts: u32,
     /// This contention round's deference jitter (re-rolled every round).
     jitter: SimTime,
+    /// Backoff time the head frame has accumulated so far (bookkeeping
+    /// only; never read by the state machine).
+    backoff_acc: u64,
 }
 
 #[derive(Debug)]
@@ -114,6 +118,7 @@ struct CurrentTx {
     nic: usize,
     frame: Frame,
     end: SimTime,
+    meta: FrameMeta,
 }
 
 /// One delivered frame, handed back to the protocol layer.
@@ -121,6 +126,8 @@ struct CurrentTx {
 pub struct Delivery {
     pub time: SimTime,
     pub frame: Frame,
+    /// Passive MAC timing metadata (queue / backoff / tx split).
+    pub meta: FrameMeta,
 }
 
 /// The shared collision domain.
@@ -167,6 +174,7 @@ impl EtherBus {
             backoff_until: SimTime::ZERO,
             attempts: 0,
             jitter: SimTime::ZERO,
+            backoff_acc: 0,
         });
         id
     }
@@ -216,6 +224,7 @@ impl EtherBus {
             n.attempts = 0;
             n.backoff_until = SimTime::ZERO;
             n.jitter = jitter;
+            n.backoff_acc = 0;
         }
         n.queue.push_back((frame, now));
     }
@@ -360,6 +369,7 @@ impl EtherBus {
                     out.push(Delivery {
                         time: end,
                         frame: tx.frame,
+                        meta: tx.meta,
                     });
                 }
                 end
@@ -370,12 +380,26 @@ impl EtherBus {
                 let i = starters[0];
                 // Starters always hold their head frame; the if-let keeps
                 // the hot path free of panicking unwraps.
-                if let Some((frame, _)) = self.nics[i].queue.pop_front() {
+                if let Some((frame, enq)) = self.nics[i].queue.pop_front() {
                     let end = t_start + frame.tx_time(self.cfg.bandwidth_bps);
+                    let backoff_ns = self.nics[i].backoff_acc;
+                    let waited = t_start.saturating_sub(enq).as_nanos();
+                    let meta = FrameMeta {
+                        queue_ns: waited.saturating_sub(backoff_ns),
+                        backoff_ns,
+                        tx_ns: (end - t_start).as_nanos(),
+                        attempts: self.nics[i].attempts,
+                    };
                     self.nics[i].attempts = 0;
                     self.nics[i].backoff_until = SimTime::ZERO;
+                    self.nics[i].backoff_acc = 0;
                     self.stats.busy_ns += (end - t_start).as_nanos();
-                    self.current = Some(CurrentTx { nic: i, frame, end });
+                    self.current = Some(CurrentTx {
+                        nic: i,
+                        frame,
+                        end,
+                        meta,
+                    });
                     self.free_at = end;
                 }
             } else {
@@ -390,6 +414,7 @@ impl EtherBus {
                     if n.attempts > self.cfg.attempt_limit {
                         n.attempts = 0;
                         n.backoff_until = SimTime::ZERO;
+                        n.backoff_acc = 0;
                         if let Some((frame, _)) = n.queue.pop_front() {
                             self.stats.frames_dropped += 1;
                             self.errors
@@ -399,6 +424,7 @@ impl EtherBus {
                         let exp = n.attempts.min(self.cfg.max_backoff_exp);
                         let k = self.rng.below(1u64 << exp);
                         n.backoff_until = jam_end + SimTime(self.cfg.slot.as_nanos() * k);
+                        n.backoff_acc += self.cfg.slot.as_nanos() * k;
                         self.stats.backoffs += 1;
                     }
                 }

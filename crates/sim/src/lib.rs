@@ -24,6 +24,9 @@
 //!   exponential backoff.
 //! * [`EventQueue`] — a generic time-ordered event queue with stable FIFO
 //!   ordering among simultaneous events, used by the protocol layers.
+//! * [`CauseId`] / [`CausalEvent`] — compact causal provenance ids and
+//!   the tagged delivery stream the protocol layer can optionally emit
+//!   (one event per trace row, zero perturbation of timing or trace).
 //!
 //! Layering is pull-based rather than callback-based: the bus exposes
 //! [`EtherBus::next_event_time`] and [`EtherBus::advance`], and the owner
@@ -43,6 +46,7 @@
 //! assert_eq!(bus.trace()[0].wire_len, 1518);
 //! ```
 
+pub mod cause;
 pub mod error;
 pub mod ethernet;
 pub mod frame;
@@ -51,6 +55,7 @@ pub mod rng;
 pub mod switch;
 pub mod time;
 
+pub use cause::{AppCause, CausalEvent, Cause, CauseId, FrameMeta, ProtoCause};
 pub use error::{FxnetError, FxnetResult};
 pub use ethernet::{EtherBus, EtherConfig, EtherStats, NicId, TxError};
 pub use frame::{

@@ -14,6 +14,7 @@
 //! for the same output port. No collisions, no backoff; concurrent
 //! transfers between disjoint host pairs proceed in parallel.
 
+use crate::cause::FrameMeta;
 use crate::ethernet::Delivery;
 use crate::frame::{Frame, FrameRecord, FrameTap};
 use crate::queue::EventQueue;
@@ -40,9 +41,11 @@ impl Default for SwitchConfig {
 
 enum Event {
     /// Frame fully received by the switch; ready for output queuing.
-    AtSwitch(Frame),
+    /// Carries the uplink queueing delay accumulated so far (bookkeeping
+    /// for [`FrameMeta`] only; never consulted by the schedule).
+    AtSwitch(Frame, u64),
     /// Frame fully transmitted on the destination port.
-    Delivered(Frame),
+    Delivered(Frame, FrameMeta),
 }
 
 /// A store-and-forward switch with one full-duplex port per host.
@@ -116,8 +119,10 @@ impl SwitchFabric {
         let start = self.uplink_free[src].max(now);
         let at_switch = start + tx;
         self.uplink_free[src] = at_switch;
-        self.events
-            .push(at_switch + self.cfg.forward_latency, Event::AtSwitch(frame));
+        self.events.push(
+            at_switch + self.cfg.forward_latency,
+            Event::AtSwitch(frame, (start - now).as_nanos()),
+        );
     }
 
     /// Whether nothing is pending.
@@ -134,14 +139,23 @@ impl SwitchFabric {
     pub fn advance(&mut self, out: &mut Vec<Delivery>) -> Option<SimTime> {
         let (t, ev) = self.events.pop()?;
         match ev {
-            Event::AtSwitch(frame) => {
+            Event::AtSwitch(frame, uplink_wait) => {
                 let dst = frame.dst.0 as usize;
                 let tx = frame.tx_time(self.cfg.port_bps);
-                let done = self.downlink_free[dst].max(t) + tx;
+                let start = self.downlink_free[dst].max(t);
+                let done = start + tx;
                 self.downlink_free[dst] = done;
-                self.events.push(done, Event::Delivered(frame));
+                let meta = FrameMeta {
+                    queue_ns: uplink_wait + (start - t).as_nanos(),
+                    backoff_ns: 0,
+                    // Store-and-forward: the frame crosses two serialized
+                    // links, so wire occupancy is two transmissions.
+                    tx_ns: 2 * tx.as_nanos(),
+                    attempts: 0,
+                };
+                self.events.push(done, Event::Delivered(frame, meta));
             }
-            Event::Delivered(frame) => {
+            Event::Delivered(frame, meta) => {
                 self.frames_delivered += 1;
                 self.bytes_delivered += u64::from(frame.wire_len());
                 if self.promiscuous || self.tap.is_some() {
@@ -153,7 +167,11 @@ impl SwitchFabric {
                         self.trace.push(record);
                     }
                 }
-                out.push(Delivery { time: t, frame });
+                out.push(Delivery {
+                    time: t,
+                    frame,
+                    meta,
+                });
             }
         }
         Some(t)
