@@ -27,10 +27,13 @@
 //! and `mix-admit`, the live-observability experiment `watch`
 //! (streaming contract compliance; writes Prometheus-text metrics and a
 //! JSONL event log, directed by `--metrics-out DIR`, default `--out`),
-//! and `bench` (event-queue engines, parallel suite speedup, the
-//! columnar-vs-AoS analysis race, and the binary-vs-text trace-format
-//! race; writes `out/bench_repro.json` plus the four `analysis_*.md`
-//! transcripts it asserts byte-identical).
+//! `fabric-sweep` (the six programs across the four canonical
+//! topologies at 10/100/1000 Mb/s; fits burst period vs provided
+//! bandwidth, checks `c` stability and single-segment byte-identity,
+//! writes `out/fabric_sweep.json`), and `bench` (event-queue engines,
+//! parallel suite speedup, the columnar-vs-AoS analysis race, and the
+//! binary-vs-text trace-format race; writes `out/bench_repro.json` plus
+//! the four `analysis_*.md` transcripts it asserts byte-identical).
 //!
 //! Prewarmed traces are cached on disk under `out/cache` keyed by
 //! program, scale, and seed — `--trace-format {binary,text}` picks the
@@ -286,6 +289,12 @@ const REGISTRY: &[Experiment] = &[
         id: "blame",
         desc: "causal provenance: violation blame and collective critical paths",
         run: blame_attrib,
+        ..NONE
+    },
+    Experiment {
+        id: "fabric-sweep",
+        desc: "fabric sweep: burst period vs provided bandwidth across topologies",
+        run: fabric_sweep,
         ..NONE
     },
     Experiment {
@@ -675,9 +684,9 @@ fn mix_kernels(c: &mut Ctx) {
     println!("(fabric: 100 Mb/s shared; the 10 Mb/s saturation regime is `mix-admit`)");
     let out = Testbed::paper()
         .with_seed(ctx.seed())
-        .with_bandwidth_bps(100_000_000)
+        .with_bandwidth_bps(fxnet::sim::RATE_100M)
         .mix()
-        .network(QosNetwork::new(12_500_000.0))
+        .network(QosNetwork::of_rate(fxnet::sim::RATE_100M))
         .tenant(MixTenant::kernel(
             "SOR",
             KernelKind::Sor,
@@ -841,9 +850,9 @@ fn watch_live(c: &mut Ctx) {
     println!("(fabric: 100 Mb/s shared; 2DFFT claims 1/8 of its true burst sizes)");
     let out = Testbed::paper()
         .with_seed(ctx.seed())
-        .with_bandwidth_bps(100_000_000)
+        .with_bandwidth_bps(fxnet::sim::RATE_100M)
         .mix()
-        .network(QosNetwork::new(12_500_000.0))
+        .network(QosNetwork::of_rate(fxnet::sim::RATE_100M))
         .solo_baselines(false)
         .tenant(MixTenant::kernel(
             "SOR",
@@ -914,9 +923,9 @@ fn blame_attrib(c: &mut Ctx) {
     println!("(the `watch` scenario, with every frame tagged by its causing op)");
     let out = Testbed::paper()
         .with_seed(ctx.seed())
-        .with_bandwidth_bps(100_000_000)
+        .with_bandwidth_bps(fxnet::sim::RATE_100M)
         .mix()
-        .network(QosNetwork::new(12_500_000.0))
+        .network(QosNetwork::of_rate(fxnet::sim::RATE_100M))
         .solo_baselines(false)
         .causal(true)
         .tenant(MixTenant::kernel(
@@ -1038,6 +1047,62 @@ fn blame_attrib(c: &mut Ctx) {
             .map_or_else(String::new, |l| format!(", blocked on {l}")),
     );
 
+    // The same attribution machinery on a multi-segment fabric: pin the
+    // kernel's ranks alternately across two switches joined by an
+    // oversubscribed trunk (fast edge ports, slow backbone), so every
+    // neighbor exchange crosses the inter-switch link and the critical
+    // paths name the contended trunk.
+    println!("\n-- trunked topology: naming the contended trunk --");
+    let mut spec = fxnet::TopologySpec::two_switches_trunk(9, fxnet::sim::RATE_100M);
+    spec.trunks[0].rate_bps = fxnet::sim::RATE_10M;
+    spec.attachments = (0..9).map(|h| h % 2).collect();
+    let trunked = Testbed::paper()
+        .with_seed(ctx.seed())
+        .with_topology(spec)
+        .mix()
+        .solo_baselines(false)
+        .causal(true)
+        .tenant(MixTenant::kernel(
+            "SOR",
+            KernelKind::Sor,
+            div,
+            4,
+            SimTime::ZERO,
+        ))
+        .run();
+    let trun = trunked.causal.as_ref().expect("causal capture was enabled");
+    let tspans = &trunked
+        .telemetry
+        .as_ref()
+        .expect("causal capture forces telemetry")
+        .spans;
+    let tpaths = collective_paths(trun, tspans, &trunked.map);
+    let trunk_paths: Vec<_> = tpaths
+        .iter()
+        .filter(|p| {
+            p.blocking_link
+                .as_deref()
+                .is_some_and(|l| l.starts_with("trunk:"))
+        })
+        .collect();
+    assert!(
+        !trunk_paths.is_empty(),
+        "cross-switch collectives must be blocked on the trunk"
+    );
+    let worst = trunk_paths
+        .iter()
+        .max_by_key(|p| p.elapsed_ns)
+        .expect("non-empty");
+    let trunk_link = worst.blocking_link.clone().expect("filtered on the link");
+    println!(
+        "contended trunk named: {trunk_link} ({} of {} collective paths blocked on it; worst {}#{} straggler rank {})",
+        trunk_paths.len(),
+        tpaths.len(),
+        worst.name,
+        worst.instance,
+        worst.straggler_rank,
+    );
+
     let dir = metrics_out
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| ctx.out_dir.clone());
@@ -1050,6 +1115,17 @@ fn blame_attrib(c: &mut Ctx) {
             fxnet::causal::paths_value(&paths),
         ),
         ("dag".to_string(), dag_value(&dag, &out.map)),
+        (
+            "trunk".to_string(),
+            Value::Object(vec![
+                ("link".to_string(), Value::Str(trunk_link)),
+                (
+                    "paths_blocked".to_string(),
+                    Value::U64(trunk_paths.len() as u64),
+                ),
+                ("paths_total".to_string(), Value::U64(tpaths.len() as u64)),
+            ]),
+        ),
     ]);
     write_json_artifact(&blame_path, &combined).expect("write blame report");
     let trace_path = dir.join("blame_trace.json");
@@ -1447,6 +1523,289 @@ fn baseline(c: &mut Ctx) {
 }
 
 // --------------------------------------------------------------------
+// The fabric bandwidth sweep: burst period vs provided bandwidth.
+
+/// One of the six measured programs, parameterized by the fabric it
+/// runs on.
+#[derive(Clone, Copy)]
+enum SweepProg {
+    Kernel(KernelKind),
+    /// The §7.3 shift pattern: 500 ms of local computation between
+    /// 100 KB exchanges, so the burst period is dominated by `l(P)` plus
+    /// a clearly bandwidth-dependent `N/B` term.
+    Shift,
+}
+
+impl SweepProg {
+    const ALL: [SweepProg; 6] = [
+        SweepProg::Kernel(KernelKind::Sor),
+        SweepProg::Kernel(KernelKind::Fft2d),
+        SweepProg::Kernel(KernelKind::T2dfft),
+        SweepProg::Kernel(KernelKind::Seq),
+        SweepProg::Kernel(KernelKind::Hist),
+        SweepProg::Shift,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            SweepProg::Kernel(k) => k.name(),
+            SweepProg::Shift => "SHIFT",
+        }
+    }
+
+    /// Host count of the program's testbed: the paper LAN for kernels,
+    /// the quiet 4-host LAN for the shift pattern.
+    fn hosts(self) -> u32 {
+        match self {
+            SweepProg::Kernel(_) => 9,
+            SweepProg::Shift => 4,
+        }
+    }
+
+    /// Run on the legacy shared bus (`None`) or a compiled topology.
+    /// Kernel scale is floored so the 72-cell grid stays tractable at
+    /// `--div 1` while still producing several bursts per run.
+    fn run(
+        self,
+        seed: u64,
+        div: usize,
+        spec: Option<fxnet::TopologySpec>,
+    ) -> fxnet::RunResult<u64> {
+        use fxnet::Testbed;
+        match self {
+            SweepProg::Kernel(k) => {
+                let d = if k == KernelKind::Seq {
+                    div.max(5)
+                } else {
+                    div.max(20)
+                };
+                let mut tb = Testbed::paper().with_seed(seed);
+                if let Some(s) = spec {
+                    tb = tb.with_topology(s);
+                }
+                tb.run_kernel(k, d).expect("sweep kernel run")
+            }
+            SweepProg::Shift => {
+                let mut tb = Testbed::quiet(4).with_seed(seed);
+                if let Some(s) = spec {
+                    tb = tb.with_topology(s);
+                }
+                tb.run(move |ctx| {
+                    let payload = vec![1u8; 100_000];
+                    for round in 0..6i32 {
+                        ctx.compute_time(SimTime::from_millis(500));
+                        let _ = fxnet::fx::shift(ctx, round, 1, &payload);
+                    }
+                    0u64
+                })
+            }
+        }
+    }
+}
+
+/// Everything a sweep worker reports back about one (program, topology,
+/// rate) cell.
+struct SweepCell {
+    frames: usize,
+    wire_bytes: u64,
+    collisions: u64,
+    bursts: usize,
+    /// Measured burst period `t_bi` (mean start-to-start interval, s).
+    period: Option<f64>,
+    /// The communication pattern `c`: the sorted set of TCP host pairs.
+    pairs: Vec<(u32, u32)>,
+    /// Full trace, kept only for the single-segment 10 Mb/s cell (the
+    /// byte-identity check against the legacy paper path).
+    trace: Option<Vec<fxnet::FrameRecord>>,
+}
+
+/// Least-squares fit of `t_bi = l + N / B` over `(1/B, t_bi)` points:
+/// returns `(l seconds, N bytes)`.
+fn fit_burst_model(points: &[(f64, f64)]) -> (f64, f64) {
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mt = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let cov: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - mt)).sum();
+    let var: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+    let slope = if var > 0.0 { cov / var } else { 0.0 };
+    (mt - slope * mx, slope)
+}
+
+fn fabric_sweep(c: &mut Ctx) {
+    header("Fabric sweep: burst period vs provided bandwidth");
+    use fxnet::sim::rates::{bytes_per_sec, rate_label, SWEEP_RATES};
+    use fxnet::sim::{Proto, RATE_10M};
+    use fxnet::trace::BurstProfile;
+    use fxnet::TopologySpec;
+    let seed = c.exps.seed();
+    let div = c.div;
+    let topo_ids: Vec<String> = TopologySpec::sweep_set(4, RATE_10M)
+        .into_iter()
+        .map(|s| s.id)
+        .collect();
+    println!(
+        "(grid: {} programs x {{{}}} x {{10, 100, 1000 Mb/s}})",
+        SweepProg::ALL.len(),
+        topo_ids.join(", "),
+    );
+
+    // The legacy shared-bus trace per program: the paper path the
+    // single-segment 10 Mb/s cell must reproduce byte for byte.
+    let baselines = c
+        .pool
+        .map(SweepProg::ALL.to_vec(), |p| p.run(seed, div, None).trace);
+
+    // The full grid in (program, topology, rate) order; the pool returns
+    // results in input order, so every table and the artifact are
+    // byte-identical at any --jobs.
+    let mut grid = Vec::new();
+    for &p in &SweepProg::ALL {
+        for ti in 0..topo_ids.len() {
+            for &rate in &SWEEP_RATES {
+                grid.push((p, ti, rate));
+            }
+        }
+    }
+    let cells = c.pool.map(grid, |(p, ti, rate)| {
+        let spec = TopologySpec::sweep_set(p.hosts(), rate).swap_remove(ti);
+        let keep_trace = ti == 0 && rate == RATE_10M;
+        let run = p.run(seed, div, Some(spec));
+        let profile = BurstProfile::of(&run.trace, SimTime::from_millis(120));
+        let mut pairs: Vec<(u32, u32)> = run
+            .trace
+            .iter()
+            .filter(|r| r.proto == Proto::Tcp)
+            .map(|r| (r.src.0, r.dst.0))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        SweepCell {
+            frames: run.trace.len(),
+            wire_bytes: run.trace.iter().map(|r| u64::from(r.wire_len)).sum(),
+            collisions: run.ether.collisions,
+            bursts: profile.as_ref().map_or(0, |b| b.count),
+            period: profile.as_ref().and_then(|b| b.intervals.map(|i| i.avg)),
+            pairs,
+            trace: keep_trace.then_some(run.trace),
+        }
+    });
+
+    let fmt_period = |p: Option<f64>| p.map_or_else(|| "--".to_string(), |v| format!("{v:.4}"));
+    let n_rates = SWEEP_RATES.len();
+    let per_prog = topo_ids.len() * n_rates;
+    let mut violations: Vec<String> = Vec::new();
+    let mut programs_json: Vec<Value> = Vec::new();
+    println!("\nfitted burst-period/bandwidth table (t_bi in seconds):");
+    println!("program   topology    t_bi@10M   t_bi@100M     t_bi@1G   fit l(s)   fit N(KB)");
+    for (pi, p) in SweepProg::ALL.iter().enumerate() {
+        let prog = &cells[pi * per_prog..(pi + 1) * per_prog];
+        // `c` stability: the communication pattern must not change with
+        // the fabric or its bandwidth.
+        let stable = prog.iter().all(|cell| cell.pairs == prog[0].pairs);
+        assert!(stable, "{}: pattern c must be fabric-invariant", p.name());
+        // Byte-identity: single-segment @ 10 Mb/s is the paper path.
+        let identical = prog[0].trace.as_deref() == Some(&baselines[pi][..]);
+        assert!(
+            identical,
+            "{}: single@10M must reproduce the legacy bus trace",
+            p.name()
+        );
+        let mut topo_json: Vec<Value> = Vec::new();
+        for (ti, id) in topo_ids.iter().enumerate() {
+            let row = &prog[ti * n_rates..(ti + 1) * n_rates];
+            let points: Vec<(f64, f64)> = row
+                .iter()
+                .zip(&SWEEP_RATES)
+                .filter_map(|(cell, &r)| cell.period.map(|t| (1.0 / bytes_per_sec(r), t)))
+                .collect();
+            let (fit_l, fit_n) = fit_burst_model(&points);
+            for (pair, rates) in row.windows(2).zip(SWEEP_RATES.windows(2)) {
+                if let (Some(slow), Some(fast)) = (pair[0].period, pair[1].period) {
+                    if fast > slow * (1.0 + 1e-9) {
+                        violations.push(format!(
+                            "{} on {id}: t_bi rose {slow:.6} -> {fast:.6} from {} to {}",
+                            p.name(),
+                            rate_label(rates[0]),
+                            rate_label(rates[1]),
+                        ));
+                    }
+                }
+            }
+            println!(
+                "{:<8}  {:<8}  {:>10}  {:>10}  {:>10}  {:>9.4}  {:>10.1}",
+                p.name(),
+                id,
+                fmt_period(row[0].period),
+                fmt_period(row[1].period),
+                fmt_period(row[2].period),
+                fit_l,
+                fit_n / 1000.0,
+            );
+            topo_json.push(Value::Object(vec![
+                ("topology".to_string(), Value::Str(id.clone())),
+                ("fit_local_s".to_string(), Value::F64(fit_l)),
+                ("fit_burst_bytes".to_string(), Value::F64(fit_n)),
+                (
+                    "cells".to_string(),
+                    Value::Array(
+                        row.iter()
+                            .zip(&SWEEP_RATES)
+                            .map(|(cell, &r)| {
+                                Value::Object(vec![
+                                    ("rate".to_string(), Value::Str(rate_label(r))),
+                                    ("rate_bps".to_string(), Value::U64(r)),
+                                    ("frames".to_string(), Value::U64(cell.frames as u64)),
+                                    ("wire_bytes".to_string(), Value::U64(cell.wire_bytes)),
+                                    ("collisions".to_string(), Value::U64(cell.collisions)),
+                                    ("bursts".to_string(), Value::U64(cell.bursts as u64)),
+                                    (
+                                        "burst_period_s".to_string(),
+                                        cell.period.map_or(Value::Null, Value::F64),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]));
+        }
+        programs_json.push(Value::Object(vec![
+            ("name".to_string(), Value::Str(p.name().to_string())),
+            (
+                "connections".to_string(),
+                Value::U64(prog[0].pairs.len() as u64),
+            ),
+            ("pattern_stable".to_string(), Value::Bool(stable)),
+            ("baseline_identical".to_string(), Value::Bool(identical)),
+            ("topologies".to_string(), Value::Array(topo_json)),
+        ]));
+    }
+    assert!(
+        violations.is_empty(),
+        "burst period must shrink with provided bandwidth:\n{}",
+        violations.join("\n")
+    );
+    println!("\npattern c stable across every fabric and rate: yes");
+    println!("single@10M reproduces the paper-path trace byte for byte: yes");
+    println!("burst period shrinks monotonically with provided bandwidth: yes");
+
+    let report = Value::Object(vec![
+        (
+            "rates_bps".to_string(),
+            Value::Array(SWEEP_RATES.iter().map(|&r| Value::U64(r)).collect()),
+        ),
+        (
+            "topologies".to_string(),
+            Value::Array(topo_ids.iter().cloned().map(Value::Str).collect()),
+        ),
+        ("programs".to_string(), Value::Array(programs_json)),
+    ]);
+    let path = c.exps.out_path("fabric_sweep.json");
+    write_json_artifact(&path, &report).expect("write fabric sweep artifact");
+    println!("wrote {}", path.display());
+}
+
+// --------------------------------------------------------------------
 // Perf probes: the event-queue engines and the parallel suite.
 
 fn bench_repro(c: &mut Ctx) {
@@ -1756,6 +2115,12 @@ fn bench_repro(c: &mut Ctx) {
             Value::Str(c.date.clone().unwrap_or_else(|| "unknown".to_string())),
         ),
         ("git_rev".to_string(), Value::Str(git_rev())),
+        // The fabric the probes ran on, so sweep perf stays attributable
+        // once multi-segment topologies enter the history.
+        (
+            "fabric".to_string(),
+            Value::Str(fxnet::TopologySpec::single_segment(9, fxnet::sim::RATE_10M).label()),
+        ),
         ("jobs".to_string(), Value::U64(jobs as u64)),
         ("div".to_string(), Value::U64(div as u64)),
         (

@@ -203,6 +203,11 @@ pub fn collective_paths(
                 brem -= wire_ns;
                 let queue_ns = brem;
 
+                // The contended link: where the worst-waiting frame was
+                // held up. On a multi-segment fabric the frame's meta
+                // names the bottleneck trunk when an inter-node link
+                // out-waited the access hops; otherwise the host pair
+                // identifies the (single-hop or access) link.
                 let blocking_link = idxs
                     .iter()
                     .max_by_key(|&&i| {
@@ -210,8 +215,10 @@ pub fn collective_paths(
                         (m.queue_ns + m.backoff_ns, std::cmp::Reverse(i))
                     })
                     .map(|&i| {
-                        let rec = run.events[i].record;
-                        format!("h{}->h{}", rec.src.0, rec.dst.0)
+                        let e = &run.events[i];
+                        e.meta
+                            .trunk_label()
+                            .unwrap_or_else(|| format!("h{}->h{}", e.record.src.0, e.record.dst.0))
                     });
 
                 keyed.push((
@@ -294,6 +301,7 @@ mod tests {
             backoff_ns: 10_000,
             tx_ns: 20_000,
             attempts: 1,
+            trunk: 0,
         };
         let run = CausalRun {
             ops: vec![AppOp {

@@ -32,6 +32,7 @@
 //! | layer | crate | re-export |
 //! |---|---|---|
 //! | CSMA/CD Ethernet, frames, simulated time | `fxnet-sim` | [`sim`] |
+//! | multi-segment switched topologies | `fxnet-topo` | [`topo`] |
 //! | TCP/UDP stack | `fxnet-proto` | [`proto`] |
 //! | PVM message passing | `fxnet-pvm` | [`pvm`] |
 //! | SPMD runtime, patterns, cost model | `fxnet-fx` | [`fx`] |
@@ -58,6 +59,7 @@ pub use fxnet_qos as qos;
 pub use fxnet_sim as sim;
 pub use fxnet_spectral as spectral;
 pub use fxnet_telemetry as telemetry;
+pub use fxnet_topo as topo;
 pub use fxnet_trace as trace;
 pub use fxnet_watch as watch;
 
@@ -69,4 +71,5 @@ pub use fxnet_fx::{
     MultiRunResult, RankCtx, RunOptions, RunResult, SpmdConfig,
 };
 pub use fxnet_sim::{FrameRecord, HostId, SimTime};
+pub use fxnet_topo::TopologySpec;
 pub use testbed::Testbed;

@@ -97,6 +97,18 @@ impl Testbed {
         self
     }
 
+    /// Replace the link layer with a declarative multi-segment topology
+    /// (DESIGN.md §11). The LAN's host count follows the spec's
+    /// attachment list (it must cover at least the compiled ranks plus
+    /// the tracer, which the engine validates at run time), so host
+    /// placement — which ranks share a segment, which contend only on a
+    /// trunk — is controlled by the spec.
+    pub fn with_topology(mut self, spec: fxnet_topo::TopologySpec) -> Testbed {
+        self.cfg.hosts = spec.host_count() as u32;
+        self.cfg.pvm.net.link = LinkKind::Topology(spec);
+        self
+    }
+
     /// Disable the PVM daemons' periodic UDP chatter.
     pub fn without_heartbeats(mut self) -> Testbed {
         self.cfg.pvm.heartbeat = None;
@@ -248,6 +260,43 @@ mod tests {
         for &((s, d), n) in &store.host_pairs() {
             assert_eq!(store.connection(s, d).len(), n);
         }
+    }
+
+    #[test]
+    fn topology_testbed_runs_kernels_and_single_segment_matches_bus() {
+        let rate = fxnet_sim::RATE_10M;
+        let bus = Testbed::paper()
+            .with_seed(5)
+            .run_kernel(KernelKind::Hist, 100)
+            .unwrap();
+        let topo = Testbed::paper()
+            .with_seed(5)
+            .with_topology(fxnet_topo::TopologySpec::single_segment(9, rate))
+            .run_kernel(KernelKind::Hist, 100)
+            .unwrap();
+        assert_eq!(bus.trace, topo.trace, "single segment must be the bus");
+        // A trunked fabric still runs the kernel to completion and
+        // produces traffic.
+        let trunked = Testbed::paper()
+            .with_seed(5)
+            .with_topology(fxnet_topo::TopologySpec::two_switches_trunk(9, rate))
+            .run_kernel(KernelKind::Hist, 100)
+            .unwrap();
+        assert!(!trunked.trace.is_empty());
+    }
+
+    #[test]
+    fn undersized_topology_is_a_typed_error() {
+        let mut tb = Testbed::paper().with_topology(fxnet_topo::TopologySpec::two_switches_trunk(
+            9,
+            fxnet_sim::RATE_10M,
+        ));
+        tb.config_mut().hosts = 12; // spec only attaches 9
+        let err = tb.run_kernel(KernelKind::Sor, 100).unwrap_err();
+        assert!(
+            matches!(err, fxnet_fx::FxnetError::InvalidConfig(_)),
+            "{err:?}"
+        );
     }
 
     #[test]

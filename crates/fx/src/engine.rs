@@ -536,6 +536,18 @@ where
     let map = TenantMap::pack(groups.iter().map(|g| (g.name.clone(), g.p)));
     let total = map.total_ranks();
     let hosts = cfg.hosts.max(total);
+    // A declarative topology fixes host placement: its attachment list
+    // must cover every workstation this run will stand up, or rank→NIC
+    // mapping would fall off the spec.
+    if let fxnet_proto::LinkKind::Topology(spec) = &cfg.pvm.net.link {
+        if (spec.host_count() as u32) < hosts {
+            return Err(FxnetError::InvalidConfig(format!(
+                "topology '{}' attaches {} hosts but the run needs {hosts}",
+                spec.id,
+                spec.host_count(),
+            )));
+        }
+    }
     let mut pvm = PvmSystem::new(cfg.pvm.clone(), total, hosts);
     pvm.set_promiscuous(true);
     pvm.set_tap(tap);

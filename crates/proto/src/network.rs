@@ -8,19 +8,25 @@ use fxnet_sim::{
     FrameKind, FrameMeta, FrameRecord, FrameTap, HostId, NicId, ProtoCause, SimRng, SimTime,
     SwitchConfig, SwitchFabric,
 };
+use fxnet_topo::{CompositeFabric, TopologySpec};
 /// Maximum TCP payload per segment (1500 B MTU − 40 B headers).
 pub const MSS: u32 = 1460;
 /// Maximum UDP payload per datagram (1500 B MTU − 28 B headers).
 pub const MAX_UDP: usize = 1472;
 
-/// Link-layer selection: the paper's shared bus, or the switched-fabric
-/// counterfactual (DESIGN.md §8 ablation).
+/// Link-layer selection: the paper's shared bus, the switched-fabric
+/// counterfactual (DESIGN.md §8 ablation), or a declarative
+/// multi-segment topology (DESIGN.md §11).
 #[derive(Debug, Clone)]
 pub enum LinkKind {
     /// Single CSMA/CD collision domain (the measured environment).
     SharedBus,
     /// Store-and-forward switch with per-host full-duplex ports.
     Switched(SwitchConfig),
+    /// A compiled multi-segment topology: segments, switches, routers,
+    /// and trunks (`fxnet-topo`). A single-segment spec reproduces the
+    /// `SharedBus` trace byte for byte.
+    Topology(TopologySpec),
 }
 
 /// Stack configuration. Defaults model the paper's OSF/1-era environment.
@@ -181,6 +187,7 @@ enum Timer {
 enum Fabric {
     Bus(EtherBus),
     Switch(SwitchFabric),
+    Topo(Box<CompositeFabric>),
 }
 
 impl Fabric {
@@ -188,6 +195,7 @@ impl Fabric {
         match self {
             Fabric::Bus(b) => b.enqueue(nic, frame, now),
             Fabric::Switch(s) => s.enqueue(frame, now),
+            Fabric::Topo(t) => t.enqueue(nic, frame, now),
         }
     }
 
@@ -195,6 +203,7 @@ impl Fabric {
         match self {
             Fabric::Bus(b) => b.next_event_time(),
             Fabric::Switch(s) => s.next_event_time(),
+            Fabric::Topo(t) => t.next_event_time(),
         }
     }
 
@@ -202,6 +211,7 @@ impl Fabric {
         match self {
             Fabric::Bus(b) => b.advance(out),
             Fabric::Switch(s) => s.advance(out),
+            Fabric::Topo(t) => t.advance(out),
         }
     }
 
@@ -209,6 +219,7 @@ impl Fabric {
         match self {
             Fabric::Bus(b) => b.idle(),
             Fabric::Switch(s) => s.idle(),
+            Fabric::Topo(t) => t.idle(),
         }
     }
 
@@ -216,6 +227,7 @@ impl Fabric {
         match self {
             Fabric::Bus(b) => b.set_promiscuous(on),
             Fabric::Switch(s) => s.set_promiscuous(on),
+            Fabric::Topo(t) => t.set_promiscuous(on),
         }
     }
 
@@ -223,6 +235,7 @@ impl Fabric {
         match self {
             Fabric::Bus(b) => b.set_tap(tap),
             Fabric::Switch(s) => s.set_tap(tap),
+            Fabric::Topo(t) => t.set_tap(tap),
         }
     }
 
@@ -230,6 +243,7 @@ impl Fabric {
         match self {
             Fabric::Bus(b) => b.trace(),
             Fabric::Switch(s) => s.trace(),
+            Fabric::Topo(t) => t.trace(),
         }
     }
 
@@ -237,6 +251,7 @@ impl Fabric {
         match self {
             Fabric::Bus(b) => b.take_trace(),
             Fabric::Switch(s) => s.take_trace(),
+            Fabric::Topo(t) => t.take_trace(),
         }
     }
 
@@ -251,6 +266,7 @@ impl Fabric {
                     ..EtherStats::default()
                 }
             }
+            Fabric::Topo(t) => t.stats(),
         }
     }
 
@@ -258,6 +274,17 @@ impl Fabric {
         match self {
             Fabric::Bus(b) => b.nic_count(),
             Fabric::Switch(s) => s.port_count(),
+            Fabric::Topo(t) => t.host_count(),
+        }
+    }
+
+    /// Errors surfaced for frames the fabric destroyed. The switched
+    /// fabric never destroys frames.
+    fn errors(&self) -> &[(SimTime, Frame, fxnet_sim::TxError)] {
+        match self {
+            Fabric::Bus(b) => b.errors(),
+            Fabric::Switch(_) => &[],
+            Fabric::Topo(t) => t.errors(),
         }
     }
 }
@@ -305,6 +332,19 @@ impl Network {
                 Fabric::Bus(b)
             }
             LinkKind::Switched(sc) => Fabric::Switch(SwitchFabric::new(sc.clone(), hosts)),
+            LinkKind::Topology(spec) => {
+                assert!(
+                    spec.host_count() >= hosts,
+                    "topology '{}' attaches {} hosts but the stack needs {hosts}",
+                    spec.id,
+                    spec.host_count(),
+                );
+                Fabric::Topo(Box::new(CompositeFabric::new(
+                    spec.clone(),
+                    &cfg.ether,
+                    cfg.seed,
+                )))
+            }
         };
         Network {
             cfg,
@@ -628,17 +668,16 @@ impl Network {
         out
     }
 
-    /// Drop token-table entries for frames the bus destroyed (collision
-    /// overflow or corruption) so the table does not leak. The switched
-    /// fabric never destroys frames.
+    /// Drop token-table entries for frames the fabric destroyed
+    /// (collision overflow or corruption) so the table does not leak.
+    /// Works across fabrics: the composite topology surfaces segment
+    /// losses with original tokens restored.
     fn reap_bus_errors(&mut self) {
-        if let Fabric::Bus(bus) = &self.bus {
-            let errs = bus.errors();
-            while self.errors_seen < errs.len() {
-                let (_, frame, _) = errs[self.errors_seen];
-                self.tokens.remove(frame.token);
-                self.errors_seen += 1;
-            }
+        let errs = self.bus.errors();
+        while self.errors_seen < errs.len() {
+            let (_, frame, _) = errs[self.errors_seen];
+            self.tokens.remove(frame.token);
+            self.errors_seen += 1;
         }
     }
 
@@ -1201,6 +1240,54 @@ mod tests {
         assert_eq!(got1, payload);
         assert_eq!(got2, payload);
         // No collisions on a switch.
+        assert_eq!(n.ether_stats().collisions, 0);
+    }
+
+    #[test]
+    fn single_segment_topology_matches_shared_bus_byte_for_byte() {
+        let run = |link: LinkKind| {
+            let cfg = NetConfig {
+                link,
+                ..NetConfig::default()
+            };
+            let mut n = Network::new(cfg, 4);
+            n.set_promiscuous(true);
+            let c1 = n.connect(HostId(0), HostId(1), SimTime::ZERO);
+            let c2 = n.connect(HostId(2), HostId(3), SimTime::ZERO);
+            for i in 0..8u64 {
+                let t = SimTime::from_micros(i * 300);
+                n.tcp_write(c1, HostId(0), Bytes::from(vec![1u8; 4000]), t);
+                n.tcp_write(c2, HostId(2), Bytes::from(vec![2u8; 2500]), t);
+            }
+            n.run_to_idle();
+            (n.take_trace(), n.ether_stats())
+        };
+        let rate = EtherConfig::default().bandwidth_bps;
+        let (bus_trace, bus_stats) = run(LinkKind::SharedBus);
+        let (topo_trace, topo_stats) =
+            run(LinkKind::Topology(TopologySpec::single_segment(4, rate)));
+        assert_eq!(bus_trace, topo_trace);
+        assert_eq!(bus_stats, topo_stats);
+    }
+
+    #[test]
+    fn topology_fabric_carries_tcp_across_a_trunk() {
+        let cfg = NetConfig {
+            link: LinkKind::Topology(fxnet_topo::TopologySpec::two_switches_trunk(
+                4,
+                fxnet_sim::RATE_10M,
+            )),
+            ..NetConfig::default()
+        };
+        let mut n = Network::new(cfg, 4);
+        n.set_promiscuous(true);
+        // Host 0 (sw0) to host 3 (sw1): every frame crosses the trunk.
+        let c = n.connect(HostId(0), HostId(3), SimTime::ZERO);
+        let payload: Vec<u8> = (0..40_000u32).map(|i| i as u8).collect();
+        n.tcp_write(c, HostId(0), Bytes::from(payload.clone()), SimTime::ZERO);
+        let ev = n.run_to_idle();
+        assert_eq!(collect_tcp_data(&ev), payload);
+        // Switched segments: no collisions anywhere.
         assert_eq!(n.ether_stats().collisions, 0);
     }
 

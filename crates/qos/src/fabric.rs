@@ -1,0 +1,291 @@
+//! Per-link QoS over a multi-segment topology.
+//!
+//! [`QosNetwork`](crate::QosNetwork) models the paper's environment: one
+//! shared capacity every connection draws from. On a switched fabric that
+//! is wrong in both directions — two hosts behind the same switch never
+//! touch the trunk, while two cross-switch tenants share *only* the
+//! trunk. [`FabricQos`] keeps a residual ledger per link resource
+//! (segment buses, dedicated switch/router ports, and each trunk
+//! direction) and admits a flow against every link on its forwarding
+//! path, so the offer for a path is the residual of its *bottleneck*
+//! link and admission composes across tenants exactly like the wire
+//! does.
+
+use crate::network::Overcommit;
+use fxnet_sim::rates::bytes_per_sec;
+use fxnet_topo::{NodeKind, TopologySpec};
+
+/// One capacity ledger (bytes/s) for a single link resource.
+#[derive(Debug, Clone)]
+struct LinkLedger {
+    name: String,
+    capacity: f64,
+    committed: f64,
+}
+
+impl LinkLedger {
+    fn residual(&self) -> f64 {
+        (self.capacity - self.committed).max(0.0)
+    }
+}
+
+/// Per-link admission control compiled from a [`TopologySpec`].
+#[derive(Debug, Clone)]
+pub struct FabricQos {
+    spec: TopologySpec,
+    next_hop: Vec<Vec<Option<usize>>>,
+    links: Vec<LinkLedger>,
+    /// Resource index of each segment node (`usize::MAX` for non-segments).
+    seg_res: Vec<usize>,
+    /// Resource index of each host's dedicated access port
+    /// (`usize::MAX` for segment-attached hosts, which share `seg_res`).
+    host_res: Vec<usize>,
+    /// Resource index of trunk `t` direction `d` at `trunk_res[2 * t + d]`
+    /// (`d` 0 = a→b).
+    trunk_res: Vec<usize>,
+}
+
+impl FabricQos {
+    /// Build the per-link ledgers for `spec`.
+    ///
+    /// # Panics
+    /// If the spec fails [`TopologySpec::validate`].
+    pub fn from_topology(spec: &TopologySpec) -> FabricQos {
+        spec.validate().unwrap_or_else(|e| panic!("topology: {e}"));
+        let mut links = Vec::new();
+        let mut push = |name: String, bps: u64| {
+            links.push(LinkLedger {
+                name,
+                capacity: bytes_per_sec(bps),
+                committed: 0.0,
+            });
+            links.len() - 1
+        };
+        let seg_res: Vec<usize> = spec
+            .nodes
+            .iter()
+            .map(|n| match n.kind {
+                NodeKind::Segment => push(n.name.clone(), n.rate_bps),
+                _ => usize::MAX,
+            })
+            .collect();
+        let host_res: Vec<usize> = spec
+            .attachments
+            .iter()
+            .enumerate()
+            .map(|(h, &node)| match spec.nodes[node].kind {
+                NodeKind::Segment => usize::MAX,
+                _ => push(format!("h{h}:port"), spec.nodes[node].rate_bps),
+            })
+            .collect();
+        let mut trunk_res = Vec::with_capacity(spec.trunks.len() * 2);
+        for t in &spec.trunks {
+            trunk_res.push(push(format!("trunk:n{}-n{}", t.a, t.b), t.rate_bps));
+            trunk_res.push(push(format!("trunk:n{}-n{}", t.b, t.a), t.rate_bps));
+        }
+        FabricQos {
+            next_hop: spec.forwarding(),
+            links,
+            seg_res,
+            host_res,
+            trunk_res,
+            spec: spec.clone(),
+        }
+    }
+
+    /// The link resources a `src → dst` flow occupies, in path order:
+    /// source access, each trunk direction crossed, destination access.
+    /// (A segment appears once even when it is both access and transit.)
+    fn path(&self, src: usize, dst: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut push = |r: usize| {
+            if r != usize::MAX && !out.contains(&r) {
+                out.push(r);
+            }
+        };
+        let src_node = self.spec.attachments[src];
+        let dst_node = self.spec.attachments[dst];
+        push(self.seg_res[src_node].min(self.host_res[src]));
+        let mut node = src_node;
+        while node != dst_node {
+            let ti = self.next_hop[node][dst_node].expect("validated path");
+            let t = self.spec.trunks[ti];
+            let dir = usize::from(t.a != node);
+            push(self.trunk_res[2 * ti + dir]);
+            node = if t.a == node { t.b } else { t.a };
+            // A transit segment is a shared medium the flow also crosses.
+            push(self.seg_res[node]);
+        }
+        push(self.seg_res[dst_node].min(self.host_res[dst]));
+        out
+    }
+
+    /// The burst bandwidth (bytes/s) the fabric can offer a `src → dst`
+    /// flow: the residual of the path's bottleneck link.
+    pub fn offer_path(&self, src: usize, dst: usize) -> f64 {
+        self.path(src, dst)
+            .iter()
+            .map(|&r| self.links[r].residual())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Name and residual of the bottleneck link on the `src → dst` path.
+    pub fn bottleneck(&self, src: usize, dst: usize) -> (String, f64) {
+        let path = self.path(src, dst);
+        let &r = path
+            .iter()
+            .min_by(|&&a, &&b| {
+                self.links[a]
+                    .residual()
+                    .total_cmp(&self.links[b].residual())
+            })
+            .expect("path is never empty");
+        (self.links[r].name.clone(), self.links[r].residual())
+    }
+
+    /// Commit `mean_bw` bytes/s on every link of the `src → dst` path.
+    /// All-or-nothing: on refusal, no link ledger changes.
+    ///
+    /// # Errors
+    /// [`Overcommit`] naming the bottleneck's residual when any link on
+    /// the path cannot take the load.
+    pub fn commit_path(&mut self, src: usize, dst: usize, mean_bw: f64) -> Result<(), Overcommit> {
+        let path = self.path(src, dst);
+        for &r in &path {
+            if mean_bw > self.links[r].residual() + 1e-9 {
+                return Err(Overcommit {
+                    requested: mean_bw,
+                    available: self.links[r].residual(),
+                });
+            }
+        }
+        for &r in &path {
+            self.links[r].committed += mean_bw;
+        }
+        Ok(())
+    }
+
+    /// Release a previously committed `src → dst` flow.
+    pub fn release_path(&mut self, src: usize, dst: usize, mean_bw: f64) {
+        for r in self.path(src, dst) {
+            let l = &mut self.links[r];
+            l.committed = (l.committed - mean_bw).max(0.0);
+        }
+    }
+
+    /// Residual (bytes/s) of a named link, if it exists.
+    pub fn residual_of(&self, name: &str) -> Option<f64> {
+        self.links
+            .iter()
+            .find(|l| l.name == name)
+            .map(LinkLedger::residual)
+    }
+
+    /// Every link resource as `(name, capacity, committed)` in bytes/s.
+    pub fn ledger(&self) -> Vec<(String, f64, f64)> {
+        self.links
+            .iter()
+            .map(|l| (l.name.clone(), l.capacity, l.committed))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxnet_sim::RATE_10M;
+
+    const BW: f64 = 1_250_000.0; // 10 Mb/s in bytes/s
+
+    #[test]
+    fn same_switch_flows_never_touch_the_trunk() {
+        let spec = TopologySpec::two_switches_trunk(4, RATE_10M);
+        let mut q = FabricQos::from_topology(&spec);
+        // Hosts 0,1 are both on sw0.
+        q.commit_path(0, 1, BW).unwrap();
+        assert_eq!(q.residual_of("trunk:n0-n1"), Some(BW));
+        // Host 0's own port is now the limit for it, not the trunk.
+        assert_eq!(q.offer_path(0, 2), 0.0);
+        assert_eq!(q.bottleneck(0, 2).0, "h0:port");
+    }
+
+    #[test]
+    fn cross_switch_flows_bottleneck_on_the_trunk() {
+        let spec = TopologySpec::two_switches_trunk(4, RATE_10M);
+        let mut q = FabricQos::from_topology(&spec);
+        q.commit_path(0, 2, BW * 0.75).unwrap();
+        // A second cross-switch flow in the same direction sees only the
+        // trunk residual, and the bottleneck is named.
+        assert_eq!(q.offer_path(1, 3), BW * 0.25);
+        let (name, residual) = q.bottleneck(1, 3);
+        assert_eq!(name, "trunk:n0-n1");
+        assert_eq!(residual, BW * 0.25);
+        // The reverse path shares only the endpoint ports with the
+        // committed flow, not the a→b trunk direction (full duplex) —
+        // its offer is limited by host 0/2's ports, not the trunk.
+        assert_eq!(q.offer_path(2, 0), BW * 0.25);
+        assert_ne!(q.bottleneck(2, 0).0, "trunk:n1-n0");
+    }
+
+    #[test]
+    fn reverse_direction_is_independent() {
+        let spec = TopologySpec::two_switches_trunk(4, RATE_10M);
+        let mut q = FabricQos::from_topology(&spec);
+        q.commit_path(0, 2, BW).unwrap();
+        // a→b trunk is full; b→a is untouched. Host 2's port carries the
+        // committed flow's delivery, so probe from the other sw1 host.
+        assert_eq!(q.offer_path(3, 1), BW);
+        assert_eq!(q.offer_path(1, 3), 0.0);
+    }
+
+    #[test]
+    fn commit_is_all_or_nothing_and_release_restores() {
+        let spec = TopologySpec::two_switches_trunk(4, RATE_10M);
+        let mut q = FabricQos::from_topology(&spec);
+        q.commit_path(0, 2, BW * 0.9).unwrap();
+        let err = q.commit_path(1, 3, BW * 0.5).unwrap_err();
+        assert!((err.available - BW * 0.1).abs() < 1.0);
+        // The refused commit left every ledger untouched.
+        assert_eq!(q.residual_of("h1:port"), Some(BW));
+        q.release_path(0, 2, BW * 0.9);
+        assert_eq!(q.offer_path(1, 3), BW);
+    }
+
+    #[test]
+    fn routed_path_crosses_both_segments_and_both_trunks() {
+        let spec = TopologySpec::routed_two_subnets(4, RATE_10M);
+        let mut q = FabricQos::from_topology(&spec);
+        q.commit_path(0, 3, BW * 0.5).unwrap();
+        // Both segments and both trunk hops carry the flow.
+        assert_eq!(q.residual_of("seg0"), Some(BW * 0.5));
+        assert_eq!(q.residual_of("seg1"), Some(BW * 0.5));
+        assert_eq!(q.residual_of("trunk:n0-n2"), Some(BW * 0.5));
+        assert_eq!(q.residual_of("trunk:n2-n1"), Some(BW * 0.5));
+        // An intra-segment flow on seg0 sees the shared medium residual.
+        assert_eq!(q.offer_path(0, 1), BW * 0.5);
+    }
+
+    #[test]
+    fn single_segment_reduces_to_the_shared_capacity_model() {
+        let spec = TopologySpec::single_segment(4, RATE_10M);
+        let mut q = FabricQos::from_topology(&spec);
+        assert_eq!(q.offer_path(0, 1), BW);
+        q.commit_path(0, 1, BW * 0.25).unwrap();
+        q.commit_path(2, 3, BW * 0.25).unwrap();
+        // Everyone shares the one bus, exactly like QosNetwork.
+        assert_eq!(q.offer_path(1, 2), BW * 0.5);
+        assert_eq!(q.bottleneck(1, 2).0, "seg0");
+    }
+
+    #[test]
+    fn ledger_lists_every_resource() {
+        let spec = TopologySpec::two_switches_trunk(4, RATE_10M);
+        let q = FabricQos::from_topology(&spec);
+        let names: Vec<String> = q.ledger().into_iter().map(|(n, _, _)| n).collect();
+        // 4 ports + 2 trunk directions.
+        assert_eq!(names.len(), 6);
+        assert!(names.contains(&"trunk:n0-n1".to_string()));
+        assert!(names.contains(&"trunk:n1-n0".to_string()));
+        assert!(names.contains(&"h0:port".to_string()));
+    }
+}

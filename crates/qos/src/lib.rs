@@ -36,10 +36,12 @@
 
 pub mod descriptor;
 pub mod estimate;
+pub mod fabric;
 pub mod negotiate;
 pub mod network;
 
 pub use descriptor::{AppDescriptor, BurstTiming, ContractTerms};
 pub use estimate::{estimate_descriptor, TrafficEstimate};
+pub use fabric::FabricQos;
 pub use negotiate::{negotiate, Negotiation};
 pub use network::QosNetwork;

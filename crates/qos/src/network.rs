@@ -27,7 +27,12 @@ impl QosNetwork {
 
     /// The paper's testbed: a 10 Mb/s shared Ethernet.
     pub fn ethernet_10mbps() -> QosNetwork {
-        QosNetwork::new(1_250_000.0)
+        QosNetwork::of_rate(fxnet_sim::RATE_10M)
+    }
+
+    /// A network whose capacity is the raw byte rate of a `bps` link.
+    pub fn of_rate(bps: u64) -> QosNetwork {
+        QosNetwork::new(fxnet_sim::rates::bytes_per_sec(bps))
     }
 
     /// Set the minimum per-connection commitment.

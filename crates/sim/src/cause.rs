@@ -156,13 +156,46 @@ impl CauseId {
 pub struct FrameMeta {
     /// Time spent waiting in the sender's queue before transmission
     /// started, excluding backoff (deference, IFG, jam, head-of-line).
+    /// On a multi-hop fabric this sums every hop's wait plus fixed
+    /// per-hop latencies, so `queue + backoff + tx` still equals the
+    /// frame's end-to-end elapsed time exactly.
     pub queue_ns: u64,
     /// Time spent in collision backoff before this transmission.
     pub backoff_ns: u64,
-    /// Wire occupancy of the transmission itself.
+    /// Wire occupancy of the transmission itself (summed over hops on a
+    /// multi-hop fabric).
     pub tx_ns: u64,
     /// Collisions this frame experienced before getting through.
     pub attempts: u32,
+    /// Bottleneck inter-node trunk, encoded with [`FrameMeta::trunk_code`].
+    /// 0 when the frame crossed no trunk, or when an access hop (its own
+    /// segment or port) out-waited every trunk it crossed. Single-hop
+    /// fabrics ([`crate::EtherBus`], [`crate::SwitchFabric`]) always
+    /// leave it 0.
+    pub trunk: u32,
+}
+
+impl FrameMeta {
+    /// Encode the trunk between topology nodes `a` and `b` as a nonzero
+    /// code that survives serialization without a name table: bit 31 set,
+    /// node indices packed 15/16 bits.
+    #[must_use]
+    pub fn trunk_code(a: u32, b: u32) -> u32 {
+        (1 << 31) | ((a & 0x7FFF) << 16) | (b & 0xFFFF)
+    }
+
+    /// Decode a trunk code back to its `(a, b)` node indices.
+    #[must_use]
+    pub fn trunk_nodes(code: u32) -> Option<(u32, u32)> {
+        (code & (1 << 31) != 0).then_some(((code >> 16) & 0x7FFF, code & 0xFFFF))
+    }
+
+    /// The canonical display name of this frame's bottleneck trunk
+    /// (`"trunk:n2-n3"`), if one is recorded.
+    #[must_use]
+    pub fn trunk_label(&self) -> Option<String> {
+        Self::trunk_nodes(self.trunk).map(|(a, b)| format!("trunk:n{a}-n{b}"))
+    }
 }
 
 /// One tagged delivery: the trace record of the frame plus its cause and

@@ -61,7 +61,7 @@ pub struct EtherConfig {
 impl Default for EtherConfig {
     fn default() -> Self {
         EtherConfig {
-            bandwidth_bps: 10_000_000,
+            bandwidth_bps: crate::rates::RATE_10M,
             slot: SimTime::from_nanos(51_200),
             ifg: SimTime::from_nanos(9_600),
             jam: SimTime::from_nanos(3_200),
@@ -122,7 +122,7 @@ struct CurrentTx {
 }
 
 /// One delivered frame, handed back to the protocol layer.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Delivery {
     pub time: SimTime,
     pub frame: Frame,
@@ -389,6 +389,7 @@ impl EtherBus {
                         backoff_ns,
                         tx_ns: (end - t_start).as_nanos(),
                         attempts: self.nics[i].attempts,
+                        trunk: 0,
                     };
                     self.nics[i].attempts = 0;
                     self.nics[i].backoff_until = SimTime::ZERO;

@@ -51,6 +51,7 @@ pub mod error;
 pub mod ethernet;
 pub mod frame;
 pub mod queue;
+pub mod rates;
 pub mod rng;
 pub mod switch;
 pub mod time;
@@ -62,6 +63,7 @@ pub use frame::{
     Frame, FrameKind, FrameRecord, FrameTap, HostId, Proto, ETHER_OVERHEAD, MAX_FRAME, MIN_FRAME,
 };
 pub use queue::{BinaryHeapQueue, EventQueue};
+pub use rates::{RATE_100M, RATE_10M, RATE_1G};
 pub use rng::SimRng;
 pub use switch::{SwitchConfig, SwitchFabric};
 pub use time::SimTime;

@@ -33,7 +33,7 @@ pub struct SwitchConfig {
 impl Default for SwitchConfig {
     fn default() -> Self {
         SwitchConfig {
-            port_bps: 10_000_000,
+            port_bps: crate::rates::RATE_10M,
             forward_latency: SimTime::from_micros(10),
         }
     }
@@ -152,6 +152,7 @@ impl SwitchFabric {
                     // links, so wire occupancy is two transmissions.
                     tx_ns: 2 * tx.as_nanos(),
                     attempts: 0,
+                    trunk: 0,
                 };
                 self.events.push(done, Event::Delivered(frame, meta));
             }

@@ -1,0 +1,118 @@
+//! Property tests for the composite fabric's cross-topology invariants:
+//! over arbitrary offered loads on the four canonical topologies, per-hop
+//! `FrameMeta` accounting sums exactly to end-to-end elapsed time, every
+//! switch and router conserves frames and bytes, protocol tokens survive
+//! the transit-slab swap, and runs are a pure function of the seed.
+
+use fxnet_sim::{
+    EtherConfig, Frame, FrameKind, HostId, NicId, SimTime, RATE_100M, RATE_10M, RATE_1G,
+};
+use fxnet_topo::{NodeKind, TopologySpec};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const HOSTS: u32 = 6;
+
+/// One of the four canonical sweep topologies at one of the three sweep
+/// rates, by index.
+fn spec_for(topo: usize, rate: usize) -> TopologySpec {
+    let rate = [RATE_10M, RATE_100M, RATE_1G][rate % 3];
+    TopologySpec::sweep_set(HOSTS, rate).swap_remove(topo % 4)
+}
+
+/// An offered load: `(src, dst offset, payload, enqueue time µs)` per
+/// frame. The destination offset is nonzero so no frame is self-addressed.
+type Load = Vec<(u32, u32, u32, u64)>;
+
+fn drive(spec: TopologySpec, seed: u64, load: &Load) -> fxnet_topo::CompositeFabric {
+    let mut fab = fxnet_topo::CompositeFabric::new(spec, &EtherConfig::default(), seed);
+    for (i, &(src, off, payload, at)) in load.iter().enumerate() {
+        let src = src % HOSTS;
+        let dst = (src + 1 + off % (HOSTS - 1)) % HOSTS;
+        let f = Frame::tcp(
+            HostId(src),
+            HostId(dst),
+            FrameKind::Data,
+            payload,
+            i as u64 + 1,
+        );
+        fab.enqueue(NicId(src), f, SimTime::from_micros(at));
+    }
+    fab
+}
+
+proptest! {
+    /// `queue_ns + backoff_ns + tx_ns` equals the frame's end-to-end
+    /// elapsed time to the nanosecond, on every topology, and every
+    /// enqueued token comes back exactly once (delivered or errored).
+    #[test]
+    fn per_hop_meta_sums_to_end_to_end_elapsed(
+        topo in 0usize..4,
+        rate in 0usize..3,
+        load in prop::collection::vec((0u32..HOSTS, 0u32..8, 0u32..1400, 0u64..150_000), 1..48),
+    ) {
+        let mut fab = drive(spec_for(topo, rate), 17, &load);
+        let entered: HashMap<u64, SimTime> = load
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, _, _, at))| (i as u64 + 1, SimTime::from_micros(at)))
+            .collect();
+        let out = fab.run_to_idle();
+        prop_assert!(fab.idle());
+        let mut seen: Vec<u64> = out.iter().map(|d| d.frame.token).collect();
+        for d in &out {
+            let e = entered[&d.frame.token];
+            prop_assert_eq!(
+                d.meta.queue_ns + d.meta.backoff_ns + d.meta.tx_ns,
+                (d.time - e).as_nanos(),
+                "token {}", d.frame.token
+            );
+        }
+        seen.extend(fab.errors().iter().map(|(_, f, _)| f.token));
+        seen.sort_unstable();
+        let expected: Vec<u64> = (1..=load.len() as u64).collect();
+        prop_assert_eq!(seen, expected, "every token exactly once");
+    }
+
+    /// Once drained, every switch and router node conserves frames and
+    /// bytes exactly: what finished arriving equals what was handed on.
+    #[test]
+    fn switches_and_routers_conserve_frames_and_bytes(
+        topo in 0usize..4,
+        rate in 0usize..3,
+        load in prop::collection::vec((0u32..HOSTS, 0u32..8, 0u32..1400, 0u64..150_000), 1..48),
+    ) {
+        let spec = spec_for(topo, rate);
+        let kinds: Vec<NodeKind> = spec.nodes.iter().map(|n| n.kind).collect();
+        let label = spec.label();
+        let mut fab = drive(spec, 23, &load);
+        let _ = fab.run_to_idle();
+        prop_assert!(fab.idle());
+        for (n, flow) in fab.flows().iter().enumerate() {
+            if kinds[n] != NodeKind::Segment {
+                prop_assert_eq!(flow.frames_in, flow.frames_out, "{} node {}", label, n);
+                prop_assert_eq!(flow.bytes_in, flow.bytes_out, "{} node {}", label, n);
+            }
+        }
+    }
+
+    /// Deliveries and the promiscuous trace are a pure function of
+    /// (spec, seed, load): the determinism `--jobs` fan-out relies on.
+    #[test]
+    fn runs_are_a_pure_function_of_the_seed(
+        topo in 0usize..4,
+        seed in 0u64..1_000,
+        load in prop::collection::vec((0u32..HOSTS, 0u32..8, 0u32..1400, 0u64..150_000), 1..32),
+    ) {
+        let run = |seed| {
+            let mut fab = drive(spec_for(topo, 0), seed, &load);
+            fab.set_promiscuous(true);
+            let out = fab.run_to_idle();
+            (out, fab.take_trace())
+        };
+        let (a_out, a_trace) = run(seed);
+        let (b_out, b_trace) = run(seed);
+        prop_assert_eq!(a_out, b_out);
+        prop_assert_eq!(a_trace, b_trace);
+    }
+}

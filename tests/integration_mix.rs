@@ -111,3 +111,55 @@ fn saturated_admission_rejects_the_late_tenant() {
     assert_eq!(out.map.len(), 2);
     out.check_conservation();
 }
+
+#[test]
+fn switched_segments_isolate_tenants_from_each_other() {
+    // Tenants pinned to different switches (hosts 0,1 on sw0; 2,3 on
+    // sw1) never share a link: each one's mixed timing equals its solo
+    // timing, unlike the shared-bus run above.
+    let spec = fxnet::TopologySpec::two_switches_trunk(4, fxnet::sim::RATE_10M);
+    let out = Testbed::quiet(4)
+        .with_topology(spec)
+        .mix()
+        .tenant(shift("alpha", 2, 0))
+        .tenant(shift("beta", 2, 0))
+        .run();
+    out.check_conservation();
+    for t in &out.tenants {
+        let s = t.measured_slowdown.expect("solo baseline was run");
+        assert!(
+            (s - 1.0).abs() < 1e-6,
+            "{} should be unaffected behind its own switch: {s}",
+            t.name
+        );
+    }
+}
+
+#[test]
+fn trunk_spanning_tenants_contend_only_on_the_trunk() {
+    // Interleaved attachment pins each tenant across both switches
+    // (alpha = hosts 0,1 → sw0,sw1; beta = hosts 2,3 → sw0,sw1): every
+    // burst crosses the trunk, so the trunk is the only shared resource.
+    let mut spec = fxnet::TopologySpec::two_switches_trunk(4, fxnet::sim::RATE_10M);
+    spec.attachments = vec![0, 1, 0, 1];
+    let out = Testbed::quiet(4)
+        .with_topology(spec)
+        .mix()
+        .tenant(shift("alpha", 2, 0))
+        .tenant(shift("beta", 2, 0))
+        .run();
+    out.check_conservation();
+    let slow: Vec<f64> = out
+        .tenants
+        .iter()
+        .map(|t| t.measured_slowdown.expect("solo baseline was run"))
+        .collect();
+    assert!(
+        slow.iter().all(|&s| s >= 1.0 - 1e-9),
+        "no tenant speeds up under trunk contention: {slow:?}"
+    );
+    assert!(
+        slow.iter().any(|&s| s > 1.0 + 1e-9),
+        "simultaneous cross-trunk bursts must queue on the trunk: {slow:?}"
+    );
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration for the topology subsystem (`fxnet-topo`):
+//! a single-segment topology is bit-identical to the legacy shared-bus
+//! path for all six measured programs, multi-segment fabrics carry every
+//! program to completion without losing frames, and full-stack runs on a
+//! fabric are a pure function of the seed.
+
+use fxnet::{KernelKind, RunResult, SimTime, Testbed, TopologySpec};
+
+/// A measured program as a function of the fabric it runs on (`None` =
+/// the legacy shared bus).
+type Program = Box<dyn Fn(Option<TopologySpec>) -> RunResult<u64>>;
+
+/// The six measured programs (§5) at reduced scale: the five Fx kernels
+/// plus the §7.3 shift pattern, parameterized by the fabric.
+fn programs() -> Vec<(&'static str, Program)> {
+    let kernel = |k: KernelKind, div: usize| {
+        Box::new(move |spec: Option<TopologySpec>| {
+            let mut tb = Testbed::paper().with_seed(7);
+            if let Some(spec) = spec {
+                tb = tb.with_topology(spec);
+            }
+            tb.run_kernel(k, div).unwrap()
+        }) as Program
+    };
+    vec![
+        ("SOR", kernel(KernelKind::Sor, 20)),
+        ("2DFFT", kernel(KernelKind::Fft2d, 20)),
+        ("T2DFFT", kernel(KernelKind::T2dfft, 20)),
+        ("SEQ", kernel(KernelKind::Seq, 5)),
+        ("HIST", kernel(KernelKind::Hist, 20)),
+        (
+            "SHIFT",
+            Box::new(|spec: Option<TopologySpec>| {
+                let mut tb = Testbed::quiet(4).with_seed(7);
+                if let Some(spec) = spec {
+                    tb = tb.with_topology(spec);
+                }
+                tb.run(move |ctx| {
+                    let payload = vec![1u8; 40_000];
+                    for round in 0..4i32 {
+                        ctx.compute_time(SimTime::from_millis(30));
+                        let _ = fxnet::fx::shift(ctx, round, 1, &payload);
+                    }
+                    0u64
+                })
+            }),
+        ),
+    ]
+}
+
+/// Host count each program's testbed presents (the paper LAN for the
+/// kernels, the quiet 4-host LAN for SHIFT).
+fn hosts_of(name: &str) -> u32 {
+    if name == "SHIFT" {
+        4
+    } else {
+        9
+    }
+}
+
+#[test]
+fn single_segment_topology_is_bit_identical_to_the_bus_for_all_six_programs() {
+    for (name, run) in programs() {
+        let legacy = run(None);
+        let topo = run(Some(TopologySpec::single_segment(
+            hosts_of(name),
+            fxnet::sim::RATE_10M,
+        )));
+        assert_eq!(legacy.trace, topo.trace, "{name}: trace must be identical");
+        assert_eq!(
+            legacy.ether.collisions, topo.ether.collisions,
+            "{name}: MAC contention must be identical"
+        );
+        assert_eq!(
+            legacy.finished_at, topo.finished_at,
+            "{name}: program timing must be identical"
+        );
+    }
+}
+
+#[test]
+fn every_program_completes_on_every_sweep_topology() {
+    // The promiscuous trace records each delivered frame exactly once, so
+    // trace length equaling the fabric's end-to-end delivery counter is
+    // frame conservation seen from the top of the stack.
+    for (name, run) in programs() {
+        for spec in TopologySpec::sweep_set(hosts_of(name), fxnet::sim::RATE_10M) {
+            let label = format!("{name} on {}", spec.label());
+            let out = run(Some(spec));
+            assert!(!out.trace.is_empty(), "{label}: must produce traffic");
+            assert_eq!(
+                out.ether.frames_delivered,
+                out.trace.len() as u64,
+                "{label}: every delivered frame traced exactly once"
+            );
+            for w in out.trace.windows(2) {
+                assert!(w[0].time <= w[1].time, "{label}: trace is time-ordered");
+            }
+        }
+    }
+}
+
+#[test]
+fn full_stack_runs_on_a_fabric_are_a_pure_function_of_the_seed() {
+    let run = |seed: u64| {
+        Testbed::paper()
+            .with_seed(seed)
+            .with_topology(TopologySpec::two_level_tree(9, fxnet::sim::RATE_100M))
+            .run_kernel(KernelKind::Hist, 50)
+            .unwrap()
+    };
+    let (a, b) = (run(3), run(3));
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.finished_at, b.finished_at);
+}

@@ -160,3 +160,36 @@ fn watcher_catches_the_overdriver_online() {
         .iter()
         .any(|e| e.kind == EventKind::ContractViolation));
 }
+
+#[test]
+fn watcher_streams_a_trunked_topology_run() {
+    // The live tap rides the composite fabric's capture point, so the
+    // watcher sees a multi-segment run exactly like a shared-bus one —
+    // and stays a pure function of the seed.
+    let mut spec = fxnet::TopologySpec::two_switches_trunk(4, fxnet::sim::RATE_10M);
+    spec.attachments = vec![0, 1, 0, 1]; // both tenants span the trunk
+    let run = |seed: u64| {
+        Testbed::quiet(4)
+            .with_seed(seed)
+            .with_topology(spec.clone())
+            .mix()
+            .solo_baselines(false)
+            .tenant(MixTenant::shift("up", 0.05, 30_000, 4, 2))
+            .tenant(MixTenant::shift("down", 0.05, 30_000, 4, 2))
+            .watch(WatchConfig::default())
+            .run()
+    };
+    let out = run(3);
+    let report = out.watch.expect("watch was enabled");
+    assert!(
+        report
+            .registry
+            .counters()
+            .any(|(name, v)| name.contains("frames") && v > 0),
+        "watcher metrics must have seen frames"
+    );
+    assert_eq!(
+        run(3).watch.expect("watch on").events_jsonl(),
+        report.events_jsonl()
+    );
+}
