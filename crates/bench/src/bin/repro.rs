@@ -298,12 +298,55 @@ const REGISTRY: &[Experiment] = &[
         ..NONE
     },
     Experiment {
+        id: "fabric-health",
+        desc: "fabric health: multi-resolution weather map + hotspot flagging on the hot trunk",
+        run: fabric_health,
+        ..NONE
+    },
+    Experiment {
         id: "bench",
         desc: "perf probes: queues, suite speedup, columnar analysis, trace IO",
         run: bench_repro,
         ..NONE
     },
 ];
+
+/// The uniform `--metrics-out` snapshot: one Prometheus-text file per
+/// experiment, carrying the run parameters and, for every program the
+/// experiment pulled through the shared run cache, its frame count and
+/// finish time — plus, when `--telemetry` is on, the engine's counter
+/// registry under a `prog` label. Deterministic: cache order is sorted
+/// and jobs never enter the snapshot, so the bytes match at any
+/// `--jobs`.
+fn write_metrics_snapshot(ctx: &Ctx, id: &str, dir: &str) {
+    use fxnet::telemetry::{labeled, write_prometheus, TelemetryRegistry};
+    let mut reg = TelemetryRegistry::new();
+    reg.set_gauge("repro_div", ctx.div as f64);
+    reg.set_gauge("repro_hours", ctx.hours as f64);
+    reg.set_gauge("repro_seed", ctx.seed as f64);
+    for (name, run) in ctx.exps.cached_runs() {
+        let l = [("prog", name)];
+        reg.set_counter(
+            labeled("repro_run_frames_total", &l),
+            run.trace.len() as u64,
+        );
+        reg.set_gauge(
+            labeled("repro_run_finished_seconds", &l),
+            run.finished_at.as_secs_f64(),
+        );
+        if let Some(tel) = &run.telemetry {
+            for (k, v) in tel.registry.counters() {
+                reg.set_counter(labeled(k, &l), v);
+            }
+            for (k, v) in tel.registry.gauges() {
+                reg.set_gauge(labeled(k, &l), v);
+            }
+        }
+    }
+    let path = std::path::Path::new(dir).join(format!("repro_{id}.prom"));
+    write_prometheus(&path, &reg).expect("write metrics snapshot");
+    println!("wrote {}", path.display());
+}
 
 fn list_experiments() {
     println!("experiments (run with `repro <id>...`):");
@@ -360,7 +403,8 @@ fn main() {
                      --seed N sets the simulation seed (default 1998); same seed, byte-identical output\n\
                      --jobs N fans independent runs across N workers (0 = all CPUs); output is byte-identical to --jobs 1\n\
                      --trace-format F caches prewarmed traces under out/cache as `binary` (.fxb, default) or `text` (.trace)\n\
-                     --metrics-out DIR directs the watch/blame artifacts (default: the --out dir)\n\
+                     --metrics-out DIR directs the watch/blame/fabric-health artifacts (default: the --out dir)\n\
+                     \u{20}                 and writes a Prometheus snapshot repro_<exp>.prom per selected experiment\n\
                      --date S stamps the bench history ledger (out/bench_history.jsonl) with S\n\
                      --telemetry collects spans/counters and writes out/telemetry_<exp>.json"
                 );
@@ -450,6 +494,12 @@ fn main() {
 
     for e in &selected {
         (e.run)(&mut ctx);
+        // The uniform `--metrics-out` contract: every experiment in the
+        // registry leaves a Prometheus snapshot behind, not just the
+        // watch/blame/fabric-health runners with bespoke artifacts.
+        if let Some(dir) = ctx.metrics_out.clone() {
+            write_metrics_snapshot(&ctx, e.id, &dir);
+        }
     }
 
     // Telemetry artifacts: one deterministic JSON (spans + counter
@@ -1053,9 +1103,7 @@ fn blame_attrib(c: &mut Ctx) {
     // neighbor exchange crosses the inter-switch link and the critical
     // paths name the contended trunk.
     println!("\n-- trunked topology: naming the contended trunk --");
-    let mut spec = fxnet::TopologySpec::two_switches_trunk(9, fxnet::sim::RATE_100M);
-    spec.trunks[0].rate_bps = fxnet::sim::RATE_10M;
-    spec.attachments = (0..9).map(|h| h % 2).collect();
+    let spec = oversubscribed_trunk2(9);
     let trunked = Testbed::paper()
         .with_seed(ctx.seed())
         .with_topology(spec)
@@ -1601,6 +1649,24 @@ impl SweepProg {
             }
         }
     }
+
+    /// The same program as a single mix tenant, at the same scale
+    /// floors as [`SweepProg::run`] — for runs that need the mix
+    /// plumbing (tenant map, causal capture, QoS contract terms).
+    fn mix_tenant(self, div: usize) -> fxnet::mix::MixTenant {
+        use fxnet::mix::MixTenant;
+        match self {
+            SweepProg::Kernel(k) => {
+                let d = if k == KernelKind::Seq {
+                    div.max(5)
+                } else {
+                    div.max(20)
+                };
+                MixTenant::kernel(k.name(), k, d, 4, SimTime::ZERO)
+            }
+            SweepProg::Shift => MixTenant::shift("SHIFT", 0.5, 100_000, 6, 4),
+        }
+    }
 }
 
 /// Everything a sweep worker reports back about one (program, topology,
@@ -2132,13 +2198,381 @@ fn bench_repro(c: &mut Ctx) {
         ("io_load_speedup".to_string(), Value::F64(io_speedup)),
     ]);
     let history = c.exps.out_path("bench_history.jsonl");
-    let mut file = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&history)
-        .expect("open bench history");
-    writeln!(file, "{}", serde::json::to_string(&line)).expect("append bench history");
+    let appended = fxnet_bench::append_history_line(&history, &serde::json::to_string(&line))
+        .expect("append bench history");
+    if appended.created {
+        println!("seeded fresh history ledger {}", history.display());
+    }
+    if appended.dropped > 0 {
+        eprintln!(
+            "warning: dropped {} malformed line(s) from {} before appending",
+            appended.dropped,
+            history.display()
+        );
+    }
     println!("appended run summary to {}", history.display());
+}
+
+// --------------------------------------------------------------------
+// Fabric health: the weather map on the oversubscribed trunk.
+
+/// The backbone link of [`oversubscribed_trunk2`], known-contended by
+/// construction: fast edge ports funneling into a 10 Mb/s trunk.
+const HOT_TRUNK: &str = "trunk:n0-n1";
+
+/// The oversubscribed two-switch fabric the blame experiment
+/// introduced: 100 Mb/s edge ports, the inter-switch trunk throttled
+/// to 10 Mb/s, and ranks pinned alternately across the switches so
+/// every exchange crosses the backbone.
+fn oversubscribed_trunk2(hosts: u32) -> fxnet::TopologySpec {
+    let mut spec = fxnet::TopologySpec::two_switches_trunk(hosts, fxnet::sim::RATE_100M);
+    spec.trunks[0].rate_bps = fxnet::sim::RATE_10M;
+    spec.attachments = (0..hosts as usize).map(|h| h % 2).collect();
+    spec
+}
+
+/// Everything a fabric-health worker reports about one program.
+struct HealthCell {
+    prog: &'static str,
+    frames: usize,
+    report: fxnet::metrics::WeatherReport,
+    /// Critical-path intervals blocked on the hot trunk.
+    contended: Vec<(SimTime, SimTime)>,
+    trunk_paths: usize,
+    paths_total: usize,
+    admitted_load: f64,
+    measured_bw: f64,
+    headroom: f64,
+    /// Perfetto events: critical-path slices + weather counter tracks.
+    trace_events: Vec<Value>,
+}
+
+/// Run one program alone on the oversubscribed trunk2 fabric, twice:
+/// once bare (the purity baseline), once with the full weather map
+/// attached (frame tap + per-link sampling + causal capture). Asserts
+/// the traces byte-identical, then distills the instrumented run.
+fn health_cell(prog: SweepProg, seed: u64, div: usize) -> HealthCell {
+    use fxnet::causal::{chrome_trace, collective_paths, contended_intervals};
+    use fxnet::metrics::{counter_events, FabricSampler, HotspotConfig, SamplerConfig};
+    use fxnet::Testbed;
+    let spec = oversubscribed_trunk2(prog.hosts());
+    let build = |spec: &fxnet::TopologySpec| {
+        let tb = match prog {
+            SweepProg::Kernel(_) => Testbed::paper(),
+            SweepProg::Shift => Testbed::quiet(4),
+        }
+        .with_seed(seed)
+        .with_topology(spec.clone());
+        let cost = tb.config().cost.clone();
+        let mix = tb
+            .mix()
+            .network(QosNetwork::of_rate(fxnet::sim::RATE_100M))
+            .solo_baselines(false)
+            .causal(true)
+            .tenant(prog.mix_tenant(div));
+        (mix, cost)
+    };
+
+    // Reference run with the sampler detached.
+    let (mix, _) = build(&spec);
+    let plain = mix.run();
+
+    // The instrumented run: every observation channel attached. The
+    // hotspot latch requires 8 consecutive hot 10 ms windows: an edge
+    // port saturates only for the tens of milliseconds one burst takes
+    // to drain at 100 Mb/s, while the oversubscribed trunk stays pinned
+    // for entire communication epochs — so 80 ms of sustained heat
+    // separates the congested backbone from ordinary burst traffic.
+    let sampler = FabricSampler::with_config(SamplerConfig {
+        hotspot: HotspotConfig {
+            k: 8,
+            ..HotspotConfig::default()
+        },
+        ..SamplerConfig::default()
+    });
+    let (mix, cost) = build(&spec);
+    let out = mix
+        .tap(sampler.tap())
+        .sample_links(Some(sampler.bin_ns()))
+        .run();
+    assert_eq!(
+        plain.trace,
+        out.trace,
+        "{}: the weather map perturbed the trace",
+        prog.name()
+    );
+    assert_eq!(plain.finished_at, out.finished_at);
+
+    let mut sampler = sampler;
+    sampler.ingest_links(out.link_stats.as_ref().expect("link sampling on"));
+    let causal = out.causal.as_ref().expect("causal capture on");
+    sampler.ingest_causal(&causal.events, Some(&spec));
+    let report = sampler.finalize(Some(&spec));
+
+    let spans = &out
+        .telemetry
+        .as_ref()
+        .expect("causal capture forces telemetry")
+        .spans;
+    let paths = collective_paths(causal, spans, &out.map);
+    let contended = contended_intervals(&paths, HOT_TRUNK);
+    let trunk_paths = paths
+        .iter()
+        .filter(|p| p.blocking_link.as_deref() == Some(HOT_TRUNK))
+        .count();
+
+    // QoS cross-check: the tenant's admitted contract headroom next to
+    // the link gauges, so over-driving and fabric congestion can be
+    // told apart.
+    let t = &out.tenants[0];
+    let terms = prog
+        .mix_tenant(div)
+        .claimed_descriptor(&cost)
+        .terms(&t.negotiation);
+    let measured_bw = t.avg_bw.unwrap_or(0.0);
+    let headroom = terms.headroom(measured_bw);
+
+    let Value::Array(mut trace_events) = chrome_trace(&paths, &out.map) else {
+        unreachable!("chrome_trace builds an event array");
+    };
+    trace_events.extend(counter_events(&report));
+
+    HealthCell {
+        prog: prog.name(),
+        frames: out.trace.len(),
+        report,
+        contended,
+        trunk_paths,
+        paths_total: paths.len(),
+        admitted_load: terms.mean_load,
+        measured_bw,
+        headroom,
+        trace_events,
+    }
+}
+
+/// Re-home a Chrome trace event onto process `pid` (the per-program
+/// track in the merged fabric-health Perfetto file).
+fn with_pid(e: Value, pid: u64) -> Value {
+    let Value::Object(mut fields) = e else {
+        return e;
+    };
+    for (k, v) in fields.iter_mut() {
+        if k == "pid" {
+            *v = Value::U64(pid);
+        }
+    }
+    Value::Object(fields)
+}
+
+fn fabric_health(c: &mut Ctx) {
+    header("Fabric health: the weather map on the oversubscribed trunk");
+    use fxnet::causal::intervals_overlap;
+    use fxnet::metrics::{fill_registry_labeled, report_jsonl, report_value};
+    use fxnet::telemetry::{labeled, write_prometheus, TelemetryRegistry};
+    let div = c.div;
+    let seed = c.exps.seed();
+    println!(
+        "(six programs, each alone on trunk2: 100 Mb/s edges, 10 Mb/s trunk, ranks split across the switches)"
+    );
+
+    let cells = c
+        .pool
+        .map(SweepProg::ALL.to_vec(), move |p| health_cell(p, seed, div));
+
+    // The weather map and the causal layer must agree: across all six
+    // programs the oversubscribed trunk is the one and only flagged
+    // hotspot, and its flagged windows overlap the critical paths'
+    // contended-link intervals.
+    let mut flagged: Vec<&str> = cells
+        .iter()
+        .flat_map(|cell| cell.report.rollup.hotspots.iter().map(|h| h.link.as_str()))
+        .collect();
+    flagged.sort_unstable();
+    flagged.dedup();
+    assert_eq!(
+        flagged,
+        vec![HOT_TRUNK],
+        "the oversubscribed trunk must be the unique flagged hotspot"
+    );
+
+    println!(
+        "{:<6} {:>7} {:>9} {:>10} {:>6} {:>12} {:>9} {:>12}",
+        "prog", "frames", "hot wins", "peak util", "depth", "trunk paths", "headroom", "flagged at"
+    );
+    let mut overlaps = 0usize;
+    for cell in &cells {
+        let hot = cell.report.hotspot(HOT_TRUNK);
+        println!(
+            "{:<6} {:>7} {:>9} {:>10} {:>6} {:>12} {:>8.1}% {:>12}",
+            cell.prog,
+            cell.frames,
+            hot.map_or(0, |h| h.windows.len()),
+            hot.map_or_else(|| "-".to_string(), |h| format!("{:.3}", h.peak_utilization)),
+            hot.map_or(0, |h| h.peak_depth),
+            format!("{}/{}", cell.trunk_paths, cell.paths_total),
+            cell.headroom * 100.0,
+            hot.map_or_else(
+                || "-".to_string(),
+                |h| format!("{:.3} ms", h.flagged_at.as_nanos() as f64 / 1e6)
+            ),
+        );
+        if let Some(h) = hot {
+            if !cell.contended.is_empty() {
+                assert!(
+                    intervals_overlap(&h.intervals, &cell.contended),
+                    "{}: hotspot windows must overlap the contended critical-path intervals",
+                    cell.prog
+                );
+                overlaps += 1;
+            }
+        }
+    }
+    assert!(
+        overlaps > 0,
+        "at least one program must confirm the hotspot against its critical paths"
+    );
+    let hot_programs = cells
+        .iter()
+        .filter(|cell| cell.report.hotspot(HOT_TRUNK).is_some())
+        .count();
+    println!(
+        "hotspot {HOT_TRUNK} latched by {hot_programs}/{} programs ({overlaps} cross-checked against critical paths); no other link ever flagged",
+        cells.len()
+    );
+
+    let dir = c
+        .metrics_out
+        .as_deref()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| c.exps.out_dir.clone());
+    std::fs::create_dir_all(&dir).expect("create artifacts dir");
+
+    // fabric_health.json: the summary — per program the rollup (link /
+    // node / fabric health + hotspots), the scaling relations, the
+    // contended intervals, and the tenant's contract headroom. The
+    // per-window ring stream goes to the JSONL instead.
+    let programs: Vec<Value> = cells
+        .iter()
+        .map(|cell| {
+            let rv = report_value(&cell.report);
+            Value::Object(vec![
+                ("prog".to_string(), Value::Str(cell.prog.to_string())),
+                ("frames".to_string(), Value::U64(cell.frames as u64)),
+                (
+                    "trunk_paths".to_string(),
+                    Value::U64(cell.trunk_paths as u64),
+                ),
+                (
+                    "paths_total".to_string(),
+                    Value::U64(cell.paths_total as u64),
+                ),
+                (
+                    "contended_intervals_ns".to_string(),
+                    Value::Array(
+                        cell.contended
+                            .iter()
+                            .map(|&(b, e)| {
+                                Value::Array(vec![
+                                    Value::U64(b.as_nanos()),
+                                    Value::U64(e.as_nanos()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "tenant".to_string(),
+                    Value::Object(vec![
+                        (
+                            "admitted_mean_load".to_string(),
+                            Value::F64(cell.admitted_load),
+                        ),
+                        ("measured_mean_bw".to_string(), Value::F64(cell.measured_bw)),
+                        ("headroom".to_string(), Value::F64(cell.headroom)),
+                    ]),
+                ),
+                (
+                    "scaling".to_string(),
+                    rv.get("traffic")
+                        .and_then(|t| t.get("scaling"))
+                        .cloned()
+                        .unwrap_or(Value::Null),
+                ),
+                (
+                    "rollup".to_string(),
+                    rv.get("rollup").cloned().unwrap_or(Value::Null),
+                ),
+            ])
+        })
+        .collect();
+    let json = Value::Object(vec![
+        (
+            "fabric".to_string(),
+            Value::Str("trunk2:oversubscribed".to_string()),
+        ),
+        ("hotspot".to_string(), Value::Str(HOT_TRUNK.to_string())),
+        ("programs".to_string(), Value::Array(programs)),
+    ]);
+    let json_path = dir.join("fabric_health.json");
+    write_json_artifact(&json_path, &json).expect("write fabric health report");
+
+    // fabric_health.jsonl: the full weather stream — meta header,
+    // per-window link lines, scaling lines, hotspot lines — of the
+    // program that heated the trunk the most.
+    let hottest = cells
+        .iter()
+        .max_by_key(|cell| {
+            cell.report
+                .hotspot(HOT_TRUNK)
+                .map_or(0, |h| h.windows.len())
+        })
+        .expect("six cells");
+    let jsonl_path = dir.join("fabric_health.jsonl");
+    std::fs::write(&jsonl_path, report_jsonl(&hottest.report)).expect("write weather stream");
+
+    // fabric_health.prom: one registry, every program's weather
+    // snapshot under a `prog` label, plus the per-tenant contract
+    // headroom next to the link gauges (qos × metrics).
+    let mut reg = TelemetryRegistry::new();
+    for cell in &cells {
+        fill_registry_labeled(&cell.report, &mut reg, &[("prog", cell.prog)]);
+        let l = [("prog", cell.prog)];
+        reg.set_gauge(labeled("fabric_tenant_headroom", &l), cell.headroom);
+        reg.set_gauge(
+            labeled("fabric_tenant_admitted_load_bytes_per_sec", &l),
+            cell.admitted_load,
+        );
+        reg.set_gauge(
+            labeled("fabric_tenant_measured_bw_bytes_per_sec", &l),
+            cell.measured_bw,
+        );
+    }
+    let prom_path = dir.join("fabric_health.prom");
+    write_prometheus(&prom_path, &reg).expect("write prometheus snapshot");
+
+    // fabric_health_trace.json: one Perfetto file, six processes — each
+    // program's critical-path slices with the weather counter tracks
+    // (util/depth per link) underneath them.
+    let mut events: Vec<Value> = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        events.extend(
+            cell.trace_events
+                .iter()
+                .cloned()
+                .map(|e| with_pid(e, i as u64)),
+        );
+    }
+    let trace_path = dir.join("fabric_health_trace.json");
+    write_json_artifact(&trace_path, &Value::Array(events)).expect("write perfetto trace");
+
+    println!(
+        "wrote {}, {}, {} and {} (load the trace at ui.perfetto.dev)",
+        json_path.display(),
+        jsonl_path.display(),
+        prom_path.display(),
+        trace_path.display()
+    );
 }
 
 /// Current git revision, for the bench history ledger; "unknown" when

@@ -398,6 +398,74 @@ impl Experiments {
         std::fs::create_dir_all(&self.out_dir).expect("create output dir");
         self.out_dir.join(name)
     }
+
+    /// Every cached full run — kernels in sorted name order, then
+    /// AIRSHED — for uniform metrics snapshots over whatever the
+    /// selected experiments pulled through the cache.
+    pub fn cached_runs(&self) -> Vec<(&str, &RunResult<u64>)> {
+        let mut names: Vec<&&str> = self.kernels.keys().collect();
+        names.sort();
+        let mut out: Vec<(&str, &RunResult<u64>)> = names
+            .into_iter()
+            .map(|name| (*name, &self.kernels[*name]))
+            .collect();
+        if let Some(r) = &self.airshed {
+            out.push(("AIRSHED", r));
+        }
+        out
+    }
+}
+
+/// Outcome of an [`append_history_line`] call.
+pub struct HistoryAppend {
+    /// The ledger was absent or empty and got seeded with the header.
+    pub created: bool,
+    /// Malformed (non-comment, non-JSON) lines dropped from the
+    /// existing file before appending.
+    pub dropped: usize,
+}
+
+/// Header comment seeding a fresh bench-history ledger.
+pub const HISTORY_HEADER: &str =
+    "# fxnet bench history: one JSON object per run; `#` lines are comments";
+
+/// Append one JSON line to the bench-history ledger at `path`.
+///
+/// An absent or empty ledger is seeded with [`HISTORY_HEADER`] first.
+/// Malformed lines already in the file — e.g. a truncated tail left by
+/// a killed run — are dropped (counted in [`HistoryAppend::dropped`])
+/// rather than corrupting the append, so the new line always lands on
+/// a ledger whose every non-comment line parses as JSON.
+pub fn append_history_line(
+    path: &std::path::Path,
+    json_line: &str,
+) -> std::io::Result<HistoryAppend> {
+    let existing = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let created = existing.trim().is_empty();
+    let mut out = String::new();
+    let mut dropped = 0usize;
+    if created {
+        out.push_str(HISTORY_HEADER);
+        out.push('\n');
+    } else {
+        for line in existing.lines() {
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') || serde::json::parse(t).is_ok() {
+                out.push_str(line);
+                out.push('\n');
+            } else {
+                dropped += 1;
+            }
+        }
+    }
+    out.push_str(json_line.trim_end());
+    out.push('\n');
+    std::fs::write(path, out)?;
+    Ok(HistoryAppend { created, dropped })
 }
 
 /// Events/sec of the calendar `EventQueue` against the reference
@@ -837,6 +905,54 @@ mod tests {
             fresh,
             "the re-simulation must overwrite the stale artifact"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn history_append_seeds_an_absent_or_empty_ledger() {
+        let dir = std::env::temp_dir().join(format!("fxnet-hist-seed-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_history.jsonl");
+        std::fs::remove_file(&path).ok();
+        let a = append_history_line(&path, "{\"run\":1}").unwrap();
+        assert!(a.created);
+        assert_eq!(a.dropped, 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, format!("{HISTORY_HEADER}\n{{\"run\":1}}\n"));
+        // An empty file seeds too.
+        std::fs::write(&path, "").unwrap();
+        assert!(append_history_line(&path, "{\"run\":2}").unwrap().created);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with(HISTORY_HEADER));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn history_append_drops_malformed_tails_and_keeps_good_lines() {
+        let dir = std::env::temp_dir().join(format!("fxnet-hist-mal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_history.jsonl");
+        std::fs::write(
+            &path,
+            format!("{HISTORY_HEADER}\n{{\"run\":1}}\n{{\"run\":2}}\n{{\"trunc"),
+        )
+        .unwrap();
+        let a = append_history_line(&path, "{\"run\":3}").unwrap();
+        assert!(!a.created);
+        assert_eq!(a.dropped, 1, "the truncated tail is dropped");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            format!("{HISTORY_HEADER}\n{{\"run\":1}}\n{{\"run\":2}}\n{{\"run\":3}}\n")
+        );
+        // Every non-comment line of the repaired ledger parses as JSON.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(serde::json::parse(line).is_ok(), "{line}");
+        }
+        // A second append is a pure append: nothing created or dropped.
+        let b = append_history_line(&path, "{\"run\":4}").unwrap();
+        assert!(!b.created);
+        assert_eq!(b.dropped, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

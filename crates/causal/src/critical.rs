@@ -250,6 +250,48 @@ pub fn collective_paths(
     keyed.into_iter().map(|(_, p)| p).collect()
 }
 
+/// The simulated-time intervals during which `link` was the blocking
+/// link of some collective critical path: the `[begin, end)` windows of
+/// every path blaming `link`, sorted and merged (overlapping or abutting
+/// windows coalesce). This is the causal side of the fabric-health
+/// cross-check — the weather map's hotspot windows must overlap these.
+pub fn contended_intervals(paths: &[CollectivePath], link: &str) -> Vec<(SimTime, SimTime)> {
+    let mut spans: Vec<(SimTime, SimTime)> = paths
+        .iter()
+        .filter(|p| p.blocking_link.as_deref() == Some(link))
+        .map(|p| (p.begin, p.end))
+        .collect();
+    spans.sort();
+    let mut merged: Vec<(SimTime, SimTime)> = Vec::new();
+    for (b, e) in spans {
+        match merged.last_mut() {
+            Some((_, le)) if b <= *le => *le = (*le).max(e),
+            _ => merged.push((b, e)),
+        }
+    }
+    merged
+}
+
+/// Whether two sorted interval sets share any positive-length overlap.
+/// Both inputs are `[begin, end)` lists sorted by begin (the shape
+/// [`contended_intervals`] returns).
+pub fn intervals_overlap(a: &[(SimTime, SimTime)], b: &[(SimTime, SimTime)]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (ab, ae) = a[i];
+        let (bb, be) = b[j];
+        if ab.max(bb) < ae.min(be) {
+            return true;
+        }
+        if ae <= be {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +371,43 @@ mod tests {
         assert_eq!(p.segments.serialization_ns, 20_000);
         assert_eq!(p.blocking_link.as_deref(), Some("h1->h2"));
         assert_eq!(p.frames, 1);
+    }
+
+    #[test]
+    fn contended_intervals_merge_and_overlap() {
+        let mk = |link: Option<&str>, b_us: u64, e_us: u64| CollectivePath {
+            tenant: "T".into(),
+            name: "x".into(),
+            instance: 0,
+            straggler_rank: 0,
+            begin: SimTime::from_micros(b_us),
+            end: SimTime::from_micros(e_us),
+            elapsed_ns: (e_us - b_us) * 1000,
+            frames: 0,
+            segments: SegmentBreakdown::default(),
+            blocking_link: link.map(String::from),
+        };
+        let paths = vec![
+            mk(Some("trunk:n0-n1"), 0, 10),
+            mk(Some("trunk:n0-n1"), 5, 20),
+            mk(Some("h0->h1"), 15, 25),
+            mk(Some("trunk:n0-n1"), 40, 50),
+            mk(None, 60, 70),
+        ];
+        let ivs = contended_intervals(&paths, "trunk:n0-n1");
+        assert_eq!(
+            ivs,
+            vec![
+                (SimTime::from_micros(0), SimTime::from_micros(20)),
+                (SimTime::from_micros(40), SimTime::from_micros(50)),
+            ]
+        );
+        let hot = vec![(SimTime::from_micros(18), SimTime::from_micros(22))];
+        assert!(intervals_overlap(&ivs, &hot));
+        let cold = vec![(SimTime::from_micros(20), SimTime::from_micros(40))];
+        assert!(!intervals_overlap(&ivs, &cold), "abutting is not overlap");
+        assert!(contended_intervals(&paths, "nowhere").is_empty());
+        assert!(!intervals_overlap(&[], &hot));
     }
 
     #[test]

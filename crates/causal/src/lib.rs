@@ -38,7 +38,9 @@ pub mod dag;
 pub mod export;
 
 pub use blame::{blame_violation, BlameChain, ViolationBlame};
-pub use critical::{collective_paths, CollectivePath, SegmentBreakdown};
+pub use critical::{
+    collective_paths, contended_intervals, intervals_overlap, CollectivePath, SegmentBreakdown,
+};
 pub use dag::{CauseDag, ConservationError, ConservationReport, Provenance};
 pub use export::{blame_value, chrome_trace, dag_value, paths_value};
 pub use fxnet_sim::{AppCause, CausalEvent, Cause, CauseId, FrameMeta, ProtoCause};

@@ -51,6 +51,7 @@ pub use fxnet_apps as apps;
 pub use fxnet_causal as causal;
 pub use fxnet_fx as fx;
 pub use fxnet_harness as harness;
+pub use fxnet_metrics as metrics;
 pub use fxnet_mix as mix;
 pub use fxnet_numerics as numerics;
 pub use fxnet_proto as proto;

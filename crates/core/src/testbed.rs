@@ -143,6 +143,21 @@ impl Testbed {
         kernel.run_paper(self.cfg.clone(), iter_div)
     }
 
+    /// [`Testbed::run_kernel`] with explicit [`RunOptions`] — the hook
+    /// the observability experiments use to attach a frame tap, causal
+    /// capture, or per-link sampling to a kernel run.
+    ///
+    /// # Errors
+    /// Propagates any [`fxnet_fx::FxnetError`] from the engine.
+    pub fn run_kernel_opts(
+        &self,
+        kernel: KernelKind,
+        iter_div: usize,
+        opts: RunOptions,
+    ) -> FxnetResult<RunResult<u64>> {
+        kernel.run_paper_opts(self.cfg.clone(), iter_div, opts)
+    }
+
     /// Run the AIRSHED skeleton with explicit parameters.
     ///
     /// # Errors
@@ -182,6 +197,18 @@ impl Testbed {
         run_single(self.cfg.clone(), f, RunOptions::default())
     }
 
+    /// [`Testbed::try_run`] with explicit [`RunOptions`].
+    ///
+    /// # Errors
+    /// Propagates any [`fxnet_fx::FxnetError`] from the engine.
+    pub fn try_run_opts<T, F>(&self, f: F, opts: RunOptions) -> FxnetResult<RunResult<T>>
+    where
+        T: Send + 'static,
+        F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+    {
+        run_single(self.cfg.clone(), f, opts)
+    }
+
     /// Start building a multi-tenant mixed run on this testbed: add
     /// tenants with [`fxnet_mix::Mix::tenant`], then
     /// [`fxnet_mix::Mix::run`].
@@ -200,6 +227,21 @@ mod tests {
         let tb = Testbed::paper();
         assert_eq!(tb.config().p, 4);
         assert_eq!(tb.config().hosts, 9);
+    }
+
+    #[test]
+    fn run_kernel_opts_samples_links_without_perturbing() {
+        let tb = Testbed::quiet(4);
+        let plain = tb.run_kernel(KernelKind::Seq, 100).unwrap();
+        let opts = RunOptions {
+            sample_links: Some(1_000_000),
+            ..RunOptions::default()
+        };
+        let sampled = tb.run_kernel_opts(KernelKind::Seq, 100, opts).unwrap();
+        assert!(plain.link_stats.is_none());
+        let stats = sampled.link_stats.as_ref().expect("sampled link stats");
+        assert!(stats.links.iter().any(|(_, s)| !s.is_empty()));
+        assert_eq!(plain.trace, sampled.trace, "sampling must not perturb");
     }
 
     #[test]

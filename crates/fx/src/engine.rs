@@ -95,6 +95,8 @@ pub struct RunResult<T> {
     pub telemetry: Option<RunTelemetry>,
     /// Causal capture, when [`RunOptions::causal`] was set.
     pub causal: Option<CausalRun>,
+    /// Per-link sample series, when [`RunOptions::sample_links`] was set.
+    pub link_stats: Option<fxnet_sim::LinkStats>,
 }
 
 /// One application-level send operation recorded during a causal run.
@@ -329,6 +331,10 @@ pub struct RunOptions {
     /// cause ids reference). Tagging rides the token side-table, so the
     /// trace stays byte-identical with capture on or off.
     pub causal: bool,
+    /// Enable passive per-link sampling at the given base window (ns) —
+    /// the `fxnet-metrics` weather-map feed. Strictly observational: the
+    /// trace is byte-identical with sampling on or off.
+    pub sample_links: Option<u64>,
 }
 
 impl RunOptions {
@@ -414,6 +420,8 @@ pub struct MultiRunResult<T> {
     pub telemetry: Option<RunTelemetry>,
     /// Causal capture, when [`RunOptions::causal`] was set.
     pub causal: Option<CausalRun>,
+    /// Per-link sample series, when [`RunOptions::sample_links`] was set.
+    pub link_stats: Option<fxnet_sim::LinkStats>,
 }
 
 impl<T> MultiRunResult<T> {
@@ -437,6 +445,7 @@ impl<T> MultiRunResult<T> {
             finished_at: self.finished_at,
             telemetry: self.telemetry,
             causal: self.causal,
+            link_stats: self.link_stats,
         }
     }
 }
@@ -552,6 +561,7 @@ where
     pvm.set_promiscuous(true);
     pvm.set_tap(tap);
     pvm.set_causal(causal);
+    pvm.set_link_sampling(opts.sample_links);
 
     let p = total as usize;
     // Global rank → group index.
@@ -1076,6 +1086,7 @@ where
         } else {
             None
         },
+        link_stats: pvm.take_link_stats(),
     })
 }
 

@@ -1,0 +1,549 @@
+//! Deterministic exports of a [`WeatherReport`]: structured JSON,
+//! line-per-observation JSONL, the Prometheus snapshot (through
+//! `fxnet-telemetry`), and Perfetto counter tracks that sit alongside
+//! the causal critical-path slices in one Chrome trace file.
+//!
+//! Every export walks the report in its stored order (links in sampler
+//! order, windows ascending, scales finest-first), builds
+//! insertion-ordered JSON objects, and performs no floating-point
+//! reassociation — so byte-identical reports yield byte-identical
+//! artifacts regardless of thread count or host.
+
+use crate::matrix::ScalingRelation;
+use crate::rollup::{FabricRollup, GroupHealth, Hotspot, LinkHealth};
+use crate::sampler::WeatherReport;
+use fxnet_sim::LinkWindow;
+use fxnet_telemetry::{labeled, TelemetryRegistry};
+use serde::Value;
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn window_value(w: u64, win: &LinkWindow, window_ns: u64) -> Value {
+    obj(vec![
+        ("w", Value::U64(w)),
+        ("bytes", Value::U64(win.bytes)),
+        ("frames", Value::U64(win.frames)),
+        ("busy_ns", Value::U64(win.busy_ns)),
+        ("wait_ns", Value::U64(win.wait_ns)),
+        ("backoff_ns", Value::U64(win.backoff_ns)),
+        ("collisions", Value::U64(win.collisions)),
+        ("retx_bytes", Value::U64(win.retx_bytes)),
+        ("depth_max", Value::U64(u64::from(win.depth_max))),
+        ("util", Value::F64(win.utilization(window_ns))),
+    ])
+}
+
+fn total_value(win: &LinkWindow) -> Value {
+    obj(vec![
+        ("bytes", Value::U64(win.bytes)),
+        ("frames", Value::U64(win.frames)),
+        ("busy_ns", Value::U64(win.busy_ns)),
+        ("wait_ns", Value::U64(win.wait_ns)),
+        ("backoff_ns", Value::U64(win.backoff_ns)),
+        ("collisions", Value::U64(win.collisions)),
+        ("retx_bytes", Value::U64(win.retx_bytes)),
+        ("depth_max", Value::U64(u64::from(win.depth_max))),
+    ])
+}
+
+fn link_health_value(lh: &LinkHealth) -> Value {
+    obj(vec![
+        ("label", Value::Str(lh.label.clone())),
+        ("window_ns", Value::U64(lh.window_ns)),
+        ("windows", Value::U64(lh.windows)),
+        ("total", total_value(&lh.total)),
+        ("peak_utilization", Value::F64(lh.peak_utilization)),
+        ("mean_utilization", Value::F64(lh.mean_utilization)),
+        ("peak_depth", Value::U64(u64::from(lh.peak_depth))),
+    ])
+}
+
+fn group_value(g: &GroupHealth) -> Value {
+    obj(vec![
+        ("name", Value::Str(g.name.clone())),
+        (
+            "members",
+            Value::Array(g.members.iter().map(|m| Value::Str(m.clone())).collect()),
+        ),
+        ("total", total_value(&g.total)),
+        ("peak_utilization", Value::F64(g.peak_utilization)),
+        ("peak_depth", Value::U64(u64::from(g.peak_depth))),
+    ])
+}
+
+fn hotspot_value(h: &Hotspot) -> Value {
+    obj(vec![
+        ("link", Value::Str(h.link.clone())),
+        ("flagged_at_ns", Value::U64(h.flagged_at.as_nanos())),
+        (
+            "windows",
+            Value::Array(h.windows.iter().map(|&w| Value::U64(w)).collect()),
+        ),
+        (
+            "intervals_ns",
+            Value::Array(
+                h.intervals
+                    .iter()
+                    .map(|&(b, e)| {
+                        Value::Array(vec![Value::U64(b.as_nanos()), Value::U64(e.as_nanos())])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("peak_utilization", Value::F64(h.peak_utilization)),
+        ("peak_depth", Value::U64(u64::from(h.peak_depth))),
+    ])
+}
+
+fn scaling_value(s: &ScalingRelation) -> Value {
+    obj(vec![
+        ("scale", Value::U64(s.scale)),
+        ("window_ns", Value::U64(s.window_ns)),
+        ("windows", Value::U64(s.windows)),
+        ("total_packets", Value::U64(s.total_packets)),
+        ("max_packets", Value::U64(s.max_packets)),
+        ("mean_packets", Value::F64(s.mean_packets)),
+        ("max_distinct_pairs", Value::U64(s.max_distinct_pairs)),
+        ("mean_distinct_pairs", Value::F64(s.mean_distinct_pairs)),
+        ("max_degree", Value::U64(u64::from(s.max_degree))),
+        ("max_degree_host", Value::U64(u64::from(s.max_degree_host))),
+    ])
+}
+
+fn rollup_value(r: &FabricRollup) -> Value {
+    obj(vec![
+        ("window_ns", Value::U64(r.window_ns)),
+        (
+            "links",
+            Value::Array(r.links.iter().map(link_health_value).collect()),
+        ),
+        (
+            "nodes",
+            Value::Array(r.nodes.iter().map(group_value).collect()),
+        ),
+        ("fabric", group_value(&r.fabric)),
+        (
+            "hotspots",
+            Value::Array(r.hotspots.iter().map(hotspot_value).collect()),
+        ),
+    ])
+}
+
+/// The full weather report as one deterministic JSON value: ring
+/// ladders per link, the hypersparse matrices, scaling relations and
+/// the rollup.
+pub fn report_value(r: &WeatherReport) -> Value {
+    let links = r
+        .rings
+        .iter()
+        .map(|(label, ring)| {
+            let levels = (0..ring.depth())
+                .map(|lvl| {
+                    let wns = ring.level_bin_ns(lvl);
+                    obj(vec![
+                        ("scale", Value::U64(ring.scales()[lvl])),
+                        ("window_ns", Value::U64(wns)),
+                        (
+                            "windows",
+                            Value::Array(
+                                ring.windows(lvl)
+                                    .map(|(w, win)| window_value(w, win, wns))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect();
+            obj(vec![
+                ("label", Value::Str(label.clone())),
+                ("levels", Value::Array(levels)),
+                ("total", total_value(&ring.total())),
+            ])
+        })
+        .collect();
+
+    let pairs = Value::Array(
+        r.matrices
+            .space
+            .iter()
+            .map(|(s, d)| Value::Array(vec![Value::U64(u64::from(s)), Value::U64(u64::from(d))]))
+            .collect(),
+    );
+    let scales = Value::Array(
+        r.matrices
+            .scales
+            .iter()
+            .map(|sm| {
+                obj(vec![
+                    ("scale", Value::U64(sm.scale)),
+                    (
+                        "windows",
+                        Value::Array(
+                            sm.windows
+                                .iter()
+                                .map(|(&w, m)| {
+                                    obj(vec![
+                                        ("w", Value::U64(w)),
+                                        (
+                                            "pairs",
+                                            Value::Array(
+                                                m.pair_ids
+                                                    .iter()
+                                                    .map(|&p| Value::U64(u64::from(p)))
+                                                    .collect(),
+                                            ),
+                                        ),
+                                        (
+                                            "packets",
+                                            Value::Array(
+                                                m.packets.iter().map(|&p| Value::U64(p)).collect(),
+                                            ),
+                                        ),
+                                        (
+                                            "bytes",
+                                            Value::Array(
+                                                m.bytes.iter().map(|&b| Value::U64(b)).collect(),
+                                            ),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+
+    obj(vec![
+        ("bin_ns", Value::U64(r.bin_ns)),
+        (
+            "scales",
+            Value::Array(r.scales.iter().map(|&s| Value::U64(s)).collect()),
+        ),
+        ("links", Value::Array(links)),
+        (
+            "traffic",
+            obj(vec![
+                ("pairs", pairs),
+                ("scales", scales),
+                (
+                    "scaling",
+                    Value::Array(r.scaling.iter().map(scaling_value).collect()),
+                ),
+            ]),
+        ),
+        ("rollup", rollup_value(&r.rollup)),
+    ])
+}
+
+/// The weather stream: one JSON object per line. A `meta` header, one
+/// `w` line per touched detection-level window per link, one `scaling`
+/// line per ladder level, one `hotspot` line per latched hotspot.
+pub fn report_jsonl(r: &WeatherReport) -> String {
+    let mut out = String::new();
+    let mut push = |v: Value| {
+        out.push_str(&serde::json::to_string(&v));
+        out.push('\n');
+    };
+    push(obj(vec![
+        ("t", Value::Str("meta".into())),
+        ("bin_ns", Value::U64(r.bin_ns)),
+        (
+            "scales",
+            Value::Array(r.scales.iter().map(|&s| Value::U64(s)).collect()),
+        ),
+        ("links", Value::U64(r.rings.len() as u64)),
+        ("pairs", Value::U64(r.matrices.space.len() as u64)),
+    ]));
+    for (label, ring) in &r.rings {
+        let lvl = crate::rollup::HotspotConfig::default()
+            .level
+            .min(ring.depth() - 1);
+        let wns = ring.level_bin_ns(lvl);
+        for (w, win) in ring.windows(lvl) {
+            let mut v = vec![
+                ("t", Value::Str("w".into())),
+                ("link", Value::Str(label.clone())),
+            ];
+            let Value::Object(rest) = window_value(w, win, wns) else {
+                unreachable!("window_value builds an object");
+            };
+            let mut entries: Vec<(String, Value)> =
+                v.drain(..).map(|(k, val)| (k.to_string(), val)).collect();
+            entries.extend(rest);
+            push(Value::Object(entries));
+        }
+    }
+    for s in &r.scaling {
+        let Value::Object(rest) = scaling_value(s) else {
+            unreachable!("scaling_value builds an object");
+        };
+        let mut entries = vec![("t".to_string(), Value::Str("scaling".into()))];
+        entries.extend(rest);
+        push(Value::Object(entries));
+    }
+    for h in &r.rollup.hotspots {
+        let Value::Object(rest) = hotspot_value(h) else {
+            unreachable!("hotspot_value builds an object");
+        };
+        let mut entries = vec![("t".to_string(), Value::Str("hotspot".into()))];
+        entries.extend(rest);
+        push(Value::Object(entries));
+    }
+    out
+}
+
+/// Snapshot the report into the unified registry under labeled
+/// `fabric_*` families, Prometheus-ready: totals as counters, peaks
+/// and scaling relations as gauges, one `fabric_hotspot_flagged` gauge
+/// per latched hotspot.
+pub fn fill_registry(r: &WeatherReport, reg: &mut TelemetryRegistry) {
+    fill_registry_labeled(r, reg, &[]);
+}
+
+/// [`fill_registry`] with `extra` label pairs appended to every sample
+/// — e.g. `[("prog", "SOR")]` so several programs' reports coexist in
+/// one registry without colliding.
+pub fn fill_registry_labeled(
+    r: &WeatherReport,
+    reg: &mut TelemetryRegistry,
+    extra: &[(&str, &str)],
+) {
+    let with = |own: &[(&str, &str)]| -> Vec<(String, String)> {
+        own.iter()
+            .chain(extra)
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    };
+    let name = |base: &str, labels: &Vec<(String, String)>| -> String {
+        if labels.is_empty() {
+            base.to_string()
+        } else {
+            let refs: Vec<(&str, &str)> = labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            labeled(base, &refs)
+        }
+    };
+    for lh in &r.rollup.links {
+        let l = with(&[("link", lh.label.as_str())]);
+        reg.set_counter(name("fabric_link_bytes_total", &l), lh.total.bytes);
+        reg.set_counter(name("fabric_link_frames_total", &l), lh.total.frames);
+        reg.set_counter(
+            name("fabric_link_collisions_total", &l),
+            lh.total.collisions,
+        );
+        reg.set_counter(
+            name("fabric_link_retx_bytes_total", &l),
+            lh.total.retx_bytes,
+        );
+        reg.set_gauge(
+            name("fabric_link_utilization_peak", &l),
+            lh.peak_utilization,
+        );
+        reg.set_gauge(
+            name("fabric_link_utilization_mean", &l),
+            lh.mean_utilization,
+        );
+        reg.set_gauge(
+            name("fabric_link_queue_depth_peak", &l),
+            f64::from(lh.peak_depth),
+        );
+    }
+    for g in r
+        .rollup
+        .nodes
+        .iter()
+        .chain(std::iter::once(&r.rollup.fabric))
+    {
+        let l = with(&[("node", g.name.as_str())]);
+        reg.set_counter(name("fabric_node_bytes_total", &l), g.total.bytes);
+        reg.set_gauge(name("fabric_node_utilization_peak", &l), g.peak_utilization);
+    }
+    for h in &r.rollup.hotspots {
+        let l = with(&[("link", h.link.as_str())]);
+        reg.set_gauge(name("fabric_hotspot_flagged", &l), 1.0);
+        reg.set_gauge(
+            name("fabric_hotspot_flagged_at_seconds", &l),
+            h.flagged_at.as_nanos() as f64 / 1e9,
+        );
+        reg.set_counter(
+            name("fabric_hotspot_windows_total", &l),
+            h.windows.len() as u64,
+        );
+    }
+    for s in &r.scaling {
+        let scale = s.scale.to_string();
+        let l = with(&[("scale", scale.as_str())]);
+        reg.set_counter(name("fabric_matrix_packets_total", &l), s.total_packets);
+        reg.set_gauge(
+            name("fabric_matrix_pairs_max", &l),
+            s.max_distinct_pairs as f64,
+        );
+        reg.set_gauge(name("fabric_matrix_pairs_mean", &l), s.mean_distinct_pairs);
+        reg.set_gauge(
+            name("fabric_matrix_degree_max", &l),
+            f64::from(s.max_degree),
+        );
+    }
+    reg.set_counter(
+        name("fabric_pairs_distinct", &with(&[])),
+        r.matrices.space.len() as u64,
+    );
+}
+
+/// Perfetto counter tracks (`ph:"C"`): per link direction, a
+/// utilization track and a queue-depth track sampled at the detection
+/// resolution, each closed with a zero sample one window after the last
+/// touched window. Concatenate with the causal `chrome_trace` slice
+/// array to see hotspot windows under the straggler spans they explain.
+pub fn counter_events(r: &WeatherReport) -> Vec<Value> {
+    let mut out = Vec::new();
+    let micros = |ns: u64| Value::F64(ns as f64 / 1000.0);
+    for (label, ring) in &r.rings {
+        let lvl = crate::rollup::HotspotConfig::default()
+            .level
+            .min(ring.depth() - 1);
+        let wns = ring.level_bin_ns(lvl);
+        let mut sample = |name: String, ts_ns: u64, key: &str, v: Value| {
+            out.push(obj(vec![
+                ("name", Value::Str(name)),
+                ("ph", Value::Str("C".into())),
+                ("ts", micros(ts_ns)),
+                ("pid", Value::U64(0)),
+                ("args", obj(vec![(key, v)])),
+            ]));
+        };
+        let mut last = None;
+        for (w, win) in ring.windows(lvl) {
+            sample(
+                format!("util {label}"),
+                w * wns,
+                "utilization",
+                Value::F64(win.utilization(wns)),
+            );
+            sample(
+                format!("depth {label}"),
+                w * wns,
+                "frames",
+                Value::U64(u64::from(win.depth_max)),
+            );
+            last = Some(w);
+        }
+        if let Some(w) = last {
+            sample(
+                format!("util {label}"),
+                (w + 1) * wns,
+                "utilization",
+                Value::F64(0.0),
+            );
+            sample(
+                format!("depth {label}"),
+                (w + 1) * wns,
+                "frames",
+                Value::U64(0),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::FabricSampler;
+    use fxnet_sim::{LinkSeries, LinkStats};
+    use fxnet_telemetry::{parse_prometheus, prometheus_text};
+
+    fn report() -> WeatherReport {
+        let mut sampler = FabricSampler::new();
+        let mut tap = sampler.tap();
+        for i in 0..20u64 {
+            tap(&fxnet_sim::FrameRecord {
+                time: fxnet_sim::SimTime::from_millis(i),
+                wire_len: 1000,
+                proto: fxnet_sim::Proto::Tcp,
+                kind: fxnet_sim::FrameKind::Data,
+                src: fxnet_sim::HostId((i % 3) as u32),
+                dst: fxnet_sim::HostId(((i + 1) % 3) as u32),
+            });
+        }
+        drop(tap);
+        // 60 ms of 90% utilization: six 10 ms detection windows, enough
+        // for the default k = 4 streak to latch a hotspot.
+        let mut series = LinkSeries::new();
+        for w in 0..60u64 {
+            let win = series.window_mut(w);
+            win.bytes = 1000;
+            win.frames = 1;
+            win.busy_ns = 900_000;
+            win.depth_max = 3;
+        }
+        sampler.ingest_links(&LinkStats {
+            bin_ns: 1_000_000,
+            links: vec![("trunk:n0-n1:fwd".to_string(), series)],
+        });
+        sampler.finalize(None)
+    }
+
+    #[test]
+    fn json_and_jsonl_are_deterministic() {
+        let a = serde::json::to_string(&report_value(&report()));
+        let b = serde::json::to_string(&report_value(&report()));
+        assert_eq!(a, b);
+        assert_eq!(report_jsonl(&report()), report_jsonl(&report()));
+        let jsonl = report_jsonl(&report());
+        assert!(jsonl.lines().next().unwrap().contains("\"meta\""));
+        assert!(jsonl.lines().all(|l| serde::json::parse(l).is_ok()));
+        assert!(jsonl.contains("\"hotspot\""), "90% for 60 ms must flag");
+    }
+
+    #[test]
+    fn registry_snapshot_round_trips_through_prometheus_text() {
+        let r = report();
+        let mut reg = TelemetryRegistry::new();
+        fill_registry(&r, &mut reg);
+        let text = prometheus_text(&reg);
+        assert!(text.contains("fabric_link_bytes_total{link=\"trunk:n0-n1:fwd\"} 60000"));
+        assert!(text.contains("fabric_hotspot_flagged{link=\"trunk:n0-n1\"} 1"));
+        let parsed = parse_prometheus(&text).unwrap();
+        let n = reg.counters().count() + reg.gauges().count();
+        assert_eq!(parsed.len(), n);
+        // Every registry value survives the text round trip exactly.
+        for (name, v) in reg.counters() {
+            let got = parsed.iter().find(|(k, _)| k == name).unwrap().1;
+            assert_eq!(got, v as f64, "{name}");
+        }
+    }
+
+    #[test]
+    fn counter_events_form_closed_tracks() {
+        let evs = counter_events(&report());
+        // Six 10 ms windows × 2 tracks + 2 closing zeros.
+        assert_eq!(evs.len(), 14);
+        for e in &evs {
+            assert_eq!(e.get("ph").and_then(|v| v.as_str()), Some("C"));
+            assert!(e.get("ts").is_some());
+        }
+        let last_util = evs
+            .iter()
+            .rfind(|e| e.get("name").and_then(|v| v.as_str()) == Some("util trunk:n0-n1:fwd"))
+            .unwrap();
+        assert_eq!(
+            last_util
+                .get("args")
+                .and_then(|a| a.get("utilization"))
+                .and_then(|v| v.as_f64()),
+            Some(0.0)
+        );
+    }
+}

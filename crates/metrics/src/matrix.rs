@@ -1,0 +1,453 @@
+//! Hypersparse per-window traffic matrices, Kepner style.
+//!
+//! Each sample window gets a src×dst traffic matrix stored
+//! doubly-compressed: the host-pair id space is a single sorted vector
+//! of the `(src, dst)` pairs that *ever* carried traffic (exactly the
+//! sorted pair order `fxnet_trace::TraceStore`'s connection index
+//! builds), and a window's matrix is the ascending list of pair ids
+//! active in it with packet and byte counts. Hosts and pairs that are
+//! silent in a window cost nothing — the common case at millisecond
+//! resolution, where a 9-host LAN has 72 possible pairs and a window
+//! typically touches one or two.
+//!
+//! Matrices are kept at the same resolution ladder as the link rings,
+//! each coarse window the exact merge of its fine windows, and the
+//! per-scale [`ScalingRelation`] summaries report how packets per
+//! window, distinct pairs and the max-degree host grow with window
+//! width — the scaling relations hypersparse traffic analysis plots.
+
+use fxnet_sim::{FrameRecord, SimTime};
+use fxnet_trace::TraceStore;
+use std::collections::BTreeMap;
+
+/// The sorted host-pair id space: pair id = index into the sorted,
+/// deduplicated `(src, dst)` vector. Matches the pair ordering of
+/// [`TraceStore::host_pairs`] so matrix rows and connection-index rows
+/// agree on numbering.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PairSpace {
+    pairs: Vec<(u32, u32)>,
+}
+
+impl PairSpace {
+    /// Build from any pair list (sorted and deduplicated here).
+    pub fn from_pairs(mut pairs: Vec<(u32, u32)>) -> PairSpace {
+        pairs.sort_unstable();
+        pairs.dedup();
+        PairSpace { pairs }
+    }
+
+    /// The pair space of a stored trace, read straight off its
+    /// connection index.
+    pub fn from_store(store: &TraceStore) -> PairSpace {
+        // host_pairs() iterates the connection index ascending, so the
+        // vector arrives sorted and deduplicated already.
+        PairSpace {
+            pairs: store
+                .host_pairs()
+                .iter()
+                .map(|&((s, d), _)| (s.0, d.0))
+                .collect(),
+        }
+    }
+
+    /// Number of pairs in the space.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The id of `(src, dst)`, if it carried traffic.
+    pub fn id(&self, src: u32, dst: u32) -> Option<u32> {
+        self.pairs.binary_search(&(src, dst)).ok().map(|i| i as u32)
+    }
+
+    /// The `(src, dst)` pair of id `id`.
+    pub fn pair(&self, id: u32) -> (u32, u32) {
+        self.pairs[id as usize]
+    }
+
+    /// Sorted iteration over the pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.pairs.iter().copied()
+    }
+}
+
+/// One window's hypersparse matrix: ascending active pair ids with
+/// packet/byte counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WindowMatrix {
+    /// Active pair ids, ascending.
+    pub pair_ids: Vec<u32>,
+    /// Packets per active pair.
+    pub packets: Vec<u64>,
+    /// Wire bytes per active pair.
+    pub bytes: Vec<u64>,
+}
+
+impl WindowMatrix {
+    /// Number of active pairs (stored nonzeros).
+    pub fn nnz(&self) -> usize {
+        self.pair_ids.len()
+    }
+
+    /// Total packets in the window.
+    pub fn total_packets(&self) -> u64 {
+        self.packets.iter().sum()
+    }
+
+    /// Total wire bytes in the window.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Merge another window's matrix in (sorted-merge; counts add).
+    pub fn fold(&mut self, o: &WindowMatrix) {
+        let (mut ids, mut pk, mut by) = (Vec::new(), Vec::new(), Vec::new());
+        let (mut i, mut j) = (0, 0);
+        while i < self.pair_ids.len() || j < o.pair_ids.len() {
+            let a = self.pair_ids.get(i).copied().unwrap_or(u32::MAX);
+            let b = o.pair_ids.get(j).copied().unwrap_or(u32::MAX);
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => {
+                    ids.push(a);
+                    pk.push(self.packets[i]);
+                    by.push(self.bytes[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    ids.push(b);
+                    pk.push(o.packets[j]);
+                    by.push(o.bytes[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    ids.push(a);
+                    pk.push(self.packets[i] + o.packets[j]);
+                    by.push(self.bytes[i] + o.bytes[j]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        self.pair_ids = ids;
+        self.packets = pk;
+        self.bytes = by;
+    }
+
+    /// The host with the most distinct partners (in-degree plus
+    /// out-degree over active pairs) in this window, with its degree;
+    /// smallest host id wins ties. `None` when the window is empty.
+    pub fn max_degree(&self, space: &PairSpace) -> Option<(u32, u32)> {
+        let mut deg: BTreeMap<u32, u32> = BTreeMap::new();
+        for &id in &self.pair_ids {
+            let (s, d) = space.pair(id);
+            *deg.entry(s).or_default() += 1;
+            *deg.entry(d).or_default() += 1;
+        }
+        deg.into_iter()
+            .max_by_key(|&(h, d)| (d, std::cmp::Reverse(h)))
+    }
+}
+
+/// The matrices of one resolution: window index (at this scale) →
+/// matrix, sparse and sorted.
+#[derive(Debug, Clone, Default)]
+pub struct ScaleMatrices {
+    /// Width multiple of the base window.
+    pub scale: u64,
+    /// Touched windows only, ascending.
+    pub windows: BTreeMap<u64, WindowMatrix>,
+}
+
+/// Per-scale summary: how traffic concentrates as the window widens —
+/// the numbers a scaling-relation plot needs.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScalingRelation {
+    /// Width multiple of the base window.
+    pub scale: u64,
+    /// Window width, ns.
+    pub window_ns: u64,
+    /// Nonempty windows at this scale.
+    pub windows: u64,
+    /// Total packets (identical at every scale — conservation).
+    pub total_packets: u64,
+    /// Largest packets-per-window.
+    pub max_packets: u64,
+    /// Mean packets over nonempty windows.
+    pub mean_packets: f64,
+    /// Largest distinct-pair count in one window.
+    pub max_distinct_pairs: u64,
+    /// Mean distinct pairs over nonempty windows.
+    pub mean_distinct_pairs: f64,
+    /// Largest host degree (distinct partners, in+out) in one window.
+    pub max_degree: u32,
+    /// The host that reached `max_degree` (smallest id on ties).
+    pub max_degree_host: u32,
+}
+
+/// The complete multi-temporal matrix set of one run.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficMatrices {
+    /// Base window width, ns.
+    pub bin_ns: u64,
+    /// The global sorted host-pair id space.
+    pub space: PairSpace,
+    /// Matrices per resolution, finest first.
+    pub scales: Vec<ScaleMatrices>,
+}
+
+impl TrafficMatrices {
+    /// The per-scale scaling-relation summaries, finest first.
+    pub fn summaries(&self) -> Vec<ScalingRelation> {
+        self.scales
+            .iter()
+            .map(|sm| {
+                let n = sm.windows.len() as u64;
+                let total: u64 = sm.windows.values().map(WindowMatrix::total_packets).sum();
+                let max_packets = sm
+                    .windows
+                    .values()
+                    .map(WindowMatrix::total_packets)
+                    .max()
+                    .unwrap_or(0);
+                let max_nnz = sm
+                    .windows
+                    .values()
+                    .map(WindowMatrix::nnz)
+                    .max()
+                    .unwrap_or(0);
+                let sum_nnz: usize = sm.windows.values().map(WindowMatrix::nnz).sum();
+                let (max_degree_host, max_degree) = sm
+                    .windows
+                    .values()
+                    .filter_map(|w| w.max_degree(&self.space))
+                    .max_by_key(|&(h, d)| (d, std::cmp::Reverse(h)))
+                    .unwrap_or((0, 0));
+                ScalingRelation {
+                    scale: sm.scale,
+                    window_ns: self.bin_ns * sm.scale,
+                    windows: n,
+                    total_packets: total,
+                    max_packets,
+                    mean_packets: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+                    max_distinct_pairs: max_nnz as u64,
+                    mean_distinct_pairs: if n == 0 {
+                        0.0
+                    } else {
+                        sum_nnz as f64 / n as f64
+                    },
+                    max_degree,
+                    max_degree_host,
+                }
+            })
+            .collect()
+    }
+
+    /// The matrices of the finest scale.
+    pub fn base(&self) -> &ScaleMatrices {
+        &self.scales[0]
+    }
+}
+
+/// Per-pair packet and byte counts of one accumulating window.
+type PairCounts = BTreeMap<(u32, u32), (u64, u64)>;
+
+/// Streaming accumulator fed one frame at a time (the frame-tap path);
+/// [`MatrixAccum::finalize`] builds the pair space and the full ladder.
+#[derive(Debug, Default)]
+pub struct MatrixAccum {
+    bin_ns: u64,
+    windows: BTreeMap<u64, PairCounts>,
+}
+
+impl MatrixAccum {
+    /// An empty accumulator over base windows of `bin_ns`.
+    pub fn new(bin_ns: u64) -> MatrixAccum {
+        MatrixAccum {
+            bin_ns: bin_ns.max(1),
+            windows: BTreeMap::new(),
+        }
+    }
+
+    /// Count one delivered frame.
+    pub fn record(&mut self, time: SimTime, src: u32, dst: u32, wire: u64) {
+        let w = time.as_nanos() / self.bin_ns;
+        let cell = self
+            .windows
+            .entry(w)
+            .or_default()
+            .entry((src, dst))
+            .or_default();
+        cell.0 += 1;
+        cell.1 += wire;
+    }
+
+    /// Count a whole trace.
+    pub fn record_trace(&mut self, trace: &[FrameRecord]) {
+        for r in trace {
+            self.record(r.time, r.src.0, r.dst.0, u64::from(r.wire_len));
+        }
+    }
+
+    /// Total frames recorded so far.
+    pub fn frames(&self) -> u64 {
+        self.windows
+            .values()
+            .flat_map(|m| m.values())
+            .map(|&(p, _)| p)
+            .sum()
+    }
+
+    /// Build the pair space and the matrix ladder. `scales` must be
+    /// strictly increasing starting at 1, like the ring ladder.
+    pub fn finalize(self, scales: &[u64]) -> TrafficMatrices {
+        let space = PairSpace::from_pairs(
+            self.windows
+                .values()
+                .flat_map(|m| m.keys().copied())
+                .collect(),
+        );
+        let mut out: Vec<ScaleMatrices> = scales
+            .iter()
+            .map(|&scale| ScaleMatrices {
+                scale,
+                windows: BTreeMap::new(),
+            })
+            .collect();
+        for (w, cells) in &self.windows {
+            // Cells arrive in sorted pair order from the BTreeMap, so
+            // the per-window vectors are ascending by construction.
+            let mut m = WindowMatrix::default();
+            for (&(s, d), &(pk, by)) in cells {
+                m.pair_ids.push(space.id(s, d).expect("pair in space"));
+                m.packets.push(pk);
+                m.bytes.push(by);
+            }
+            for sm in &mut out {
+                sm.windows.entry(w / sm.scale).or_default().fold(&m);
+            }
+        }
+        TrafficMatrices {
+            bin_ns: self.bin_ns,
+            space,
+            scales: out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxnet_sim::{FrameKind, HostId, Proto};
+    use proptest::prelude::*;
+
+    fn rec(ms: u64, src: u32, dst: u32, len: u32) -> FrameRecord {
+        FrameRecord {
+            time: SimTime::from_millis(ms),
+            wire_len: len,
+            proto: Proto::Tcp,
+            kind: FrameKind::Data,
+            src: HostId(src),
+            dst: HostId(dst),
+        }
+    }
+
+    #[test]
+    fn pair_space_matches_trace_store_index() {
+        let trace = vec![
+            rec(0, 3, 1, 100),
+            rec(1, 0, 2, 200),
+            rec(2, 3, 1, 100),
+            rec(3, 2, 0, 60),
+        ];
+        let mut acc = MatrixAccum::new(1_000_000);
+        acc.record_trace(&trace);
+        let m = acc.finalize(&[1]);
+        let store = TraceStore::from_records(&trace);
+        assert_eq!(m.space, PairSpace::from_store(&store));
+        assert_eq!(m.space.len(), 3);
+        assert_eq!(m.space.id(0, 2), Some(0));
+        assert_eq!(m.space.pair(2), (3, 1));
+    }
+
+    #[test]
+    fn window_matrices_are_hypersparse_and_fold_exactly() {
+        let mut acc = MatrixAccum::new(1_000_000);
+        // Windows 0 and 1 (1 ms), then a lone frame at 15 ms.
+        acc.record_trace(&[
+            rec(0, 0, 1, 100),
+            rec(0, 1, 0, 60),
+            rec(1, 0, 1, 100),
+            rec(15, 2, 3, 500),
+        ]);
+        let m = acc.finalize(&[1, 10]);
+        assert_eq!(m.base().windows.len(), 3);
+        assert_eq!(m.scales[1].windows.len(), 2);
+        // The 10 ms bucket 0 merges base windows 0 and 1.
+        let coarse = &m.scales[1].windows[&0];
+        assert_eq!(coarse.nnz(), 2);
+        assert_eq!(coarse.total_packets(), 3);
+        assert_eq!(coarse.total_bytes(), 260);
+        // Degree: host 0 and 1 both have 2 partnerships; smallest wins.
+        assert_eq!(coarse.max_degree(&m.space), Some((0, 2)));
+    }
+
+    #[test]
+    fn scaling_relations_conserve_and_widen() {
+        let mut acc = MatrixAccum::new(1_000_000);
+        for ms in 0..50 {
+            acc.record_trace(&[rec(ms, ms as u32 % 4, (ms as u32 + 1) % 4, 100)]);
+        }
+        let m = acc.finalize(&[1, 10]);
+        let s = m.summaries();
+        assert_eq!(s[0].total_packets, 50);
+        assert_eq!(s[1].total_packets, 50, "packets conserved across scales");
+        assert!(s[1].mean_packets > s[0].mean_packets);
+        assert!(s[1].mean_distinct_pairs >= s[0].mean_distinct_pairs);
+        assert_eq!(s[0].window_ns, 1_000_000);
+        assert_eq!(s[1].window_ns, 10_000_000);
+    }
+
+    proptest! {
+        /// Conservation across the ladder on arbitrary traffic: every
+        /// scale carries exactly the recorded packets and bytes, and
+        /// every coarse window is the merge of its fine windows.
+        #[test]
+        fn ladder_conserves_arbitrary_traffic(
+            frames in prop::collection::vec((0u64..200, 0u32..6, 0u32..6, 60u32..1500), 1..120),
+        ) {
+            let mut acc = MatrixAccum::new(1_000_000);
+            let mut packets = 0u64;
+            let mut bytes = 0u64;
+            for &(ms, s, d, len) in &frames {
+                if s == d { continue; }
+                acc.record(SimTime::from_millis(ms), s, d, u64::from(len));
+                packets += 1;
+                bytes += u64::from(len);
+            }
+            let m = acc.finalize(&[1, 10, 100]);
+            for sm in &m.scales {
+                let p: u64 = sm.windows.values().map(WindowMatrix::total_packets).sum();
+                let b: u64 = sm.windows.values().map(WindowMatrix::total_bytes).sum();
+                prop_assert_eq!(p, packets);
+                prop_assert_eq!(b, bytes);
+            }
+            // Coarse = exact merge of fine.
+            for lvl in 1..m.scales.len() {
+                let ratio = m.scales[lvl].scale / m.scales[lvl - 1].scale;
+                for (&cw, coarse) in &m.scales[lvl].windows {
+                    let mut fold = WindowMatrix::default();
+                    for (_, fine) in m.scales[lvl - 1].windows.range(cw * ratio..(cw + 1) * ratio) {
+                        fold.fold(fine);
+                    }
+                    prop_assert_eq!(&fold, coarse);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Hierarchical multi-resolution sample rings.
+//!
+//! A [`MultiResRing`] holds one link direction's sample windows at a
+//! ladder of resolutions — by default 1 ms, 10 ms, 100 ms and 1 s — with
+//! the *exact* consistency invariant that every coarse bucket is
+//! precisely the [`LinkWindow::fold`] of the fine buckets it covers
+//! (counters add, the high-water queue depth takes the max). Pushing a
+//! base window updates every level in one pass, so the invariant holds
+//! at all times, not just at flush points; [`MultiResRing::check_consistency`]
+//! verifies it and the property tests below drive it with arbitrary
+//! sparse inputs.
+//!
+//! Levels may be bounded ([`MultiResRing::with_capacity`]): when a level
+//! overflows, its *oldest* buckets are evicted into a per-level fold, so
+//! fine detail ages out while coarse history — and the exact run total —
+//! survive. The weather-map sampler uses unbounded rings (exactness
+//! first; sparse maps make idle time free), the bounded form exists for
+//! long-lived live monitors.
+
+use fxnet_sim::{LinkSeries, LinkWindow};
+use std::collections::BTreeMap;
+
+/// The default resolution ladder, as multiples of the base window:
+/// 1 ms → 10 ms → 100 ms → 1 s at the default 1 ms base.
+pub const DEFAULT_SCALES: [u64; 4] = [1, 10, 100, 1000];
+
+/// One resolution level: sparse buckets at `scale × base` width, plus
+/// the exact fold of everything evicted from this level.
+#[derive(Debug, Clone)]
+struct RingLevel {
+    scale: u64,
+    bins: BTreeMap<u64, LinkWindow>,
+    evicted: LinkWindow,
+    evicted_buckets: u64,
+    /// Highest bucket index ever evicted — buckets at or below it are
+    /// incomplete, so consistency checks skip coarse buckets that
+    /// overlap them.
+    evicted_through: Option<u64>,
+}
+
+impl RingLevel {
+    fn new(scale: u64) -> RingLevel {
+        RingLevel {
+            scale,
+            bins: BTreeMap::new(),
+            evicted: LinkWindow::default(),
+            evicted_buckets: 0,
+            evicted_through: None,
+        }
+    }
+}
+
+/// A ring of rings: one link direction's windows at every resolution of
+/// the ladder, coarse buckets always the exact fold of their fine ones.
+#[derive(Debug, Clone)]
+pub struct MultiResRing {
+    base_bin_ns: u64,
+    capacity: usize,
+    levels: Vec<RingLevel>,
+}
+
+impl MultiResRing {
+    /// An unbounded ring with the [`DEFAULT_SCALES`] ladder over base
+    /// windows of `base_bin_ns`.
+    pub fn new(base_bin_ns: u64) -> MultiResRing {
+        MultiResRing::with_scales(base_bin_ns, &DEFAULT_SCALES)
+    }
+
+    /// An unbounded ring with a custom ladder. Scales must be strictly
+    /// increasing and start at 1 (the base resolution).
+    pub fn with_scales(base_bin_ns: u64, scales: &[u64]) -> MultiResRing {
+        assert!(scales.first() == Some(&1), "ladder must start at the base");
+        assert!(
+            scales.windows(2).all(|w| w[0] < w[1]),
+            "ladder must be strictly increasing"
+        );
+        MultiResRing {
+            base_bin_ns: base_bin_ns.max(1),
+            capacity: usize::MAX,
+            levels: scales.iter().map(|&s| RingLevel::new(s)).collect(),
+        }
+    }
+
+    /// Bound every level to at most `capacity` retained buckets; older
+    /// buckets are evicted into the level's exact-fold remainder.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> MultiResRing {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// The base window width, ns.
+    pub fn base_bin_ns(&self) -> u64 {
+        self.base_bin_ns
+    }
+
+    /// The resolution ladder (multiples of the base window).
+    pub fn scales(&self) -> Vec<u64> {
+        self.levels.iter().map(|l| l.scale).collect()
+    }
+
+    /// Number of levels in the ladder.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Window width of level `level`, ns.
+    pub fn level_bin_ns(&self, level: usize) -> u64 {
+        self.base_bin_ns * self.levels[level].scale
+    }
+
+    /// Fold one base window (index `w` in base-window units) into every
+    /// level. Push order does not matter: buckets fold commutatively.
+    pub fn push(&mut self, w: u64, win: &LinkWindow) {
+        for lvl in &mut self.levels {
+            lvl.bins.entry(w / lvl.scale).or_default().fold(win);
+            while lvl.bins.len() > self.capacity {
+                let (old_w, old) = lvl.bins.pop_first().expect("nonempty over capacity");
+                lvl.evicted.fold(&old);
+                lvl.evicted_buckets += 1;
+                lvl.evicted_through = Some(lvl.evicted_through.map_or(old_w, |e| e.max(old_w)));
+            }
+        }
+    }
+
+    /// Fold a whole sampled series in.
+    pub fn ingest(&mut self, series: &LinkSeries) {
+        for (w, win) in series.windows() {
+            self.push(w, win);
+        }
+    }
+
+    /// Sorted iteration over the retained buckets of level `level`.
+    pub fn windows(&self, level: usize) -> impl Iterator<Item = (u64, &LinkWindow)> {
+        self.levels[level].bins.iter().map(|(&w, s)| (w, s))
+    }
+
+    /// Retained bucket at `(level, w)`, if touched.
+    pub fn bucket(&self, level: usize, w: u64) -> Option<&LinkWindow> {
+        self.levels[level].bins.get(&w)
+    }
+
+    /// Retained bucket count of level `level`.
+    pub fn level_len(&self, level: usize) -> usize {
+        self.levels[level].bins.len()
+    }
+
+    /// Buckets evicted from level `level` so far.
+    pub fn evicted_buckets(&self, level: usize) -> u64 {
+        self.levels[level].evicted_buckets
+    }
+
+    /// Exact fold of *everything* ever pushed — retained plus evicted —
+    /// identical at every level by construction.
+    pub fn total(&self) -> LinkWindow {
+        let lvl = &self.levels[0];
+        let mut t = lvl.evicted;
+        for s in lvl.bins.values() {
+            t.fold(s);
+        }
+        t
+    }
+
+    /// Verify the multi-resolution invariant: every coarse bucket whose
+    /// covering fine buckets are all still retained equals their exact
+    /// fold, and every level's retained+evicted total matches the base
+    /// level's. Returns the first violation as an error string.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let base_total = self.total();
+        for (i, lvl) in self.levels.iter().enumerate() {
+            let mut t = lvl.evicted;
+            for s in lvl.bins.values() {
+                t.fold(s);
+            }
+            if t != base_total {
+                return Err(format!(
+                    "level {i} (scale {}) total diverges from base",
+                    lvl.scale
+                ));
+            }
+            if i == 0 {
+                continue;
+            }
+            let fine = &self.levels[i - 1];
+            let ratio = lvl.scale / fine.scale;
+            for (&cw, coarse) in &lvl.bins {
+                // Skip coarse buckets whose fine range lost detail to
+                // eviction at either level — they are intentionally
+                // incomplete at the finer resolution.
+                let lo = cw * ratio;
+                let hi = lo + ratio;
+                let fine_evicted = fine.evicted_through.is_some_and(|e| e >= lo);
+                let self_evicted = lvl.evicted_through.is_some_and(|e| e >= cw);
+                if fine_evicted || self_evicted {
+                    continue;
+                }
+                let mut fold = LinkWindow::default();
+                for (_, fw) in fine.bins.range(lo..hi) {
+                    fold.fold(fw);
+                }
+                if fold != *coarse {
+                    return Err(format!(
+                        "level {i} bucket {cw} is not the fold of level {} [{lo},{hi})",
+                        i - 1
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn win(bytes: u64, depth: u32) -> LinkWindow {
+        LinkWindow {
+            bytes,
+            frames: 1,
+            busy_ns: bytes * 8,
+            wait_ns: bytes / 2,
+            backoff_ns: bytes / 4,
+            collisions: u64::from(depth % 2),
+            retx_bytes: bytes / 8,
+            depth_max: depth,
+        }
+    }
+
+    #[test]
+    fn coarse_buckets_are_exact_folds() {
+        let mut r = MultiResRing::new(1_000_000);
+        for w in [0, 3, 9, 10, 57, 999, 1000, 1001] {
+            r.push(w, &win(100 + w, (w % 7) as u32));
+        }
+        r.check_consistency().unwrap();
+        // Base windows 0, 3, 9 land in 10 ms bucket 0.
+        let b = r.bucket(1, 0).unwrap();
+        assert_eq!(b.bytes, 100 + 103 + 109);
+        assert_eq!(b.depth_max, 3); // max of depths 0, 3, 2
+                                    // All eight base windows land in 1 s buckets 0 and 1.
+        assert_eq!(r.level_len(3), 2);
+        assert_eq!(r.total().frames, 8);
+    }
+
+    #[test]
+    fn bounded_ring_evicts_fine_but_conserves_totals() {
+        let mut r = MultiResRing::new(1_000_000).with_capacity(4);
+        for w in 0..40u64 {
+            r.push(w, &win(10, 1));
+        }
+        assert_eq!(r.level_len(0), 4, "base level bounded");
+        assert_eq!(r.evicted_buckets(0), 36);
+        // The run total survives eviction exactly, at every level.
+        assert_eq!(r.total().bytes, 400);
+        assert_eq!(r.total().frames, 40);
+        r.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn push_order_does_not_matter() {
+        let mut fwd = MultiResRing::new(1_000_000);
+        let mut rev = MultiResRing::new(1_000_000);
+        let ws: Vec<u64> = (0..30).map(|i| i * 37 % 400).collect();
+        for &w in &ws {
+            fwd.push(w, &win(w + 1, (w % 5) as u32));
+        }
+        for &w in ws.iter().rev() {
+            rev.push(w, &win(w + 1, (w % 5) as u32));
+        }
+        assert_eq!(fwd.total(), rev.total());
+        for lvl in 0..fwd.depth() {
+            let a: Vec<_> = fwd.windows(lvl).map(|(w, s)| (w, *s)).collect();
+            let b: Vec<_> = rev.windows(lvl).map(|(w, s)| (w, *s)).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    proptest! {
+        /// The ladder invariant holds for arbitrary sparse window
+        /// streams: every coarse bucket is the exact fold of its fine
+        /// buckets and every level conserves the run total.
+        #[test]
+        fn ladder_is_exact_on_arbitrary_input(
+            ws in prop::collection::vec(0u64..5_000, 1..200),
+            bytes in prop::collection::vec(1u64..100_000, 1..200),
+        ) {
+            let mut r = MultiResRing::new(1_000_000);
+            let mut sum = 0u64;
+            for (i, &w) in ws.iter().enumerate() {
+                let b = bytes[i % bytes.len()];
+                sum += b;
+                r.push(w, &win(b, (w % 11) as u32));
+            }
+            prop_assert!(r.check_consistency().is_ok());
+            prop_assert_eq!(r.total().bytes, sum);
+            prop_assert_eq!(r.total().frames, ws.len() as u64);
+        }
+
+        /// Eviction never loses counted traffic.
+        #[test]
+        fn bounded_ladder_conserves(
+            ws in prop::collection::vec(0u64..2_000, 1..150),
+            cap in 1usize..8,
+        ) {
+            let mut r = MultiResRing::new(1_000_000).with_capacity(cap);
+            let mut sum = 0u64;
+            for &w in &ws {
+                sum += w + 1;
+                r.push(w, &win(w + 1, 1));
+            }
+            prop_assert!(r.check_consistency().is_ok());
+            prop_assert_eq!(r.total().bytes, sum);
+        }
+    }
+}

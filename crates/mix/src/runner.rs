@@ -76,6 +76,9 @@ pub struct MixOutcome {
     /// Causal capture of the mixed run (application ops and per-frame
     /// cause chains), when enabled.
     pub causal: Option<CausalRun>,
+    /// Per-link sample series of the mixed run, when sampling was
+    /// enabled via [`Mix::sample_links`].
+    pub link_stats: Option<fxnet_sim::LinkStats>,
 }
 
 impl MixOutcome {
@@ -167,6 +170,8 @@ pub struct Mix {
     spectrum_bin: SimTime,
     watch: Option<WatchConfig>,
     causal: bool,
+    sample_links: Option<u64>,
+    tap: Option<FrameTap>,
 }
 
 impl Mix {
@@ -182,6 +187,8 @@ impl Mix {
             spectrum_bin: SimTime::from_millis(10),
             watch: None,
             causal: false,
+            sample_links: None,
+            tap: None,
         }
     }
 
@@ -228,6 +235,24 @@ impl Mix {
         self
     }
 
+    /// Enable passive per-link sampling (`fxnet-metrics` feed) at the
+    /// given base window during the mixed run. Observational only: the
+    /// trace stays byte-identical.
+    pub fn sample_links(mut self, bin_ns: Option<u64>) -> Mix {
+        self.sample_links = bin_ns;
+        self
+    }
+
+    /// Attach an external promiscuous frame tap (e.g. the
+    /// `fxnet-metrics` weather-map sampler) to the mixed run. Composes
+    /// with any [`Mix::watch`] watcher — the watcher observes first,
+    /// then the external tap. Observational only: the trace stays
+    /// byte-identical.
+    pub fn tap(mut self, tap: FrameTap) -> Mix {
+        self.tap = Some(tap);
+        self
+    }
+
     /// Admit, co-execute, demux, and analyze.
     pub fn run(self) -> MixOutcome {
         let Mix {
@@ -239,6 +264,8 @@ impl Mix {
             spectrum_bin,
             watch,
             causal,
+            sample_links,
+            tap: user_tap,
         } = self;
 
         // Admission, in arrival order: the residual shrinks as each
@@ -318,9 +345,16 @@ impl Mix {
                 .collect();
             Arc::new(Mutex::new(StreamWatch::new(wcfg, contracts, host_owner)))
         });
-        let tap: Option<FrameTap> = watcher.clone().map(|w| {
-            Box::new(move |r: &FrameRecord| w.lock().expect("watch tap").observe(r)) as FrameTap
-        });
+        let tap: Option<FrameTap> = match (watcher.clone(), user_tap) {
+            (Some(w), Some(mut u)) => Some(Box::new(move |r: &FrameRecord| {
+                w.lock().expect("watch tap").observe(r);
+                u(r);
+            })),
+            (Some(w), None) => Some(Box::new(move |r: &FrameRecord| {
+                w.lock().expect("watch tap").observe(r)
+            })),
+            (None, u) => u,
+        };
 
         let multi = run(
             cfg.clone(),
@@ -328,6 +362,7 @@ impl Mix {
             RunOptions {
                 tap,
                 causal,
+                sample_links,
                 ..RunOptions::default()
             },
         )
@@ -444,6 +479,7 @@ impl Mix {
             telemetry: multi.telemetry,
             watch: watch_report,
             causal: multi.causal,
+            link_stats: multi.link_stats,
         }
     }
 }

@@ -5,8 +5,8 @@ use crate::tcp::{ConnId, ConnState, Dir, TcpConn, WriteChunk};
 use bytes::Bytes;
 use fxnet_sim::{
     ethernet::Delivery, CausalEvent, CauseId, EtherBus, EtherConfig, EtherStats, EventQueue, Frame,
-    FrameKind, FrameMeta, FrameRecord, FrameTap, HostId, NicId, ProtoCause, SimRng, SimTime,
-    SwitchConfig, SwitchFabric,
+    FrameKind, FrameMeta, FrameRecord, FrameTap, HostId, LinkStats, NicId, ProtoCause, SimRng,
+    SimTime, SwitchConfig, SwitchFabric,
 };
 use fxnet_topo::{CompositeFabric, TopologySpec};
 /// Maximum TCP payload per segment (1500 B MTU − 40 B headers).
@@ -287,6 +287,31 @@ impl Fabric {
             Fabric::Topo(t) => t.errors(),
         }
     }
+
+    /// Enable/disable passive per-link sampling (no-op on the legacy
+    /// switch counterfactual, which has no link-level queues to observe).
+    fn set_link_sampling(&mut self, bin_ns: Option<u64>) {
+        match self {
+            Fabric::Bus(b) => b.set_link_sampling(bin_ns),
+            Fabric::Switch(_) => {}
+            Fabric::Topo(t) => t.set_link_sampling(bin_ns),
+        }
+    }
+
+    /// Take the accumulated per-link sample series, if sampling is on.
+    fn take_link_stats(&mut self) -> Option<LinkStats> {
+        match self {
+            Fabric::Bus(b) => {
+                let series = b.take_link_series()?;
+                Some(LinkStats {
+                    bin_ns: b.link_sampling_bin_ns().unwrap_or(1),
+                    links: vec![("seg:bus".to_string(), series)],
+                })
+            }
+            Fabric::Switch(_) => None,
+            Fabric::Topo(t) => t.take_link_stats(),
+        }
+    }
 }
 
 /// Aggregate TCP-layer counters, snapshot via [`Network::tcp_stats`].
@@ -404,6 +429,19 @@ impl Network {
     /// MAC statistics.
     pub fn ether_stats(&self) -> EtherStats {
         self.bus.stats()
+    }
+
+    /// Enable (`Some(bin_ns)`) or disable (`None`) passive per-link
+    /// sampling — the fabric weather-map feed. Strictly observational:
+    /// the schedule, RNG, and promiscuous trace are byte-identical
+    /// either way.
+    pub fn set_link_sampling(&mut self, bin_ns: Option<u64>) {
+        self.bus.set_link_sampling(bin_ns);
+    }
+
+    /// Take the accumulated per-link sample series, if sampling is on.
+    pub fn take_link_stats(&mut self) -> Option<LinkStats> {
+        self.bus.take_link_stats()
     }
 
     /// Bytes host `h` has committed to TCP but not yet had acknowledged:

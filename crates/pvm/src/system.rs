@@ -172,6 +172,17 @@ impl PvmSystem {
         self.net.take_trace()
     }
 
+    /// Enable or disable passive per-link sampling (see
+    /// [`Network::set_link_sampling`]).
+    pub fn set_link_sampling(&mut self, bin_ns: Option<u64>) {
+        self.net.set_link_sampling(bin_ns);
+    }
+
+    /// Take the accumulated per-link sample series, if sampling is on.
+    pub fn take_link_stats(&mut self) -> Option<fxnet_sim::LinkStats> {
+        self.net.take_link_stats()
+    }
+
     /// Enable or disable causal capture (see [`Network::set_causal`]).
     pub fn set_causal(&mut self, on: bool) {
         self.net.set_causal(on);

@@ -57,6 +57,22 @@ pub struct ContractTerms {
     pub mean_load: f64,
 }
 
+impl ContractTerms {
+    /// Admitted-contract headroom against a measured long-run bandwidth
+    /// (bytes/s): the fraction of the admitted mean load still unused.
+    /// Positive means the tenant ran under its contract, negative means
+    /// it over-drove; the fabric weather map gauges this per tenant next
+    /// to link utilization so over-driving and fabric congestion can be
+    /// told apart at a glance. Zero admitted load yields zero headroom.
+    pub fn headroom(&self, measured_mean_bw: f64) -> f64 {
+        if self.mean_load <= 0.0 {
+            0.0
+        } else {
+            1.0 - measured_mean_bw / self.mean_load
+        }
+    }
+}
+
 /// The `[l(), b(), c]` characterization an SPMD program hands the
 /// network: its communication pattern, its local-computation time as a
 /// function of the processor count, and its per-connection burst size as
@@ -142,6 +158,29 @@ mod tests {
         // §7.3's example: a shift pattern, W seconds of work, constant
         // per-connection message of 1 MB.
         AppDescriptor::scalable(Pattern::Shift { k: 1 }, 40.0, |_| 1_000_000)
+    }
+
+    #[test]
+    fn headroom_measures_contract_slack() {
+        let terms = ContractTerms {
+            p: 4,
+            connections: 4,
+            concurrent_connections: 4,
+            burst_bytes: 1_000_000,
+            local_s: 1.0,
+            burst_bw: 1_000_000.0,
+            t_burst: 1.0,
+            t_interval: 2.0,
+            mean_load: 100_000.0,
+        };
+        assert!((terms.headroom(25_000.0) - 0.75).abs() < 1e-12);
+        assert_eq!(terms.headroom(100_000.0), 0.0);
+        assert!(terms.headroom(150_000.0) < 0.0, "over-driving is negative");
+        let zero = ContractTerms {
+            mean_load: 0.0,
+            ..terms
+        };
+        assert_eq!(zero.headroom(1.0), 0.0);
     }
 
     #[test]

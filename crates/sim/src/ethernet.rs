@@ -18,6 +18,7 @@
 
 use crate::cause::FrameMeta;
 use crate::frame::{Frame, FrameRecord, FrameTap};
+use crate::linkstats::LinkSeries;
 use crate::rng::SimRng;
 use crate::time::SimTime;
 use std::collections::VecDeque;
@@ -146,6 +147,11 @@ pub struct EtherBus {
     /// Scratch list of stations starting at the earliest instant, reused
     /// across `advance` calls so the per-event hot path allocates nothing.
     starters: Vec<usize>,
+    /// Per-window sample series when link sampling is enabled:
+    /// `(window_ns, series)`. Purely observational — reads the same
+    /// quantities the MAC stats already track, draws no RNG, schedules
+    /// nothing — so the trace is byte-identical with sampling on or off.
+    sampling: Option<(u64, LinkSeries)>,
 }
 
 impl EtherBus {
@@ -163,7 +169,24 @@ impl EtherBus {
             stats: EtherStats::default(),
             errors: Vec::new(),
             starters: Vec::new(),
+            sampling: None,
         }
+    }
+
+    /// Enable (`Some(window_ns)`) or disable (`None`) passive per-window
+    /// link sampling. Has no effect on MAC behavior or the trace.
+    pub fn set_link_sampling(&mut self, bin_ns: Option<u64>) {
+        self.sampling = bin_ns.map(|b| (b.max(1), LinkSeries::new()));
+    }
+
+    /// Take the accumulated sample series, if sampling is enabled.
+    pub fn take_link_series(&mut self) -> Option<LinkSeries> {
+        self.sampling.as_mut().map(|(_, s)| std::mem::take(s))
+    }
+
+    /// The active sample window, if sampling is enabled.
+    pub fn link_sampling_bin_ns(&self) -> Option<u64> {
+        self.sampling.as_ref().map(|(b, _)| *b)
     }
 
     /// Attach a station; returns its interface id.
@@ -227,6 +250,11 @@ impl EtherBus {
             n.backoff_acc = 0;
         }
         n.queue.push_back((frame, now));
+        if let Some((bin, series)) = &mut self.sampling {
+            let depth: usize = self.nics.iter().map(|n| n.queue.len()).sum();
+            let w = series.window_mut(now.as_nanos() / *bin);
+            w.depth_max = w.depth_max.max(depth as u32);
+        }
     }
 
     fn roll_jitter(&mut self) -> SimTime {
@@ -354,6 +382,14 @@ impl EtherBus {
                 self.reroll_all_jitters();
                 self.stats.frames_delivered += 1;
                 self.stats.bytes_delivered += u64::from(tx.frame.wire_len());
+                if let Some((bin, series)) = &mut self.sampling {
+                    let w = series.window_mut(end.as_nanos() / *bin);
+                    w.bytes += u64::from(tx.frame.wire_len());
+                    w.frames += 1;
+                    w.busy_ns += tx.meta.tx_ns;
+                    w.wait_ns += tx.meta.queue_ns;
+                    w.backoff_ns += tx.meta.backoff_ns;
+                }
                 if self.cfg.drop_prob > 0.0 && self.rng.chance(self.cfg.drop_prob) {
                     self.errors.push((end, tx.frame, TxError::Corrupted));
                 } else {
@@ -406,6 +442,9 @@ impl EtherBus {
             } else {
                 // Collision: jam, then each collider backs off.
                 self.stats.collisions += 1;
+                if let Some((bin, series)) = &mut self.sampling {
+                    series.window_mut(t_start.as_nanos() / *bin).collisions += 1;
+                }
                 let jam_end = t_start + self.cfg.collision_window + self.cfg.jam;
                 self.free_at = jam_end;
                 self.stats.busy_ns += (self.cfg.jam + self.cfg.collision_window).as_nanos();
@@ -707,6 +746,38 @@ mod tests {
             b.take_trace()
         };
         assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn link_sampling_does_not_perturb_and_conserves_bytes() {
+        let run = |sample: bool| {
+            let mut b = bus(4);
+            b.set_promiscuous(true);
+            if sample {
+                b.set_link_sampling(Some(1_000_000));
+            }
+            for i in 0..40u64 {
+                b.enqueue(
+                    NicId((i % 3) as u32),
+                    data((i % 3) as u32, 3, 700, i),
+                    SimTime::from_micros(i * 11),
+                );
+            }
+            b.run_to_idle();
+            let series = b.take_link_series();
+            (b.take_trace(), b.stats(), series)
+        };
+        let (plain, _, none) = run(false);
+        let (sampled, stats, series) = run(true);
+        assert!(none.is_none());
+        assert_eq!(plain, sampled, "sampling must not perturb the trace");
+        let s = series.expect("sampling enabled");
+        let total = s.total();
+        assert_eq!(total.bytes, stats.bytes_delivered);
+        assert_eq!(total.frames, stats.frames_delivered);
+        assert_eq!(total.collisions, stats.collisions);
+        assert!(total.depth_max >= 1);
+        assert!(s.len() >= 2, "windows spread over the run");
     }
 
     #[test]

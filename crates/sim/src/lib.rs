@@ -50,6 +50,7 @@ pub mod cause;
 pub mod error;
 pub mod ethernet;
 pub mod frame;
+pub mod linkstats;
 pub mod queue;
 pub mod rates;
 pub mod rng;
@@ -62,6 +63,7 @@ pub use ethernet::{EtherBus, EtherConfig, EtherStats, NicId, TxError};
 pub use frame::{
     Frame, FrameKind, FrameRecord, FrameTap, HostId, Proto, ETHER_OVERHEAD, MAX_FRAME, MIN_FRAME,
 };
+pub use linkstats::{LinkProbe, LinkSeries, LinkStats, LinkWindow};
 pub use queue::{BinaryHeapQueue, EventQueue};
 pub use rates::{RATE_100M, RATE_10M, RATE_1G};
 pub use rng::SimRng;

@@ -30,7 +30,7 @@ pub mod span;
 
 pub use attribution::{attribute_collectives, AttributedTrace};
 pub use profile::{EventClass, SimProfile, TimingHistogram};
-pub use prometheus::{prometheus_text, write_prometheus};
+pub use prometheus::{labeled, parse_prometheus, prometheus_text, write_prometheus};
 pub use registry::TelemetryRegistry;
 pub use run::{write_json_artifact, RunTelemetry};
 pub use span::{SpanCollector, SpanKind, SpanRecord};

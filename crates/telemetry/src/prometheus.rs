@@ -1,10 +1,11 @@
 //! Prometheus text-exposition rendering of a [`TelemetryRegistry`].
 //!
-//! The watcher (`fxnet-watch`) and the bench harness snapshot their
-//! registries into `out/*.prom` files so a scrape-based dashboard can
-//! ingest simulation metrics without any bespoke parsing. The format is
-//! the Prometheus text exposition format, version 0.0.4: one `# TYPE`
-//! line per metric, then `name value`. Counters render as `counter`,
+//! The watcher (`fxnet-watch`), the metrics engine (`fxnet-metrics`),
+//! and the bench harness snapshot their registries into `out/*.prom`
+//! files so a scrape-based dashboard can ingest simulation metrics
+//! without any bespoke parsing. The format is the Prometheus text
+//! exposition format, version 0.0.4: one `# TYPE` line per metric
+//! family, then `name value` samples. Counters render as `counter`,
 //! gauges as `gauge`.
 //!
 //! Metric names are derived from the registry's dotted names by
@@ -12,11 +13,17 @@
 //! (`mac.collisions` → `mac_collisions`), which is the standard
 //! flattening and keeps the `BTreeMap`-sorted registry order — so the
 //! rendered text is deterministic and diffable across runs.
+//!
+//! Labeled series are supported through [`labeled`], which builds a
+//! registry name of the shape `family{key="value",...}`: the family and
+//! label keys are sanitized, label values are escaped per the exposition
+//! format (`\\`, `\"`, `\n`), and samples of one family share a single
+//! `# TYPE` line. [`parse_prometheus`] round-trips the rendered text.
 
 use crate::registry::TelemetryRegistry;
 
-/// Flatten a dotted registry name into a legal Prometheus metric name.
-fn metric_name(name: &str) -> String {
+/// Flatten a dotted name into a legal Prometheus metric name.
+fn sanitize(name: &str) -> String {
     let mut out: String = name
         .chars()
         .map(|c| {
@@ -33,6 +40,58 @@ fn metric_name(name: &str) -> String {
     out
 }
 
+/// Flatten a registry name: the family part (before any `{`) is
+/// sanitized; a label block, already escaped by [`labeled`], passes
+/// through untouched.
+fn metric_name(name: &str) -> String {
+    match name.split_once('{') {
+        Some((base, rest)) => format!("{}{{{rest}", sanitize(base)),
+        None => sanitize(name),
+    }
+}
+
+/// The family of a rendered metric name: everything before the label
+/// block.
+fn family(rendered: &str) -> &str {
+    rendered.split_once('{').map_or(rendered, |(b, _)| b)
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Build a labeled registry name: `family{key="value",...}`. The family
+/// and label keys are sanitized to legal Prometheus identifiers; label
+/// values are escaped. Registering several label sets under one family
+/// yields one `# TYPE` line and one sample per set, and the registry's
+/// sorted order keeps the rendering deterministic.
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    let mut out = sanitize(base);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&sanitize(k));
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
 /// Render a float the way Prometheus expects: plain decimal, with
 /// `NaN`/`+Inf`/`-Inf` spelled out.
 fn metric_value(v: f64) -> String {
@@ -46,18 +105,106 @@ fn metric_value(v: f64) -> String {
 }
 
 /// Render the whole registry in Prometheus text exposition format.
-/// Counters first, then gauges, each in the registry's sorted order.
+/// Counters first, then gauges, each in the registry's sorted order;
+/// consecutive samples of one family share a single `# TYPE` line.
 pub fn prometheus_text(reg: &TelemetryRegistry) -> String {
     let mut out = String::new();
+    let mut last_family = String::new();
     for (name, value) in reg.counters() {
         let m = metric_name(name);
-        out.push_str(&format!("# TYPE {m} counter\n{m} {value}\n"));
+        let fam = family(&m);
+        if fam != last_family {
+            out.push_str(&format!("# TYPE {fam} counter\n"));
+            last_family = fam.to_string();
+        }
+        out.push_str(&format!("{m} {value}\n"));
     }
+    last_family.clear();
     for (name, value) in reg.gauges() {
         let m = metric_name(name);
-        out.push_str(&format!("# TYPE {m} gauge\n{m} {}\n", metric_value(value)));
+        let fam = family(&m);
+        if fam != last_family {
+            out.push_str(&format!("# TYPE {fam} gauge\n"));
+            last_family = fam.to_string();
+        }
+        out.push_str(&format!("{m} {}\n", metric_value(value)));
     }
     out
+}
+
+/// Parse Prometheus text-exposition format back into `(name, value)`
+/// samples, in file order. Comment (`#`) and blank lines are skipped;
+/// the name retains its label block verbatim. Returns an error naming
+/// the first malformed line.
+pub fn parse_prometheus(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = split_sample(line).ok_or_else(|| malformed(ln, raw))?;
+        if !valid_name(family(name)) {
+            return Err(malformed(ln, raw));
+        }
+        let v = match value {
+            "NaN" => f64::NAN,
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v.parse::<f64>().map_err(|_| malformed(ln, raw))?,
+        };
+        out.push((name.to_string(), v));
+    }
+    Ok(out)
+}
+
+fn malformed(ln: usize, raw: &str) -> String {
+    format!("malformed prometheus line {}: {raw:?}", ln + 1)
+}
+
+/// Split a sample line into `(name-with-labels, value)`, honouring
+/// quoting and escapes inside the label block.
+fn split_sample(line: &str) -> Option<(&str, &str)> {
+    let name_end = match line.find('{') {
+        Some(open) => {
+            let mut in_quotes = false;
+            let mut escaped = false;
+            let mut close = None;
+            for (i, c) in line[open..].char_indices() {
+                if escaped {
+                    escaped = false;
+                    continue;
+                }
+                match c {
+                    '\\' if in_quotes => escaped = true,
+                    '"' => in_quotes = !in_quotes,
+                    '}' if !in_quotes => {
+                        close = Some(open + i + 1);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            close?
+        }
+        None => line.find(char::is_whitespace)?,
+    };
+    let (name, rest) = line.split_at(name_end);
+    let value = rest.trim();
+    if name.is_empty() || value.is_empty() || value.contains(char::is_whitespace) {
+        return None;
+    }
+    Some((name, value))
+}
+
+/// Whether `name` is a legal Prometheus metric-family name.
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
 /// Write the registry to `path` in Prometheus text format, creating
@@ -116,5 +263,88 @@ mod tests {
         b.set_counter("a.first", 2);
         b.set_counter("z.last", 1);
         assert_eq!(prometheus_text(&a), prometheus_text(&b));
+    }
+
+    #[test]
+    fn labeled_escapes_values_and_sanitizes_keys() {
+        let name = labeled("fabric.link.util", &[("link", "trunk:n0-n1:fwd")]);
+        assert_eq!(name, "fabric_link_util{link=\"trunk:n0-n1:fwd\"}");
+        let tricky = labeled("m", &[("the key", "a\\b\"c\nd")]);
+        assert_eq!(tricky, "m{the_key=\"a\\\\b\\\"c\\nd\"}");
+    }
+
+    #[test]
+    fn one_type_line_per_labeled_family() {
+        let mut r = TelemetryRegistry::new();
+        r.set_gauge(labeled("link.util", &[("link", "a")]), 0.5);
+        r.set_gauge(labeled("link.util", &[("link", "b")]), 0.7);
+        let text = prometheus_text(&r);
+        assert_eq!(text.matches("# TYPE link_util gauge").count(), 1);
+        assert_eq!(
+            text,
+            "# TYPE link_util gauge\n\
+             link_util{link=\"a\"} 0.5\n\
+             link_util{link=\"b\"} 0.7\n"
+        );
+    }
+
+    #[test]
+    fn rendered_names_are_valid_and_ordering_is_stable() {
+        let mut r = TelemetryRegistry::new();
+        r.set_counter("9starts.with.digit", 3);
+        r.set_counter(labeled("fam", &[("x", "1")]), 1);
+        r.set_counter(labeled("fam", &[("x", "2")]), 2);
+        r.set_gauge("g", 1.0);
+        let text = prometheus_text(&r);
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, _) = split_sample(line).expect("sample line");
+            assert!(valid_name(family(name)), "{name}");
+        }
+        // Sorted registry order survives rendering.
+        let again = prometheus_text(&r);
+        assert_eq!(text, again);
+        let fam_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("fam{")).collect();
+        assert_eq!(
+            fam_lines,
+            vec!["fam{x=\"1\"} 1", "fam{x=\"2\"} 2"],
+            "label sets of one family are adjacent and sorted"
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_labeled_text() {
+        let mut r = TelemetryRegistry::new();
+        r.set_counter(labeled("link.bytes", &[("link", "trunk:n0-n1:fwd")]), 1234);
+        r.set_gauge(labeled("link.util", &[("link", "seg:seg0")]), 0.25);
+        r.set_gauge("plain", -3.5);
+        let text = prometheus_text(&r);
+        let parsed = parse_prometheus(&text).expect("well-formed");
+        assert_eq!(
+            parsed,
+            vec![
+                (
+                    "link_bytes{link=\"trunk:n0-n1:fwd\"}".to_string(),
+                    1234.0f64
+                ),
+                ("link_util{link=\"seg:seg0\"}".to_string(), 0.25),
+                ("plain".to_string(), -3.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_rejects_malformed() {
+        let parsed =
+            parse_prometheus("m{k=\"a \\\"quoted\\\" } brace\"} 7\n").expect("escaped label");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].1, 7.0);
+        assert!(parse_prometheus("no_value\n").is_err());
+        assert!(parse_prometheus("bad name 1 2\n").is_err());
+        assert!(parse_prometheus("9digit 1\n").is_err());
+        assert!(parse_prometheus("m NaN\n").expect("NaN")[0].1.is_nan());
+        assert_eq!(
+            parse_prometheus("m +Inf\n").expect("inf")[0].1,
+            f64::INFINITY
+        );
     }
 }

@@ -32,8 +32,8 @@
 use crate::spec::{NodeKind, TopologySpec};
 use fxnet_sim::ethernet::Delivery;
 use fxnet_sim::{
-    EtherBus, EtherConfig, EtherStats, EventQueue, Frame, FrameMeta, FrameRecord, FrameTap, NicId,
-    SimRng, SimTime, TxError,
+    EtherBus, EtherConfig, EtherStats, EventQueue, Frame, FrameMeta, FrameRecord, FrameTap,
+    LinkProbe, LinkStats, NicId, SimRng, SimTime, TxError,
 };
 
 /// Per-frame state while it crosses the fabric.
@@ -49,6 +49,22 @@ struct Transit {
     best_access_ns: u64,
     /// Worst trunk wait seen: `(wait_ns, trunk_code)`.
     best_trunk: Option<(u64, u32)>,
+}
+
+/// Passive per-link samplers (the fabric weather-map feed): one
+/// [`LinkProbe`] per trunk direction and per switch/router host port.
+/// Purely observational — no RNG draws, no scheduled events, no effect
+/// on frame timing — so a sampled run's trace is byte-identical to an
+/// unsampled one.
+struct FabricProbes {
+    /// Base sample window, ns.
+    bin_ns: u64,
+    /// Per trunk, per direction (0 = a→b).
+    trunks: Vec<[LinkProbe; 2]>,
+    /// Per host: dedicated uplink / downlink (switch/router attachments
+    /// only; segment-attached hosts share their bus's sampler).
+    up: Vec<LinkProbe>,
+    down: Vec<LinkProbe>,
 }
 
 /// One scheduled fabric event.
@@ -104,6 +120,8 @@ pub struct CompositeFabric {
     bytes_delivered: u64,
     /// Wire occupancy of non-bus links (ports and trunks), ns.
     link_busy_ns: u64,
+    /// Per-link sample probes, when sampling is enabled.
+    probes: Option<FabricProbes>,
     scratch: Vec<Delivery>,
 }
 
@@ -171,9 +189,62 @@ impl CompositeFabric {
             frames_delivered: 0,
             bytes_delivered: 0,
             link_busy_ns: 0,
+            probes: None,
             scratch: Vec::new(),
             spec,
         }
+    }
+
+    /// Enable (`Some(bin_ns)`) or disable (`None`) passive per-link
+    /// sampling at the given base window. Sampling covers every trunk
+    /// direction, every segment bus, and every switch/router host port;
+    /// it is strictly observational and leaves the trace byte-identical.
+    pub fn set_link_sampling(&mut self, bin_ns: Option<u64>) {
+        for bus in self.buses.iter_mut().flatten() {
+            bus.set_link_sampling(bin_ns);
+        }
+        let hosts = self.spec.host_count();
+        self.probes = bin_ns.map(|b| FabricProbes {
+            bin_ns: b.max(1),
+            trunks: vec![<[LinkProbe; 2]>::default(); self.spec.trunks.len()],
+            up: vec![LinkProbe::new(); hosts],
+            down: vec![LinkProbe::new(); hosts],
+        });
+    }
+
+    /// Take the accumulated per-link sample series (resetting every
+    /// probe), labeled in a fixed deterministic order: trunks
+    /// (`trunk:n{a}-n{b}:fwd` then `:rev`, trunk-index order), segments
+    /// (`seg:{name}`, node order), then switch/router host ports
+    /// (`host:h{h}:up` / `:down`, host order). `None` when sampling is
+    /// disabled.
+    pub fn take_link_stats(&mut self) -> Option<LinkStats> {
+        let mut p = self.probes.take()?;
+        let mut links = Vec::new();
+        for (ti, t) in self.spec.trunks.iter().enumerate() {
+            let label = format!("trunk:n{}-n{}", t.a, t.b);
+            links.push((format!("{label}:fwd"), p.trunks[ti][0].take()));
+            links.push((format!("{label}:rev"), p.trunks[ti][1].take()));
+        }
+        for (i, node) in self.spec.nodes.iter().enumerate() {
+            if let Some(bus) = &mut self.buses[i] {
+                if let Some(s) = bus.take_link_series() {
+                    links.push((format!("seg:{}", node.name), s));
+                }
+            }
+        }
+        for (h, &node) in self.spec.attachments.iter().enumerate() {
+            if self.spec.nodes[node].kind != NodeKind::Segment {
+                links.push((format!("host:h{h}:up"), p.up[h].take()));
+                links.push((format!("host:h{h}:down"), p.down[h].take()));
+            }
+        }
+        let stats = LinkStats {
+            bin_ns: p.bin_ns,
+            links,
+        };
+        self.probes = Some(p);
+        Some(stats)
     }
 
     /// The compiled spec.
@@ -302,6 +373,16 @@ impl CompositeFabric {
                 self.link_busy_ns += tx.as_nanos();
                 let latency = self.spec.latency(src_node);
                 let wait = (start - now).as_nanos();
+                if let Some(p) = &mut self.probes {
+                    p.up[host].record(
+                        p.bin_ns,
+                        now,
+                        done,
+                        u64::from(f.wire_len()),
+                        tx.as_nanos(),
+                        wait,
+                    );
+                }
                 let t = self.transit_mut(f.token);
                 t.meta.queue_ns += wait + latency.as_nanos();
                 t.meta.tx_ns += tx.as_nanos();
@@ -347,6 +428,9 @@ impl CompositeFabric {
                     self.down_free[dst_host] = done;
                     self.link_busy_ns += tx.as_nanos();
                     let wait = (start - now).as_nanos();
+                    if let Some(p) = &mut self.probes {
+                        p.down[dst_host].record(p.bin_ns, now, done, wire, tx.as_nanos(), wait);
+                    }
                     let t = self.transit_mut(f.token);
                     t.meta.queue_ns += wait;
                     t.meta.tx_ns += tx.as_nanos();
@@ -374,6 +458,9 @@ impl CompositeFabric {
         self.link_busy_ns += tx.as_nanos();
         let latency = self.spec.latency(far);
         let wait = (start - now).as_nanos();
+        if let Some(p) = &mut self.probes {
+            p.trunks[ti][dir].record(p.bin_ns, now, done, wire, tx.as_nanos(), wait);
+        }
         let t = self.transit_mut(f.token);
         t.meta.queue_ns += wait + trunk.prop_delay.as_nanos() + latency.as_nanos();
         t.meta.tx_ns += tx.as_nanos();
@@ -612,6 +699,67 @@ mod tests {
         assert!(!named.is_empty(), "trunk queueing must be attributed");
         for d in &named {
             assert_eq!(d.meta.trunk_label().as_deref(), Some("trunk:n0-n1"));
+        }
+    }
+
+    /// Link sampling is purely observational: a sampled run delivers the
+    /// same frames at the same times with the same meta and an identical
+    /// trace — and the trunk series conserves cross-trunk wire bytes.
+    #[test]
+    fn link_sampling_is_pure_and_conserves_trunk_bytes() {
+        let ether = EtherConfig::default();
+        for spec in TopologySpec::sweep_set(6, RATE_10M) {
+            let run = |sample: bool| {
+                let mut fab = CompositeFabric::new(spec.clone(), &ether, 11);
+                fab.set_promiscuous(true);
+                if sample {
+                    fab.set_link_sampling(Some(1_000_000));
+                }
+                for i in 0..30u32 {
+                    fab.enqueue(
+                        NicId(i % 6),
+                        tcp(i % 6, (i + 1) % 6, 100 + i, u64::from(i) + 1),
+                        SimTime::from_micros(u64::from(i) * 7),
+                    );
+                }
+                let out = fab.run_to_idle();
+                let stats = fab.take_link_stats();
+                (out, fab.take_trace(), stats)
+            };
+            let (plain_out, plain_trace, none) = run(false);
+            let (out, trace, stats) = run(true);
+            assert!(none.is_none());
+            assert_eq!(plain_out, out, "{}", spec.label());
+            assert_eq!(plain_trace, trace, "{}", spec.label());
+            let stats = stats.expect("sampling enabled");
+            assert_eq!(stats.bin_ns, 1_000_000);
+            let labels: Vec<&str> = stats.links.iter().map(|(l, _)| l.as_str()).collect();
+            for (t, _) in &stats.links {
+                assert!(
+                    t.starts_with("trunk:") || t.starts_with("seg:") || t.starts_with("host:"),
+                    "label {t}"
+                );
+            }
+            if spec.label().starts_with("trunk2") {
+                assert!(labels.contains(&"trunk:n0-n1:fwd"), "{labels:?}");
+                assert!(labels.contains(&"host:h0:up"), "{labels:?}");
+                // Every byte the trunk series saw is a byte some frame
+                // carried across it.
+                let carried: u64 = ["trunk:n0-n1:fwd", "trunk:n0-n1:rev"]
+                    .iter()
+                    .map(|l| stats.series(l).expect("trunk series").total().bytes)
+                    .sum();
+                let cross: u64 = out
+                    .iter()
+                    .filter(|d| {
+                        let a = spec.attachments[usize::try_from(d.frame.src.0).unwrap()];
+                        let b = spec.attachments[usize::try_from(d.frame.dst.0).unwrap()];
+                        a != b
+                    })
+                    .map(|d| u64::from(d.frame.wire_len()))
+                    .sum();
+                assert_eq!(carried, cross, "{}", spec.label());
+            }
         }
     }
 

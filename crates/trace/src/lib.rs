@@ -80,4 +80,4 @@ pub use select::{connection, dominant_modes, host_pairs, size_population};
 pub use spectrum::{autocorrelation, Periodogram, Spike};
 pub use stats::Stats;
 pub use store::{TraceStore, TraceView};
-pub use stream::{SlidingBandwidth, StreamBinner};
+pub use stream::{SlidingBandwidth, StreakLatch, StreamBinner};

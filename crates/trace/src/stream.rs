@@ -143,6 +143,68 @@ impl StreamBinner {
     }
 }
 
+/// A latched consecutive-breach detector: fires once when a condition
+/// has held for `threshold` consecutive windows, then stays latched.
+///
+/// This is the shared breach rule of the live observers: the watcher
+/// (`fxnet-watch`) latches a tenant's bandwidth violation with it, and
+/// the fabric weather map (`fxnet-metrics`) latches hotspot links with
+/// exactly the same semantics, so "flagged" means the same thing in
+/// both reports.
+#[derive(Debug, Clone, Default)]
+pub struct StreakLatch {
+    /// Consecutive over-threshold windows required to latch.
+    threshold: usize,
+    streak: usize,
+    latched: bool,
+}
+
+impl StreakLatch {
+    /// A latch that fires after `threshold` consecutive breaches.
+    /// A zero threshold fires on the first observation, breach or not.
+    pub fn new(threshold: usize) -> StreakLatch {
+        StreakLatch {
+            threshold,
+            streak: 0,
+            latched: false,
+        }
+    }
+
+    /// Observe one window: `over` is whether the condition breached.
+    /// Returns `true` exactly once — on the observation that completes
+    /// the streak while not yet latched.
+    pub fn update(&mut self, over: bool) -> bool {
+        if over {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+        }
+        if self.streak >= self.threshold && !self.latched {
+            self.latched = true;
+            return true;
+        }
+        false
+    }
+
+    /// Latch immediately (single-observation breach rules, e.g. the
+    /// watcher's burst check). Returns `true` if this call latched.
+    pub fn latch_now(&mut self) -> bool {
+        let fired = !self.latched;
+        self.latched = true;
+        fired
+    }
+
+    /// Whether the latch has fired.
+    pub fn latched(&self) -> bool {
+        self.latched
+    }
+
+    /// Current consecutive-breach streak.
+    pub fn streak(&self) -> usize {
+        self.streak
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +279,24 @@ mod tests {
         }
         got.extend(b.finish());
         assert_eq!(got, batch);
+    }
+
+    #[test]
+    fn streak_latch_fires_once_after_k_consecutive_breaches() {
+        let mut l = StreakLatch::new(3);
+        assert!(!l.update(true));
+        assert!(!l.update(true));
+        assert!(!l.update(false), "streak resets");
+        assert_eq!(l.streak(), 0);
+        assert!(!l.update(true));
+        assert!(!l.update(true));
+        assert!(l.update(true), "third consecutive breach fires");
+        assert!(l.latched());
+        assert!(!l.update(true), "already latched: never fires again");
+        assert!(!l.latch_now());
+        let mut direct = StreakLatch::new(5);
+        assert!(direct.latch_now(), "direct latch fires once");
+        assert!(!direct.update(true));
     }
 
     #[test]

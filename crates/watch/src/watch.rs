@@ -19,7 +19,7 @@ use fxnet_qos::ContractTerms;
 use fxnet_sim::{FrameRecord, SimTime};
 use fxnet_spectral::{goertzel_power, padded_bin, SlidingDft};
 use fxnet_telemetry::TelemetryRegistry;
-use fxnet_trace::{SlidingBandwidth, StreamBinner};
+use fxnet_trace::{SlidingBandwidth, StreakLatch, StreamBinner};
 use std::collections::BTreeMap;
 
 /// What one tenant promised the admission controller, in plain numbers.
@@ -177,8 +177,10 @@ struct TenantState {
     binned_count: u64,
     rolling: std::collections::VecDeque<f64>,
     rolling_sum: f64,
-    over_streak: usize,
-    latched: bool,
+    /// Shared latched-breach rule (`fxnet_trace::StreakLatch`): one
+    /// violation per tenant, fired after `breach_bins` consecutive
+    /// over-threshold bins or an over-limit burst.
+    latch: StreakLatch,
     violations: u64,
     anomalies: u64,
     anomalies_total: u64,
@@ -266,8 +268,7 @@ impl StreamWatch {
                 binned_count: 0,
                 rolling: std::collections::VecDeque::new(),
                 rolling_sum: 0.0,
-                over_streak: 0,
-                latched: false,
+                latch: StreakLatch::new(cfg.breach_bins),
                 violations: 0,
                 anomalies: 0,
                 anomalies_total: 0,
@@ -550,13 +551,7 @@ fn tenant_bin(cfg: &WatchConfig, t: &mut TenantState, bin: f64, pending: &mut Ve
     }
     let mean = t.rolling_sum / t.rolling.len() as f64;
     let limit = cfg.mean_tolerance * t.contract.terms.mean_load;
-    if mean > limit {
-        t.over_streak += 1;
-    } else {
-        t.over_streak = 0;
-    }
-    if t.over_streak >= cfg.breach_bins && !t.latched {
-        t.latched = true;
+    if t.latch.update(mean > limit) {
         t.violations += 1;
         pending.push(Pending {
             kind: EventKind::ContractViolation,
@@ -565,7 +560,7 @@ fn tenant_bin(cfg: &WatchConfig, t: &mut TenantState, bin: f64, pending: &mut Ve
             limit,
             detail: format!(
                 "rolling mean {:.0} B/s exceeded {:.1}x the admitted mean load {:.0} B/s for {} consecutive bins",
-                mean, cfg.mean_tolerance, t.contract.terms.mean_load, t.over_streak
+                mean, cfg.mean_tolerance, t.contract.terms.mean_load, t.latch.streak()
             ),
         });
     }
@@ -599,8 +594,7 @@ fn tenant_burst(
         t.contract.terms.burst_bytes as f64 * f64::from(t.contract.terms.connections);
     let cycles = cycles_spanned(b.duration_s(), t.contract.terms.t_interval);
     let limit = cfg.burst_tolerance * claimed_cycle * cycles;
-    if b.bytes as f64 > limit && !t.latched {
-        t.latched = true;
+    if b.bytes as f64 > limit && t.latch.latch_now() {
         t.violations += 1;
         pending.push(Pending {
             kind: EventKind::ContractViolation,
