@@ -72,6 +72,9 @@ struct Ctx {
     div: usize,
     hours: usize,
     seed: u64,
+    /// DES shard count (`--shards`) for multi-segment topologies;
+    /// 1 = the legacy sequential fabric, output byte-identical either way.
+    shards: usize,
     metrics_out: Option<String>,
     /// Injected run date (`--date`) recorded in the bench history; kept
     /// out of every other artifact so output stays seed-deterministic.
@@ -372,6 +375,7 @@ fn main() {
     let mut seed = 1998u64;
     let mut telemetry = false;
     let mut jobs = 1usize;
+    let mut shards = 1usize;
     let mut trace_format = TraceFormat::Binary;
     let mut exps: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -384,6 +388,7 @@ fn main() {
             "--date" => date = args.next(),
             "--seed" => seed = args.next().and_then(|s| s.parse().ok()).unwrap_or(1998),
             "--jobs" => jobs = args.next().and_then(|s| s.parse().ok()).unwrap_or(1),
+            "--shards" => shards = args.next().and_then(|s| s.parse().ok()).unwrap_or(1).max(1),
             "--trace-format" => {
                 trace_format = args
                     .next()
@@ -397,11 +402,13 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--div N] [--hours H] [--out DIR] [--metrics-out DIR] [--seed N] [--jobs N] [--trace-format F] [--telemetry] [--list] <exp>...\n\
+                    "usage: repro [--div N] [--hours H] [--out DIR] [--metrics-out DIR] [--seed N] [--jobs N] [--shards N] [--trace-format F] [--telemetry] [--list] <exp>...\n\
                      `repro --list` prints every experiment id with its description\n\
                      sets: all (default) = every figure/table of the paper; all-extras = phases ablate-switch ablate-route ablate-p summary\n\
                      --seed N sets the simulation seed (default 1998); same seed, byte-identical output\n\
                      --jobs N fans independent runs across N workers (0 = all CPUs); output is byte-identical to --jobs 1\n\
+                     --shards N partitions multi-segment topologies across N DES shards (default 1 = the legacy\n\
+                     \u{20}                 sequential loop); output is byte-identical to --shards 1 at any count\n\
                      --trace-format F caches prewarmed traces under out/cache as `binary` (.fxb, default) or `text` (.trace)\n\
                      --metrics-out DIR directs the watch/blame/fabric-health artifacts (default: the --out dir)\n\
                      \u{20}                 and writes a Prometheus snapshot repro_<exp>.prom per selected experiment\n\
@@ -447,11 +454,13 @@ fn main() {
         exps: Experiments::new(div, hours, &out)
             .with_seed(seed)
             .with_telemetry(telemetry)
+            .with_shards(shards)
             .with_trace_cache(trace_format),
         pool: Pool::new(jobs),
         div,
         hours,
         seed,
+        shards,
         metrics_out,
         date,
     };
@@ -597,7 +606,7 @@ fn kernel_row(label: &str, run: &fxnet::RunResult<u64>) -> String {
 
 fn ablate_switch(c: &mut Ctx) {
     header("Ablation: shared CSMA/CD bus vs store-and-forward switch");
-    use fxnet::Testbed;
+    use fxnet::TestbedBuilder;
     let (div, seed) = (c.div, c.seed);
     // Four independent (kernel, fabric) runs; the pool returns them in
     // input order, so the table reads the same at any --jobs.
@@ -607,11 +616,11 @@ fn ablate_switch(c: &mut Ctx) {
             .flat_map(|k| [(k, false), (k, true)])
             .collect(),
         |(k, switched)| {
-            let mut tb = Testbed::paper().with_seed(seed);
+            let mut b = TestbedBuilder::paper().seed(seed);
             if switched {
-                tb = tb.with_switched_fabric();
+                b = b.switched_fabric();
             }
-            tb.run_kernel(k, div.max(5)).unwrap()
+            b.build().run_kernel(k, div.max(5)).unwrap()
         },
     );
     for (pair, k) in runs.chunks(2).zip([KernelKind::Fft2d, KernelKind::Hist]) {
@@ -634,7 +643,7 @@ fn ablate_switch(c: &mut Ctx) {
 fn ablate_route(c: &mut Ctx) {
     header("Ablation: PVM direct TCP route vs daemon UDP relay");
     use fxnet::pvm::Route;
-    use fxnet::Testbed;
+    use fxnet::TestbedBuilder;
     let (div, seed) = (c.div, c.seed);
     let runs = c.pool.map(
         [KernelKind::Fft2d, KernelKind::Hist]
@@ -642,9 +651,10 @@ fn ablate_route(c: &mut Ctx) {
             .flat_map(|k| [(k, Route::Direct), (k, Route::Daemon)])
             .collect(),
         |(k, route)| {
-            Testbed::paper()
-                .with_seed(seed)
-                .with_route(route)
+            TestbedBuilder::paper()
+                .seed(seed)
+                .route(route)
+                .build()
                 .run_kernel(k, div.max(5))
                 .unwrap()
         },
@@ -668,7 +678,7 @@ fn ablate_route(c: &mut Ctx) {
 fn ablate_p(c: &mut Ctx) {
     header("Ablation: processor-count sweep vs the §7.3 model");
     use fxnet::pvm::MessageBuilder;
-    use fxnet::Testbed;
+    use fxnet::TestbedBuilder;
     let work = SimTime::from_secs(8);
     let n_bytes = 200_000usize;
     let seed = c.seed;
@@ -683,7 +693,7 @@ fn ablate_p(c: &mut Ctx) {
     let mut sweep = c.pool.sweep::<u32, String>();
     for p in [2u32, 4, 8] {
         sweep = sweep.add(p, move || {
-            let run = Testbed::quiet(p).with_seed(seed).run(move |ctx| {
+            let run = TestbedBuilder::quiet(p).seed(seed).build().run(move |ctx| {
                 let me = ctx.rank();
                 let np = ctx.nprocs();
                 let per_rank = SimTime::from_nanos(work.as_nanos() / u64::from(np));
@@ -723,7 +733,7 @@ fn header(title: &str) {
 fn mix_kernels(c: &mut Ctx) {
     header("Mixed workload: SOR + 2DFFT + HIST sharing one wire");
     use fxnet::mix::MixTenant;
-    use fxnet::Testbed;
+    use fxnet::TestbedBuilder;
     let ctx = &c.exps;
     let div = ctx.div;
     // 2DFFT alone presents a ~1.4 MB/s mean load — more than the paper's
@@ -732,9 +742,10 @@ fn mix_kernels(c: &mut Ctx) {
     // that regime. The co-scheduling experiment runs on a 100 Mb/s
     // fabric instead.
     println!("(fabric: 100 Mb/s shared; the 10 Mb/s saturation regime is `mix-admit`)");
-    let out = Testbed::paper()
-        .with_seed(ctx.seed())
-        .with_bandwidth_bps(fxnet::sim::RATE_100M)
+    let out = TestbedBuilder::paper()
+        .seed(ctx.seed())
+        .bandwidth_bps(fxnet::sim::RATE_100M)
+        .build()
         .mix()
         .network(QosNetwork::of_rate(fxnet::sim::RATE_100M))
         .tenant(MixTenant::kernel(
@@ -808,7 +819,7 @@ fn mix_kernels(c: &mut Ctx) {
 fn mix_admit(c: &mut Ctx) {
     header("QoS admission under rising offered load (shift tenants, P=4)");
     use fxnet::mix::MixTenant;
-    use fxnet::Testbed;
+    use fxnet::TestbedBuilder;
     use std::fmt::Write as _;
     let seed = c.seed;
     println!("offered  admitted  rejected  residual KB/s");
@@ -823,9 +834,10 @@ fn mix_admit(c: &mut Ctx) {
             // floor (50 KB/s) refuses the next.
             let tenant = |i: usize| MixTenant::shift(&format!("T{}", i + 1), 2.0, 400_000, 3, 4);
             let net = || QosNetwork::ethernet_10mbps().with_min_burst_bw(50_000.0);
-            let mut b = Testbed::paper()
-                .with_seed(seed)
-                .without_heartbeats()
+            let mut b = TestbedBuilder::paper()
+                .seed(seed)
+                .heartbeats(false)
+                .build()
                 .mix()
                 .network(net())
                 .solo_baselines(offered == 2);
@@ -887,7 +899,7 @@ fn watch_live(c: &mut Ctx) {
     use fxnet::mix::MixTenant;
     use fxnet::telemetry::write_prometheus;
     use fxnet::watch::WatchConfig;
-    use fxnet::Testbed;
+    use fxnet::TestbedBuilder;
     let metrics_out = c.metrics_out.as_deref();
     let ctx = &c.exps;
     let div = ctx.div;
@@ -898,9 +910,10 @@ fn watch_live(c: &mut Ctx) {
     // feeds the trace (zero perturbation: the trace is byte-identical
     // with the watcher off).
     println!("(fabric: 100 Mb/s shared; 2DFFT claims 1/8 of its true burst sizes)");
-    let out = Testbed::paper()
-        .with_seed(ctx.seed())
-        .with_bandwidth_bps(fxnet::sim::RATE_100M)
+    let out = TestbedBuilder::paper()
+        .seed(ctx.seed())
+        .bandwidth_bps(fxnet::sim::RATE_100M)
+        .build()
         .mix()
         .network(QosNetwork::of_rate(fxnet::sim::RATE_100M))
         .solo_baselines(false)
@@ -962,7 +975,7 @@ fn blame_attrib(c: &mut Ctx) {
     };
     use fxnet::mix::MixTenant;
     use fxnet::watch::WatchConfig;
-    use fxnet::Testbed;
+    use fxnet::TestbedBuilder;
     let metrics_out = c.metrics_out.as_deref();
     let ctx = &c.exps;
     let div = ctx.div;
@@ -971,9 +984,10 @@ fn blame_attrib(c: &mut Ctx) {
     // tag through pvm, TCP segmentation/retransmission, and the MAC.
     // The tag rides a side-table, so the trace stays byte-identical.
     println!("(the `watch` scenario, with every frame tagged by its causing op)");
-    let out = Testbed::paper()
-        .with_seed(ctx.seed())
-        .with_bandwidth_bps(fxnet::sim::RATE_100M)
+    let out = TestbedBuilder::paper()
+        .seed(ctx.seed())
+        .bandwidth_bps(fxnet::sim::RATE_100M)
+        .build()
         .mix()
         .network(QosNetwork::of_rate(fxnet::sim::RATE_100M))
         .solo_baselines(false)
@@ -1104,9 +1118,10 @@ fn blame_attrib(c: &mut Ctx) {
     // paths name the contended trunk.
     println!("\n-- trunked topology: naming the contended trunk --");
     let spec = oversubscribed_trunk2(9);
-    let trunked = Testbed::paper()
-        .with_seed(ctx.seed())
-        .with_topology(spec)
+    let trunked = TestbedBuilder::paper()
+        .seed(ctx.seed())
+        .topology(spec)
+        .build()
         .mix()
         .solo_baselines(false)
         .causal(true)
@@ -1610,16 +1625,19 @@ impl SweepProg {
         }
     }
 
-    /// Run on the legacy shared bus (`None`) or a compiled topology.
-    /// Kernel scale is floored so the 72-cell grid stays tractable at
-    /// `--div 1` while still producing several bursts per run.
+    /// Run on the legacy shared bus (`None`) or a compiled topology
+    /// partitioned across `shards` DES shards (byte-identical at any
+    /// count; the bus ignores it). Kernel scale is floored so the
+    /// 72-cell grid stays tractable at `--div 1` while still producing
+    /// several bursts per run.
     fn run(
         self,
         seed: u64,
         div: usize,
         spec: Option<fxnet::TopologySpec>,
+        shards: usize,
     ) -> fxnet::RunResult<u64> {
-        use fxnet::Testbed;
+        use fxnet::TestbedBuilder;
         match self {
             SweepProg::Kernel(k) => {
                 let d = if k == KernelKind::Seq {
@@ -1627,18 +1645,18 @@ impl SweepProg {
                 } else {
                     div.max(20)
                 };
-                let mut tb = Testbed::paper().with_seed(seed);
+                let mut b = TestbedBuilder::paper().seed(seed).shards(shards);
                 if let Some(s) = spec {
-                    tb = tb.with_topology(s);
+                    b = b.topology(s);
                 }
-                tb.run_kernel(k, d).expect("sweep kernel run")
+                b.build().run_kernel(k, d).expect("sweep kernel run")
             }
             SweepProg::Shift => {
-                let mut tb = Testbed::quiet(4).with_seed(seed);
+                let mut b = TestbedBuilder::quiet(4).seed(seed).shards(shards);
                 if let Some(s) = spec {
-                    tb = tb.with_topology(s);
+                    b = b.topology(s);
                 }
-                tb.run(move |ctx| {
+                b.build().run(move |ctx| {
                     let payload = vec![1u8; 100_000];
                     for round in 0..6i32 {
                         ctx.compute_time(SimTime::from_millis(500));
@@ -1705,6 +1723,7 @@ fn fabric_sweep(c: &mut Ctx) {
     use fxnet::TopologySpec;
     let seed = c.exps.seed();
     let div = c.div;
+    let shards = c.shards;
     let topo_ids: Vec<String> = TopologySpec::sweep_set(4, RATE_10M)
         .into_iter()
         .map(|s| s.id)
@@ -1717,9 +1736,9 @@ fn fabric_sweep(c: &mut Ctx) {
 
     // The legacy shared-bus trace per program: the paper path the
     // single-segment 10 Mb/s cell must reproduce byte for byte.
-    let baselines = c
-        .pool
-        .map(SweepProg::ALL.to_vec(), |p| p.run(seed, div, None).trace);
+    let baselines = c.pool.map(SweepProg::ALL.to_vec(), move |p| {
+        p.run(seed, div, None, shards).trace
+    });
 
     // The full grid in (program, topology, rate) order; the pool returns
     // results in input order, so every table and the artifact are
@@ -1735,7 +1754,7 @@ fn fabric_sweep(c: &mut Ctx) {
     let cells = c.pool.map(grid, |(p, ti, rate)| {
         let spec = TopologySpec::sweep_set(p.hosts(), rate).swap_remove(ti);
         let keep_trace = ti == 0 && rate == RATE_10M;
-        let run = p.run(seed, div, Some(spec));
+        let run = p.run(seed, div, Some(spec), shards);
         let profile = BurstProfile::of(&run.trace, SimTime::from_millis(120));
         let mut pairs: Vec<(u32, u32)> = run
             .trace
@@ -2090,6 +2109,125 @@ fn bench_repro(c: &mut Ctx) {
         "binary load must clear 3x the text parser (got {io_speedup:.2}x)"
     );
 
+    // Shard leg: the partitioned DES core in threaded drain mode on the
+    // two multi-switch sweep fabrics, one worker per shard under the
+    // null-message protocol. The offered load is mostly shard-local
+    // (a trickle of trunk crossings keeps the cut channels honest) and
+    // is fixed by the clamped partition up front, so the 1-shard and
+    // n-shard runs drain the identical frame list — which also lets the
+    // leg re-assert the headline invariant: merged deliveries identical.
+    use fxnet::sim::{EtherConfig, Frame, FrameKind, HostId, NicId};
+    let shard_hosts = 8u32;
+    let shard_frames = 60_000u32;
+    let requested_shards = 4usize;
+    let shard_fabrics = [
+        (
+            "trunk2",
+            fxnet::TopologySpec::two_switches_trunk(shard_hosts, fxnet::sim::RATE_10M),
+        ),
+        (
+            "tree2",
+            fxnet::TopologySpec::two_level_tree(shard_hosts, fxnet::sim::RATE_10M),
+        ),
+    ];
+    println!(
+        "shard drain: {shard_frames} frames x 2 fabrics, 1 shard vs {requested_shards} requested (best of 3) ..."
+    );
+    let shard_enforce = avail >= 4;
+    let mut shard_min_speedup = f64::INFINITY;
+    let mut shard_legs: Vec<(String, Value)> = Vec::new();
+    for (fabric_name, spec) in &shard_fabrics {
+        let ether = EtherConfig::default();
+        let probe = fxnet::shard::ShardedFabric::new(spec.clone(), &ether, seed, requested_shards);
+        let clamped = probe.shard_count();
+        let shard_of = probe.partition().host_shard.clone();
+        let mut load: Vec<(NicId, Frame, SimTime)> = Vec::new();
+        for i in 0..shard_frames {
+            let src = i % shard_hosts;
+            let dst = if i % 16 == 0 {
+                // Cross the cut: the far block's mirror host.
+                let d = (src + shard_hosts / 2) % shard_hosts;
+                if d == src {
+                    (d + 1) % shard_hosts
+                } else {
+                    d
+                }
+            } else {
+                // Nearest neighbor inside the same shard block.
+                let mut d = (src + 1) % shard_hosts;
+                while d == src || shard_of[d as usize] != shard_of[src as usize] {
+                    d = (d + 1) % shard_hosts;
+                }
+                d
+            };
+            let f = Frame::tcp(
+                HostId(src),
+                HostId(dst),
+                FrameKind::Data,
+                200 + (i * 97) % 1200,
+                u64::from(i) + 1,
+            );
+            let t = SimTime::from_micros(u64::from(i / shard_hosts) * 700);
+            load.push((NicId(src), f, t));
+        }
+        let drain_run = |n: usize| {
+            let mut fab = fxnet::shard::ShardedFabric::new(spec.clone(), &ether, seed, n);
+            for (nic, f, t) in &load {
+                fab.enqueue(*nic, *f, *t);
+            }
+            fab.drain_parallel()
+        };
+        let (base, t_base) = best_of3(|| drain_run(1));
+        let (sharded, t_shard) = best_of3(|| drain_run(clamped));
+        assert_eq!(
+            sharded.violations, 0,
+            "{fabric_name}: the lookahead must never admit a late frame"
+        );
+        assert_eq!(
+            base.deliveries.len(),
+            sharded.deliveries.len(),
+            "{fabric_name}: drain modes must agree on delivery count"
+        );
+        for (a, b) in base.deliveries.iter().zip(&sharded.deliveries) {
+            assert_eq!(a.time, b.time, "{fabric_name}: delivery order diverged");
+            assert_eq!(a.frame, b.frame, "{fabric_name}: delivery order diverged");
+        }
+        let base_eps = base.events as f64 / t_base;
+        let shard_eps = sharded.events as f64 / t_shard;
+        let ratio = shard_eps / base_eps;
+        shard_min_speedup = shard_min_speedup.min(ratio);
+        println!(
+            "shard drain {fabric_name}: 1 shard {:.2}M events/s, {clamped} shards {:.2}M events/s  ({ratio:.2}x), {} deliveries identical",
+            base_eps / 1e6,
+            shard_eps / 1e6,
+            base.deliveries.len()
+        );
+        shard_legs.push((
+            (*fabric_name).to_string(),
+            Value::Object(vec![
+                ("shards".to_string(), Value::U64(clamped as u64)),
+                ("frames".to_string(), Value::U64(u64::from(shard_frames))),
+                ("events".to_string(), Value::U64(sharded.events)),
+                ("base_events_per_sec".to_string(), Value::F64(base_eps)),
+                ("sharded_events_per_sec".to_string(), Value::F64(shard_eps)),
+                ("speedup".to_string(), Value::F64(ratio)),
+                ("violations".to_string(), Value::U64(sharded.violations)),
+                ("null_rounds".to_string(), Value::U64(sharded.null_rounds)),
+                ("deliveries_identical".to_string(), Value::Bool(true)),
+            ]),
+        ));
+    }
+    if shard_enforce {
+        assert!(
+            shard_min_speedup >= 1.3,
+            "sharded drain must clear 1.3x the sequential loop on >= 4 CPUs (got {shard_min_speedup:.2}x)"
+        );
+    } else {
+        println!(
+            "(shard speedup floor 1.3x enforced only on >= 4 CPUs; here cpus={avail}, measured {shard_min_speedup:.2}x)"
+        );
+    }
+
     let report = Value::Object(vec![
         ("jobs".to_string(), Value::U64(jobs as u64)),
         (
@@ -2152,6 +2290,19 @@ fn bench_repro(c: &mut Ctx) {
             ]),
         ),
         (
+            "shard_bench".to_string(),
+            Value::Object(vec![
+                (
+                    "requested_shards".to_string(),
+                    Value::U64(requested_shards as u64),
+                ),
+                ("speedup_floor".to_string(), Value::F64(1.3)),
+                ("speedup_enforced".to_string(), Value::Bool(shard_enforce)),
+                ("min_speedup".to_string(), Value::F64(shard_min_speedup)),
+                ("fabrics".to_string(), Value::Object(shard_legs)),
+            ]),
+        ),
+        (
             "queue".to_string(),
             Value::Object(vec![
                 ("ops".to_string(), Value::U64(qb.ops)),
@@ -2188,6 +2339,7 @@ fn bench_repro(c: &mut Ctx) {
             Value::Str(fxnet::TopologySpec::single_segment(9, fxnet::sim::RATE_10M).label()),
         ),
         ("jobs".to_string(), Value::U64(jobs as u64)),
+        ("shards".to_string(), Value::U64(c.shards as u64)),
         ("div".to_string(), Value::U64(div as u64)),
         (
             "calendar_events_per_sec".to_string(),
@@ -2196,6 +2348,10 @@ fn bench_repro(c: &mut Ctx) {
         ("suite_speedup".to_string(), Value::F64(speedup)),
         ("analysis_speedup".to_string(), Value::F64(col_speedup)),
         ("io_load_speedup".to_string(), Value::F64(io_speedup)),
+        (
+            "shard_drain_speedup".to_string(),
+            Value::F64(shard_min_speedup),
+        ),
     ]);
     let history = c.exps.out_path("bench_history.jsonl");
     let appended = fxnet_bench::append_history_line(&history, &serde::json::to_string(&line))
@@ -2251,18 +2407,20 @@ struct HealthCell {
 /// once bare (the purity baseline), once with the full weather map
 /// attached (frame tap + per-link sampling + causal capture). Asserts
 /// the traces byte-identical, then distills the instrumented run.
-fn health_cell(prog: SweepProg, seed: u64, div: usize) -> HealthCell {
+fn health_cell(prog: SweepProg, seed: u64, div: usize, shards: usize) -> HealthCell {
     use fxnet::causal::{chrome_trace, collective_paths, contended_intervals};
     use fxnet::metrics::{counter_events, FabricSampler, HotspotConfig, SamplerConfig};
-    use fxnet::Testbed;
+    use fxnet::TestbedBuilder;
     let spec = oversubscribed_trunk2(prog.hosts());
     let build = |spec: &fxnet::TopologySpec| {
         let tb = match prog {
-            SweepProg::Kernel(_) => Testbed::paper(),
-            SweepProg::Shift => Testbed::quiet(4),
+            SweepProg::Kernel(_) => TestbedBuilder::paper(),
+            SweepProg::Shift => TestbedBuilder::quiet(4),
         }
-        .with_seed(seed)
-        .with_topology(spec.clone());
+        .seed(seed)
+        .topology(spec.clone())
+        .shards(shards)
+        .build();
         let cost = tb.config().cost.clone();
         let mix = tb
             .mix()
@@ -2372,13 +2530,14 @@ fn fabric_health(c: &mut Ctx) {
     use fxnet::telemetry::{labeled, write_prometheus, TelemetryRegistry};
     let div = c.div;
     let seed = c.exps.seed();
+    let shards = c.shards;
     println!(
         "(six programs, each alone on trunk2: 100 Mb/s edges, 10 Mb/s trunk, ranks split across the switches)"
     );
 
-    let cells = c
-        .pool
-        .map(SweepProg::ALL.to_vec(), move |p| health_cell(p, seed, div));
+    let cells = c.pool.map(SweepProg::ALL.to_vec(), move |p| {
+        health_cell(p, seed, div, shards)
+    });
 
     // The weather map and the causal layer must agree: across all six
     // programs the oversubscribed trunk is the one and only flagged

@@ -10,7 +10,7 @@ use fxnet::trace::{
     average_bandwidth, binned_bandwidth, connection, host_pairs, load_store, save_store,
     Periodogram, ReportOptions, Stats, TraceFormat, TraceReport, TraceStore,
 };
-use fxnet::{FrameRecord, HostId, KernelKind, RunResult, SimTime, Testbed};
+use fxnet::{FrameRecord, HostId, KernelKind, RunResult, SimTime, TestbedBuilder};
 use fxnet_harness::Pool;
 use std::collections::HashMap;
 
@@ -24,6 +24,7 @@ pub struct Experiments {
     pub out_dir: std::path::PathBuf,
     seed: u64,
     telemetry: bool,
+    shards: usize,
     cache: Option<TraceFormat>,
     kernels: HashMap<&'static str, RunResult<u64>>,
     airshed: Option<RunResult<u64>>,
@@ -41,6 +42,7 @@ impl Experiments {
             out_dir: out_dir.into(),
             seed: 1998,
             telemetry: false,
+            shards: 1,
             cache: None,
             kernels: HashMap::new(),
             airshed: None,
@@ -84,6 +86,21 @@ impl Experiments {
         self.seed
     }
 
+    /// Set the DES shard count every run is made with (default 1, the
+    /// legacy sequential loop). Only multi-segment topologies partition;
+    /// the paper-path shared bus ignores it, and traces are
+    /// byte-identical at any count. Must be set before the first run is
+    /// cached.
+    pub fn with_shards(mut self, shards: usize) -> Experiments {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The DES shard count runs are made with.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
     /// Fill the run cache for `kernels` (and AIRSHED if `airshed`) by
     /// fanning the missing simulations across `pool`.
     ///
@@ -121,10 +138,15 @@ impl Experiments {
             Some(KernelKind::Hist) => 5,
         };
         jobs.sort_by_key(weight);
-        let (div, hours, seed, telemetry) = (self.div, self.hours, self.seed, self.telemetry);
+        let (div, hours, seed, telemetry, shards) =
+            (self.div, self.hours, self.seed, self.telemetry, self.shards);
         let done = pool.map(jobs, |job| {
             let t0 = std::time::Instant::now();
-            let tb = Testbed::paper().with_seed(seed).with_telemetry(telemetry);
+            let tb = TestbedBuilder::paper()
+                .seed(seed)
+                .telemetry_enabled(telemetry)
+                .shards(shards)
+                .build();
             let (name, run) = match job {
                 Some(k) => (
                     k.name(),
@@ -213,9 +235,11 @@ impl Experiments {
         if !self.kernels.contains_key(k.name()) {
             eprintln!("[run] {} (paper scale / {}) ...", k.name(), self.div);
             let t0 = std::time::Instant::now();
-            let run = Testbed::paper()
-                .with_seed(self.seed)
-                .with_telemetry(self.telemetry)
+            let run = TestbedBuilder::paper()
+                .seed(self.seed)
+                .telemetry_enabled(self.telemetry)
+                .shards(self.shards)
+                .build()
                 .run_kernel(k, self.div)
                 .unwrap_or_else(|e| panic!("{}: {e}", k.name()));
             eprintln!(
@@ -240,9 +264,11 @@ impl Experiments {
             };
             eprintln!("[run] AIRSHED ({} hours) ...", self.hours);
             let t0 = std::time::Instant::now();
-            let run = Testbed::paper()
-                .with_seed(self.seed)
-                .with_telemetry(self.telemetry)
+            let run = TestbedBuilder::paper()
+                .seed(self.seed)
+                .telemetry_enabled(self.telemetry)
+                .shards(self.shards)
+                .build()
                 .run_airshed(params)
                 .unwrap_or_else(|e| panic!("AIRSHED: {e}"));
             eprintln!(

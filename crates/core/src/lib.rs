@@ -10,12 +10,12 @@
 //! ## Quick start
 //!
 //! ```
-//! use fxnet::{Testbed, KernelKind};
+//! use fxnet::{KernelKind, TestbedBuilder};
 //! use fxnet::trace::TraceStore;
 //!
 //! // The paper's environment: P=4 tasks on a 9-workstation shared LAN,
 //! // scaled down 50× on the outer iteration count for a fast run.
-//! let tb = Testbed::paper().with_seed(7);
+//! let tb = TestbedBuilder::paper().seed(7).build();
 //! let run = tb.run_kernel(KernelKind::Hist, 50).expect("valid config");
 //! // Columnar analysis: one store, zero-copy views, fused kernels.
 //! let store = TraceStore::from_records(&run.trace);
@@ -33,6 +33,7 @@
 //! |---|---|---|
 //! | CSMA/CD Ethernet, frames, simulated time | `fxnet-sim` | [`sim`] |
 //! | multi-segment switched topologies | `fxnet-topo` | [`topo`] |
+//! | sharded parallel DES core | `fxnet-shard` | [`shard`] |
 //! | TCP/UDP stack | `fxnet-proto` | [`proto`] |
 //! | PVM message passing | `fxnet-pvm` | [`pvm`] |
 //! | SPMD runtime, patterns, cost model | `fxnet-fx` | [`fx`] |
@@ -57,6 +58,7 @@ pub use fxnet_numerics as numerics;
 pub use fxnet_proto as proto;
 pub use fxnet_pvm as pvm;
 pub use fxnet_qos as qos;
+pub use fxnet_shard as shard;
 pub use fxnet_sim as sim;
 pub use fxnet_spectral as spectral;
 pub use fxnet_telemetry as telemetry;
@@ -73,4 +75,4 @@ pub use fxnet_fx::{
 };
 pub use fxnet_sim::{FrameRecord, HostId, SimTime};
 pub use fxnet_topo::TopologySpec;
-pub use testbed::Testbed;
+pub use testbed::{Testbed, TestbedBuilder};

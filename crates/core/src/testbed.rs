@@ -7,66 +7,72 @@ use fxnet_fx::{
 };
 use fxnet_proto::LinkKind;
 use fxnet_pvm::Route;
-use fxnet_sim::{SimTime, SwitchConfig};
+use fxnet_sim::{FrameTap, SimTime, SwitchConfig};
+use std::cell::RefCell;
 
-/// The simulated testbed of §5.1: DEC 3000/400-class workstations on a
-/// single bridged 10 Mb/s Ethernet collision domain, PVM 3.3-style
-/// message passing, one promiscuous tracer. Build one, adjust it with the
-/// `with_*` methods, and run kernels or arbitrary SPMD programs on it.
-#[derive(Debug, Clone)]
-pub struct Testbed {
+/// Builder for a [`Testbed`]: one fluent surface over everything the
+/// experiments vary — topology, seed, telemetry, frame taps, DES shard
+/// count — replacing the old `with_*` constructor sprawl.
+///
+/// ```
+/// use fxnet::TestbedBuilder;
+/// let tb = TestbedBuilder::paper().seed(7).telemetry().build();
+/// ```
+pub struct TestbedBuilder {
     cfg: SpmdConfig,
+    tap: Option<FrameTap>,
 }
 
-impl Testbed {
-    /// The paper's configuration: programs compiled for P=4 on a LAN of 9
-    /// workstations (idle machines contribute only daemon chatter; one is
-    /// the tcpdump tracer).
-    pub fn paper() -> Testbed {
-        Testbed {
+impl TestbedBuilder {
+    /// Start from the paper's configuration: programs compiled for P=4 on
+    /// a LAN of 9 workstations (idle machines contribute only daemon
+    /// chatter; one is the tcpdump tracer).
+    pub fn paper() -> TestbedBuilder {
+        TestbedBuilder {
             cfg: SpmdConfig {
                 p: 4,
                 hosts: 9,
                 seed: 1998,
                 ..SpmdConfig::default()
             },
+            tap: None,
         }
     }
 
-    /// A minimal quiet testbed for unit-style experiments: `p` hosts,
-    /// no daemon heartbeats.
-    pub fn quiet(p: u32) -> Testbed {
+    /// Start from a minimal quiet testbed for unit-style experiments:
+    /// `p` hosts, no daemon heartbeats.
+    pub fn quiet(p: u32) -> TestbedBuilder {
         let mut cfg = SpmdConfig {
             p,
             hosts: p.max(2),
             ..SpmdConfig::default()
         };
         cfg.pvm.heartbeat = None;
-        Testbed { cfg }
+        TestbedBuilder { cfg, tap: None }
     }
 
     /// Override the processor count the programs are compiled for.
-    pub fn with_p(mut self, p: u32) -> Testbed {
+    pub fn p(mut self, p: u32) -> TestbedBuilder {
         self.cfg.p = p;
         self.cfg.hosts = self.cfg.hosts.max(p);
         self
     }
 
     /// Override the simulation seed.
-    pub fn with_seed(mut self, seed: u64) -> Testbed {
+    pub fn seed(mut self, seed: u64) -> TestbedBuilder {
         self.cfg.seed = seed;
         self.cfg.pvm.net.seed = seed ^ 0x00C0_FFEE;
         self
     }
 
     /// Select the PVM routing mechanism (direct TCP vs daemon UDP).
-    pub fn with_route(mut self, route: Route) -> Testbed {
+    pub fn route(mut self, route: Route) -> TestbedBuilder {
         self.cfg.pvm.route = route;
         self
     }
 
     /// Enable OS deschedule injection (§6.1's burst-merging artifact).
-    pub fn with_deschedule(mut self, mean_cpu_between: SimTime, duration: SimTime) -> Testbed {
+    pub fn deschedule(mut self, mean_cpu_between: SimTime, duration: SimTime) -> TestbedBuilder {
         self.cfg.deschedule = Some(DescheduleConfig {
             mean_cpu_between,
             duration,
@@ -76,7 +82,7 @@ impl Testbed {
 
     /// Make the bus lossy (frame corruption probability) — the failure-
     /// injection extension; TCP recovers by go-back-N retransmission.
-    pub fn with_loss(mut self, drop_prob: f64) -> Testbed {
+    pub fn loss(mut self, drop_prob: f64) -> TestbedBuilder {
         self.cfg.pvm.net.ether.drop_prob = drop_prob;
         self
     }
@@ -84,7 +90,7 @@ impl Testbed {
     /// Change the LAN's raw bit rate (default 10 Mb/s). The paper's
     /// point that burst periodicity is *bandwidth dependent* (§7.3,
     /// conclusions) can be demonstrated by sweeping this.
-    pub fn with_bandwidth_bps(mut self, bps: u64) -> Testbed {
+    pub fn bandwidth_bps(mut self, bps: u64) -> TestbedBuilder {
         self.cfg.pvm.net.ether.bandwidth_bps = bps;
         self
     }
@@ -92,7 +98,7 @@ impl Testbed {
     /// Replace the shared collision domain with a store-and-forward
     /// switch (per-host full-duplex 10 Mb/s ports) — the DESIGN.md §8
     /// ablation isolating the MAC layer's contribution to burst shaping.
-    pub fn with_switched_fabric(mut self) -> Testbed {
+    pub fn switched_fabric(mut self) -> TestbedBuilder {
         self.cfg.pvm.net.link = LinkKind::Switched(SwitchConfig::default());
         self
     }
@@ -103,6 +109,171 @@ impl Testbed {
     /// the tracer, which the engine validates at run time), so host
     /// placement — which ranks share a segment, which contend only on a
     /// trunk — is controlled by the spec.
+    pub fn topology(mut self, spec: fxnet_topo::TopologySpec) -> TestbedBuilder {
+        self.cfg.hosts = spec.host_count() as u32;
+        self.cfg.pvm.net.link = LinkKind::Topology(spec);
+        self
+    }
+
+    /// Enable or disable the PVM daemons' periodic UDP chatter
+    /// (enabled by default on the paper testbed).
+    pub fn heartbeats(mut self, on: bool) -> TestbedBuilder {
+        if on {
+            self.cfg.pvm.heartbeat = fxnet_pvm::PvmConfig::default().heartbeat;
+        } else {
+            self.cfg.pvm.heartbeat = None;
+        }
+        self
+    }
+
+    /// Enable telemetry collection: phase spans, the cross-layer counter
+    /// registry, and the simulator self-profile appear in
+    /// [`RunResult::telemetry`]. The packet trace is unchanged.
+    pub fn telemetry(self) -> TestbedBuilder {
+        self.telemetry_enabled(true)
+    }
+
+    /// [`TestbedBuilder::telemetry`] with an explicit flag, for callers
+    /// that thread the decision through.
+    pub fn telemetry_enabled(mut self, on: bool) -> TestbedBuilder {
+        self.cfg.telemetry = on;
+        self
+    }
+
+    /// Install a live frame tap at the promiscuous capture point (see
+    /// [`fxnet_sim::FrameTap`]). The tap is handed to the first run the
+    /// built testbed executes; it observes every delivered frame and
+    /// cannot perturb the simulation.
+    pub fn tap(mut self, tap: FrameTap) -> TestbedBuilder {
+        self.tap = Some(tap);
+        self
+    }
+
+    /// Partition multi-segment topologies across `n` DES shards
+    /// (`fxnet-shard`). `1` (the default) runs the legacy sequential
+    /// fabric; any count produces byte-identical traces, watch events,
+    /// causal DAGs, and metrics. Ignored by the shared bus and the
+    /// switch counterfactual.
+    pub fn shards(mut self, n: usize) -> TestbedBuilder {
+        self.cfg.pvm.net.shards = n.max(1);
+        self
+    }
+
+    /// Finish: produce the configured [`Testbed`].
+    pub fn build(self) -> Testbed {
+        Testbed {
+            cfg: self.cfg,
+            tap: RefCell::new(self.tap),
+        }
+    }
+}
+
+/// The simulated testbed of §5.1: DEC 3000/400-class workstations on a
+/// single bridged 10 Mb/s Ethernet collision domain, PVM 3.3-style
+/// message passing, one promiscuous tracer. Build one with
+/// [`TestbedBuilder`] (or the [`Testbed::paper`] / [`Testbed::quiet`]
+/// shortcuts), then run kernels or arbitrary SPMD programs on it.
+pub struct Testbed {
+    cfg: SpmdConfig,
+    /// Frame tap staged by [`TestbedBuilder::tap`], consumed by the
+    /// first run (a tap is a `FnMut` box and cannot be cloned).
+    tap: RefCell<Option<FrameTap>>,
+}
+
+impl Clone for Testbed {
+    /// Clones the configuration only: a staged frame tap (an opaque
+    /// `FnMut`) stays with the original.
+    fn clone(&self) -> Testbed {
+        Testbed {
+            cfg: self.cfg.clone(),
+            tap: RefCell::new(None),
+        }
+    }
+}
+
+impl std::fmt::Debug for Testbed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Testbed")
+            .field("cfg", &self.cfg)
+            .field("tap", &self.tap.borrow().is_some())
+            .finish()
+    }
+}
+
+impl Testbed {
+    /// The paper's configuration ([`TestbedBuilder::paper`] built as-is).
+    pub fn paper() -> Testbed {
+        TestbedBuilder::paper().build()
+    }
+
+    /// A minimal quiet testbed ([`TestbedBuilder::quiet`] built as-is).
+    pub fn quiet(p: u32) -> Testbed {
+        TestbedBuilder::quiet(p).build()
+    }
+
+    /// Start a builder from the paper configuration — equivalent to
+    /// [`TestbedBuilder::paper`].
+    pub fn builder() -> TestbedBuilder {
+        TestbedBuilder::paper()
+    }
+
+    /// Override the processor count the programs are compiled for.
+    #[deprecated(note = "use TestbedBuilder::p")]
+    pub fn with_p(mut self, p: u32) -> Testbed {
+        self.cfg.p = p;
+        self.cfg.hosts = self.cfg.hosts.max(p);
+        self
+    }
+
+    /// Override the simulation seed.
+    #[deprecated(note = "use TestbedBuilder::seed")]
+    pub fn with_seed(mut self, seed: u64) -> Testbed {
+        self.cfg.seed = seed;
+        self.cfg.pvm.net.seed = seed ^ 0x00C0_FFEE;
+        self
+    }
+
+    /// Select the PVM routing mechanism (direct TCP vs daemon UDP).
+    #[deprecated(note = "use TestbedBuilder::route")]
+    pub fn with_route(mut self, route: Route) -> Testbed {
+        self.cfg.pvm.route = route;
+        self
+    }
+
+    /// Enable OS deschedule injection (§6.1's burst-merging artifact).
+    #[deprecated(note = "use TestbedBuilder::deschedule")]
+    pub fn with_deschedule(mut self, mean_cpu_between: SimTime, duration: SimTime) -> Testbed {
+        self.cfg.deschedule = Some(DescheduleConfig {
+            mean_cpu_between,
+            duration,
+        });
+        self
+    }
+
+    /// Make the bus lossy (frame corruption probability).
+    #[deprecated(note = "use TestbedBuilder::loss")]
+    pub fn with_loss(mut self, drop_prob: f64) -> Testbed {
+        self.cfg.pvm.net.ether.drop_prob = drop_prob;
+        self
+    }
+
+    /// Change the LAN's raw bit rate (default 10 Mb/s).
+    #[deprecated(note = "use TestbedBuilder::bandwidth_bps")]
+    pub fn with_bandwidth_bps(mut self, bps: u64) -> Testbed {
+        self.cfg.pvm.net.ether.bandwidth_bps = bps;
+        self
+    }
+
+    /// Replace the shared collision domain with a store-and-forward
+    /// switch.
+    #[deprecated(note = "use TestbedBuilder::switched_fabric")]
+    pub fn with_switched_fabric(mut self) -> Testbed {
+        self.cfg.pvm.net.link = LinkKind::Switched(SwitchConfig::default());
+        self
+    }
+
+    /// Replace the link layer with a declarative multi-segment topology.
+    #[deprecated(note = "use TestbedBuilder::topology")]
     pub fn with_topology(mut self, spec: fxnet_topo::TopologySpec) -> Testbed {
         self.cfg.hosts = spec.host_count() as u32;
         self.cfg.pvm.net.link = LinkKind::Topology(spec);
@@ -110,14 +281,14 @@ impl Testbed {
     }
 
     /// Disable the PVM daemons' periodic UDP chatter.
+    #[deprecated(note = "use TestbedBuilder::heartbeats")]
     pub fn without_heartbeats(mut self) -> Testbed {
         self.cfg.pvm.heartbeat = None;
         self
     }
 
-    /// Enable telemetry collection: phase spans, the cross-layer counter
-    /// registry, and the simulator self-profile appear in
-    /// [`RunResult::telemetry`]. The packet trace is unchanged.
+    /// Enable telemetry collection.
+    #[deprecated(note = "use TestbedBuilder::telemetry")]
     pub fn with_telemetry(mut self, on: bool) -> Testbed {
         self.cfg.telemetry = on;
         self
@@ -133,6 +304,16 @@ impl Testbed {
         &mut self.cfg
     }
 
+    /// Fold the testbed's staged state (a builder-installed tap) into a
+    /// caller's options. Explicit options win; the staged tap feeds the
+    /// first run that has none.
+    fn fold_opts(&self, mut opts: RunOptions) -> RunOptions {
+        if opts.tap.is_none() {
+            opts.tap = self.tap.borrow_mut().take();
+        }
+        opts
+    }
+
     /// Run one of the five kernels at paper scale with the outer
     /// iteration count divided by `iter_div` (1 = the full measured run).
     ///
@@ -140,7 +321,7 @@ impl Testbed {
     /// Propagates any [`fxnet_fx::FxnetError`] from the engine (invalid
     /// config, deadlock, runaway clock).
     pub fn run_kernel(&self, kernel: KernelKind, iter_div: usize) -> FxnetResult<RunResult<u64>> {
-        kernel.run_paper(self.cfg.clone(), iter_div)
+        self.run_kernel_opts(kernel, iter_div, RunOptions::default())
     }
 
     /// [`Testbed::run_kernel`] with explicit [`RunOptions`] — the hook
@@ -155,7 +336,7 @@ impl Testbed {
         iter_div: usize,
         opts: RunOptions,
     ) -> FxnetResult<RunResult<u64>> {
-        kernel.run_paper_opts(self.cfg.clone(), iter_div, opts)
+        kernel.run_paper_opts(self.cfg.clone(), iter_div, self.fold_opts(opts))
     }
 
     /// Run the AIRSHED skeleton with explicit parameters.
@@ -166,7 +347,7 @@ impl Testbed {
         run_single(
             self.cfg.clone(),
             move |ctx| airshed::airshed_rank(ctx, &params),
-            RunOptions::default(),
+            self.fold_opts(RunOptions::default()),
         )
     }
 
@@ -194,7 +375,7 @@ impl Testbed {
         T: Send + 'static,
         F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
     {
-        run_single(self.cfg.clone(), f, RunOptions::default())
+        self.try_run_opts(f, RunOptions::default())
     }
 
     /// [`Testbed::try_run`] with explicit [`RunOptions`].
@@ -206,7 +387,7 @@ impl Testbed {
         T: Send + 'static,
         F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
     {
-        run_single(self.cfg.clone(), f, opts)
+        run_single(self.cfg.clone(), f, self.fold_opts(opts))
     }
 
     /// Start building a multi-tenant mixed run on this testbed: add
@@ -227,6 +408,61 @@ mod tests {
         let tb = Testbed::paper();
         assert_eq!(tb.config().p, 4);
         assert_eq!(tb.config().hosts, 9);
+    }
+
+    #[test]
+    fn builder_matches_deprecated_shims() {
+        #[allow(deprecated)]
+        let old = Testbed::paper().with_seed(7).with_telemetry(true);
+        let new = TestbedBuilder::paper().seed(7).telemetry().build();
+        assert_eq!(format!("{:?}", old.config()), format!("{:?}", new.config()));
+        #[allow(deprecated)]
+        let old = Testbed::quiet(4)
+            .with_loss(0.05)
+            .with_bandwidth_bps(100_000_000);
+        let new = TestbedBuilder::quiet(4)
+            .loss(0.05)
+            .bandwidth_bps(100_000_000)
+            .build();
+        assert_eq!(format!("{:?}", old.config()), format!("{:?}", new.config()));
+    }
+
+    #[test]
+    fn builder_tap_feeds_the_first_run() {
+        use std::sync::{Arc, Mutex};
+        let seen = Arc::new(Mutex::new(0usize));
+        let sink = Arc::clone(&seen);
+        let tb = TestbedBuilder::quiet(4)
+            .seed(7)
+            .tap(Box::new(move |_| *sink.lock().unwrap() += 1))
+            .build();
+        let run = tb.run_kernel(KernelKind::Seq, 100).unwrap();
+        assert_eq!(*seen.lock().unwrap(), run.trace.len());
+        // The tap is consumed: a second run observes nothing more.
+        let n = *seen.lock().unwrap();
+        tb.run_kernel(KernelKind::Seq, 100).unwrap();
+        assert_eq!(*seen.lock().unwrap(), n);
+    }
+
+    #[test]
+    fn builder_shards_produce_identical_kernel_traces() {
+        let rate = fxnet_sim::RATE_10M;
+        let base = TestbedBuilder::paper()
+            .seed(7)
+            .topology(fxnet_topo::TopologySpec::two_switches_trunk(9, rate))
+            .build()
+            .run_kernel(KernelKind::Hist, 100)
+            .unwrap();
+        for shards in [2usize, 4] {
+            let run = TestbedBuilder::paper()
+                .seed(7)
+                .topology(fxnet_topo::TopologySpec::two_switches_trunk(9, rate))
+                .shards(shards)
+                .build()
+                .run_kernel(KernelKind::Hist, 100)
+                .unwrap();
+            assert_eq!(base.trace, run.trace, "{shards} shards");
+        }
     }
 
     #[test]
@@ -259,7 +495,7 @@ mod tests {
 
     #[test]
     fn without_heartbeats_is_silent_when_idle() {
-        let tb = Testbed::paper().without_heartbeats();
+        let tb = TestbedBuilder::paper().heartbeats(false).build();
         let run = tb.run(|ctx| {
             ctx.compute_time(SimTime::from_secs(65));
         });
@@ -268,12 +504,14 @@ mod tests {
 
     #[test]
     fn seeds_change_mac_level_timing() {
-        let a = Testbed::paper()
-            .with_seed(1)
+        let a = TestbedBuilder::paper()
+            .seed(1)
+            .build()
             .run_kernel(KernelKind::Hist, 100)
             .unwrap();
-        let b = Testbed::paper()
-            .with_seed(1)
+        let b = TestbedBuilder::paper()
+            .seed(1)
+            .build()
             .run_kernel(KernelKind::Hist, 100)
             .unwrap();
         assert_eq!(a.trace, b.trace, "same seed must reproduce exactly");
@@ -307,21 +545,24 @@ mod tests {
     #[test]
     fn topology_testbed_runs_kernels_and_single_segment_matches_bus() {
         let rate = fxnet_sim::RATE_10M;
-        let bus = Testbed::paper()
-            .with_seed(5)
+        let bus = TestbedBuilder::paper()
+            .seed(5)
+            .build()
             .run_kernel(KernelKind::Hist, 100)
             .unwrap();
-        let topo = Testbed::paper()
-            .with_seed(5)
-            .with_topology(fxnet_topo::TopologySpec::single_segment(9, rate))
+        let topo = TestbedBuilder::paper()
+            .seed(5)
+            .topology(fxnet_topo::TopologySpec::single_segment(9, rate))
+            .build()
             .run_kernel(KernelKind::Hist, 100)
             .unwrap();
         assert_eq!(bus.trace, topo.trace, "single segment must be the bus");
         // A trunked fabric still runs the kernel to completion and
         // produces traffic.
-        let trunked = Testbed::paper()
-            .with_seed(5)
-            .with_topology(fxnet_topo::TopologySpec::two_switches_trunk(9, rate))
+        let trunked = TestbedBuilder::paper()
+            .seed(5)
+            .topology(fxnet_topo::TopologySpec::two_switches_trunk(9, rate))
+            .build()
             .run_kernel(KernelKind::Hist, 100)
             .unwrap();
         assert!(!trunked.trace.is_empty());
@@ -329,10 +570,12 @@ mod tests {
 
     #[test]
     fn undersized_topology_is_a_typed_error() {
-        let mut tb = Testbed::paper().with_topology(fxnet_topo::TopologySpec::two_switches_trunk(
-            9,
-            fxnet_sim::RATE_10M,
-        ));
+        let mut tb = TestbedBuilder::paper()
+            .topology(fxnet_topo::TopologySpec::two_switches_trunk(
+                9,
+                fxnet_sim::RATE_10M,
+            ))
+            .build();
         tb.config_mut().hosts = 12; // spec only attaches 9
         let err = tb.run_kernel(KernelKind::Sor, 100).unwrap_err();
         assert!(

@@ -4,7 +4,7 @@
 //! on the shared segment and on the oversubscribed two-switch fabric,
 //! across seeds — while still producing a populated report.
 
-use fxnet::Testbed;
+use fxnet::TestbedBuilder;
 use fxnet_apps::KernelKind;
 use fxnet_fx::RunOptions;
 use fxnet_metrics::FabricSampler;
@@ -23,10 +23,11 @@ fn sampler_attach_detach_leaves_traces_byte_identical() {
     for kernel in KernelKind::ALL {
         for spec in topologies() {
             for seed in [1998u64, 7] {
-                let mut tb = Testbed::quiet(4).with_seed(seed);
+                let mut b = TestbedBuilder::quiet(4).seed(seed);
                 if let Some(spec) = &spec {
-                    tb = tb.with_topology(spec.clone());
+                    b = b.topology(spec.clone());
                 }
+                let tb = b.build();
                 let plain = tb.run_kernel(kernel, 200).unwrap();
 
                 let sampler = FabricSampler::new();

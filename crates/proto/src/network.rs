@@ -3,6 +3,7 @@
 
 use crate::tcp::{ConnId, ConnState, Dir, TcpConn, WriteChunk};
 use bytes::Bytes;
+use fxnet_shard::ShardedFabric;
 use fxnet_sim::{
     ethernet::Delivery, CausalEvent, CauseId, EtherBus, EtherConfig, EtherStats, EventQueue, Frame,
     FrameKind, FrameMeta, FrameRecord, FrameTap, HostId, LinkStats, NicId, ProtoCause, SimRng,
@@ -47,6 +48,12 @@ pub struct NetConfig {
     pub rto: SimTime,
     /// Seed for the MAC backoff RNG.
     pub seed: u64,
+    /// Number of DES shards for multi-segment topologies. `1` runs the
+    /// legacy sequential fabric; `> 1` partitions the topology across
+    /// scoped shards (`fxnet-shard`) with byte-identical output. Ignored
+    /// for the shared bus and the switch counterfactual, which have no
+    /// partitionable structure.
+    pub shards: usize,
 }
 
 impl Default for NetConfig {
@@ -60,6 +67,7 @@ impl Default for NetConfig {
             delack: SimTime::from_millis(200),
             rto: SimTime::from_millis(1000),
             seed: 0x5EED,
+            shards: 1,
         }
     }
 }
@@ -188,6 +196,9 @@ enum Fabric {
     Bus(EtherBus),
     Switch(SwitchFabric),
     Topo(Box<CompositeFabric>),
+    /// A partitioned topology: the same compiled spec split across DES
+    /// shards, byte-identical to `Topo` at every shard count.
+    Sharded(Box<ShardedFabric>),
 }
 
 impl Fabric {
@@ -196,6 +207,7 @@ impl Fabric {
             Fabric::Bus(b) => b.enqueue(nic, frame, now),
             Fabric::Switch(s) => s.enqueue(frame, now),
             Fabric::Topo(t) => t.enqueue(nic, frame, now),
+            Fabric::Sharded(t) => t.enqueue(nic, frame, now),
         }
     }
 
@@ -204,6 +216,7 @@ impl Fabric {
             Fabric::Bus(b) => b.next_event_time(),
             Fabric::Switch(s) => s.next_event_time(),
             Fabric::Topo(t) => t.next_event_time(),
+            Fabric::Sharded(t) => t.next_event_time(),
         }
     }
 
@@ -212,6 +225,7 @@ impl Fabric {
             Fabric::Bus(b) => b.advance(out),
             Fabric::Switch(s) => s.advance(out),
             Fabric::Topo(t) => t.advance(out),
+            Fabric::Sharded(t) => t.advance(out),
         }
     }
 
@@ -220,6 +234,7 @@ impl Fabric {
             Fabric::Bus(b) => b.idle(),
             Fabric::Switch(s) => s.idle(),
             Fabric::Topo(t) => t.idle(),
+            Fabric::Sharded(t) => t.idle(),
         }
     }
 
@@ -228,6 +243,7 @@ impl Fabric {
             Fabric::Bus(b) => b.set_promiscuous(on),
             Fabric::Switch(s) => s.set_promiscuous(on),
             Fabric::Topo(t) => t.set_promiscuous(on),
+            Fabric::Sharded(t) => t.set_promiscuous(on),
         }
     }
 
@@ -236,6 +252,7 @@ impl Fabric {
             Fabric::Bus(b) => b.set_tap(tap),
             Fabric::Switch(s) => s.set_tap(tap),
             Fabric::Topo(t) => t.set_tap(tap),
+            Fabric::Sharded(t) => t.set_tap(tap),
         }
     }
 
@@ -244,6 +261,7 @@ impl Fabric {
             Fabric::Bus(b) => b.trace(),
             Fabric::Switch(s) => s.trace(),
             Fabric::Topo(t) => t.trace(),
+            Fabric::Sharded(t) => t.trace(),
         }
     }
 
@@ -252,6 +270,7 @@ impl Fabric {
             Fabric::Bus(b) => b.take_trace(),
             Fabric::Switch(s) => s.take_trace(),
             Fabric::Topo(t) => t.take_trace(),
+            Fabric::Sharded(t) => t.take_trace(),
         }
     }
 
@@ -267,6 +286,7 @@ impl Fabric {
                 }
             }
             Fabric::Topo(t) => t.stats(),
+            Fabric::Sharded(t) => t.stats(),
         }
     }
 
@@ -275,6 +295,7 @@ impl Fabric {
             Fabric::Bus(b) => b.nic_count(),
             Fabric::Switch(s) => s.port_count(),
             Fabric::Topo(t) => t.host_count(),
+            Fabric::Sharded(t) => t.host_count(),
         }
     }
 
@@ -285,6 +306,7 @@ impl Fabric {
             Fabric::Bus(b) => b.errors(),
             Fabric::Switch(_) => &[],
             Fabric::Topo(t) => t.errors(),
+            Fabric::Sharded(t) => t.errors(),
         }
     }
 
@@ -295,6 +317,7 @@ impl Fabric {
             Fabric::Bus(b) => b.set_link_sampling(bin_ns),
             Fabric::Switch(_) => {}
             Fabric::Topo(t) => t.set_link_sampling(bin_ns),
+            Fabric::Sharded(t) => t.set_link_sampling(bin_ns),
         }
     }
 
@@ -310,6 +333,7 @@ impl Fabric {
             }
             Fabric::Switch(_) => None,
             Fabric::Topo(t) => t.take_link_stats(),
+            Fabric::Sharded(t) => t.take_link_stats(),
         }
     }
 }
@@ -364,11 +388,20 @@ impl Network {
                     spec.id,
                     spec.host_count(),
                 );
-                Fabric::Topo(Box::new(CompositeFabric::new(
-                    spec.clone(),
-                    &cfg.ether,
-                    cfg.seed,
-                )))
+                if cfg.shards > 1 {
+                    Fabric::Sharded(Box::new(ShardedFabric::new(
+                        spec.clone(),
+                        &cfg.ether,
+                        cfg.seed,
+                        cfg.shards,
+                    )))
+                } else {
+                    Fabric::Topo(Box::new(CompositeFabric::new(
+                        spec.clone(),
+                        &cfg.ether,
+                        cfg.seed,
+                    )))
+                }
             }
         };
         Network {

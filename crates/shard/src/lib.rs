@@ -1,0 +1,796 @@
+//! # fxnet-shard
+//!
+//! The conservative sharded parallel DES core: one [`TopologySpec`]
+//! split by a [`Partition`] into scoped [`CompositeFabric`] shards, each
+//! owning the segments, switch ports, and calendar queue of its node
+//! block, exchanging frames that cross cut trunks as
+//! [`CrossFrame`]s.
+//!
+//! Two execution modes share the same shards:
+//!
+//! * **Cooperative pull** ([`ShardedFabric::advance`]) — the protocol
+//!   stack's driver: single-threaded, one event per call, always
+//!   advancing the shard whose next [`EventKey`] is globally minimal and
+//!   routing crossings immediately. TCP feedback makes every delivery a
+//!   potential synchronization point, so the engine path stays
+//!   cooperative — what sharding buys it is the *order proof*: because
+//!   every shard orders events by the explicit key, the merged stream
+//!   (deliveries, trace, taps, errors) is byte-identical at any shard
+//!   count, including one.
+//! * **Threaded drain** ([`ShardedFabric::drain_parallel`]) — batch
+//!   workloads without delivery-time feedback (the `shard-bench` leg,
+//!   fabric soak tests): one worker thread per shard, bounded SPSC
+//!   rings per directed cut-trunk channel, and a null-message /
+//!   lower-bound-timestamp protocol. Each channel carries a published
+//!   LBTS — the sender's clock lower bound plus the channel's
+//!   conservative lookahead (minimum-frame wire time plus trunk
+//!   propagation plus the far node's store-and-forward latency, all
+//!   strictly positive) — and
+//!   a shard only processes events strictly below the minimum LBTS of
+//!   its incoming channels. Idle trunks keep advancing their LBTS (the
+//!   null message), so no shard ever blocks on a quiet neighbor.
+//!   Deliveries are tagged with their event key and merged afterwards:
+//!   the result equals the pull-mode (and sequential) order exactly.
+
+use fxnet_sim::ethernet::Delivery;
+use fxnet_sim::{
+    ring, EtherConfig, EtherStats, EventKey, Frame, FrameRecord, FrameTap, LinkStats, NicId,
+    RingReceiver, RingSender, SimTime, TxError,
+};
+use fxnet_topo::{CompositeFabric, CrossFrame, NodeFlow, NodeKind, Partition, TopologySpec};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bounded capacity of each inter-shard ring. A full ring backpressures
+/// the producer (it yields and retries), so memory stays bounded even
+/// when one shard runs far ahead of a neighbor.
+const RING_CAPACITY: usize = 1024;
+
+/// Outcome of a threaded drain: the merged deliveries plus the
+/// protocol's health counters.
+#[derive(Debug)]
+pub struct DrainOutcome {
+    /// All final deliveries, merged into global [`EventKey`] order —
+    /// byte-identical to the sequential event loop's output.
+    pub deliveries: Vec<Delivery>,
+    /// Fabric events processed across all shards.
+    pub events: u64,
+    /// Causality violations observed at injection (a frame arriving
+    /// before the receiving shard's clock). Always zero when the
+    /// lookahead is sound; tests assert it.
+    pub violations: u64,
+    /// Outer protocol rounds that processed no event (null-message-only
+    /// rounds: the shard re-published its LBTS and yielded).
+    pub null_rounds: u64,
+}
+
+struct WorkerOutcome {
+    tagged: Vec<(EventKey, u32, Delivery)>,
+    events: u64,
+    violations: u64,
+    null_rounds: u64,
+}
+
+/// A partitioned [`CompositeFabric`] behind the same pull interface,
+/// plus the threaded drain mode.
+pub struct ShardedFabric {
+    spec: TopologySpec,
+    partition: Partition,
+    shards: Vec<CompositeFabric>,
+    /// Global fabric-entry stamp counter — one sequence across all
+    /// shards, in driver enqueue order, exactly as the sequential fabric
+    /// would assign.
+    next_stamp: u64,
+    /// Frames currently inside the fabric (enqueued, not yet delivered
+    /// or errored) — the drain-mode termination counter.
+    live: u64,
+    promiscuous: bool,
+    tap: Option<FrameTap>,
+    trace: Vec<FrameRecord>,
+    errors: Vec<(SimTime, Frame, TxError)>,
+    errors_seen: Vec<usize>,
+    crossings: Vec<CrossFrame>,
+    violations: u64,
+    events_processed: u64,
+}
+
+impl ShardedFabric {
+    /// Compile `spec` into at most `shards` scoped shards (clamped by
+    /// the partitioner). Every shard holds the full compiled topology —
+    /// identical NIC layout and per-segment RNG streams — but only
+    /// *owns* (and ever drives) the nodes of its block, so per-bus
+    /// behavior is bit-identical to the sequential fabric's.
+    pub fn new(spec: TopologySpec, ether: &EtherConfig, seed: u64, shards: usize) -> ShardedFabric {
+        let partition = Partition::new(&spec, shards);
+        let built: Vec<CompositeFabric> = (0..partition.shards)
+            .map(|s| {
+                let mut fab = CompositeFabric::new(spec.clone(), ether, seed);
+                fab.set_scope(partition.owned_mask(s));
+                fab
+            })
+            .collect();
+        let n = built.len();
+        ShardedFabric {
+            spec,
+            partition,
+            shards: built,
+            next_stamp: 0,
+            live: 0,
+            promiscuous: false,
+            tap: None,
+            trace: Vec::new(),
+            errors: Vec::new(),
+            errors_seen: vec![0; n],
+            crossings: Vec::new(),
+            violations: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// The compiled spec.
+    pub fn spec(&self) -> &TopologySpec {
+        &self.spec
+    }
+
+    /// The node/host/trunk partition in effect.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Actual shard count after clamping.
+    pub fn shard_count(&self) -> usize {
+        self.partition.shards
+    }
+
+    /// Number of hosts on the LAN.
+    pub fn host_count(&self) -> usize {
+        self.spec.host_count()
+    }
+
+    /// Causality violations observed so far (pull mode). Always zero —
+    /// crossings arrive strictly in the receiving shard's future.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Fabric events processed so far (pull mode).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    fn shard_promiscuous(&self) -> bool {
+        self.promiscuous || self.tap.is_some()
+    }
+
+    /// Enable the merged promiscuous capture.
+    pub fn set_promiscuous(&mut self, on: bool) {
+        self.promiscuous = on;
+        let per_shard = self.shard_promiscuous();
+        for s in &mut self.shards {
+            s.set_promiscuous(per_shard);
+        }
+    }
+
+    /// Install (or remove) a live frame tap at the merged capture point.
+    /// The tap observes records in global event order, exactly as the
+    /// sequential fabric's tap would.
+    pub fn set_tap(&mut self, tap: Option<FrameTap>) {
+        self.tap = tap;
+        let per_shard = self.shard_promiscuous();
+        for s in &mut self.shards {
+            s.set_promiscuous(per_shard);
+        }
+    }
+
+    /// Merged captured trace so far.
+    pub fn trace(&self) -> &[FrameRecord] {
+        &self.trace
+    }
+
+    /// Take ownership of the merged captured trace.
+    pub fn take_trace(&mut self) -> Vec<FrameRecord> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Merged surfaced errors, in global event order, original tokens
+    /// restored.
+    pub fn errors(&self) -> &[(SimTime, Frame, TxError)] {
+        &self.errors
+    }
+
+    /// Aggregate MAC statistics summed across shards (non-owned elements
+    /// stay idle, so the sum equals the sequential fabric's).
+    pub fn stats(&self) -> EtherStats {
+        let mut total = EtherStats::default();
+        for s in &self.shards {
+            let st = s.stats();
+            total.frames_delivered += st.frames_delivered;
+            total.bytes_delivered += st.bytes_delivered;
+            total.collisions += st.collisions;
+            total.backoffs += st.backoffs;
+            total.frames_dropped += st.frames_dropped;
+            total.busy_ns += st.busy_ns;
+        }
+        total
+    }
+
+    /// Per-node flow counters, summed across shards (each node's counts
+    /// accumulate only on its owner).
+    pub fn flows(&self) -> Vec<NodeFlow> {
+        let mut merged = vec![NodeFlow::default(); self.spec.nodes.len()];
+        for s in &self.shards {
+            for (m, f) in merged.iter_mut().zip(s.flows()) {
+                m.frames_in += f.frames_in;
+                m.bytes_in += f.bytes_in;
+                m.frames_out += f.frames_out;
+                m.bytes_out += f.bytes_out;
+            }
+        }
+        merged
+    }
+
+    /// Enable or disable passive per-link sampling on every shard.
+    pub fn set_link_sampling(&mut self, bin_ns: Option<u64>) {
+        for s in &mut self.shards {
+            s.set_link_sampling(bin_ns);
+        }
+    }
+
+    /// Merged per-link sample series: every label is taken from the
+    /// shard responsible for it (the owner of the sending end of a trunk
+    /// direction, of a segment, of a host's attachment node), so the
+    /// merged stats equal the sequential fabric's.
+    pub fn take_link_stats(&mut self) -> Option<LinkStats> {
+        let per_shard: Vec<LinkStats> = self
+            .shards
+            .iter_mut()
+            .map(CompositeFabric::take_link_stats)
+            .collect::<Option<Vec<_>>>()?;
+        // Responsibility list, in the fixed label order of
+        // `CompositeFabric::take_link_stats`: trunk fwd/rev pairs, then
+        // segments, then switch/router host ports (up and down).
+        let mut resp = Vec::new();
+        for t in &self.spec.trunks {
+            resp.push(self.partition.node_shard[t.a]);
+            resp.push(self.partition.node_shard[t.b]);
+        }
+        for (i, node) in self.spec.nodes.iter().enumerate() {
+            if node.kind == NodeKind::Segment {
+                resp.push(self.partition.node_shard[i]);
+            }
+        }
+        for &node in &self.spec.attachments {
+            if self.spec.nodes[node].kind != NodeKind::Segment {
+                resp.push(self.partition.node_shard[node]);
+                resp.push(self.partition.node_shard[node]);
+            }
+        }
+        let bin_ns = per_shard[0].bin_ns;
+        let mut columns: Vec<Vec<Option<(String, fxnet_sim::LinkSeries)>>> = per_shard
+            .into_iter()
+            .map(|s| s.links.into_iter().map(Some).collect())
+            .collect();
+        debug_assert!(columns.iter().all(|c| c.len() == resp.len()));
+        let links = resp
+            .iter()
+            .enumerate()
+            .map(|(j, &owner)| columns[owner][j].take().expect("label present"))
+            .collect();
+        Some(LinkStats { bin_ns, links })
+    }
+
+    /// Queue a frame from host `nic.0` at time `now`, assigning the next
+    /// global fabric-entry stamp and routing to the owner shard.
+    pub fn enqueue(&mut self, nic: NicId, frame: Frame, now: SimTime) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        let s = self.partition.host_shard[nic.0 as usize];
+        self.shards[s].enqueue_stamped(nic, frame, now, stamp);
+        self.live += 1;
+    }
+
+    /// Whether nothing is pending on any shard.
+    pub fn idle(&self) -> bool {
+        self.shards.iter().all(CompositeFabric::idle)
+    }
+
+    /// Time of the next fabric event across all shards.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.next_shard().map(|(k, _)| k.time)
+    }
+
+    fn next_shard(&self) -> Option<(EventKey, usize)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.next_key().map(|k| (k, i)))
+            .min()
+    }
+
+    /// Process exactly one fabric event — the globally minimal key across
+    /// shards — then route any crossings, harvest new trace records
+    /// through the merged tap/trace, and harvest surfaced errors. The
+    /// resulting streams are byte-identical at every shard count.
+    pub fn advance(&mut self, out: &mut Vec<Delivery>) -> Option<SimTime> {
+        let (key, s) = self.next_shard()?;
+        let before = out.len();
+        self.shards[s].advance_keyed(out);
+        self.events_processed += 1;
+        let delivered = (out.len() - before) as u64;
+        // Crossings: inject into their target shards right away, before
+        // any later event can be processed there.
+        let mut crossings = std::mem::take(&mut self.crossings);
+        self.shards[s].drain_outbox(&mut crossings);
+        for cf in crossings.drain(..) {
+            let target = self.partition.node_shard[cf.node()];
+            if cf.arrival() < self.shards[target].clock() {
+                self.violations += 1;
+            }
+            self.shards[target].inject(cf);
+        }
+        self.crossings = crossings;
+        // Trace/tap: the advanced shard captured any deliveries locally;
+        // replay them through the merged capture point in event order.
+        if !self.shards[s].trace().is_empty() {
+            for r in self.shards[s].take_trace() {
+                if let Some(tap) = &mut self.tap {
+                    tap(&r);
+                }
+                if self.promiscuous {
+                    self.trace.push(r);
+                }
+            }
+        }
+        // Errors: harvest what this shard surfaced during the event.
+        let errs = self.shards[s].errors();
+        let new_err = errs.len() - self.errors_seen[s];
+        if new_err > 0 {
+            self.errors.extend_from_slice(&errs[self.errors_seen[s]..]);
+            self.errors_seen[s] = errs.len();
+        }
+        self.live = self.live.saturating_sub(delivered + new_err as u64);
+        Some(key.time)
+    }
+
+    /// Drain every pending event cooperatively (test helper).
+    pub fn run_to_idle(&mut self) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while self.advance(&mut out).is_some() {}
+        out
+    }
+
+    /// Drain every pending event with one worker thread per shard under
+    /// the conservative null-message protocol, and merge the deliveries
+    /// into global event order. Requires a tap- and capture-free fabric
+    /// (batch mode: there is no single-threaded observer to replay
+    /// through).
+    pub fn drain_parallel(&mut self) -> DrainOutcome {
+        assert!(
+            self.tap.is_none() && !self.promiscuous,
+            "drain mode is for batch (tap- and capture-free) workloads"
+        );
+        let n = self.partition.shards;
+        if n <= 1 {
+            // One shard: the protocol degenerates to the sequential loop.
+            let fab = &mut self.shards[0];
+            let mut out = Vec::new();
+            let mut tagged = Vec::new();
+            let mut events = 0u64;
+            while let Some(key) = fab.advance_keyed(&mut out) {
+                events += 1;
+                for (i, d) in out.drain(..).enumerate() {
+                    tagged.push((key, i as u32, d));
+                }
+            }
+            self.events_processed += events;
+            self.live = 0;
+            self.harvest_errors_after_drain();
+            return DrainOutcome {
+                deliveries: tagged.into_iter().map(|(_, _, d)| d).collect(),
+                events,
+                violations: 0,
+                null_rounds: 0,
+            };
+        }
+
+        // One bounded SPSC ring and one LBTS cell per directed channel.
+        let channels = &self.partition.channels;
+        let mut chan_tx: Vec<Option<RingSender<CrossFrame>>> = Vec::new();
+        let mut chan_rx: Vec<Option<RingReceiver<CrossFrame>>> = Vec::new();
+        for _ in channels {
+            let (tx, rx) = ring(RING_CAPACITY);
+            chan_tx.push(Some(tx));
+            chan_rx.push(Some(rx));
+        }
+        let mut outgoing: Vec<Vec<(usize, RingSender<CrossFrame>)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        let mut incoming: Vec<Vec<(usize, RingReceiver<CrossFrame>)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for (c, ch) in channels.iter().enumerate() {
+            outgoing[ch.from].push((c, chan_tx[c].take().expect("one sender per channel")));
+            incoming[ch.to].push((c, chan_rx[c].take().expect("one receiver per channel")));
+        }
+        // channel_of[trunk][dir] → channel index, for outbox routing.
+        let mut channel_of = vec![[usize::MAX; 2]; self.spec.trunks.len()];
+        for (c, ch) in channels.iter().enumerate() {
+            channel_of[ch.trunk][ch.dir] = c;
+        }
+        let lookahead_ns: Vec<u64> = channels.iter().map(|c| c.lookahead.as_nanos()).collect();
+        let lbts: Vec<AtomicU64> = lookahead_ns.iter().map(|&l| AtomicU64::new(l)).collect();
+        let live = AtomicU64::new(self.live);
+
+        let lbts_ref = &lbts;
+        let live_ref = &live;
+        let channel_of_ref = &channel_of;
+        let lookahead_ref = &lookahead_ns;
+        let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(incoming)
+                .zip(outgoing)
+                .map(|((fab, rx), tx)| {
+                    scope.spawn(move || {
+                        drain_worker(
+                            fab,
+                            rx,
+                            tx,
+                            lbts_ref,
+                            live_ref,
+                            channel_of_ref,
+                            lookahead_ref,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        self.live = live.load(Ordering::Acquire);
+        self.harvest_errors_after_drain();
+        let mut events = 0;
+        let mut violations = 0;
+        let mut null_rounds = 0;
+        let mut tagged = Vec::new();
+        for mut o in outcomes {
+            events += o.events;
+            violations += o.violations;
+            null_rounds += o.null_rounds;
+            tagged.append(&mut o.tagged);
+        }
+        self.events_processed += events;
+        self.violations += violations;
+        tagged.sort_by_key(|a| (a.0, a.1));
+        DrainOutcome {
+            deliveries: tagged.into_iter().map(|(_, _, d)| d).collect(),
+            events,
+            violations,
+            null_rounds,
+        }
+    }
+
+    /// After a drain, fold each shard's newly surfaced errors into the
+    /// merged list, ordered by time (the per-event harvest order is not
+    /// observable in batch mode).
+    fn harvest_errors_after_drain(&mut self) {
+        let mut fresh: Vec<(SimTime, Frame, TxError)> = Vec::new();
+        for (s, fab) in self.shards.iter().enumerate() {
+            let errs = fab.errors();
+            fresh.extend_from_slice(&errs[self.errors_seen[s]..]);
+            self.errors_seen[s] = errs.len();
+        }
+        fresh.sort_by_key(|&(t, f, _)| (t, f.token));
+        self.errors.append(&mut fresh);
+    }
+}
+
+/// One shard's drain loop: drain rings → process below the incoming
+/// horizon → publish LBTS (the null message) → repeat until the global
+/// live-frame counter hits zero and the shard is idle.
+fn drain_worker(
+    fab: &mut CompositeFabric,
+    rx: Vec<(usize, RingReceiver<CrossFrame>)>,
+    tx: Vec<(usize, RingSender<CrossFrame>)>,
+    lbts: &[AtomicU64],
+    live: &AtomicU64,
+    channel_of: &[[usize; 2]],
+    lookahead_ns: &[u64],
+) -> WorkerOutcome {
+    let mut out: Vec<Delivery> = Vec::new();
+    let mut crossings: Vec<CrossFrame> = Vec::new();
+    let mut tagged = Vec::new();
+    let mut events = 0u64;
+    let mut violations = 0u64;
+    let mut null_rounds = 0u64;
+    let mut errors_seen = fab.errors().len();
+    loop {
+        // Read the horizon before draining: anything pushed after this
+        // read arrives at or beyond it, so processing strictly below the
+        // horizon is safe.
+        let horizon = rx
+            .iter()
+            .map(|(c, _)| lbts[*c].load(Ordering::Acquire))
+            .min()
+            .unwrap_or(u64::MAX);
+        for (_, r) in &rx {
+            while let Some(cf) = r.try_pop() {
+                if cf.arrival() < fab.clock() {
+                    violations += 1;
+                }
+                fab.inject(cf);
+            }
+        }
+        let free_run = live.load(Ordering::Acquire) == 0;
+        let mut progressed = false;
+        while let Some(k) = fab.next_key() {
+            if !free_run && k.time.as_nanos() >= horizon {
+                break;
+            }
+            let key = fab.advance_keyed(&mut out).expect("peeked event");
+            events += 1;
+            progressed = true;
+            let mut done = out.len() as u64;
+            for (i, d) in out.drain(..).enumerate() {
+                tagged.push((key, i as u32, d));
+            }
+            let errs = fab.errors().len();
+            done += (errs - errors_seen) as u64;
+            errors_seen = errs;
+            if done > 0 {
+                live.fetch_sub(done, Ordering::AcqRel);
+            }
+            fab.drain_outbox(&mut crossings);
+            for cf in crossings.drain(..) {
+                let c = channel_of[cf.trunk()][cf.dir()];
+                let (_, sender) = tx.iter().find(|(ci, _)| *ci == c).expect("owned channel");
+                let mut pending = cf;
+                loop {
+                    match sender.try_push(pending) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            pending = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        }
+        // Publish the null message: future sends on each outgoing channel
+        // happen no earlier than our clock lower bound (next local event,
+        // or the earliest possible future injection) plus the channel's
+        // lookahead. LBTS is monotone, so stale readers stay safe.
+        let next_local = fab
+            .next_key()
+            .map(|k| k.time.as_nanos())
+            .unwrap_or(u64::MAX);
+        let clock_lb = next_local.min(horizon);
+        for (c, _) in &tx {
+            let bound = clock_lb.saturating_add(lookahead_ns[*c]);
+            lbts[*c].fetch_max(bound, Ordering::AcqRel);
+        }
+        if live.load(Ordering::Acquire) == 0 && fab.idle() && rx.iter().all(|(_, r)| r.is_empty()) {
+            break;
+        }
+        if !progressed {
+            null_rounds += 1;
+            std::thread::yield_now();
+        }
+    }
+    WorkerOutcome {
+        tagged,
+        events,
+        violations,
+        null_rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxnet_sim::{FrameKind, HostId, RATE_10M};
+    use proptest::prelude::*;
+
+    fn tcp(src: u32, dst: u32, payload: u32, token: u64) -> Frame {
+        Frame::tcp(HostId(src), HostId(dst), FrameKind::Data, payload, token)
+    }
+
+    fn specs() -> Vec<TopologySpec> {
+        vec![
+            TopologySpec::single_segment(4, RATE_10M),
+            TopologySpec::two_switches_trunk(4, RATE_10M),
+            TopologySpec::two_level_tree(4, RATE_10M),
+            TopologySpec::routed_two_subnets(4, RATE_10M),
+        ]
+    }
+
+    /// Drive an all-pairs burst load through whatever `enqueue` is given.
+    fn offer(mut enqueue: impl FnMut(NicId, Frame, SimTime), hosts: u32, frames: u32) {
+        for i in 0..frames {
+            let src = i % hosts;
+            let dst = (i + 1 + (i / hosts)) % hosts;
+            let dst = if dst == src { (dst + 1) % hosts } else { dst };
+            let f = tcp(src, dst, 120 + (i * 97) % 900, u64::from(i) + 1);
+            let t = SimTime::from_micros(u64::from(i / hosts) * 450);
+            enqueue(NicId(src), f, t);
+        }
+    }
+
+    /// The headline invariant: the sharded pull loop reproduces the
+    /// sequential fabric byte for byte — deliveries, promiscuous trace,
+    /// MAC statistics, and per-node flows — at shard counts 1..4, on
+    /// every sweep topology.
+    #[test]
+    fn pull_mode_matches_sequential_exactly() {
+        let ether = EtherConfig::default();
+        for spec in specs() {
+            let mut seq = CompositeFabric::new(spec.clone(), &ether, 11);
+            seq.set_promiscuous(true);
+            offer(|nic, f, t| seq.enqueue(nic, f, t), 4, 32);
+            let want = seq.run_to_idle();
+            for shards in 1..=4usize {
+                let mut fab = ShardedFabric::new(spec.clone(), &ether, 11, shards);
+                fab.set_promiscuous(true);
+                offer(|nic, f, t| fab.enqueue(nic, f, t), 4, 32);
+                let got = fab.run_to_idle();
+                let label = format!("{} @ {shards} shards", spec.label());
+                assert_eq!(got.len(), want.len(), "{label}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.time, w.time, "{label}");
+                    assert_eq!(g.frame, w.frame, "{label}");
+                    assert_eq!(g.meta, w.meta, "{label}");
+                }
+                assert_eq!(fab.trace(), seq.trace(), "{label}");
+                assert_eq!(fab.stats(), seq.stats(), "{label}");
+                assert_eq!(fab.flows(), seq.flows(), "{label}");
+                assert_eq!(fab.violations(), 0, "{label}");
+                assert!(fab.idle(), "{label}");
+            }
+        }
+    }
+
+    /// The threaded drain merges to exactly the pull-mode (= sequential)
+    /// delivery stream, with zero causality violations.
+    #[test]
+    fn drain_parallel_matches_pull_mode() {
+        let ether = EtherConfig::default();
+        for spec in specs() {
+            for shards in [1usize, 2, 4] {
+                let mut pull = ShardedFabric::new(spec.clone(), &ether, 23, shards);
+                offer(|nic, f, t| pull.enqueue(nic, f, t), 4, 40);
+                let want = pull.run_to_idle();
+                let mut par = ShardedFabric::new(spec.clone(), &ether, 23, shards);
+                offer(|nic, f, t| par.enqueue(nic, f, t), 4, 40);
+                let outcome = par.drain_parallel();
+                let label = format!("{} @ {shards} shards", spec.label());
+                assert_eq!(outcome.violations, 0, "{label}");
+                assert_eq!(outcome.deliveries.len(), want.len(), "{label}");
+                for (g, w) in outcome.deliveries.iter().zip(&want) {
+                    assert_eq!(g.time, w.time, "{label}");
+                    assert_eq!(g.frame, w.frame, "{label}");
+                    assert_eq!(g.meta, w.meta, "{label}");
+                }
+                assert_eq!(par.stats(), pull.stats(), "{label}");
+                assert_eq!(par.errors(), pull.errors(), "{label}");
+                assert!(par.idle(), "{label}");
+            }
+        }
+    }
+
+    /// Thread scheduling must not leak into the result: repeated
+    /// threaded drains of the same offered load are identical.
+    #[test]
+    fn drain_parallel_is_deterministic_across_runs() {
+        let ether = EtherConfig::default();
+        let spec = TopologySpec::two_level_tree(4, RATE_10M);
+        let mut runs = Vec::new();
+        for _ in 0..3 {
+            let mut fab = ShardedFabric::new(spec.clone(), &ether, 5, 3);
+            offer(|nic, f, t| fab.enqueue(nic, f, t), 4, 60);
+            let out = fab.drain_parallel();
+            assert_eq!(out.violations, 0);
+            runs.push(
+                out.deliveries
+                    .iter()
+                    .map(|d| (d.time, d.frame, d.meta))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
+    }
+
+    /// Merged link-sample series equal the sequential fabric's, label
+    /// for label and bin for bin.
+    #[test]
+    fn link_stats_merge_matches_sequential() {
+        let ether = EtherConfig::default();
+        let spec = TopologySpec::two_switches_trunk(4, RATE_10M);
+        let mut seq = CompositeFabric::new(spec.clone(), &ether, 9);
+        seq.set_link_sampling(Some(1_000_000));
+        offer(|nic, f, t| seq.enqueue(nic, f, t), 4, 36);
+        seq.run_to_idle();
+        let want = seq.take_link_stats().expect("sampling enabled");
+        let mut fab = ShardedFabric::new(spec, &ether, 9, 2);
+        fab.set_link_sampling(Some(1_000_000));
+        offer(|nic, f, t| fab.enqueue(nic, f, t), 4, 36);
+        fab.run_to_idle();
+        let got = fab.take_link_stats().expect("sampling enabled");
+        assert_eq!(got.bin_ns, want.bin_ns);
+        assert_eq!(got.links.len(), want.links.len());
+        for ((gl, gs), (wl, ws)) in got.links.iter().zip(&want.links) {
+            assert_eq!(gl, wl);
+            assert_eq!(gs, ws, "{gl}");
+        }
+    }
+
+    /// A tap on the sharded fabric observes the same records, in the
+    /// same order, as a tap on the sequential fabric.
+    #[test]
+    fn tap_order_matches_sequential() {
+        use std::sync::{Arc, Mutex};
+        let ether = EtherConfig::default();
+        let spec = TopologySpec::two_level_tree(4, RATE_10M);
+        let capture = |shards: Option<usize>| {
+            let seen = Arc::new(Mutex::new(Vec::new()));
+            let sink = Arc::clone(&seen);
+            let tap: FrameTap = Box::new(move |r| sink.lock().unwrap().push(*r));
+            match shards {
+                None => {
+                    let mut fab = CompositeFabric::new(spec.clone(), &ether, 3);
+                    fab.set_promiscuous(true);
+                    offer(|nic, f, t| fab.enqueue(nic, f, t), 4, 24);
+                    let mut out = Vec::new();
+                    let mut tap = tap;
+                    while fab.advance(&mut out).is_some() {
+                        for r in fab.take_trace() {
+                            tap(&r);
+                        }
+                    }
+                }
+                Some(n) => {
+                    let mut fab = ShardedFabric::new(spec.clone(), &ether, 3, n);
+                    fab.set_tap(Some(tap));
+                    offer(|nic, f, t| fab.enqueue(nic, f, t), 4, 24);
+                    fab.run_to_idle();
+                }
+            }
+            let records = seen.lock().unwrap().clone();
+            records
+        };
+        let want = capture(None);
+        assert!(!want.is_empty());
+        for n in [1usize, 2, 3] {
+            assert_eq!(capture(Some(n)), want, "{n} shards");
+        }
+    }
+
+    proptest! {
+        /// The conservative lookahead never admits a frame earlier than
+        /// the receiving shard's local clock: zero violations for random
+        /// offered loads on every multi-segment topology, pull and
+        /// threaded alike.
+        #[test]
+        fn lookahead_never_violates_causality(
+            seed in 0u64..1_000,
+            frames in 1u32..48,
+            shards in 1usize..5,
+        ) {
+            let ether = EtherConfig::default();
+            for spec in [
+                TopologySpec::two_switches_trunk(4, RATE_10M),
+                TopologySpec::two_level_tree(4, RATE_10M),
+            ] {
+                let mut fab = ShardedFabric::new(spec.clone(), &ether, seed, shards);
+                offer(|nic, f, t| fab.enqueue(nic, f, t), 4, frames);
+                fab.run_to_idle();
+                prop_assert_eq!(fab.violations(), 0);
+                let mut par = ShardedFabric::new(spec, &ether, seed, shards);
+                offer(|nic, f, t| par.enqueue(nic, f, t), 4, frames);
+                let out = par.drain_parallel();
+                prop_assert_eq!(out.violations, 0);
+            }
+        }
+    }
+}

@@ -308,6 +308,147 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// Explicit, history-independent total order for fabric events.
+///
+/// The plain [`EventQueue`] breaks equal-time ties by *push order*, which
+/// is deterministic for a single sequential driver but depends on the
+/// global interleaving of pushes — exactly the thing a sharded simulation
+/// cannot cheaply reproduce. `EventKey` replaces insertion order with an
+/// explicit composite key derived only from the frame's own history:
+///
+/// * `time` — the scheduled instant;
+/// * `class` — 0 for calendar (scheduled store-and-forward) events,
+///   1 for shared-medium (bus) events, preserving the fabric's
+///   "calendar first, then segments" tie rule;
+/// * `major` — the frame's fabric-entry stamp (calendar) or the global
+///   node index of the segment (bus);
+/// * `minor` — the frame's per-hop counter (calendar) so one frame's
+///   successive events stay unique, or an intra-event emission index.
+///
+/// Two fabrics that process the same offered load therefore agree on the
+/// event order *by construction*, regardless of how many shards the work
+/// is split across.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// Scheduled instant.
+    pub time: SimTime,
+    /// 0 = calendar event, 1 = bus event; calendar wins ties.
+    pub class: u8,
+    /// Fabric-entry stamp (calendar) or global node index (bus).
+    pub major: u64,
+    /// Per-transit hop counter (calendar) or emission index (bus).
+    pub minor: u64,
+}
+
+impl EventKey {
+    /// Key for a scheduled (calendar) event of the transit identified by
+    /// its fabric-entry `stamp`, at its `hop`-th scheduled event.
+    pub fn calendar(time: SimTime, stamp: u64, hop: u64) -> EventKey {
+        EventKey {
+            time,
+            class: 0,
+            major: stamp,
+            minor: hop,
+        }
+    }
+
+    /// Key for the head event of the shared-medium bus at global node
+    /// index `node`.
+    pub fn bus(time: SimTime, node: u64) -> EventKey {
+        EventKey {
+            time,
+            class: 1,
+            major: node,
+            minor: 0,
+        }
+    }
+}
+
+struct KeyedEntry<E> {
+    key: EventKey,
+    event: E,
+}
+
+impl<E> PartialEq for KeyedEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for KeyedEntry<E> {}
+impl<E> PartialOrd for KeyedEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for KeyedEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap; invert for earliest-key-first.
+        other.key.cmp(&self.key)
+    }
+}
+
+/// An event queue ordered by explicit [`EventKey`] rather than insertion
+/// order — the shard-safe counterpart of [`EventQueue`]. Pop order is a
+/// pure function of the pushed keys, so any partitioning of the pushes
+/// across shards that merges by key reproduces the sequential order.
+pub struct KeyedQueue<E> {
+    heap: BinaryHeap<KeyedEntry<E>>,
+    high_water: usize,
+}
+
+impl<E> Default for KeyedQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> KeyedQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        KeyedQueue {
+            heap: BinaryHeap::new(),
+            high_water: 0,
+        }
+    }
+
+    /// Schedule `event` under `key`. Keys must be unique per queue — the
+    /// fabric guarantees this via the (stamp, hop) pair.
+    pub fn push(&mut self, key: EventKey, event: E) {
+        self.heap.push(KeyedEntry { key, event });
+        self.high_water = self.high_water.max(self.heap.len());
+    }
+
+    /// Key of the earliest pending event.
+    pub fn peek_key(&self) -> Option<EventKey> {
+        self.heap.peek().map(|e| e.key)
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.key.time)
+    }
+
+    /// Remove and return the earliest pending event.
+    pub fn pop(&mut self) -> Option<(EventKey, E)> {
+        self.heap.pop().map(|e| (e.key, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Largest number of events ever pending at once.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,5 +616,89 @@ mod tests {
             }
             prop_assert!(cal.is_empty() && heap.is_empty());
         }
+
+        /// Merge-by-key is partition-independent: splitting a set of
+        /// keyed events across any number of queues and merging by
+        /// `peek_key` reproduces the single-queue pop order exactly.
+        #[test]
+        fn keyed_merge_is_partition_independent(
+            events in prop::collection::vec(
+                // Last field packs (minor sub-key, home-shard selector).
+                (0u64..1_000, 0u8..2, 0u64..16, 0u64..16),
+                1..150,
+            )
+        ) {
+            // Deduplicate keys: the fabric guarantees uniqueness.
+            let mut seen = std::collections::HashSet::new();
+            let events: Vec<_> = events
+                .into_iter()
+                .filter(|&(t, class, major, packed)| {
+                    seen.insert((t, class, major, packed % 4))
+                })
+                .collect();
+            let key_of = |&(t, class, major, packed): &(u64, u8, u64, u64)| EventKey {
+                time: SimTime::from_nanos(t),
+                class,
+                major,
+                minor: packed % 4,
+            };
+            let mut single = KeyedQueue::new();
+            for (i, e) in events.iter().enumerate() {
+                single.push(key_of(e), i);
+            }
+            for shards in [1usize, 2, 4] {
+                let mut qs: Vec<KeyedQueue<usize>> =
+                    (0..shards).map(|_| KeyedQueue::new()).collect();
+                for (i, e) in events.iter().enumerate() {
+                    qs[(e.3 / 4) as usize % shards].push(key_of(e), i);
+                }
+                let mut merged = Vec::new();
+                loop {
+                    let best = (0..shards)
+                        .filter_map(|s| qs[s].peek_key().map(|k| (k, s)))
+                        .min();
+                    match best {
+                        Some((_, s)) => merged.push(qs[s].pop().unwrap()),
+                        None => break,
+                    }
+                }
+                let mut reference = KeyedQueue::new();
+                for (i, e) in events.iter().enumerate() {
+                    reference.push(key_of(e), i);
+                }
+                let mut expect = Vec::new();
+                while let Some(x) = reference.pop() {
+                    expect.push(x);
+                }
+                prop_assert_eq!(&merged, &expect, "shards={}", shards);
+            }
+        }
+    }
+
+    #[test]
+    fn event_key_orders_time_then_class_then_subkeys() {
+        let t = SimTime::from_micros(5);
+        let cal = EventKey::calendar(t, 9, 0);
+        let bus = EventKey::bus(t, 0);
+        assert!(cal < bus, "calendar wins equal-time ties");
+        assert!(EventKey::calendar(t, 1, 3) < EventKey::calendar(t, 2, 0));
+        assert!(EventKey::calendar(t, 1, 0) < EventKey::calendar(t, 1, 1));
+        assert!(EventKey::bus(t, 0) < EventKey::bus(t, 3));
+        assert!(EventKey::bus(SimTime::from_micros(4), 7) < cal);
+    }
+
+    #[test]
+    fn keyed_queue_pops_by_key() {
+        let mut q = KeyedQueue::new();
+        let t = SimTime::from_micros(1);
+        q.push(EventKey::bus(t, 2), "bus2");
+        q.push(EventKey::calendar(t, 5, 1), "cal5");
+        q.push(EventKey::calendar(SimTime::ZERO, 9, 0), "early");
+        assert_eq!(q.peek_time(), Some(SimTime::ZERO));
+        assert_eq!(q.pop().unwrap().1, "early");
+        assert_eq!(q.pop().unwrap().1, "cal5");
+        assert_eq!(q.pop().unwrap().1, "bus2");
+        assert!(q.pop().is_none());
+        assert_eq!(q.high_water(), 3);
     }
 }

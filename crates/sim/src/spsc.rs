@@ -1,0 +1,144 @@
+//! Bounded single-producer/single-consumer rings for inter-shard frame
+//! exchange.
+//!
+//! Each directed cut-trunk channel in the sharded fabric gets exactly one
+//! ring: the shard owning the sending end pushes crossing frames, the
+//! shard owning the receiving end drains them. Capacity is bounded so a
+//! fast producer exerts backpressure instead of growing without limit; a
+//! full ring returns the value to the caller, who yields and retries.
+//!
+//! The implementation is a mutex-guarded deque rather than a lock-free
+//! ring: only crossing frames touch it (intra-shard traffic never leaves
+//! its shard), the two contenders are exactly one producer and one
+//! consumer, and the protocol above batches drains — so the lock is cold
+//! and the simpler code wins. The *interface* is the SPSC contract the
+//! conservative protocol needs: FIFO per channel, bounded, try-only.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+struct RingInner<T> {
+    capacity: usize,
+    queue: Mutex<VecDeque<T>>,
+}
+
+/// Producer half of a bounded SPSC ring.
+pub struct RingSender<T> {
+    inner: Arc<RingInner<T>>,
+}
+
+/// Consumer half of a bounded SPSC ring.
+pub struct RingReceiver<T> {
+    inner: Arc<RingInner<T>>,
+}
+
+/// A bounded FIFO channel with one sender and one receiver.
+/// `capacity` is clamped to at least 1.
+pub fn ring<T>(capacity: usize) -> (RingSender<T>, RingReceiver<T>) {
+    let inner = Arc::new(RingInner {
+        capacity: capacity.max(1),
+        queue: Mutex::new(VecDeque::new()),
+    });
+    (
+        RingSender {
+            inner: Arc::clone(&inner),
+        },
+        RingReceiver { inner },
+    )
+}
+
+impl<T> RingSender<T> {
+    /// Push `value`, or hand it back when the ring is full.
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        let mut q = self.inner.queue.lock().expect("spsc ring poisoned");
+        if q.len() >= self.inner.capacity {
+            return Err(value);
+        }
+        q.push_back(value);
+        Ok(())
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().expect("spsc ring poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> RingReceiver<T> {
+    /// Pop the oldest value, or `None` when the ring is empty.
+    pub fn try_pop(&self) -> Option<T> {
+        self.inner
+            .queue
+            .lock()
+            .expect("spsc ring poisoned")
+            .pop_front()
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().expect("spsc ring poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_and_bounded() {
+        let (tx, rx) = ring(2);
+        assert!(tx.try_push(1).is_ok());
+        assert!(tx.try_push(2).is_ok());
+        assert_eq!(tx.try_push(3), Err(3), "full ring hands the value back");
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.try_pop(), Some(1));
+        assert!(tx.try_push(3).is_ok());
+        assert_eq!(rx.try_pop(), Some(2));
+        assert_eq!(rx.try_pop(), Some(3));
+        assert_eq!(rx.try_pop(), None);
+        assert!(rx.is_empty() && tx.is_empty());
+    }
+
+    #[test]
+    fn crosses_threads() {
+        let (tx, rx) = ring(8);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..1000u64 {
+                    let mut v = i;
+                    loop {
+                        match tx.try_push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            });
+            s.spawn(move || {
+                let mut expect = 0u64;
+                while expect < 1000 {
+                    match rx.try_pop() {
+                        Some(v) => {
+                            assert_eq!(v, expect, "FIFO across threads");
+                            expect += 1;
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+            });
+        });
+    }
+}

@@ -7,8 +7,12 @@
 //! CSMA/CD machine with its own deterministic RNG stream — while switch
 //! and router ports and inter-node trunks generalize the
 //! [`fxnet_sim::SwitchFabric`] store-and-forward discipline (a free-time
-//! scalar per simplex link, output queuing on the calendar
-//! [`EventQueue`]) to arbitrary hop counts.
+//! scalar per simplex link, output queuing on a [`KeyedQueue`] under the
+//! explicit [`EventKey`] order) to arbitrary hop counts. The key order —
+//! time, then calendar-before-bus, then fabric-entry stamp and per-frame
+//! hop — is a pure function of the offered load, which is what lets
+//! `fxnet-shard` split one fabric across worker threads and still merge
+//! a byte-identical event stream.
 //!
 //! Token smuggling: the protocol layer correlates deliveries through
 //! `Frame::token`, but a multi-hop frame needs composite-side bookkeeping
@@ -32,8 +36,8 @@
 use crate::spec::{NodeKind, TopologySpec};
 use fxnet_sim::ethernet::Delivery;
 use fxnet_sim::{
-    EtherBus, EtherConfig, EtherStats, EventQueue, Frame, FrameMeta, FrameRecord, FrameTap,
-    LinkProbe, LinkStats, NicId, SimRng, SimTime, TxError,
+    EtherBus, EtherConfig, EtherStats, EventKey, Frame, FrameMeta, FrameRecord, FrameTap,
+    KeyedQueue, LinkProbe, LinkStats, NicId, SimRng, SimTime, TxError,
 };
 
 /// Per-frame state while it crosses the fabric.
@@ -41,6 +45,11 @@ use fxnet_sim::{
 struct Transit {
     /// The protocol layer's original token, restored at delivery.
     token: u64,
+    /// Fabric-entry stamp: the global enqueue sequence number, the major
+    /// calendar tie-break of the frame's [`EventKey`]s.
+    stamp: u64,
+    /// Scheduled-event counter for this transit (the minor tie-break).
+    hop: u64,
     /// Entry time (the `enqueue` instant), for the exact-sum invariant.
     entered: SimTime,
     /// Accumulated timing across hops.
@@ -49,6 +58,65 @@ struct Transit {
     best_access_ns: u64,
     /// Worst trunk wait seen: `(wait_ns, trunk_code)`.
     best_trunk: Option<(u64, u32)>,
+}
+
+/// A frame mid-flight across a cut trunk: everything the receiving
+/// shard's fabric needs to resume the transit as if the hop had been
+/// local. Produced by a scoped fabric's outbox, consumed by
+/// [`CompositeFabric::inject`].
+#[derive(Debug)]
+pub struct CrossFrame {
+    /// When the frame finishes arriving at the far node (trunk tx done +
+    /// propagation + far node's store-and-forward latency).
+    arrival: SimTime,
+    /// The far node (owned by the receiving shard).
+    node: usize,
+    /// The arrival event's key — identical to the key the hop would have
+    /// used had it stayed local, so merged event order is shard-blind.
+    key: EventKey,
+    /// The cut trunk the frame crossed.
+    trunk: usize,
+    /// Direction on that trunk: 0 = a→b, 1 = b→a.
+    dir: usize,
+    /// The frame; its token field is reassigned by `inject`.
+    frame: Frame,
+    /// The transit record, carried across (token = original protocol
+    /// token).
+    transit: Transit,
+}
+
+impl CrossFrame {
+    /// Arrival instant at the receiving shard.
+    pub fn arrival(&self) -> SimTime {
+        self.arrival
+    }
+
+    /// Global index of the receiving node.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The arrival event's key.
+    pub fn key(&self) -> EventKey {
+        self.key
+    }
+
+    /// The cut trunk crossed.
+    pub fn trunk(&self) -> usize {
+        self.trunk
+    }
+
+    /// Direction on that trunk: 0 = a→b, 1 = b→a.
+    pub fn dir(&self) -> usize {
+        self.dir
+    }
+}
+
+/// Shard scoping of a fabric: the owned-node mask and the outbox of
+/// frames that crossed a cut trunk toward another shard.
+struct ShardScope {
+    owned: Vec<bool>,
+    outbox: Vec<CrossFrame>,
 }
 
 /// Passive per-link samplers (the fabric weather-map feed): one
@@ -106,7 +174,14 @@ pub struct CompositeFabric {
     down_free: Vec<SimTime>,
     /// Per trunk, per direction (0 = a→b): next free instant.
     trunk_free: Vec<[SimTime; 2]>,
-    events: EventQueue<TopoEvent>,
+    events: KeyedQueue<TopoEvent>,
+    /// Next fabric-entry stamp (when not overridden by a sharded owner).
+    next_stamp: u64,
+    /// Time of the last processed event (monotone; causality guard for
+    /// [`CompositeFabric::inject`]).
+    clock: SimTime,
+    /// Shard scoping, when this fabric is one shard of a partition.
+    scope: Option<ShardScope>,
     transits: Vec<Option<Transit>>,
     transit_free: Vec<u32>,
     /// Per-bus count of errors already drained into `errors`.
@@ -177,7 +252,10 @@ impl CompositeFabric {
             up_free: vec![SimTime::ZERO; hosts],
             down_free: vec![SimTime::ZERO; hosts],
             trunk_free: vec![[SimTime::ZERO; 2]; spec.trunks.len()],
-            events: EventQueue::new(),
+            events: KeyedQueue::new(),
+            next_stamp: 0,
+            clock: SimTime::ZERO,
+            scope: None,
             transits: Vec::new(),
             transit_free: Vec::new(),
             bus_errors_seen: vec![0; n],
@@ -340,15 +418,38 @@ impl CompositeFabric {
             .expect("live transit")
     }
 
+    /// Allocate the calendar key for the transit behind `token` at
+    /// scheduled time `time`, bumping the transit's hop counter.
+    fn calendar_key(&mut self, token: u64, time: SimTime) -> EventKey {
+        let t = self.transit_mut(token);
+        let hop = t.hop;
+        t.hop += 1;
+        EventKey::calendar(time, t.stamp, hop)
+    }
+
     /// Queue a frame from host `nic.0` at time `now` — the entry point
     /// the protocol stack drives, identical in shape to
-    /// [`EtherBus::enqueue`].
+    /// [`EtherBus::enqueue`]. The fabric-entry stamp is drawn from this
+    /// fabric's own counter; a sharded owner uses
+    /// [`CompositeFabric::enqueue_stamped`] to keep stamps global.
     pub fn enqueue(&mut self, nic: NicId, frame: Frame, now: SimTime) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.enqueue_stamped(nic, frame, now, stamp);
+    }
+
+    /// Queue a frame with an externally allocated fabric-entry `stamp`.
+    /// Stamps order equal-time calendar events, so a sharded fabric must
+    /// hand every shard stamps from one global counter — in the exact
+    /// order the sequential fabric would have assigned them.
+    pub fn enqueue_stamped(&mut self, nic: NicId, frame: Frame, now: SimTime, stamp: u64) {
         let host = nic.0 as usize;
         let src_node = self.spec.attachments[host];
         let mut f = frame;
         f.token = self.transit_insert(Transit {
             token: frame.token,
+            stamp,
+            hop: 0,
             entered: now,
             meta: FrameMeta::default(),
             best_access_ns: 0,
@@ -387,8 +488,9 @@ impl CompositeFabric {
                 t.meta.queue_ns += wait + latency.as_nanos();
                 t.meta.tx_ns += tx.as_nanos();
                 t.best_access_ns = t.best_access_ns.max(wait);
+                let key = self.calendar_key(f.token, done + latency);
                 self.events.push(
-                    done + latency,
+                    key,
                     TopoEvent::AtNode {
                         node: src_node,
                         frame: f,
@@ -435,7 +537,8 @@ impl CompositeFabric {
                     t.meta.queue_ns += wait;
                     t.meta.tx_ns += tx.as_nanos();
                     t.best_access_ns = t.best_access_ns.max(wait);
-                    self.events.push(done, TopoEvent::Deliver { frame: f });
+                    let key = self.calendar_key(f.token, done);
+                    self.events.push(key, TopoEvent::Deliver { frame: f });
                 }
             }
             self.flows[node].frames_out += 1;
@@ -470,13 +573,34 @@ impl CompositeFabric {
         }
         self.flows[node].frames_out += 1;
         self.flows[node].bytes_out += wire;
-        self.events.push(
-            done + trunk.prop_delay + latency,
-            TopoEvent::AtNode {
+        let arrival = done + trunk.prop_delay + latency;
+        let key = self.calendar_key(f.token, arrival);
+        if self.scope.as_ref().is_some_and(|s| !s.owned[far]) {
+            // The far node belongs to another shard: this is a cut
+            // trunk. All sender-side accounting above is final; the
+            // frame travels with its transit record and its arrival
+            // event's key, so the receiving shard resumes it exactly
+            // where a local hop would have.
+            let transit = self.transit_remove(f.token).expect("live transit");
+            let scope = self.scope.as_mut().expect("scoped");
+            scope.outbox.push(CrossFrame {
+                arrival,
                 node: far,
+                key,
+                trunk: ti,
+                dir,
                 frame: f,
-            },
-        );
+                transit,
+            });
+        } else {
+            self.events.push(
+                key,
+                TopoEvent::AtNode {
+                    node: far,
+                    frame: f,
+                },
+            );
+        }
     }
 
     /// Finalize a frame at `now`: restore the original token, settle the
@@ -534,41 +658,59 @@ impl CompositeFabric {
         }
     }
 
-    /// Whether nothing is pending anywhere in the fabric.
+    /// Whether nothing is pending anywhere in the fabric (including the
+    /// shard outbox, when scoped).
     pub fn idle(&self) -> bool {
-        self.events.is_empty() && self.buses.iter().flatten().all(EtherBus::idle)
+        self.events.is_empty()
+            && self.buses.iter().flatten().all(EtherBus::idle)
+            && self.scope.as_ref().is_none_or(|s| s.outbox.is_empty())
+    }
+
+    /// Key of the next fabric event: the calendar head against every
+    /// segment's next bus event, under the global [`EventKey`] order —
+    /// calendar first at equal times, then segments by node index.
+    pub fn next_key(&self) -> Option<EventKey> {
+        let mut k = self.events.peek_key();
+        for (n, bus) in self.buses.iter().enumerate() {
+            if let Some(t) = bus.as_ref().and_then(EtherBus::next_event_time) {
+                let bk = EventKey::bus(t, n as u64);
+                k = Some(match k {
+                    Some(x) if x < bk => x,
+                    _ => bk,
+                });
+            }
+        }
+        k
     }
 
     /// Time of the next fabric event.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        let mut t = self.events.peek_time();
-        for bus in self.buses.iter().flatten() {
-            t = match (t, bus.next_event_time()) {
-                (Some(a), Some(b)) => Some(a.min(b)),
-                (a, b) => a.or(b),
-            };
-        }
-        t
+        self.next_key().map(|k| k.time)
     }
 
     /// Process exactly one fabric event, appending any final delivery.
-    /// Simultaneous events resolve deterministically: the calendar queue
-    /// first, then segments by node index.
+    /// Simultaneous events resolve deterministically by [`EventKey`]:
+    /// the calendar queue first (stamp, then hop), then segments by node
+    /// index — an order that is a pure function of the offered load, so
+    /// it is identical at every shard count.
     pub fn advance(&mut self, out: &mut Vec<Delivery>) -> Option<SimTime> {
-        let t = self.next_event_time()?;
-        if self.events.peek_time() == Some(t) {
+        self.advance_keyed(out).map(|k| k.time)
+    }
+
+    /// [`CompositeFabric::advance`], returning the processed event's key
+    /// so a sharded owner can merge per-shard output streams globally.
+    pub fn advance_keyed(&mut self, out: &mut Vec<Delivery>) -> Option<EventKey> {
+        let k = self.next_key()?;
+        self.clock = k.time;
+        if k.class == 0 {
             let (_, ev) = self.events.pop()?;
             match ev {
-                TopoEvent::AtNode { node, frame } => self.forward(node, frame, t),
-                TopoEvent::Deliver { frame } => self.finalize(t, frame, out),
+                TopoEvent::AtNode { node, frame } => self.forward(node, frame, k.time),
+                TopoEvent::Deliver { frame } => self.finalize(k.time, frame, out),
             }
-            return Some(t);
+            return Some(k);
         }
-        let node = (0..self.buses.len()).find(|&n| {
-            self.buses[n]
-                .as_ref()
-                .is_some_and(|b| b.next_event_time() == Some(t))
-        })?;
+        let node = usize::try_from(k.major).expect("node index");
         self.scratch.clear();
         let mut deliveries = std::mem::take(&mut self.scratch);
         if let Some(bus) = &mut self.buses[node] {
@@ -597,7 +739,54 @@ impl CompositeFabric {
             }
         }
         self.scratch = deliveries;
-        Some(t)
+        Some(k)
+    }
+
+    /// Scope this fabric to the nodes where `owned[n]` is true: frames
+    /// forwarded across a trunk whose far end is not owned are diverted
+    /// to the outbox as [`CrossFrame`]s instead of being scheduled
+    /// locally. `owned.len()` must equal the node count.
+    pub fn set_scope(&mut self, owned: Vec<bool>) {
+        assert_eq!(owned.len(), self.spec.nodes.len(), "mask covers all nodes");
+        self.scope = Some(ShardScope {
+            owned,
+            outbox: Vec::new(),
+        });
+    }
+
+    /// Drain the outbox of frames bound for other shards (empty when the
+    /// fabric is unscoped).
+    pub fn drain_outbox(&mut self, into: &mut Vec<CrossFrame>) {
+        if let Some(scope) = &mut self.scope {
+            into.append(&mut scope.outbox);
+        }
+    }
+
+    /// Accept a frame that crossed a cut trunk from another shard:
+    /// re-slab its transit locally and schedule its arrival event under
+    /// the key the sending shard computed. The conservative protocol
+    /// guarantees `cf.arrival` has not been passed yet.
+    pub fn inject(&mut self, cf: CrossFrame) {
+        debug_assert!(
+            cf.arrival >= self.clock,
+            "causality: injected frame arrives at {:?} but shard clock is {:?}",
+            cf.arrival,
+            self.clock,
+        );
+        let mut f = cf.frame;
+        f.token = self.transit_insert(cf.transit);
+        self.events.push(
+            cf.key,
+            TopoEvent::AtNode {
+                node: cf.node,
+                frame: f,
+            },
+        );
+    }
+
+    /// Time of the last processed event (the shard-local clock).
+    pub fn clock(&self) -> SimTime {
+        self.clock
     }
 
     /// Drain every pending event (test helper).

@@ -21,8 +21,15 @@
 //!   [`FrameMeta`](fxnet_sim::FrameMeta) accounting, and deterministic
 //!   event ordering so traces are byte-identical across thread counts.
 
+//! - [`partition`] — the shard [`Partition`]: contiguous host-balanced
+//!   node blocks (one shard per switch subtree by default), cut trunks,
+//!   and per-direction inter-shard channel lookaheads for the
+//!   conservative parallel core in `fxnet-shard`.
+
 pub mod fabric;
+pub mod partition;
 pub mod spec;
 
-pub use fabric::{CompositeFabric, NodeFlow};
+pub use fabric::{CompositeFabric, CrossFrame, NodeFlow};
+pub use partition::{min_frame_tx, Partition, ShardChannel};
 pub use spec::{Node, NodeKind, TopologySpec, Trunk};

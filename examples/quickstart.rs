@@ -10,10 +10,10 @@
 //! bandwidth, and the dominant spectral frequency.
 
 use fxnet::trace::{average_bandwidth, binned_bandwidth, Periodogram, Stats};
-use fxnet::{KernelKind, SimTime, Testbed};
+use fxnet::{KernelKind, SimTime, TestbedBuilder};
 
 fn main() {
-    let testbed = Testbed::paper().with_seed(1998);
+    let testbed = TestbedBuilder::paper().seed(1998).build();
     let kernel = KernelKind::Hist;
     // 10 of the paper's 100 outer iterations: enough to see periodicity.
     println!("running {} on the simulated testbed...", kernel.name());

@@ -4,7 +4,7 @@
 use fxnet::pvm::MessageBuilder;
 use fxnet::qos::{AppDescriptor, QosNetwork};
 use fxnet::trace::{average_bandwidth, BurstProfile, Stats};
-use fxnet::{KernelKind, SimTime, Testbed};
+use fxnet::{KernelKind, SimTime, Testbed, TestbedBuilder};
 
 #[test]
 fn switched_fabric_speeds_up_the_all_to_all() {
@@ -12,8 +12,9 @@ fn switched_fabric_speeds_up_the_all_to_all() {
     // disjoint pairs in parallel, so 2DFFT's transpose drains faster and
     // the program finishes sooner.
     let bus = Testbed::quiet(4).run_kernel(KernelKind::Fft2d, 25).unwrap();
-    let sw = Testbed::quiet(4)
-        .with_switched_fabric()
+    let sw = TestbedBuilder::quiet(4)
+        .switched_fabric()
+        .build()
         .run_kernel(KernelKind::Fft2d, 25)
         .unwrap();
     assert!(
@@ -41,8 +42,9 @@ fn switched_fabric_preserves_results_and_periodicity() {
     // The ablation answers the §8 question: the alternating quiet/burst
     // structure comes from the *program*, not from CSMA/CD — it must
     // survive the fabric swap.
-    let sw = Testbed::quiet(4)
-        .with_switched_fabric()
+    let sw = TestbedBuilder::quiet(4)
+        .switched_fabric()
+        .build()
         .run_kernel(KernelKind::Hist, 10)
         .unwrap();
     let series = fxnet::trace::binned_bandwidth(&sw.trace, SimTime::from_millis(10));
@@ -166,7 +168,10 @@ fn burst_period_depends_on_network_bandwidth() {
         }
     };
     let slow = Testbed::quiet(4).run(prog);
-    let fast = Testbed::quiet(4).with_bandwidth_bps(100_000_000).run(prog);
+    let fast = TestbedBuilder::quiet(4)
+        .bandwidth_bps(100_000_000)
+        .build()
+        .run(prog);
     let tbi = |run: &fxnet::RunResult<()>| {
         BurstProfile::of(&run.trace, SimTime::from_millis(100))
             .and_then(|p| p.intervals.map(|i| i.avg))
@@ -224,13 +229,15 @@ fn descriptor_estimated_from_a_real_trace_predicts_the_run() {
 fn deschedule_merges_adjacent_bursts() {
     // §6.1's 2DFFT artifact, asserted at burst level: injection reduces
     // the number of distinct bursts (some merge) while stretching time.
-    let clean = Testbed::paper()
-        .with_seed(4)
+    let clean = TestbedBuilder::paper()
+        .seed(4)
+        .build()
         .run_kernel(KernelKind::Fft2d, 20)
         .unwrap();
-    let merged = Testbed::paper()
-        .with_seed(4)
-        .with_deschedule(SimTime::from_millis(300), SimTime::from_millis(250))
+    let merged = TestbedBuilder::paper()
+        .seed(4)
+        .deschedule(SimTime::from_millis(300), SimTime::from_millis(250))
+        .build()
         .run_kernel(KernelKind::Fft2d, 20)
         .unwrap();
     let gap = SimTime::from_millis(120);

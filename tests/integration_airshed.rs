@@ -3,7 +3,7 @@
 
 use fxnet::apps::airshed::AirshedParams;
 use fxnet::trace::{average_bandwidth, binned_bandwidth, Periodogram, Stats};
-use fxnet::{RunResult, SimTime, Testbed};
+use fxnet::{RunResult, SimTime, TestbedBuilder};
 use std::sync::OnceLock;
 
 fn run() -> &'static RunResult<u64> {
@@ -13,8 +13,9 @@ fn run() -> &'static RunResult<u64> {
             hours: 4,
             ..AirshedParams::paper()
         };
-        Testbed::paper()
-            .with_seed(1998)
+        TestbedBuilder::paper()
+            .seed(1998)
+            .build()
             .run_airshed(params)
             .unwrap()
     })

@@ -4,7 +4,7 @@
 use fxnet::apps::sor::{sor_rank, sor_sequential, SorParams};
 use fxnet::apps::KernelKind;
 use fxnet::trace::{binned_bandwidth, Stats};
-use fxnet::{SimTime, Testbed};
+use fxnet::{SimTime, Testbed, TestbedBuilder};
 
 #[test]
 fn deschedule_injection_stalls_the_synchronous_schedule() {
@@ -13,13 +13,15 @@ fn deschedule_injection_stalls_the_synchronous_schedule() {
     // descheduled the program ... the communication phase stalled until
     // that processor was able to send again." With injection the run
     // takes longer and the worst interarrival gap grows.
-    let clean = Testbed::paper()
-        .with_seed(11)
+    let clean = TestbedBuilder::paper()
+        .seed(11)
+        .build()
         .run_kernel(KernelKind::Fft2d, 20)
         .unwrap();
-    let slowed = Testbed::paper()
-        .with_seed(11)
-        .with_deschedule(SimTime::from_millis(400), SimTime::from_millis(150))
+    let slowed = TestbedBuilder::paper()
+        .seed(11)
+        .deschedule(SimTime::from_millis(400), SimTime::from_millis(150))
+        .build()
         .run_kernel(KernelKind::Fft2d, 20)
         .unwrap();
     assert!(
@@ -41,8 +43,9 @@ fn deschedule_preserves_results() {
     let params = SorParams::tiny();
     let want = sor_sequential(&params, 4);
     let p2 = params.clone();
-    let run = Testbed::quiet(4)
-        .with_deschedule(SimTime::from_millis(50), SimTime::from_millis(30))
+    let run = TestbedBuilder::quiet(4)
+        .deschedule(SimTime::from_millis(50), SimTime::from_millis(30))
+        .build()
         .run(move |ctx| sor_rank(ctx, &p2));
     assert_eq!(run.results, want, "descheduling must not corrupt data");
 }
@@ -52,8 +55,9 @@ fn lossy_bus_recovers_correct_results_via_retransmission() {
     let params = SorParams::tiny();
     let want = sor_sequential(&params, 4);
     let p2 = params.clone();
-    let run = Testbed::quiet(4)
-        .with_loss(0.05)
+    let run = TestbedBuilder::quiet(4)
+        .loss(0.05)
+        .build()
         .run(move |ctx| sor_rank(ctx, &p2));
     assert_eq!(run.results, want, "TCP must mask frame corruption");
 }
@@ -64,8 +68,9 @@ fn lossy_bus_stretches_the_run() {
     let p1 = params.clone();
     let clean = Testbed::quiet(4).run(move |ctx| sor_rank(ctx, &p1));
     let p2 = params.clone();
-    let lossy = Testbed::quiet(4)
-        .with_loss(0.08)
+    let lossy = TestbedBuilder::quiet(4)
+        .loss(0.08)
+        .build()
         .run(move |ctx| sor_rank(ctx, &p2));
     assert!(
         lossy.finished_at > clean.finished_at,
@@ -111,9 +116,10 @@ fn heavy_contention_still_delivers_everything() {
 fn burst_structure_survives_mild_loss() {
     // The periodicity claim is robust: mild corruption does not destroy
     // the quiet/burst alternation.
-    let run = Testbed::paper()
-        .with_seed(13)
-        .with_loss(0.01)
+    let run = TestbedBuilder::paper()
+        .seed(13)
+        .loss(0.01)
+        .build()
         .run_kernel(KernelKind::Hist, 10)
         .unwrap();
     let series = binned_bandwidth(&run.trace, SimTime::from_millis(10));

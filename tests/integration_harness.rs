@@ -9,10 +9,10 @@ use fxnet::harness::Pool;
 use fxnet::mix::MixTenant;
 use fxnet::qos::QosNetwork;
 use fxnet::watch::WatchConfig;
-use fxnet::{KernelKind, RunResult, SimTime, Testbed};
+use fxnet::{KernelKind, RunResult, SimTime, Testbed, TestbedBuilder};
 
 fn paper() -> Testbed {
-    Testbed::paper().with_seed(1998)
+    TestbedBuilder::paper().seed(1998).build()
 }
 
 /// Run one of the six measured programs at test scale.
@@ -52,8 +52,9 @@ fn seed_sweep_is_keyed_and_deterministic() {
         let mut s = pool.sweep::<u64, (usize, u64)>();
         for &seed in &seeds {
             s = s.add(seed, move || {
-                let run = Testbed::paper()
-                    .with_seed(seed)
+                let run = TestbedBuilder::paper()
+                    .seed(seed)
+                    .build()
                     .run_kernel(KernelKind::Hist, 100)
                     .unwrap();
                 let bytes: u64 = run.trace.iter().map(|r| u64::from(r.wire_len)).sum();
@@ -72,9 +73,10 @@ fn seed_sweep_is_keyed_and_deterministic() {
 /// The repro `watch` experiment in miniature: a mixed workload with the
 /// streaming watcher attached, one tenant under-claiming its bursts.
 fn watch_events() -> String {
-    let out = Testbed::paper()
-        .with_seed(1998)
-        .with_bandwidth_bps(100_000_000)
+    let out = TestbedBuilder::paper()
+        .seed(1998)
+        .bandwidth_bps(100_000_000)
+        .build()
         .mix()
         .network(QosNetwork::new(12_500_000.0))
         .solo_baselines(false)

@@ -6,7 +6,7 @@ use fxnet::trace::{
     average_bandwidth, binned_bandwidth, connection, dominant_modes, size_population, Periodogram,
     Stats,
 };
-use fxnet::{HostId, KernelKind, RunResult, SimTime, Testbed};
+use fxnet::{HostId, KernelKind, RunResult, SimTime, Testbed, TestbedBuilder};
 use std::sync::OnceLock;
 
 /// Run each kernel once and share the result across tests.
@@ -24,8 +24,9 @@ fn run(kernel: KernelKind) -> &'static RunResult<u64> {
         KernelKind::Hist => (&HIST, 5), // 20 iterations
     };
     cell.get_or_init(|| {
-        Testbed::paper()
-            .with_seed(1998)
+        TestbedBuilder::paper()
+            .seed(1998)
+            .build()
             .run_kernel(kernel, div)
             .unwrap()
     })
@@ -290,12 +291,14 @@ fn trace_survives_a_save_load_round_trip() {
 
 #[test]
 fn runs_are_deterministic() {
-    let a = Testbed::paper()
-        .with_seed(77)
+    let a = TestbedBuilder::paper()
+        .seed(77)
+        .build()
         .run_kernel(KernelKind::Hist, 25)
         .unwrap();
-    let b = Testbed::paper()
-        .with_seed(77)
+    let b = TestbedBuilder::paper()
+        .seed(77)
+        .build()
         .run_kernel(KernelKind::Hist, 25)
         .unwrap();
     assert_eq!(a.trace, b.trace);

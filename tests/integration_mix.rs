@@ -4,7 +4,7 @@
 use fxnet::mix::{MixTenant, TenantProgram};
 use fxnet::qos::QosNetwork;
 use fxnet::sim::SimTime;
-use fxnet::{KernelKind, Testbed};
+use fxnet::{KernelKind, Testbed, TestbedBuilder};
 
 fn shift(name: &str, p: u32, start_ms: u64) -> MixTenant {
     MixTenant {
@@ -61,8 +61,9 @@ fn mixed_kernels_conserve_every_frame() {
 #[test]
 fn mixed_run_is_deterministic_for_a_seed() {
     let run = |seed: u64| {
-        Testbed::quiet(2)
-            .with_seed(seed)
+        TestbedBuilder::quiet(2)
+            .seed(seed)
+            .build()
             .mix()
             .tenant(shift("alpha", 2, 0))
             .tenant(shift("beta", 2, 25))
@@ -118,8 +119,9 @@ fn switched_segments_isolate_tenants_from_each_other() {
     // sw1) never share a link: each one's mixed timing equals its solo
     // timing, unlike the shared-bus run above.
     let spec = fxnet::TopologySpec::two_switches_trunk(4, fxnet::sim::RATE_10M);
-    let out = Testbed::quiet(4)
-        .with_topology(spec)
+    let out = TestbedBuilder::quiet(4)
+        .topology(spec)
+        .build()
         .mix()
         .tenant(shift("alpha", 2, 0))
         .tenant(shift("beta", 2, 0))
@@ -142,8 +144,9 @@ fn trunk_spanning_tenants_contend_only_on_the_trunk() {
     // burst crosses the trunk, so the trunk is the only shared resource.
     let mut spec = fxnet::TopologySpec::two_switches_trunk(4, fxnet::sim::RATE_10M);
     spec.attachments = vec![0, 1, 0, 1];
-    let out = Testbed::quiet(4)
-        .with_topology(spec)
+    let out = TestbedBuilder::quiet(4)
+        .topology(spec)
+        .build()
         .mix()
         .tenant(shift("alpha", 2, 0))
         .tenant(shift("beta", 2, 0))

@@ -4,15 +4,16 @@
 use fxnet::apps::hist::{hist_rank, hist_sequential, HistParams};
 use fxnet::pvm::Route;
 use fxnet::sim::Proto;
-use fxnet::{KernelKind, Testbed};
+use fxnet::{KernelKind, TestbedBuilder};
 
 #[test]
 fn daemon_route_gives_identical_results() {
     let params = HistParams::tiny();
     let want = hist_sequential(&params);
     let p2 = params.clone();
-    let run = Testbed::quiet(4)
-        .with_route(Route::Daemon)
+    let run = TestbedBuilder::quiet(4)
+        .route(Route::Daemon)
+        .build()
         .run(move |ctx| hist_rank(ctx, &p2));
     for r in &run.results {
         assert_eq!(r, &want);
@@ -21,12 +22,14 @@ fn daemon_route_gives_identical_results() {
 
 #[test]
 fn daemon_route_is_slower_and_udp_only() {
-    let direct = Testbed::quiet(4)
-        .with_route(Route::Direct)
+    let direct = TestbedBuilder::quiet(4)
+        .route(Route::Direct)
+        .build()
         .run_kernel(KernelKind::Hist, 25)
         .unwrap();
-    let daemon = Testbed::quiet(4)
-        .with_route(Route::Daemon)
+    let daemon = TestbedBuilder::quiet(4)
+        .route(Route::Daemon)
+        .build()
         .run_kernel(KernelKind::Hist, 25)
         .unwrap();
     assert!(
@@ -43,12 +46,14 @@ fn daemon_route_is_slower_and_udp_only() {
 fn daemon_route_changes_packet_mix_not_volume_class() {
     // Same payload moves either way; the daemon route adds stop-and-wait
     // ack datagrams, the direct route adds TCP ACKs.
-    let direct = Testbed::quiet(4)
-        .with_route(Route::Direct)
+    let direct = TestbedBuilder::quiet(4)
+        .route(Route::Direct)
+        .build()
         .run_kernel(KernelKind::Sor, 25)
         .unwrap();
-    let daemon = Testbed::quiet(4)
-        .with_route(Route::Daemon)
+    let daemon = TestbedBuilder::quiet(4)
+        .route(Route::Daemon)
+        .build()
         .run_kernel(KernelKind::Sor, 25)
         .unwrap();
     let payload =
@@ -67,8 +72,9 @@ fn idle_lan_machines_contribute_daemon_chatter() {
     // measured traffic mix.
     // 25 SOR steps ≈ 60+ s of simulated time: beyond two 30 s
     // heartbeat rounds.
-    let run = Testbed::paper()
-        .with_seed(5)
+    let run = TestbedBuilder::paper()
+        .seed(5)
+        .build()
         .run_kernel(KernelKind::Sor, 4)
         .unwrap();
     let udp_sources: std::collections::HashSet<u32> = run
@@ -88,8 +94,9 @@ fn tracer_host_never_transmits() {
     // Host 8 is the measurement workstation: promiscuous, silent except
     // for its own daemon heartbeat. With heartbeats off it must be
     // totally silent.
-    let run = Testbed::paper()
-        .without_heartbeats()
+    let run = TestbedBuilder::paper()
+        .heartbeats(false)
+        .build()
         .run_kernel(KernelKind::Hist, 50)
         .unwrap();
     assert!(

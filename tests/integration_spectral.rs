@@ -8,7 +8,7 @@ use fxnet::spectral::{
     FourierModel,
 };
 use fxnet::trace::{binned_bandwidth, Periodogram};
-use fxnet::{KernelKind, RunResult, SimTime, Testbed};
+use fxnet::{KernelKind, RunResult, SimTime, TestbedBuilder};
 use std::sync::OnceLock;
 
 const BIN: SimTime = SimTime(10_000_000);
@@ -16,8 +16,9 @@ const BIN: SimTime = SimTime(10_000_000);
 fn hist_run() -> &'static RunResult<u64> {
     static RUN: OnceLock<RunResult<u64>> = OnceLock::new();
     RUN.get_or_init(|| {
-        Testbed::paper()
-            .with_seed(3)
+        TestbedBuilder::paper()
+            .seed(3)
+            .build()
             .run_kernel(KernelKind::Hist, 4)
             .unwrap()
     })

@@ -4,7 +4,7 @@
 
 use fxnet::telemetry::SpanKind;
 use fxnet::trace::PhaseBreakdown;
-use fxnet::{KernelKind, RunResult, SimTime, Testbed};
+use fxnet::{KernelKind, RunResult, SimTime, TestbedBuilder};
 use std::sync::OnceLock;
 
 /// Run each kernel once with telemetry and share the result across tests.
@@ -22,9 +22,10 @@ fn run(kernel: KernelKind) -> &'static RunResult<u64> {
         KernelKind::Hist => (&HIST, 20),
     };
     cell.get_or_init(|| {
-        Testbed::paper()
-            .with_seed(1998)
-            .with_telemetry(true)
+        TestbedBuilder::paper()
+            .seed(1998)
+            .telemetry()
+            .build()
             .run_kernel(kernel, div)
             .unwrap()
     })
@@ -32,14 +33,16 @@ fn run(kernel: KernelKind) -> &'static RunResult<u64> {
 
 #[test]
 fn same_seed_runs_produce_identical_telemetry_json() {
-    let a = Testbed::paper()
-        .with_seed(1998)
-        .with_telemetry(true)
+    let a = TestbedBuilder::paper()
+        .seed(1998)
+        .telemetry()
+        .build()
         .run_kernel(KernelKind::Hist, 20)
         .unwrap();
-    let b = Testbed::paper()
-        .with_seed(1998)
-        .with_telemetry(true)
+    let b = TestbedBuilder::paper()
+        .seed(1998)
+        .telemetry()
+        .build()
         .run_kernel(KernelKind::Hist, 20)
         .unwrap();
     let ja = serde::json::to_string(&a.telemetry.expect("telemetry on").to_value());
@@ -49,13 +52,15 @@ fn same_seed_runs_produce_identical_telemetry_json() {
 
 #[test]
 fn telemetry_does_not_perturb_the_trace() {
-    let plain = Testbed::paper()
-        .with_seed(7)
+    let plain = TestbedBuilder::paper()
+        .seed(7)
+        .build()
         .run_kernel(KernelKind::Hist, 20)
         .unwrap();
-    let tele = Testbed::paper()
-        .with_seed(7)
-        .with_telemetry(true)
+    let tele = TestbedBuilder::paper()
+        .seed(7)
+        .telemetry()
+        .build()
         .run_kernel(KernelKind::Hist, 20)
         .unwrap();
     assert!(plain.telemetry.is_none());

@@ -4,7 +4,7 @@
 //! program to completion without losing frames, and full-stack runs on a
 //! fabric are a pure function of the seed.
 
-use fxnet::{KernelKind, RunResult, SimTime, Testbed, TopologySpec};
+use fxnet::{KernelKind, RunResult, SimTime, TestbedBuilder, TopologySpec};
 
 /// A measured program as a function of the fabric it runs on (`None` =
 /// the legacy shared bus).
@@ -15,11 +15,11 @@ type Program = Box<dyn Fn(Option<TopologySpec>) -> RunResult<u64>>;
 fn programs() -> Vec<(&'static str, Program)> {
     let kernel = |k: KernelKind, div: usize| {
         Box::new(move |spec: Option<TopologySpec>| {
-            let mut tb = Testbed::paper().with_seed(7);
+            let mut b = TestbedBuilder::paper().seed(7);
             if let Some(spec) = spec {
-                tb = tb.with_topology(spec);
+                b = b.topology(spec);
             }
-            tb.run_kernel(k, div).unwrap()
+            b.build().run_kernel(k, div).unwrap()
         }) as Program
     };
     vec![
@@ -31,11 +31,11 @@ fn programs() -> Vec<(&'static str, Program)> {
         (
             "SHIFT",
             Box::new(|spec: Option<TopologySpec>| {
-                let mut tb = Testbed::quiet(4).with_seed(7);
+                let mut b = TestbedBuilder::quiet(4).seed(7);
                 if let Some(spec) = spec {
-                    tb = tb.with_topology(spec);
+                    b = b.topology(spec);
                 }
-                tb.run(move |ctx| {
+                b.build().run(move |ctx| {
                     let payload = vec![1u8; 40_000];
                     for round in 0..4i32 {
                         ctx.compute_time(SimTime::from_millis(30));
@@ -103,9 +103,10 @@ fn every_program_completes_on_every_sweep_topology() {
 #[test]
 fn full_stack_runs_on_a_fabric_are_a_pure_function_of_the_seed() {
     let run = |seed: u64| {
-        Testbed::paper()
-            .with_seed(seed)
-            .with_topology(TopologySpec::two_level_tree(9, fxnet::sim::RATE_100M))
+        TestbedBuilder::paper()
+            .seed(seed)
+            .topology(TopologySpec::two_level_tree(9, fxnet::sim::RATE_100M))
+            .build()
             .run_kernel(KernelKind::Hist, 50)
             .unwrap()
     };

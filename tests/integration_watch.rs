@@ -12,7 +12,7 @@ use fxnet::trace::{
     binned_bandwidth, sliding_window_bandwidth, Periodogram, SlidingBandwidth, StreamBinner,
 };
 use fxnet::watch::{EventKind, WatchConfig, WatchReport};
-use fxnet::{FrameRecord, KernelKind, SimTime, Testbed};
+use fxnet::{FrameRecord, KernelKind, SimTime, TestbedBuilder};
 
 const BIN: SimTime = SimTime(10_000_000); // the paper's 10 ms window
 
@@ -27,10 +27,14 @@ fn six_programs() -> Vec<(String, Vec<FrameRecord>)> {
         (KernelKind::Seq, 5),
         (KernelKind::Hist, 20),
     ] {
-        let run = Testbed::paper().with_seed(7).run_kernel(k, div).unwrap();
+        let run = TestbedBuilder::paper()
+            .seed(7)
+            .build()
+            .run_kernel(k, div)
+            .unwrap();
         traces.push((k.name().to_string(), run.trace));
     }
-    let run = Testbed::quiet(4).with_seed(7).run(move |ctx| {
+    let run = TestbedBuilder::quiet(4).seed(7).build().run(move |ctx| {
         let payload = vec![1u8; 40_000];
         for round in 0..4i32 {
             ctx.compute_time(SimTime::from_millis(30));
@@ -111,8 +115,9 @@ fn goertzel_power_matches_the_fft_periodogram_on_all_six_programs() {
 fn watched_mix(seed: u64) -> WatchReport {
     let mut liar = MixTenant::shift("liar", 0.05, 30_000, 4, 2).with_claim_scale(0.1);
     liar.start = SimTime::from_millis(30);
-    Testbed::quiet(2)
-        .with_seed(seed)
+    TestbedBuilder::quiet(2)
+        .seed(seed)
+        .build()
         .mix()
         .solo_baselines(false)
         .tenant(MixTenant::shift("honest", 0.05, 30_000, 4, 2))
@@ -169,9 +174,10 @@ fn watcher_streams_a_trunked_topology_run() {
     let mut spec = fxnet::TopologySpec::two_switches_trunk(4, fxnet::sim::RATE_10M);
     spec.attachments = vec![0, 1, 0, 1]; // both tenants span the trunk
     let run = |seed: u64| {
-        Testbed::quiet(4)
-            .with_seed(seed)
-            .with_topology(spec.clone())
+        TestbedBuilder::quiet(4)
+            .seed(seed)
+            .topology(spec.clone())
+            .build()
             .mix()
             .solo_baselines(false)
             .tenant(MixTenant::shift("up", 0.05, 30_000, 4, 2))
