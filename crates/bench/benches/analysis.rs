@@ -2,7 +2,8 @@
 //! tooling): statistics, windowed bandwidth, periodograms, model fitting
 //! and regeneration, the QoS negotiation, and the columnar engine —
 //! store build, fused report vs the multi-pass legacy report, indexed
-//! connection views vs filtered copies, and binary vs text trace IO.
+//! connection views vs filtered copies, binary vs text trace IO, and
+//! the chunked-container (FXTC v2) cursor decode.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fxnet::fx::Pattern;
@@ -157,6 +158,27 @@ fn bench_trace_io(c: &mut Criterion) {
     });
 }
 
+fn bench_chunk_cursor(c: &mut Criterion) {
+    let tr = synthetic_trace(100_000);
+    let store = TraceStore::from_records(&tr);
+    let dir = std::env::temp_dir().join(format!("fxnet-bench-chunks-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let path = dir.join("cursor.fxb");
+    io::save_store_chunked(&path, &store, 8_192).expect("write chunked trace");
+    c.bench_function("io/chunk_cursor_decode_100k_frames", |b| {
+        b.iter(|| {
+            let mut cursor = io::ChunkCursor::open(&path).expect("open chunked trace");
+            let mut frames = 0u64;
+            while let Some((meta, buf)) = cursor.next_chunk().expect("decode chunk") {
+                frames += meta.frames;
+                black_box(buf.time_ns.last());
+            }
+            black_box(frames)
+        })
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn bench_qos(c: &mut Criterion) {
     c.bench_function("qos/negotiate_1_to_64", |b| {
         let app = AppDescriptor::scalable(Pattern::AllToAll, 24.0, |p| {
@@ -177,6 +199,7 @@ criterion_group!(
     bench_report_fused_vs_legacy,
     bench_connection_index_vs_copy,
     bench_trace_io,
+    bench_chunk_cursor,
     bench_qos
 );
 criterion_main!(benches);

@@ -33,7 +33,13 @@
 //! writes `out/fabric_sweep.json`), and `bench` (event-queue engines,
 //! parallel suite speedup, the columnar-vs-AoS analysis race, and the
 //! binary-vs-text trace-format race; writes `out/bench_repro.json` plus
-//! the four `analysis_*.md` transcripts it asserts byte-identical).
+//! the four `analysis_*.md` transcripts it asserts byte-identical), and
+//! `analysis-scale` (out-of-core analytics: synthesizes a chunked
+//! 10M-frame trace through the sharded trunk fabric — `--div N` scales
+//! it down to a floor of 500k — then races the streamed one-pass chunk
+//! scan against the materialize-then-analyze baseline, asserting
+//! byte-identical transcripts, `--jobs 1` identity, and O(chunk) peak
+//! memory; merges its section into `out/bench_repro.json`).
 //!
 //! Prewarmed traces are cached on disk under `out/cache` keyed by
 //! program, scale, and seed — `--trace-format {binary,text}` picks the
@@ -310,6 +316,12 @@ const REGISTRY: &[Experiment] = &[
         id: "bench",
         desc: "perf probes: queues, suite speedup, columnar analysis, trace IO",
         run: bench_repro,
+        ..NONE
+    },
+    Experiment {
+        id: "analysis-scale",
+        desc: "out-of-core analytics: streamed chunk scan vs materialize-then-analyze",
+        run: analysis_scale,
         ..NONE
     },
 ];
@@ -1964,6 +1976,7 @@ fn bench_repro(c: &mut Ctx) {
         println!(
             "(speedup floor 1.8x enforced only with --jobs >= 4 on >= 4 CPUs; here jobs={jobs}, cpus={avail})"
         );
+        println!("floor not enforced ({avail} cores)");
     }
 
     // Analysis leg: the full analysis suite (stats, interarrivals,
@@ -2226,6 +2239,7 @@ fn bench_repro(c: &mut Ctx) {
         println!(
             "(shard speedup floor 1.3x enforced only on >= 4 CPUs; here cpus={avail}, measured {shard_min_speedup:.2}x)"
         );
+        println!("floor not enforced ({avail} cores)");
     }
 
     let report = Value::Object(vec![
@@ -2339,6 +2353,7 @@ fn bench_repro(c: &mut Ctx) {
             Value::Str(fxnet::TopologySpec::single_segment(9, fxnet::sim::RATE_10M).label()),
         ),
         ("jobs".to_string(), Value::U64(jobs as u64)),
+        ("cores".to_string(), Value::U64(avail as u64)),
         ("shards".to_string(), Value::U64(c.shards as u64)),
         ("div".to_string(), Value::U64(div as u64)),
         (
@@ -2365,6 +2380,266 @@ fn bench_repro(c: &mut Ctx) {
             appended.dropped,
             history.display()
         );
+    }
+    println!("appended run summary to {}", history.display());
+}
+
+// --------------------------------------------------------------------
+// Out-of-core analytics at scale: the streamed chunk scan raced
+// against the materialize-then-analyze baseline on a 10M-frame trace.
+
+/// Hosts on the analysis-scale synthesis fabric.
+const SCALE_HOSTS: u32 = 16;
+/// Rounds (one frame per host each) per synthesis wave: ~512k frames.
+const SCALE_ROUNDS_PER_WAVE: u32 = 32_768;
+/// Rounds per burst group; a quiet gap follows each group, so the
+/// trace has a genuine burst fundamental for the harmonic probe.
+const SCALE_ROUNDS_PER_GROUP: u32 = 256;
+/// In-group round spacing, µs.
+const SCALE_ROUND_US: u64 = 700;
+/// Quiet gap closing each group, µs (> the 120 ms burst gap).
+const SCALE_GAP_US: u64 = 300_000;
+
+fn analysis_scale(c: &mut Ctx) {
+    use fxnet::sim::{EtherConfig, Frame, FrameKind, HostId, NicId};
+    use fxnet_bench::{materialized_scan, streamed_scan, ScanConfig, SCAN_CHUNK_FRAMES};
+
+    header("analysis-scale: streamed chunk scan vs materialize-then-analyze");
+    let jobs = c.pool.jobs();
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let frames_target = (10_000_000 / c.div.max(1)).max(500_000) as u64;
+
+    // Synthesize the trace in waves through the sharded trunk fabric:
+    // each wave drains grouped bursts (SCALE_ROUNDS_PER_GROUP rounds of
+    // one frame per host, then a quiet gap) with every 16th frame
+    // crossing the trunk. Deliveries come out merged in time order at
+    // any shard count (the PR9 invariant), so the trace — and every
+    // analysis below — is seed-deterministic.
+    let spec = fxnet::TopologySpec::two_switches_trunk(SCALE_HOSTS, fxnet::sim::RATE_10M);
+    let ether = EtherConfig::default();
+    let requested_shards = c.shards.max(2);
+    let probe = fxnet::shard::ShardedFabric::new(spec.clone(), &ether, c.seed, requested_shards);
+    let shards = probe.shard_count();
+    let shard_of = probe.partition().host_shard.clone();
+    let group_period_us = u64::from(SCALE_ROUNDS_PER_GROUP) * SCALE_ROUND_US + SCALE_GAP_US;
+    // The burst-group fundamental anchors the Goertzel harmonic probe.
+    let base_hz = 1.0 / (group_period_us as f64 * 1e-6);
+    let groups_per_wave = u64::from(SCALE_ROUNDS_PER_WAVE / SCALE_ROUNDS_PER_GROUP);
+    // One spare group period of margin keeps waves disjoint in time.
+    let wave_period_ns = (groups_per_wave + 1) * group_period_us * 1_000;
+    let path = c.exps.out_path("analysis_scale.fxb");
+    println!(
+        "synthesizing >= {frames_target} frames through {} ({shards} shards) ...",
+        spec.label()
+    );
+    let (dir, t_synth) = timed(|| {
+        let mut w = fxnet::trace::ChunkedWriter::create(&path).expect("create chunked trace");
+        let mut wave = 0u64;
+        while w.frames() < frames_target {
+            let offset_ns = wave * wave_period_ns;
+            let mut fab =
+                fxnet::shard::ShardedFabric::new(spec.clone(), &ether, c.seed, requested_shards);
+            for i in 0..(SCALE_ROUNDS_PER_WAVE * SCALE_HOSTS) {
+                let src = i % SCALE_HOSTS;
+                let dst = if i % 16 == 0 {
+                    // Cross the trunk: the far block's mirror host.
+                    let d = (src + SCALE_HOSTS / 2) % SCALE_HOSTS;
+                    if d == src {
+                        (d + 1) % SCALE_HOSTS
+                    } else {
+                        d
+                    }
+                } else {
+                    // Nearest neighbor inside the same shard block.
+                    let mut d = (src + 1) % SCALE_HOSTS;
+                    while d == src || shard_of[d as usize] != shard_of[src as usize] {
+                        d = (d + 1) % SCALE_HOSTS;
+                    }
+                    d
+                };
+                let f = Frame::tcp(
+                    HostId(src),
+                    HostId(dst),
+                    FrameKind::Data,
+                    200 + (i * 97) % 1200,
+                    u64::from(i) + 1,
+                );
+                let round = u64::from(i / SCALE_HOSTS);
+                let t_us = (round / u64::from(SCALE_ROUNDS_PER_GROUP)) * group_period_us
+                    + (round % u64::from(SCALE_ROUNDS_PER_GROUP)) * SCALE_ROUND_US;
+                fab.enqueue(NicId(src), f, SimTime::from_micros(t_us));
+            }
+            let res = fab.drain_parallel();
+            assert_eq!(res.violations, 0, "synthesis drain admitted a late frame");
+            let records: Vec<fxnet::FrameRecord> = res
+                .deliveries
+                .iter()
+                .map(|d| {
+                    fxnet::FrameRecord::capture(
+                        SimTime::from_nanos(d.time.as_nanos() + offset_ns),
+                        &d.frame,
+                    )
+                })
+                .collect();
+            for batch in records.chunks(SCAN_CHUNK_FRAMES) {
+                w.append_records(batch).expect("append chunk");
+            }
+            wave += 1;
+        }
+        w.finish().expect("finish chunked trace")
+    });
+    let frames = dir.frames();
+    println!(
+        "synthesized {frames} frames / {} chunks in {:.1}s -> {}",
+        dir.len(),
+        t_synth.as_secs_f64(),
+        path.display()
+    );
+
+    // The race: identical analysis bundle, three ways — streamed at
+    // --jobs, the materialized baseline, and streamed at --jobs 1.
+    let cfg = ScanConfig::new("analysis-scale", base_hz);
+    println!("streamed scan (--jobs {jobs}) vs materialized baseline ...");
+    let (streamed, t_stream) =
+        timed(|| streamed_scan(&path, &cfg, &c.pool).expect("streamed scan"));
+    let (mat, t_mat) = timed(|| materialized_scan(&path, &cfg).expect("materialized scan"));
+    let serial = streamed_scan(&path, &cfg, &Pool::serial()).expect("serial streamed scan");
+    assert_eq!(streamed.frames, frames);
+    assert_eq!(
+        streamed.rendered, mat.rendered,
+        "streamed scan must be byte-identical to the materialized baseline"
+    );
+    assert_eq!(
+        streamed.rendered, serial.rendered,
+        "streamed scan at --jobs {jobs} must be byte-identical to --jobs 1"
+    );
+    let streamed_path = c.exps.out_path("analysis_scale_streamed.md");
+    std::fs::write(&streamed_path, &streamed.rendered).expect("write streamed transcript");
+    let mat_path = c.exps.out_path("analysis_scale_materialized.md");
+    std::fs::write(&mat_path, &mat.rendered).expect("write materialized transcript");
+    println!(
+        "wrote {} and {}",
+        streamed_path.display(),
+        mat_path.display()
+    );
+
+    let speedup = t_mat.as_secs_f64() / t_stream.as_secs_f64();
+    let mem_ratio = mat.peak_resident_bytes as f64 / streamed.peak_resident_bytes.max(1) as f64;
+    println!(
+        "streamed {:.2}s vs materialized {:.2}s  ({speedup:.2}x); peak resident {:.1} MB vs {:.1} MB ({mem_ratio:.1}x), transcripts byte-identical (and at --jobs 1)",
+        t_stream.as_secs_f64(),
+        t_mat.as_secs_f64(),
+        streamed.peak_resident_bytes as f64 / 1e6,
+        mat.peak_resident_bytes as f64 / 1e6
+    );
+    // Structural O(chunk) bound, enforced at every scale: at most two
+    // decode rounds of `jobs` chunks are ever resident at once.
+    let chunk_bytes_bound = 2 * jobs.max(1) as u64 * dir.max_chunk_frames() * 21;
+    assert!(
+        streamed.peak_resident_bytes <= chunk_bytes_bound,
+        "streamed scan held {} bytes resident, over the two-round bound {chunk_bytes_bound}",
+        streamed.peak_resident_bytes
+    );
+    let enforce = jobs >= 2 && avail >= 4 && frames >= 2_000_000;
+    if enforce {
+        assert!(
+            speedup >= 2.0,
+            "streamed scan must clear 2x the materialized baseline (got {speedup:.2}x)"
+        );
+        assert!(
+            mem_ratio >= 4.0,
+            "streamed peak memory must be 4x under the materialized store (got {mem_ratio:.1}x)"
+        );
+    } else {
+        println!(
+            "(floors speedup 2.0x / memory 4.0x enforced only with --jobs >= 2 on >= 4 CPUs at >= 2M frames; here jobs={jobs}, cpus={avail}, frames={frames})"
+        );
+        println!("floor not enforced ({avail} cores)");
+    }
+
+    // Merge this leg into bench_repro.json (replacing any stale
+    // `analysis_scale` section) rather than clobbering the `bench`
+    // leg's report when both ran.
+    let section = Value::Object(vec![
+        ("frames".to_string(), Value::U64(frames)),
+        ("chunks".to_string(), Value::U64(dir.len() as u64)),
+        (
+            "chunk_frames".to_string(),
+            Value::U64(SCAN_CHUNK_FRAMES as u64),
+        ),
+        ("jobs".to_string(), Value::U64(jobs as u64)),
+        ("cores".to_string(), Value::U64(avail as u64)),
+        ("shards".to_string(), Value::U64(shards as u64)),
+        ("base_hz".to_string(), Value::F64(base_hz)),
+        (
+            "synth_wall_s".to_string(),
+            Value::F64(t_synth.as_secs_f64()),
+        ),
+        (
+            "streamed_wall_s".to_string(),
+            Value::F64(t_stream.as_secs_f64()),
+        ),
+        (
+            "materialized_wall_s".to_string(),
+            Value::F64(t_mat.as_secs_f64()),
+        ),
+        ("speedup".to_string(), Value::F64(speedup)),
+        ("speedup_floor".to_string(), Value::F64(2.0)),
+        (
+            "streamed_peak_resident_bytes".to_string(),
+            Value::U64(streamed.peak_resident_bytes),
+        ),
+        (
+            "materialized_peak_resident_bytes".to_string(),
+            Value::U64(mat.peak_resident_bytes),
+        ),
+        ("memory_ratio".to_string(), Value::F64(mem_ratio)),
+        ("memory_ratio_floor".to_string(), Value::F64(4.0)),
+        ("floors_enforced".to_string(), Value::Bool(enforce)),
+        ("outputs_identical".to_string(), Value::Bool(true)),
+        ("jobs1_identical".to_string(), Value::Bool(true)),
+    ]);
+    let report_path = c.exps.out_path("bench_repro.json");
+    let mut root = std::fs::read_to_string(&report_path)
+        .ok()
+        .and_then(|s| serde::json::parse(&s).ok())
+        .and_then(|v| match v {
+            Value::Object(kvs) => Some(kvs),
+            _ => None,
+        })
+        .unwrap_or_default();
+    root.retain(|(k, _)| k != "analysis_scale");
+    root.push(("analysis_scale".to_string(), section));
+    write_json_artifact(&report_path, &Value::Object(root)).expect("write bench report");
+    println!("merged analysis_scale into {}", report_path.display());
+
+    let line = Value::Object(vec![
+        (
+            "date".to_string(),
+            Value::Str(c.date.clone().unwrap_or_else(|| "unknown".to_string())),
+        ),
+        ("git_rev".to_string(), Value::Str(git_rev())),
+        (
+            "experiment".to_string(),
+            Value::Str("analysis-scale".to_string()),
+        ),
+        ("fabric".to_string(), Value::Str(spec.label())),
+        ("jobs".to_string(), Value::U64(jobs as u64)),
+        ("cores".to_string(), Value::U64(avail as u64)),
+        ("shards".to_string(), Value::U64(shards as u64)),
+        ("div".to_string(), Value::U64(c.div as u64)),
+        ("frames".to_string(), Value::U64(frames)),
+        ("analysis_scale_speedup".to_string(), Value::F64(speedup)),
+        (
+            "analysis_scale_memory_ratio".to_string(),
+            Value::F64(mem_ratio),
+        ),
+    ]);
+    let history = c.exps.out_path("bench_history.jsonl");
+    let appended = fxnet_bench::append_history_line(&history, &serde::json::to_string(&line))
+        .expect("append bench history");
+    if appended.created {
+        println!("seeded fresh history ledger {}", history.display());
     }
     println!("appended run summary to {}", history.display());
 }

@@ -5,6 +5,13 @@
 //! experiment ids. Paper-vs-measured numbers are recorded in
 //! EXPERIMENTS.md.
 
+pub mod scan;
+
+pub use scan::{
+    materialized_scan, streamed_scan, ScanConfig, ScanOutcome, MATRIX_BASE_NS, MATRIX_SCALES,
+    SCAN_CHUNK_FRAMES,
+};
+
 use fxnet::apps::airshed::AirshedParams;
 use fxnet::trace::{
     average_bandwidth, binned_bandwidth, connection, host_pairs, load_store, save_store,

@@ -1,0 +1,348 @@
+//! The out-of-core analytics race: one streamed pass over a chunked
+//! (FXTC v2) trace versus the materialize-then-analyze baseline.
+//!
+//! Both paths compute the identical analysis bundle — the fused
+//! [`TraceReport`], the sliding-window bandwidth peak, Goertzel powers
+//! at the contract harmonics, and the Kepner-style
+//! [`ScalingRelation`] ladder over multi-temporal host-pair matrices —
+//! and render it to one canonical transcript. The contract is that the
+//! transcripts are **byte-identical**:
+//!
+//! * streamed vs materialized (the kernels are bitwise twins, proven
+//!   by the `fxnet-trace` / `fxnet-metrics` property tests), and
+//! * streamed at any `--jobs` vs `--jobs 1` (chunks are *decoded* in
+//!   parallel but *folded* strictly in directory order — Welford and
+//!   the burst merge are order-sensitive, so parallelism is confined
+//!   to the side with no float arithmetic).
+//!
+//! Peak memory differs by design: the streamed scan holds at most two
+//! decode rounds of chunks (O(jobs · chunk)), the baseline holds every
+//! column of the trace at once.
+
+use fxnet::metrics::{ScalingAccum, ScalingRelation};
+use fxnet::spectral::harmonic_powers;
+use fxnet::trace::{
+    load_store, read_chunk, read_chunk_directory, sliding_window_bandwidth, ChunkBuf, ChunkMeta,
+    ReportOptions, SlidingPeak, StreamingReport, TraceIoError, TraceReport,
+};
+use fxnet::SimTime;
+use fxnet_harness::Pool;
+use std::path::Path;
+
+/// Frames per chunk the `analysis-scale` writer uses: ~1.4 MB of
+/// decoded columns, big enough to amortize the varint decode, small
+/// enough that a decode round stays cache-friendly.
+pub const SCAN_CHUNK_FRAMES: usize = 65_536;
+
+/// Base matrix window: 1 ms, the finest rung of the ladder.
+pub const MATRIX_BASE_NS: u64 = 1_000_000;
+
+/// The multi-temporal ladder, in base-window multiples:
+/// 1 ms → 10 ms → 100 ms → 1 s.
+pub const MATRIX_SCALES: [u64; 4] = [1, 10, 100, 1000];
+
+/// Everything both scan paths need to agree on up front.
+#[derive(Debug, Clone)]
+pub struct ScanConfig {
+    /// Report label (appears in the rendered transcript).
+    pub label: String,
+    /// Report options: bin width, burst gap, spectral floor.
+    pub opts: ReportOptions,
+    /// Sliding-bandwidth window for the peak gauge.
+    pub window: SimTime,
+    /// Fundamental the harmonic probe is anchored at, Hz.
+    pub base_hz: f64,
+    /// Harmonic multiples of `base_hz` to probe with Goertzel.
+    pub harmonics: Vec<u32>,
+    /// Finest matrix window, ns.
+    pub matrix_base_ns: u64,
+    /// Matrix ladder in base-window multiples (strictly increasing).
+    pub matrix_scales: Vec<u64>,
+}
+
+impl ScanConfig {
+    /// The `analysis-scale` defaults: the paper's 10 ms bin and
+    /// window, the 1 ms → 1 s matrix ladder, and the first four
+    /// harmonics of `base_hz`.
+    pub fn new(label: impl Into<String>, base_hz: f64) -> ScanConfig {
+        let opts = ReportOptions::default();
+        ScanConfig {
+            label: label.into(),
+            window: opts.bin,
+            opts,
+            base_hz,
+            harmonics: vec![1, 2, 3, 4],
+            matrix_base_ns: MATRIX_BASE_NS,
+            matrix_scales: MATRIX_SCALES.to_vec(),
+        }
+    }
+}
+
+/// One scan path's full result: the analysis bundle, its canonical
+/// rendering, and the path's peak resident working set.
+#[derive(Debug, Clone)]
+pub struct ScanOutcome {
+    /// Frames analyzed.
+    pub frames: u64,
+    /// Chunks in the trace directory (0 for the materialized path,
+    /// which never consults the directory).
+    pub chunks: usize,
+    pub report: TraceReport,
+    /// `(frequency_hz, power)` at each probed harmonic.
+    pub harmonics: Vec<(f64, f64)>,
+    /// Peak sliding-window bandwidth, `None` on an empty trace.
+    pub sliding_peak: Option<f64>,
+    /// The multi-temporal scaling ladder.
+    pub relations: Vec<ScalingRelation>,
+    /// Canonical transcript — the byte-identity artifact.
+    pub rendered: String,
+    /// Peak bytes of decoded frame columns held at once: in-flight
+    /// decode rounds for the streamed path, the whole store for the
+    /// materialized one.
+    pub peak_resident_bytes: u64,
+}
+
+/// Render the analysis bundle to the canonical transcript. Floats are
+/// printed with `{:?}` (shortest round-trip), so two transcripts match
+/// byte-for-byte exactly when every number matches bit-for-bit.
+fn render(
+    cfg: &ScanConfig,
+    frames: u64,
+    report: &TraceReport,
+    sliding_peak: Option<f64>,
+    harmonics: &[(f64, f64)],
+    relations: &[ScalingRelation],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("# analysis-scale scan — {} ({frames} frames)\n", cfg.label);
+    out.push_str(&TraceReport::markdown_header());
+    out.push('\n');
+    out.push_str(&report.markdown_row());
+    out.push('\n');
+    writeln!(out, "report {report:?}").expect("write");
+    writeln!(
+        out,
+        "sliding peak {sliding_peak:?} (window {:?})",
+        cfg.window
+    )
+    .expect("write");
+    for (h, (freq, power)) in cfg.harmonics.iter().zip(harmonics) {
+        writeln!(
+            out,
+            "harmonic {h}x{:?} Hz -> {freq:?} Hz power {power:?}",
+            cfg.base_hz
+        )
+        .expect("write");
+    }
+    for r in relations {
+        writeln!(out, "scaling {r:?}").expect("write");
+    }
+    out
+}
+
+/// Sum of decoded column bytes across a decode round.
+fn resident(bufs: &[ChunkBuf]) -> u64 {
+    bufs.iter().map(ChunkBuf::resident_bytes).sum()
+}
+
+/// One streamed pass over a chunked trace: chunks are decoded in
+/// rounds of `pool.jobs()` on the worker pool while the previous round
+/// is folded — **in directory order, on one thread** — into the fused
+/// streaming kernels. The fold order is fixed by the directory, never
+/// by scheduling, so the outcome is byte-identical at any job count;
+/// parallelism and double-buffering only move wall-clock time.
+pub fn streamed_scan(
+    path: &Path,
+    cfg: &ScanConfig,
+    pool: &Pool,
+) -> Result<ScanOutcome, TraceIoError> {
+    let dir = read_chunk_directory(path)?;
+    let frames = dir.frames();
+    let chunks = dir.chunks.len();
+    let batch = pool.jobs().max(1);
+
+    let mut report = StreamingReport::new(&cfg.label, &cfg.opts);
+    let mut sliding = SlidingPeak::new(cfg.window);
+    let mut matrices = ScalingAccum::new(cfg.matrix_base_ns, &cfg.matrix_scales);
+    let mut peak_resident = 0u64;
+
+    let decode = |round: &[ChunkMeta]| -> Vec<ChunkBuf> {
+        pool.map(round.to_vec(), |meta| {
+            let mut buf = ChunkBuf::default();
+            read_chunk(path, &meta, &mut buf).expect("decode chunk");
+            buf
+        })
+    };
+
+    let mut rounds = dir.chunks.chunks(batch);
+    let mut current: Option<Vec<ChunkBuf>> = rounds.next().map(decode);
+    while let Some(bufs) = current {
+        let next_metas = rounds.next();
+        // Decode the next round on the pool while this thread folds the
+        // current one; the scope joins before anything is reordered.
+        let next = std::thread::scope(|s| {
+            let prefetch = next_metas.map(|nm| s.spawn(|| decode(nm)));
+            for buf in &bufs {
+                report.push_chunk(&buf.time_ns, &buf.wire_len);
+                for (&t, &len) in buf.time_ns.iter().zip(&buf.wire_len) {
+                    sliding.push(SimTime::from_nanos(t), len);
+                }
+                matrices.record_columns(&buf.time_ns, &buf.src, &buf.dst);
+            }
+            prefetch.map(|h| h.join().expect("decode round"))
+        });
+        let in_flight = resident(&bufs) + next.as_deref().map_or(0, resident);
+        peak_resident = peak_resident.max(in_flight);
+        current = next;
+    }
+
+    let (trace_report, series) = report.finish_with_series();
+    let harmonics = harmonic_powers(&series, cfg.opts.bin, cfg.base_hz, &cfg.harmonics);
+    let sliding_peak = sliding.peak();
+    let relations = matrices.finalize();
+    let rendered = render(
+        cfg,
+        frames,
+        &trace_report,
+        sliding_peak,
+        &harmonics,
+        &relations,
+    );
+    Ok(ScanOutcome {
+        frames,
+        chunks,
+        report: trace_report,
+        harmonics,
+        sliding_peak,
+        relations,
+        rendered,
+        peak_resident_bytes: peak_resident,
+    })
+}
+
+/// The baseline: materialize the whole trace, then run the classic
+/// multi-pass analyses over it — `analyze_view` (fused pass + binned
+/// pass), a third pass for the harmonic series, the full
+/// `sliding_window_bandwidth` vector reduced to its peak, and a final
+/// pass feeding the matrix ladder. Byte-identical transcript to
+/// [`streamed_scan`], at O(trace) peak memory.
+pub fn materialized_scan(path: &Path, cfg: &ScanConfig) -> Result<ScanOutcome, TraceIoError> {
+    let store = load_store(path)?;
+    let view = store.view();
+    let trace_report = TraceReport::analyze_view(&cfg.label, view, &cfg.opts);
+    let series = view.binned_bandwidth(cfg.opts.bin);
+    let harmonics = harmonic_powers(&series, cfg.opts.bin, cfg.base_hz, &cfg.harmonics);
+
+    // The legacy sliding probe materializes the whole per-packet vector
+    // (an AoS copy first) and only then reduces it.
+    let records = store.to_records();
+    let sliding = sliding_window_bandwidth(&records, cfg.window);
+    let sliding_peak = (!sliding.is_empty()).then(|| {
+        sliding
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, &(_, bw)| m.max(bw))
+    });
+
+    let mut matrices = ScalingAccum::new(cfg.matrix_base_ns, &cfg.matrix_scales);
+    for r in store.iter() {
+        matrices.record(r.time.as_nanos(), r.src.0, r.dst.0);
+    }
+    let relations = matrices.finalize();
+
+    let frames = store.len() as u64;
+    let rendered = render(
+        cfg,
+        frames,
+        &trace_report,
+        sliding_peak,
+        &harmonics,
+        &relations,
+    );
+    Ok(ScanOutcome {
+        frames,
+        chunks: 0,
+        report: trace_report,
+        harmonics,
+        sliding_peak,
+        relations,
+        rendered,
+        peak_resident_bytes: store.column_bytes(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fxnet::trace::{save_store_chunked, TraceStore};
+    use fxnet::FrameRecord;
+    use fxnet::{sim::Frame, sim::FrameKind, HostId};
+
+    fn bursty_store(n: usize) -> TraceStore {
+        let recs: Vec<FrameRecord> = (0..n)
+            .map(|i| {
+                let group = i / 40;
+                let t = SimTime::from_micros((group * 500_000 + (i % 40) * 700) as u64);
+                let f = Frame::tcp(
+                    HostId((i % 7) as u32),
+                    // Offsets 1..=5 are never 0 mod 7, so src != dst.
+                    HostId(((i % 7) + 1 + (i / 11) % 5) as u32 % 7),
+                    FrameKind::Data,
+                    (100 + (i * 37) % 1100) as u32,
+                    i as u64 + 1,
+                );
+                FrameRecord::capture(t, &f)
+            })
+            .collect();
+        TraceStore::from_records(&recs)
+    }
+
+    #[test]
+    fn streamed_scan_matches_materialized_bytes() {
+        let dir = std::env::temp_dir().join(format!("fxnet-scan-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scan.fxb");
+        let store = bursty_store(5_000);
+        save_store_chunked(&path, &store, 257).unwrap();
+
+        let cfg = ScanConfig::new("scan-test", 2.0);
+        let streamed = streamed_scan(&path, &cfg, &Pool::new(4)).unwrap();
+        let serial = streamed_scan(&path, &cfg, &Pool::serial()).unwrap();
+        let mat = materialized_scan(&path, &cfg).unwrap();
+
+        assert_eq!(streamed.frames, 5_000);
+        assert!(streamed.chunks > 1);
+        assert_eq!(
+            streamed.rendered, serial.rendered,
+            "parallel streamed scan must match --jobs 1 byte for byte"
+        );
+        assert_eq!(
+            streamed.rendered, mat.rendered,
+            "streamed scan must match the materialized baseline byte for byte"
+        );
+        // Spot-check the rendered transcript carries every section.
+        assert!(streamed.rendered.contains("sliding peak Some"));
+        assert!(streamed.rendered.contains("harmonic 1x"));
+        assert!(streamed.rendered.contains("scaling ScalingRelation"));
+        // The streamed working set is bounded by in-flight rounds, the
+        // baseline holds all columns.
+        assert_eq!(mat.peak_resident_bytes, store.column_bytes());
+        assert!(streamed.peak_resident_bytes <= mat.peak_resident_bytes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_chunked_trace_scans_cleanly() {
+        let dir = std::env::temp_dir().join(format!("fxnet-scan-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.fxb");
+        save_store_chunked(&path, &TraceStore::from_records(&[]), 64).unwrap();
+        let cfg = ScanConfig::new("empty", 1.0);
+        let streamed = streamed_scan(&path, &cfg, &Pool::new(2)).unwrap();
+        let mat = materialized_scan(&path, &cfg).unwrap();
+        assert_eq!(streamed.frames, 0);
+        assert_eq!(streamed.sliding_peak, None);
+        assert!(streamed.harmonics.is_empty());
+        assert_eq!(streamed.rendered, mat.rendered);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -217,83 +217,6 @@ impl Testbed {
         TestbedBuilder::paper()
     }
 
-    /// Override the processor count the programs are compiled for.
-    #[deprecated(note = "use TestbedBuilder::p")]
-    pub fn with_p(mut self, p: u32) -> Testbed {
-        self.cfg.p = p;
-        self.cfg.hosts = self.cfg.hosts.max(p);
-        self
-    }
-
-    /// Override the simulation seed.
-    #[deprecated(note = "use TestbedBuilder::seed")]
-    pub fn with_seed(mut self, seed: u64) -> Testbed {
-        self.cfg.seed = seed;
-        self.cfg.pvm.net.seed = seed ^ 0x00C0_FFEE;
-        self
-    }
-
-    /// Select the PVM routing mechanism (direct TCP vs daemon UDP).
-    #[deprecated(note = "use TestbedBuilder::route")]
-    pub fn with_route(mut self, route: Route) -> Testbed {
-        self.cfg.pvm.route = route;
-        self
-    }
-
-    /// Enable OS deschedule injection (§6.1's burst-merging artifact).
-    #[deprecated(note = "use TestbedBuilder::deschedule")]
-    pub fn with_deschedule(mut self, mean_cpu_between: SimTime, duration: SimTime) -> Testbed {
-        self.cfg.deschedule = Some(DescheduleConfig {
-            mean_cpu_between,
-            duration,
-        });
-        self
-    }
-
-    /// Make the bus lossy (frame corruption probability).
-    #[deprecated(note = "use TestbedBuilder::loss")]
-    pub fn with_loss(mut self, drop_prob: f64) -> Testbed {
-        self.cfg.pvm.net.ether.drop_prob = drop_prob;
-        self
-    }
-
-    /// Change the LAN's raw bit rate (default 10 Mb/s).
-    #[deprecated(note = "use TestbedBuilder::bandwidth_bps")]
-    pub fn with_bandwidth_bps(mut self, bps: u64) -> Testbed {
-        self.cfg.pvm.net.ether.bandwidth_bps = bps;
-        self
-    }
-
-    /// Replace the shared collision domain with a store-and-forward
-    /// switch.
-    #[deprecated(note = "use TestbedBuilder::switched_fabric")]
-    pub fn with_switched_fabric(mut self) -> Testbed {
-        self.cfg.pvm.net.link = LinkKind::Switched(SwitchConfig::default());
-        self
-    }
-
-    /// Replace the link layer with a declarative multi-segment topology.
-    #[deprecated(note = "use TestbedBuilder::topology")]
-    pub fn with_topology(mut self, spec: fxnet_topo::TopologySpec) -> Testbed {
-        self.cfg.hosts = spec.host_count() as u32;
-        self.cfg.pvm.net.link = LinkKind::Topology(spec);
-        self
-    }
-
-    /// Disable the PVM daemons' periodic UDP chatter.
-    #[deprecated(note = "use TestbedBuilder::heartbeats")]
-    pub fn without_heartbeats(mut self) -> Testbed {
-        self.cfg.pvm.heartbeat = None;
-        self
-    }
-
-    /// Enable telemetry collection.
-    #[deprecated(note = "use TestbedBuilder::telemetry")]
-    pub fn with_telemetry(mut self, on: bool) -> Testbed {
-        self.cfg.telemetry = on;
-        self
-    }
-
     /// Access the full configuration for fine-grained control.
     pub fn config(&self) -> &SpmdConfig {
         &self.cfg
@@ -411,20 +334,16 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_deprecated_shims() {
-        #[allow(deprecated)]
-        let old = Testbed::paper().with_seed(7).with_telemetry(true);
-        let new = TestbedBuilder::paper().seed(7).telemetry().build();
-        assert_eq!(format!("{:?}", old.config()), format!("{:?}", new.config()));
-        #[allow(deprecated)]
-        let old = Testbed::quiet(4)
-            .with_loss(0.05)
-            .with_bandwidth_bps(100_000_000);
-        let new = TestbedBuilder::quiet(4)
+    fn builder_overrides_land_in_the_config() {
+        let tb = TestbedBuilder::paper().seed(7).telemetry().build();
+        assert_eq!(tb.config().seed, 7);
+        assert!(tb.config().telemetry);
+        let tb = TestbedBuilder::quiet(4)
             .loss(0.05)
             .bandwidth_bps(100_000_000)
             .build();
-        assert_eq!(format!("{:?}", old.config()), format!("{:?}", new.config()));
+        assert_eq!(tb.config().pvm.net.ether.drop_prob, 0.05);
+        assert_eq!(tb.config().pvm.net.ether.bandwidth_bps, 100_000_000);
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub mod sampler;
 pub use export::{
     counter_events, fill_registry, fill_registry_labeled, report_jsonl, report_value,
 };
-pub use matrix::{MatrixAccum, PairSpace, ScalingRelation, TrafficMatrices, WindowMatrix};
+pub use matrix::{
+    MatrixAccum, PairSpace, ScalingAccum, ScalingRelation, TrafficMatrices, WindowMatrix,
+};
 pub use rings::{MultiResRing, DEFAULT_SCALES};
 pub use rollup::{
     rollup, strip_direction, windows_to_intervals, FabricRollup, GroupHealth, Hotspot,

@@ -340,6 +340,186 @@ impl MatrixAccum {
     }
 }
 
+/// Spill-free scaling-relation fold for the out-of-core scan.
+///
+/// [`MatrixAccum`] keeps every touched base window until `finalize` —
+/// O(span) memory, which at ten million frames over minutes of
+/// simulated time is the store all over again. This accumulator
+/// produces the **same** [`ScalingRelation`] vector (bitwise — the
+/// means divide the same integers) while holding only the *open*
+/// window of each scale: frames must arrive in non-decreasing time
+/// order (the capture invariant), so when a window's index moves on,
+/// the window is folded into its scale's running summary and freed.
+/// Counts are additive, so feeding every scale directly from frames
+/// equals the coarse-from-fine merge `MatrixAccum::finalize` performs.
+///
+/// Peak memory is O(pairs active in the widest open window) — bounded
+/// by the host-pair space, independent of trace length.
+#[derive(Debug)]
+pub struct ScalingAccum {
+    bin_ns: u64,
+    scales: Vec<ScaleAccum>,
+    prev_ns: Option<u64>,
+    frames: u64,
+}
+
+/// An open window: its index and per-pair packet counts.
+type OpenWindow = (u64, BTreeMap<(u32, u32), u64>);
+
+/// One scale's open window and running summary.
+#[derive(Debug)]
+struct ScaleAccum {
+    scale: u64,
+    open: Option<OpenWindow>,
+    windows: u64,
+    total_packets: u64,
+    max_packets: u64,
+    sum_nnz: u64,
+    max_nnz: u64,
+    /// Best (host, degree) so far, under the same `(degree,
+    /// Reverse(host))` order `TrafficMatrices::summaries` maximizes.
+    best: Option<(u32, u32)>,
+}
+
+impl ScaleAccum {
+    fn close_open(&mut self) {
+        let Some((_, counts)) = self.open.take() else {
+            return;
+        };
+        let packets: u64 = counts.values().sum();
+        let nnz = counts.len() as u64;
+        self.windows += 1;
+        self.total_packets += packets;
+        self.max_packets = self.max_packets.max(packets);
+        self.sum_nnz += nnz;
+        self.max_nnz = self.max_nnz.max(nnz);
+        let mut deg: BTreeMap<u32, u32> = BTreeMap::new();
+        for &(s, d) in counts.keys() {
+            *deg.entry(s).or_default() += 1;
+            *deg.entry(d).or_default() += 1;
+        }
+        if let Some((h, d)) = deg
+            .into_iter()
+            .max_by_key(|&(h, d)| (d, std::cmp::Reverse(h)))
+        {
+            // Windows close in ascending order, so taking the later
+            // window on ties replicates max_by_key's last-max-wins over
+            // the window sequence.
+            let better = match self.best {
+                None => true,
+                Some((bh, bd)) => (d, std::cmp::Reverse(h)) >= (bd, std::cmp::Reverse(bh)),
+            };
+            if better {
+                self.best = Some((h, d));
+            }
+        }
+    }
+}
+
+impl ScalingAccum {
+    /// An empty accumulator over base windows of `bin_ns` at the given
+    /// width-multiple ladder (strictly increasing, starting at 1).
+    pub fn new(bin_ns: u64, scales: &[u64]) -> ScalingAccum {
+        assert!(!scales.is_empty(), "at least one scale");
+        assert!(
+            scales.windows(2).all(|w| w[0] < w[1]),
+            "scales must be strictly increasing"
+        );
+        ScalingAccum {
+            bin_ns: bin_ns.max(1),
+            scales: scales
+                .iter()
+                .map(|&scale| ScaleAccum {
+                    scale,
+                    open: None,
+                    windows: 0,
+                    total_packets: 0,
+                    max_packets: 0,
+                    sum_nnz: 0,
+                    max_nnz: 0,
+                    best: None,
+                })
+                .collect(),
+            prev_ns: None,
+            frames: 0,
+        }
+    }
+
+    /// Count one delivered frame. Frames must arrive in non-decreasing
+    /// time order — the spill-free window retirement depends on it.
+    pub fn record(&mut self, time_ns: u64, src: u32, dst: u32) {
+        if let Some(p) = self.prev_ns {
+            assert!(
+                time_ns >= p,
+                "ScalingAccum requires time-ordered frames ({time_ns} after {p})"
+            );
+        }
+        self.prev_ns = Some(time_ns);
+        let w = time_ns / self.bin_ns;
+        for sa in &mut self.scales {
+            let ws = w / sa.scale;
+            match &mut sa.open {
+                Some((open_w, counts)) if *open_w == ws => {
+                    *counts.entry((src, dst)).or_default() += 1;
+                }
+                _ => {
+                    sa.close_open();
+                    let mut counts = BTreeMap::new();
+                    counts.insert((src, dst), 1u64);
+                    sa.open = Some((ws, counts));
+                }
+            }
+        }
+        self.frames += 1;
+    }
+
+    /// Count one decoded chunk of columns.
+    pub fn record_columns(&mut self, time_ns: &[u64], src: &[u32], dst: &[u32]) {
+        assert!(time_ns.len() == src.len() && time_ns.len() == dst.len());
+        for i in 0..time_ns.len() {
+            self.record(time_ns[i], src[i], dst[i]);
+        }
+    }
+
+    /// Total frames recorded so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Close the open windows and emit the per-scale summaries, finest
+    /// first — equal to `MatrixAccum::finalize(scales).summaries()` on
+    /// the same frames.
+    pub fn finalize(mut self) -> Vec<ScalingRelation> {
+        self.scales
+            .iter_mut()
+            .map(|sa| {
+                sa.close_open();
+                let (max_degree_host, max_degree) = sa.best.unwrap_or((0, 0));
+                ScalingRelation {
+                    scale: sa.scale,
+                    window_ns: self.bin_ns * sa.scale,
+                    windows: sa.windows,
+                    total_packets: sa.total_packets,
+                    max_packets: sa.max_packets,
+                    mean_packets: if sa.windows == 0 {
+                        0.0
+                    } else {
+                        sa.total_packets as f64 / sa.windows as f64
+                    },
+                    max_distinct_pairs: sa.max_nnz,
+                    mean_distinct_pairs: if sa.windows == 0 {
+                        0.0
+                    } else {
+                        sa.sum_nnz as f64 / sa.windows as f64
+                    },
+                    max_degree,
+                    max_degree_host,
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,7 +593,79 @@ mod tests {
         assert_eq!(s[1].window_ns, 10_000_000);
     }
 
+    #[test]
+    fn scaling_accum_matches_materialized_summaries() {
+        let scales = [1u64, 10, 100, 1000];
+        let mut acc = MatrixAccum::new(1_000_000);
+        let mut stream = ScalingAccum::new(1_000_000, &scales);
+        for ms in 0..500u64 {
+            let (s, d) = ((ms % 5) as u32, ((ms % 5 + 1 + ms % 3) % 5) as u32);
+            let t = SimTime::from_millis(ms) + SimTime::from_micros(ms % 900);
+            acc.record(t, s, d, 100 + ms);
+            stream.record(t.as_nanos(), s, d);
+        }
+        assert_eq!(stream.frames(), 500);
+        let want = acc.finalize(&scales).summaries();
+        let got = stream.finalize();
+        assert_eq!(got, want);
+        // Means must match to the bit, not approximately.
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.mean_packets.to_bits(), b.mean_packets.to_bits());
+            assert_eq!(
+                a.mean_distinct_pairs.to_bits(),
+                b.mean_distinct_pairs.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_accum_column_feed_matches_per_frame_feed() {
+        let times: Vec<u64> = (0..300u64).map(|i| i * 777_000).collect();
+        let src: Vec<u32> = (0..300u32).map(|i| i % 4).collect();
+        let dst: Vec<u32> = (0..300u32).map(|i| (i + 1 + i % 2) % 4).collect();
+        let mut whole = ScalingAccum::new(1_000_000, &[1, 10]);
+        whole.record_columns(&times, &src, &dst);
+        let mut chunked = ScalingAccum::new(1_000_000, &[1, 10]);
+        for at in (0..300).step_by(37) {
+            let end = (at + 37).min(300);
+            chunked.record_columns(&times[at..end], &src[at..end], &dst[at..end]);
+        }
+        assert_eq!(whole.finalize(), chunked.finalize());
+    }
+
+    #[test]
+    fn empty_scaling_accum_matches_empty_materialized() {
+        let want = MatrixAccum::new(1_000_000).finalize(&[1, 10]).summaries();
+        assert_eq!(ScalingAccum::new(1_000_000, &[1, 10]).finalize(), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn scaling_accum_rejects_time_travel() {
+        let mut s = ScalingAccum::new(1_000_000, &[1]);
+        s.record(5_000_000, 0, 1);
+        s.record(4_999_999, 0, 1);
+    }
+
     proptest! {
+        /// The streaming scaling fold equals the materialized ladder's
+        /// summaries on arbitrary time-ordered traffic.
+        #[test]
+        fn scaling_accum_equals_materialized_on_arbitrary_traffic(
+            frames in prop::collection::vec((0u64..2_000_000, 0u32..6, 0u32..6), 0..150),
+        ) {
+            let mut times: Vec<u64> = frames.iter().map(|&(us, _, _)| us * 1000).collect();
+            times.sort_unstable();
+            let scales = [1u64, 10, 100];
+            let mut acc = MatrixAccum::new(1_000_000);
+            let mut stream = ScalingAccum::new(1_000_000, &scales);
+            for (&t, &(_, s, d)) in times.iter().zip(&frames) {
+                acc.record(SimTime::from_nanos(t), s, d, 60);
+                stream.record(t, s, d);
+            }
+            prop_assert_eq!(stream.finalize(), acc.finalize(&scales).summaries());
+        }
+
         /// Conservation across the ladder on arbitrary traffic: every
         /// scale carries exactly the recorded packets and bytes, and
         /// every coarse window is the merge of its fine windows.

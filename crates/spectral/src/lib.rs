@@ -58,4 +58,4 @@ pub use fourier::FourierModel;
 pub use generate::synthesize_trace;
 pub use hurst::hurst_aggregated_variance;
 pub use media::{cbr_trace, onoff_vbr_trace, self_similar_trace};
-pub use streamdft::{goertzel_power, padded_bin, SlidingDft};
+pub use streamdft::{goertzel_power, harmonic_powers, padded_bin, SlidingDft};

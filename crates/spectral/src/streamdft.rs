@@ -56,6 +56,33 @@ pub fn goertzel_power(series: &[f64], bin: usize) -> f64 {
     s1 * s1 + s2 * s2 - coeff * s1 * s2
 }
 
+/// Goertzel powers at the harmonics of a base frequency: for each
+/// multiplier `h` in `harmonics`, the periodogram bin nearest
+/// `h · base_hz` is evaluated by [`goertzel_power`], returning
+/// `(frequency_hz, power)` pairs. This is the contract-harmonic probe
+/// the streaming scan runs over its binned bandwidth series — three
+/// O(n) passes instead of an O(n log n) FFT over millions of bins.
+/// Empty series yield an empty vector.
+pub fn harmonic_powers(
+    series: &[f64],
+    dt: SimTime,
+    base_hz: f64,
+    harmonics: &[u32],
+) -> Vec<(f64, f64)> {
+    if series.is_empty() {
+        return Vec::new();
+    }
+    let n = series.len().next_power_of_two();
+    let df = 1.0 / (n as f64 * dt.as_secs_f64());
+    harmonics
+        .iter()
+        .map(|&h| {
+            let bin = padded_bin(f64::from(h) * base_hz, series.len(), dt);
+            (bin as f64 * df, goertzel_power(series, bin))
+        })
+        .collect()
+}
+
 /// A sliding DFT over the last `window` samples of a real-valued stream,
 /// maintained at a fixed set of tracked bins in O(K) per sample.
 ///
@@ -217,6 +244,26 @@ mod tests {
             b.push(s + 123_456.0);
         }
         assert!(rel_err(a.power(0), b.power(0)) < 1e-6);
+    }
+
+    #[test]
+    fn harmonic_powers_probe_the_fundamental_ladder() {
+        // 1 Hz square wave again: strong odd harmonics, bin-exact
+        // against direct goertzel_power at the mapped bins.
+        let series: Vec<f64> = (0..3000)
+            .map(|i| if (i / 20) % 5 == 0 { 1_000_000.0 } else { 0.0 })
+            .collect();
+        let hp = harmonic_powers(&series, DT, 1.0, &[1, 2, 3, 4]);
+        assert_eq!(hp.len(), 4);
+        let df = 1.0 / (4096.0 * DT.as_secs_f64());
+        for (h, &(freq, power)) in (1u32..).zip(&hp) {
+            let bin = padded_bin(f64::from(h), series.len(), DT);
+            assert_eq!(freq.to_bits(), (bin as f64 * df).to_bits());
+            assert_eq!(power.to_bits(), goertzel_power(&series, bin).to_bits());
+        }
+        // The fundamental dominates its even neighbour.
+        assert!(hp[0].1 > hp[1].1);
+        assert!(harmonic_powers(&[], DT, 1.0, &[1]).is_empty());
     }
 
     proptest! {

@@ -67,13 +67,18 @@ pub mod spectrum;
 pub mod stats;
 pub mod store;
 pub mod stream;
+pub mod streaming;
 
 pub use bandwidth::{average_bandwidth, binned_bandwidth, sliding_window_bandwidth};
 pub use bursts::{detect_bursts, Burst, BurstProfile};
 pub use coherence::{correlation, mean_connection_correlation};
 pub use demux::{demux, demux_store, DemuxedStore, DemuxedTrace};
 pub use interference::{burst_collisions, slowdown, spectral_concentration, SpectralInterference};
-pub use io::{load_store, load_trace, save_store, save_trace, TraceFormat, TraceIoError};
+pub use io::{
+    load_store, load_trace, read_chunk, read_chunk_directory, save_store, save_store_chunked,
+    save_trace, ChunkBuf, ChunkCursor, ChunkDirectory, ChunkMeta, ChunkedWriter, TraceFormat,
+    TraceIoError,
+};
 pub use phases::{PhaseBreakdown, PhaseRow};
 pub use report::{markdown_table, markdown_table_views, ReportOptions, TraceReport};
 pub use select::{connection, dominant_modes, host_pairs, size_population};
@@ -81,3 +86,4 @@ pub use spectrum::{autocorrelation, Periodogram, Spike};
 pub use stats::Stats;
 pub use store::{TraceStore, TraceView};
 pub use stream::{SlidingBandwidth, StreakLatch, StreamBinner};
+pub use streaming::{SlidingPeak, StreamingReport};

@@ -246,6 +246,17 @@ impl TraceStore {
         self.time_ns.is_empty()
     }
 
+    /// Bytes the resident columns occupy (21 per frame, excluding the
+    /// connection index) — the deterministic O(trace) memory cost the
+    /// streaming scan's O(chunk) peak is compared against.
+    pub fn column_bytes(&self) -> u64 {
+        (self.time_ns.len() * 8
+            + self.wire_len.len() * 4
+            + self.tag.len()
+            + self.src.len() * 4
+            + self.dst.len() * 4) as u64
+    }
+
     /// Reassemble row `i` as a [`FrameRecord`]. Panics when out of
     /// bounds.
     pub fn get(&self, i: usize) -> FrameRecord {

@@ -1,0 +1,411 @@
+//! Out-of-core report folding: the chunk-at-a-time twin of
+//! [`TraceReport::analyze_view`].
+//!
+//! [`StreamingReport`] accepts `(time_ns, wire_len)` columns in capture
+//! order — whole chunks from a [`crate::ChunkCursor`], or single frames
+//! — and folds the same fused kernels the materialized path runs:
+//! Welford size/interarrival statistics, the lifetime byte/span totals,
+//! inline burst segmentation, and the anchored static binning that
+//! feeds the periodogram. Every operation is executed in the same
+//! order, on the same `f64` values, as `analyze_view` on a fully
+//! materialized store, so the finished [`TraceReport`] is
+//! **bitwise-identical** — the property the `analysis-scale` bench leg
+//! asserts at ten million frames.
+//!
+//! Peak state is O(output), not O(trace): the accumulator holds the
+//! running scalars, one `u64` per bandwidth bin, and one entry per
+//! detected burst. No per-frame data survives the push.
+
+use crate::bursts::{Burst, BurstProfile};
+use crate::report::{ReportOptions, TraceReport};
+use crate::spectrum::Periodogram;
+use crate::stats::Welford;
+use crate::stream::SlidingBandwidth;
+use fxnet_sim::SimTime;
+
+/// Cross-chunk fold of [`TraceReport::analyze_view`]'s fused pass.
+#[derive(Debug, Clone)]
+pub struct StreamingReport {
+    label: String,
+    opts: ReportOptions,
+    n: usize,
+    sizes: Welford,
+    inter: Welford,
+    bursts: Vec<Burst>,
+    t_min: u64,
+    t_max: u64,
+    bytes: u64,
+    first: u64,
+    last: u64,
+    prev: Option<u64>,
+    bin_anchor: Option<u64>,
+    bin_bytes: Vec<u64>,
+}
+
+impl StreamingReport {
+    /// Start an empty fold for a trace labelled `label`.
+    pub fn new(label: impl Into<String>, opts: &ReportOptions) -> StreamingReport {
+        assert!(opts.bin.as_nanos() > 0);
+        StreamingReport {
+            label: label.into(),
+            opts: opts.clone(),
+            n: 0,
+            sizes: Welford::new(),
+            inter: Welford::new(),
+            bursts: Vec::new(),
+            t_min: u64::MAX,
+            t_max: 0,
+            bytes: 0,
+            first: 0,
+            last: 0,
+            prev: None,
+            bin_anchor: None,
+            bin_bytes: Vec::new(),
+        }
+    }
+
+    /// Frames folded so far.
+    pub fn frames(&self) -> usize {
+        self.n
+    }
+
+    /// Fold one frame. Frames must arrive in non-decreasing time order
+    /// (the capture invariant every simulator trace satisfies); the
+    /// single-pass binning below depends on it.
+    pub fn push(&mut self, time_ns: u64, wire_len: u32) {
+        if let Some(p) = self.prev {
+            assert!(
+                time_ns >= p,
+                "StreamingReport requires time-ordered frames ({time_ns} after {p})"
+            );
+        }
+        let t = time_ns;
+        if self.n == 0 {
+            self.first = t;
+        }
+        self.last = t;
+        self.t_min = self.t_min.min(t);
+        self.t_max = self.t_max.max(t);
+        self.bytes += u64::from(wire_len);
+        self.sizes.push(f64::from(wire_len));
+        if let Some(p) = self.prev {
+            self.inter
+                .push((SimTime::from_nanos(t) - SimTime::from_nanos(p)).as_millis_f64());
+        }
+        self.prev = Some(t);
+        let time = SimTime::from_nanos(t);
+        match self.bursts.last_mut() {
+            Some(b) if time.saturating_sub(b.end) <= self.opts.burst_gap => {
+                b.end = time;
+                b.bytes += u64::from(wire_len);
+                b.packets += 1;
+            }
+            _ => self.bursts.push(Burst {
+                start: time,
+                end: time,
+                bytes: u64::from(wire_len),
+                packets: 1,
+            }),
+        }
+        let bin_ns = self.opts.bin.as_nanos();
+        match self.bin_anchor {
+            None => {
+                self.bin_anchor = Some(t);
+                self.bin_bytes.push(u64::from(wire_len));
+            }
+            Some(anchor) => {
+                let idx = ((t - anchor) / bin_ns) as usize;
+                if idx >= self.bin_bytes.len() {
+                    self.bin_bytes.resize(idx + 1, 0);
+                }
+                self.bin_bytes[idx] += u64::from(wire_len);
+            }
+        }
+        self.n += 1;
+    }
+
+    /// Fold one decoded chunk of columns.
+    pub fn push_chunk(&mut self, time_ns: &[u64], wire_len: &[u32]) {
+        assert_eq!(time_ns.len(), wire_len.len());
+        for (&t, &len) in time_ns.iter().zip(wire_len) {
+            self.push(t, len);
+        }
+    }
+
+    /// Finish the fold, returning the report and the `opts.bin`-binned
+    /// bandwidth series it was derived from (bytes/second per bin) —
+    /// identical to `view.binned_bandwidth(opts.bin)` on the same
+    /// frames, so downstream spectral consumers need no second pass.
+    pub fn finish_with_series(self) -> (TraceReport, Vec<f64>) {
+        let n = self.n;
+        let span_s = if n == 0 {
+            0.0
+        } else {
+            (SimTime::from_nanos(self.last) - SimTime::from_nanos(self.first)).as_secs_f64()
+        };
+        let avg_bandwidth = if n == 0 {
+            None
+        } else {
+            let span =
+                (SimTime::from_nanos(self.t_max) - SimTime::from_nanos(self.t_min)).as_secs_f64();
+            if span <= 0.0 {
+                None
+            } else {
+                Some(self.bytes as f64 / span)
+            }
+        };
+        let series: Vec<f64> = if n == 0 {
+            Vec::new()
+        } else {
+            let bin_ns = self.opts.bin.as_nanos();
+            let nbins = ((self.t_max - self.t_min) / bin_ns + 1) as usize;
+            let mut bin_bytes = self.bin_bytes;
+            bin_bytes.resize(nbins, 0);
+            let bin_s = self.opts.bin.as_secs_f64();
+            bin_bytes.into_iter().map(|b| b as f64 / bin_s).collect()
+        };
+        let spec = (n != 0).then(|| Periodogram::compute(&series, self.opts.bin));
+        let (dominant_hz, flatness) = match &spec {
+            None => (None, None),
+            Some(spec) => (
+                spec.dominant_frequency(self.opts.min_hz),
+                Some(spec.flatness()),
+            ),
+        };
+        let report = TraceReport {
+            label: self.label,
+            frames: n,
+            span_s,
+            sizes: self.sizes.finish(),
+            interarrivals_ms: if n < 2 { None } else { self.inter.finish() },
+            avg_bandwidth,
+            bursts: BurstProfile::of_bursts(self.bursts),
+            dominant_hz,
+            flatness,
+        };
+        (report, series)
+    }
+
+    /// Finish the fold, returning just the report.
+    pub fn finish(self) -> TraceReport {
+        self.finish_with_series().0
+    }
+}
+
+/// Running peak of the sliding-window bandwidth: the O(window) fold of
+/// the quantity `sliding_window_bandwidth` materializes as a full
+/// per-packet vector. Both the streamed and materialized `analysis-scale`
+/// paths push the same frames through the same
+/// [`SlidingBandwidth`] ring, so the peaks agree bitwise.
+#[derive(Debug, Clone)]
+pub struct SlidingPeak {
+    ring: SlidingBandwidth,
+    peak: f64,
+    n: usize,
+}
+
+impl SlidingPeak {
+    pub fn new(window: SimTime) -> SlidingPeak {
+        SlidingPeak {
+            ring: SlidingBandwidth::new(window),
+            peak: f64::NEG_INFINITY,
+            n: 0,
+        }
+    }
+
+    /// Fold one frame; returns the instantaneous window bandwidth.
+    pub fn push(&mut self, time: SimTime, wire_len: u32) -> f64 {
+        let bw = self.ring.push(time, wire_len);
+        self.peak = self.peak.max(bw);
+        self.n += 1;
+        bw
+    }
+
+    /// Highest window bandwidth seen, `None` before any frame.
+    pub fn peak(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.peak)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth::sliding_window_bandwidth;
+    use crate::report::markdown_table_views;
+    use crate::store::TraceStore;
+    use fxnet_sim::{Frame, FrameKind, FrameRecord, HostId, Proto};
+    use proptest::prelude::*;
+
+    fn burst_trace(n: usize) -> Vec<FrameRecord> {
+        let mut t_us = 0u64;
+        (0..n)
+            .map(|i| {
+                t_us += if i % 20 == 0 { 400_000 } else { 900 };
+                FrameRecord::capture(
+                    SimTime::from_micros(t_us),
+                    &Frame::tcp(
+                        HostId((i % 4) as u32),
+                        HostId(((i + 1) % 4) as u32),
+                        if i % 3 == 0 {
+                            FrameKind::Ack
+                        } else {
+                            FrameKind::Data
+                        },
+                        if i % 3 == 0 { 0 } else { 1460 },
+                        i as u64,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    fn assert_reports_bitwise_equal(a: &TraceReport, b: &TraceReport) {
+        assert_eq!(a.frames, b.frames);
+        assert_eq!(a.span_s.to_bits(), b.span_s.to_bits());
+        assert_eq!(a.sizes, b.sizes);
+        assert_eq!(a.interarrivals_ms, b.interarrivals_ms);
+        assert_eq!(
+            a.avg_bandwidth.map(f64::to_bits),
+            b.avg_bandwidth.map(f64::to_bits)
+        );
+        assert_eq!(
+            a.dominant_hz.map(f64::to_bits),
+            b.dominant_hz.map(f64::to_bits)
+        );
+        assert_eq!(a.flatness.map(f64::to_bits), b.flatness.map(f64::to_bits));
+        assert_eq!(a.markdown_row(), b.markdown_row());
+    }
+
+    #[test]
+    fn streamed_report_matches_materialized_exactly() {
+        let tr = burst_trace(500);
+        let store = TraceStore::from_records(&tr);
+        let opts = ReportOptions::default();
+        let materialized = TraceReport::analyze_view("demo", store.view(), &opts);
+
+        for chunk in [1usize, 7, 100, 500, 1000] {
+            let mut s = StreamingReport::new("demo", &opts);
+            for slice in tr.chunks(chunk) {
+                let t: Vec<u64> = slice.iter().map(|r| r.time.as_nanos()).collect();
+                let w: Vec<u32> = slice.iter().map(|r| r.wire_len).collect();
+                s.push_chunk(&t, &w);
+            }
+            assert_eq!(s.frames(), 500);
+            let (streamed, series) = s.finish_with_series();
+            assert_reports_bitwise_equal(&streamed, &materialized);
+            let want = store.view().binned_bandwidth(opts.bin);
+            assert_eq!(series.len(), want.len(), "chunk={chunk}");
+            for (a, b) in series.iter().zip(&want) {
+                assert_eq!(a.to_bits(), b.to_bits(), "chunk={chunk}");
+            }
+            // The rendered table row is what the bench artifacts diff.
+            assert_eq!(
+                format!(
+                    "{}\n{}",
+                    TraceReport::markdown_header(),
+                    streamed.markdown_row()
+                ),
+                markdown_table_views([("demo", store.view())], &opts)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_stream_matches_empty_view() {
+        let opts = ReportOptions::default();
+        let empty = TraceStore::from_records(&[]);
+        let (streamed, series) = StreamingReport::new("e", &opts).finish_with_series();
+        let materialized = TraceReport::analyze_view("e", empty.view(), &opts);
+        assert_reports_bitwise_equal(&streamed, &materialized);
+        assert!(series.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_frames_are_rejected() {
+        let mut s = StreamingReport::new("x", &ReportOptions::default());
+        s.push(1_000_000, 100);
+        s.push(999_999, 100);
+    }
+
+    #[test]
+    fn sliding_peak_matches_materialized_max() {
+        let tr = burst_trace(400);
+        let window = SimTime::from_millis(10);
+        let mut peak = SlidingPeak::new(window);
+        assert_eq!(peak.peak(), None);
+        for r in &tr {
+            peak.push(r.time, r.wire_len);
+        }
+        let full = sliding_window_bandwidth(&tr, window);
+        let want = full.iter().fold(f64::NEG_INFINITY, |m, &(_, v)| m.max(v));
+        assert_eq!(peak.peak().unwrap().to_bits(), want.to_bits());
+    }
+
+    proptest! {
+        /// The satellite-task property: any chunking — 1-frame chunks,
+        /// one whole-trace chunk, anything between — folds to the exact
+        /// bits of the materialized report.
+        #[test]
+        fn any_chunking_is_bitwise_identical(
+            times in prop::collection::vec(0u64..5_000_000_000u64, 0..120),
+            sizes in prop::collection::vec(58u32..1519, 1..120),
+            cuts in prop::collection::vec(0usize..120, 0..12),
+        ) {
+            let mut ts = times;
+            ts.sort_unstable();
+            let tr: Vec<FrameRecord> = ts
+                .iter()
+                .zip(sizes.iter().cycle())
+                .map(|(&t, &sz)| FrameRecord {
+                    time: SimTime::from_nanos(t),
+                    wire_len: sz,
+                    proto: if t % 2 == 0 { Proto::Tcp } else { Proto::Udp },
+                    kind: FrameKind::Data,
+                    src: HostId((t % 5) as u32),
+                    dst: HostId((t % 3) as u32),
+                })
+                .collect();
+            let store = TraceStore::from_records(&tr);
+            let opts = ReportOptions::default();
+            let materialized = TraceReport::analyze_view("p", store.view(), &opts);
+
+            let mut bounds: Vec<usize> = cuts.into_iter().map(|c| c % (tr.len() + 1)).collect();
+            bounds.push(0);
+            bounds.push(tr.len());
+            bounds.sort_unstable();
+            bounds.dedup();
+
+            let mut s = StreamingReport::new("p", &opts);
+            for w in bounds.windows(2) {
+                let slice = &tr[w[0]..w[1]];
+                let t: Vec<u64> = slice.iter().map(|r| r.time.as_nanos()).collect();
+                let wl: Vec<u32> = slice.iter().map(|r| r.wire_len).collect();
+                s.push_chunk(&t, &wl);
+            }
+            let (streamed, series) = s.finish_with_series();
+            prop_assert_eq!(streamed.frames, materialized.frames);
+            prop_assert_eq!(streamed.span_s.to_bits(), materialized.span_s.to_bits());
+            prop_assert_eq!(&streamed.sizes, &materialized.sizes);
+            prop_assert_eq!(&streamed.interarrivals_ms, &materialized.interarrivals_ms);
+            prop_assert_eq!(
+                streamed.avg_bandwidth.map(f64::to_bits),
+                materialized.avg_bandwidth.map(f64::to_bits)
+            );
+            prop_assert_eq!(
+                streamed.dominant_hz.map(f64::to_bits),
+                materialized.dominant_hz.map(f64::to_bits)
+            );
+            prop_assert_eq!(
+                streamed.flatness.map(f64::to_bits),
+                materialized.flatness.map(f64::to_bits)
+            );
+            prop_assert_eq!(streamed.markdown_row(), materialized.markdown_row());
+            let want = store.view().binned_bandwidth(opts.bin);
+            prop_assert_eq!(series.len(), want.len());
+            for (a, b) in series.iter().zip(&want) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}
